@@ -1,0 +1,81 @@
+// Ablation: Table-I feature groups — what happens to identification
+// accuracy when a whole group of the 23 features is removed (zeroed in
+// both F and F', affecting classifiers AND edit-distance equality).
+//
+// Groups follow Table I: link/network/transport/application protocol
+// flags, IP options, packet content (size + raw data), destination-IP
+// counter, port classes.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace iotsentinel;
+
+struct FeatureGroup {
+  const char* name;
+  std::vector<fp::FeatureIndex> features;
+};
+
+/// Rebuilds a corpus with the given features zeroed out of every packet.
+sim::FingerprintCorpus mask_corpus(const sim::FingerprintCorpus& corpus,
+                                   const std::vector<fp::FeatureIndex>& drop) {
+  sim::FingerprintCorpus out;
+  out.type_names = corpus.type_names;
+  for (const auto& runs : corpus.by_type) {
+    auto& masked_runs = out.by_type.emplace_back();
+    for (const auto& f : runs) {
+      fp::Fingerprint masked;
+      for (const auto& packet : f.packets()) {
+        fp::FeatureVector v = packet;
+        for (fp::FeatureIndex idx : drop) {
+          v[static_cast<std::size_t>(idx)] = 0;
+        }
+        masked.append(v);  // re-dedup under the reduced feature view
+      }
+      masked_runs.push_back(std::move(masked));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using FI = fp::FeatureIndex;
+  std::printf("=== Ablation: dropping Table-I feature groups ===\n\n");
+  const auto corpus = bench::paper_corpus();
+
+  const FeatureGroup groups[] = {
+      {"none (full 23 features)", {}},
+      {"link layer (ARP, LLC)", {FI::kArp, FI::kLlc}},
+      {"network layer (IP, ICMP, ICMPv6, EAPoL)",
+       {FI::kIp, FI::kIcmp, FI::kIcmpv6, FI::kEapol}},
+      {"transport (TCP, UDP)", {FI::kTcp, FI::kUdp}},
+      {"application protocols (8 flags)",
+       {FI::kHttp, FI::kHttps, FI::kDhcp, FI::kBootp, FI::kSsdp, FI::kDns,
+        FI::kMdns, FI::kNtp}},
+      {"IP options (padding, router alert)",
+       {FI::kIpOptPadding, FI::kIpOptRouterAlert}},
+      {"packet content (size, raw data)", {FI::kSize, FI::kRawData}},
+      {"destination-IP counter", {FI::kDstIpCounter}},
+      {"port classes (src, dst)", {FI::kSrcPortClass, FI::kDstPortClass}},
+  };
+
+  std::printf("%-42s %10s %12s\n", "dropped group", "global", "discr.frac");
+  for (const auto& group : groups) {
+    const auto masked = mask_corpus(corpus, group.features);
+    auto config = bench::paper_cv_config();
+    config.repetitions = 2;
+    const auto out =
+        core::cross_validate(masked.type_names, masked.by_type, config);
+    std::printf("%-42s %10.3f %11.0f%%\n", group.name, out.global_accuracy,
+                100.0 * out.discrimination_fraction);
+  }
+  std::printf("\n(expected: packet size carries the most signal; protocol "
+              "flags and the\n destination counter degrade gracefully; no "
+              "single group is fatal)\n");
+  return 0;
+}

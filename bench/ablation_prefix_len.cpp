@@ -1,0 +1,29 @@
+// Ablation: length of the F' prefix (the paper fixed 12 packets after a
+// "preliminary analysis"; this bench regenerates that analysis).
+//
+// Expected shape: accuracy climbs steeply up to ~8-12 packets, then
+// saturates — longer prefixes only add zero padding because most setup
+// dialogues contain 6-14 unique packets.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace iotsentinel;
+  std::printf("=== Ablation: F' prefix length (paper default: 12) ===\n\n");
+  const auto corpus = bench::paper_corpus();
+
+  std::printf("%8s %10s %12s %12s\n", "prefix", "global", "discr.frac",
+              "rejected");
+  for (std::size_t prefix : {2, 4, 6, 8, 10, 12, 16, 20}) {
+    auto config = bench::paper_cv_config();
+    config.repetitions = 2;  // ablation sweep: 2 reps per point suffice
+    config.identifier.fixed_prefix = prefix;
+    const auto out =
+        core::cross_validate(corpus.type_names, corpus.by_type, config);
+    std::printf("%8zu %10.3f %11.0f%% %12llu\n", prefix, out.global_accuracy,
+                100.0 * out.discrimination_fraction,
+                static_cast<unsigned long long>(out.rejected));
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Analysis: which Table-I features carry the identification signal?
+//
+// Trains the full 27-type classifier bank, averages the gini feature
+// importance over all per-type forests, and aggregates the 276 F'
+// dimensions (12 packet slots x 23 features) back to the 23 Table-I
+// feature names and to the 12 packet positions.
+//
+// Not a paper artifact — supporting analysis for the design discussion in
+// Sect. IV-A (the paper motivates the feature set qualitatively).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/identifier.hpp"
+
+int main() {
+  using namespace iotsentinel;
+  std::printf("=== Analysis: gini feature importance over the 27-type bank ===\n\n");
+  const auto corpus = bench::paper_corpus();
+  core::DeviceIdentifier identifier(bench::paper_identifier_config());
+  identifier.train(corpus.type_names, corpus.by_type);
+
+  // Average the 276-dim importances across the 27 binary forests.
+  std::vector<double> dims(fp::kFixedDims, 0.0);
+  for (std::size_t t = 0; t < identifier.num_types(); ++t) {
+    const auto imp = identifier.bank().forest(t).feature_importances();
+    for (std::size_t d = 0; d < dims.size(); ++d) dims[d] += imp[d];
+  }
+  for (double& v : dims) v /= static_cast<double>(identifier.num_types());
+
+  // Aggregate per Table-I feature (summing over the 12 packet slots).
+  std::vector<std::pair<double, std::size_t>> per_feature(fp::kNumFeatures);
+  for (std::size_t f = 0; f < fp::kNumFeatures; ++f) {
+    per_feature[f] = {0.0, f};
+    for (std::size_t slot = 0; slot < fp::kPrefixPackets; ++slot) {
+      per_feature[f].first += dims[slot * fp::kNumFeatures + f];
+    }
+  }
+  std::sort(per_feature.rbegin(), per_feature.rend());
+
+  std::printf("%-18s %10s\n", "feature", "importance");
+  for (const auto& [importance, f] : per_feature) {
+    std::printf("%-18s %9.1f%%  ",
+                fp::feature_name(static_cast<fp::FeatureIndex>(f)).c_str(),
+                100.0 * importance);
+    const int bars = static_cast<int>(importance * 120 + 0.5);
+    for (int b = 0; b < bars; ++b) std::putchar('#');
+    std::putchar('\n');
+  }
+
+  // Aggregate per packet position (summing over the 23 features).
+  std::printf("\n%-18s %10s\n", "packet position", "importance");
+  for (std::size_t slot = 0; slot < fp::kPrefixPackets; ++slot) {
+    double sum = 0.0;
+    for (std::size_t f = 0; f < fp::kNumFeatures; ++f) {
+      sum += dims[slot * fp::kNumFeatures + f];
+    }
+    std::printf("p%-17zu %9.1f%%  ", slot + 1, 100.0 * sum);
+    const int bars = static_cast<int>(sum * 120 + 0.5);
+    for (int b = 0; b < bars; ++b) std::putchar('#');
+    std::putchar('\n');
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared configuration for the paper-reproduction benches: one place pins
+// the corpus seed and the paper-calibrated pipeline settings so Fig. 5,
+// Table III and Table IV all evaluate the same system.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "core/evaluation.hpp"
+#include "simnet/corpus.hpp"
+
+namespace iotsentinel::bench {
+
+/// Corpus matching the paper's dataset shape: 27 types x 20 captures.
+inline sim::FingerprintCorpus paper_corpus() {
+  return sim::generate_corpus(/*runs_per_type=*/20, /*seed=*/42);
+}
+
+/// The paper's evaluation protocol: stratified 10-fold CV, repeated.
+/// Repetitions default to the paper's 10 but can be reduced through the
+/// IOTS_CV_REPS environment variable for quick runs.
+inline core::CvConfig paper_cv_config() {
+  core::CvConfig config;
+  config.folds = 10;
+  config.repetitions = 10;
+  if (const char* reps = std::getenv("IOTS_CV_REPS")) {
+    const int value = std::atoi(reps);
+    if (value > 0) config.repetitions = static_cast<std::size_t>(value);
+  }
+  config.identifier.bank.accept_threshold =
+      core::kPaperCalibratedAcceptThreshold;
+  config.seed = 20170605;  // ICDCS'17 :-)
+  return config;
+}
+
+/// Identifier settings used outside cross-validation (timing benches).
+inline core::IdentifierConfig paper_identifier_config() {
+  core::IdentifierConfig config;
+  config.bank.accept_threshold = core::kPaperCalibratedAcceptThreshold;
+  return config;
+}
+
+}  // namespace iotsentinel::bench

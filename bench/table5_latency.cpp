@@ -1,0 +1,49 @@
+// Reproduces Table V: latency (ms) experienced between devices D1-D3 and
+// destinations D4 / S_local / S_remote, with and without traffic filtering
+// (15 ping iterations per pair, as in the paper).
+//
+// Paper reference rows (mean +- stdev, ms):
+//   D1->D4 24.8/24.5   D1->Slocal 18.4/18.2   D1->Sremote 20.6/20.3
+//   D2->D4 28.5/28.2   D2->Slocal 17.2/17.0   D2->Sremote 20.0/19.8
+//   D3->D4 27.6/27.5   D3->Slocal 15.5/15.4   D3->Sremote 20.6/19.9
+// (filtering / no-filtering). Shape to reproduce: filtering adds well
+// under 1 ms on every pair.
+#include <cstdio>
+
+#include "simnet/network_sim.hpp"
+
+int main() {
+  using namespace iotsentinel;
+  std::printf("=== Table V: latency (ms) with / without traffic filtering ===\n");
+  std::printf("(15 iterations per pair; real SDN data plane, modeled link "
+              "latencies calibrated to the paper's testbed)\n\n");
+
+  const char* sources[] = {"D1", "D2", "D3"};
+  const char* destinations[] = {"D4", "Slocal", "Sremote"};
+
+  std::printf("%-8s %-10s %-22s %-22s %s\n", "Source", "Destination",
+              "Filtering mean(+-sd)", "NoFiltering mean(+-sd)", "delta");
+  double max_delta = 0.0;
+  for (const char* src : sources) {
+    for (const char* dst : destinations) {
+      // Fresh sims per pair so flow-table state doesn't leak across rows;
+      // seeds differ per pair for independent noise, identical between the
+      // filtering and no-filtering columns for a paired comparison.
+      const std::uint64_t seed =
+          7 + static_cast<std::uint64_t>(src[1] - '0') * 131 +
+          static_cast<std::uint64_t>(dst[0]) * 17;
+      sim::NetworkSim with = sim::make_paper_testbed(true, seed);
+      sim::NetworkSim without = sim::make_paper_testbed(false, seed);
+      const sim::RttResult w = with.measure_rtt(src, dst, 15);
+      const sim::RttResult wo = without.measure_rtt(src, dst, 15);
+      const double delta = w.rtt_ms.mean() - wo.rtt_ms.mean();
+      max_delta = std::max(max_delta, delta);
+      std::printf("%-8s %-10s %6.1f (+-%4.1f)        %6.1f (+-%4.1f)        %+5.2f\n",
+                  src, dst, w.rtt_ms.mean(), w.rtt_ms.stddev(),
+                  wo.rtt_ms.mean(), wo.rtt_ms.stddev(), delta);
+    }
+  }
+  std::printf("\nmax filtering-induced latency increase: %.2f ms "
+              "(paper: <= 0.7 ms on every pair)\n", max_delta);
+  return 0;
+}

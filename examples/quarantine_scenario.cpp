@@ -1,0 +1,131 @@
+// Quarantine scenario: what the adversary model of Sect. II looks like in
+// packets, and what enforcement buys you.
+//
+// A vulnerable smart plug is compromised after onboarding and attempts
+//   (a) lateral movement: TCP scans of devices in the trusted overlay,
+//   (b) data exfiltration: bulk upload to an attacker server, and
+//   (c) C2 check-in to a non-whitelisted endpoint.
+// The same attack traffic is replayed against a filtering gateway and a
+// no-filtering baseline; the demo prints the blocked/forwarded tally.
+//
+// Build & run:  ./build/examples/quarantine_scenario
+#include <cstdio>
+
+#include "core/security_gateway.hpp"
+#include "net/builder.hpp"
+#include "net/protocols.hpp"
+#include "simnet/corpus.hpp"
+#include "simnet/traffic_generator.hpp"
+
+namespace {
+
+using namespace iotsentinel;
+
+struct AttackStats {
+  int attempted = 0;
+  int blocked = 0;
+};
+
+/// Plays the compromise script against one gateway.
+AttackStats run_attack(bool filtering) {
+  // IoTSSP trained on a handful of types; TP-Link plug is vulnerable in
+  // this scenario's vulnerability database.
+  const auto corpus = sim::generate_corpus_for(
+      {"TP-LinkPlugHS110", "HueBridge", "Aria", "D-LinkCam", "Withings"}, 15,
+      314);
+  core::DeviceIdentifier identifier;
+  identifier.train(corpus.type_names, corpus.by_type);
+  core::VulnerabilityDb db;
+  db.add("TP-LinkPlugHS110", {.id = "CVE-2017-PLUG-01", .cvss = 8.8,
+                              .summary = "unauthenticated local API"});
+  for (const char* clean : {"HueBridge", "Aria", "D-LinkCam", "Withings"}) {
+    db.mark_assessed(clean);
+  }
+  core::IoTSecurityService service(std::move(identifier), std::move(db));
+  service.register_endpoints("TP-LinkPlugHS110",
+                             {net::Ipv4Address::of(104, 26, 11, 110)});
+
+  core::GatewayConfig config;
+  config.controller.filtering_enabled = filtering;
+  core::SecurityGateway gw(service, config);
+
+  // Onboard the (still benign) plug and two victims.
+  sim::TrafficGenerator gen;
+  auto onboard = [&](const char* type, std::uint32_t instance,
+                     std::uint8_t ip_last, std::uint64_t seed) {
+    const auto* profile = sim::find_profile(type);
+    ml::Rng rng(seed);
+    const auto mac = sim::TrafficGenerator::mint_mac(*profile, instance);
+    std::uint64_t last = 0;
+    for (const auto& tf : gen.generate(
+             *profile, mac, net::Ipv4Address::of(192, 168, 0, ip_last), rng)) {
+      gw.on_frame(tf.frame, tf.timestamp_us);
+      last = tf.timestamp_us;
+    }
+    gw.advance_time(last + 120'000'000);
+    return mac;
+  };
+  const auto plug = onboard("TP-LinkPlugHS110", 1, 50, 601);
+  const auto hue = onboard("HueBridge", 2, 51, 602);
+  const auto scale = onboard("Aria", 3, 52, 603);
+
+  const auto plug_ip = net::Ipv4Address::of(192, 168, 0, 50);
+  std::uint64_t now = 900'000'000;
+  AttackStats stats;
+  auto attempt = [&](const net::Bytes& frame) {
+    const auto result = gw.on_frame(frame, now);
+    ++stats.attempted;
+    if (result.action == sdn::FlowAction::kDrop) ++stats.blocked;
+    now += 1000;
+  };
+
+  // (a) Lateral movement: scan the victims' service ports.
+  for (std::uint16_t port : {22, 23, 80, 443, 8080}) {
+    attempt(net::build_tcp_syn(plug, hue, plug_ip,
+                               net::Ipv4Address::of(192, 168, 0, 51), 51000,
+                               port, 1));
+    attempt(net::build_tcp_syn(plug, scale, plug_ip,
+                               net::Ipv4Address::of(192, 168, 0, 52), 51001,
+                               port, 1));
+  }
+  // (b) Exfiltration: bulk HTTPS upload to an attacker-controlled host.
+  for (int i = 0; i < 5; ++i) {
+    attempt(net::build_tls_client_hello(
+        plug, net::MacAddress::of(2, 0, 0, 0, 0, 1), plug_ip,
+        net::Ipv4Address::of(185, 220, 101, 4),
+        static_cast<std::uint16_t>(52000 + i), "drop.attacker.example"));
+  }
+  // (c) C2 check-in on an unusual port.
+  for (int i = 0; i < 3; ++i) {
+    attempt(net::build_tcp_syn(plug, net::MacAddress::of(2, 0, 0, 0, 0, 1),
+                               plug_ip, net::Ipv4Address::of(45, 155, 205, 86),
+                               static_cast<std::uint16_t>(53000 + i), 6667,
+                               1));
+  }
+  // Legitimate traffic must keep working: the plug's own cloud service.
+  attempt(net::build_tls_client_hello(
+      plug, net::MacAddress::of(2, 0, 0, 0, 0, 1), plug_ip,
+      net::Ipv4Address::of(104, 26, 11, 110), 54000, "devs.tplinkcloud.com"));
+
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Quarantine scenario: compromised smart plug ===\n\n");
+  const AttackStats with = run_attack(/*filtering=*/true);
+  const AttackStats without = run_attack(/*filtering=*/false);
+
+  std::printf("attack/legit packets attempted: %d\n\n", with.attempted);
+  std::printf("%-28s %10s %10s\n", "gateway", "blocked", "forwarded");
+  std::printf("%-28s %10d %10d\n", "IoT Sentinel (filtering)", with.blocked,
+              with.attempted - with.blocked);
+  std::printf("%-28s %10d %10d\n", "baseline (no filtering)",
+              without.blocked, without.attempted - without.blocked);
+  std::printf(
+      "\nWith filtering, the restricted plug reaches only its whitelisted\n"
+      "vendor cloud: lateral scans into the trusted overlay, exfiltration\n"
+      "and C2 check-ins are all dropped. The baseline forwards everything.\n");
+  return with.blocked > 0 && without.blocked == 0 ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the IoT Sentinel pipeline in ~60 lines.
+//
+//  1. Simulate a device's setup-phase traffic (real packet bytes).
+//  2. Extract its fingerprint (23 features per packet, Table I).
+//  3. Train the two-stage identifier on a few known device-types.
+//  4. Identify the device and derive its enforcement rule.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/identifier.hpp"
+#include "core/vulnerability_db.hpp"
+#include "fingerprint/extractor.hpp"
+#include "sdn/enforcement_rule.hpp"
+#include "simnet/corpus.hpp"
+#include "simnet/traffic_generator.hpp"
+
+int main() {
+  using namespace iotsentinel;
+
+  // 1. A brand-new Edimax camera joins the network; capture its setup
+  //    dialogue (in production this is the gateway's live capture or a
+  //    tcpdump pcap — see pcap_tool for file ingest).
+  const sim::DeviceProfile* camera = sim::find_profile("EdimaxCam");
+  sim::TrafficGenerator generator;
+  ml::Rng rng(2024);
+  const net::MacAddress mac = sim::TrafficGenerator::mint_mac(*camera, 1);
+  const auto frames = generator.generate(
+      *camera, mac, net::Ipv4Address::of(192, 168, 0, 23), rng);
+  std::printf("captured %zu setup packets from %s\n", frames.size(),
+              mac.to_string().c_str());
+
+  // 2. Parse the raw frames and build the fingerprint F.
+  const auto packets = sim::parse_frames(frames);
+  const fp::Fingerprint fingerprint = fp::fingerprint_from_packets(packets);
+  std::printf("fingerprint: %zu packet columns, %zu unique -> F' fills %zu/276 dims\n",
+              fingerprint.size(), fingerprint.unique_packet_count(),
+              23 * std::min<std::size_t>(12, fingerprint.unique_packet_count()));
+
+  // 3. Train the identifier on reference captures of known device-types.
+  const auto corpus = sim::generate_corpus_for(
+      {"EdimaxCam", "Aria", "HueBridge", "WeMoSwitch", "Withings"}, 15, 7);
+  core::DeviceIdentifier identifier;
+  identifier.train(corpus.type_names, corpus.by_type);
+
+  // 4. Identify and derive the enforcement rule.
+  const core::IdentificationResult result = identifier.identify(fingerprint);
+  if (!result.type_index) {
+    std::printf("unknown device-type -> Strict isolation\n");
+    return 0;
+  }
+  std::printf("identified as: %s%s\n", result.type_name.c_str(),
+              result.used_discrimination ? " (after edit-distance tie-break)"
+                                         : "");
+
+  const core::VulnerabilityDb db = core::VulnerabilityDb::with_sample_data();
+  sdn::EnforcementRule rule;
+  rule.device = mac;
+  rule.level = db.assess(result.type_name);
+  if (rule.level == sdn::IsolationLevel::kRestricted) {
+    // Whitelist the vendor cloud endpoints for Restricted devices.
+    for (const auto& step : camera->steps) {
+      if (step.remote.value() != 0 && !step.remote.is_private()) {
+        rule.permitted_ips.insert(step.remote);
+      }
+    }
+  }
+  std::printf("\nenforcement rule (cf. paper Fig. 2):\n%s",
+              rule.to_string().c_str());
+  if (const auto* vulns = db.query(result.type_name); vulns && !vulns->empty()) {
+    std::printf("reason: %s — %s\n", (*vulns)[0].id.c_str(),
+                (*vulns)[0].summary.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "core/classifier_bank.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "ml/rng.hpp"
+
+namespace iotsentinel::core {
+namespace {
+
+/// Builds the binary training set for one type: label 1 = the type's
+/// fingerprints, label 0 = up to ratio*|positives| fingerprints sampled
+/// without replacement from the pool of other types.
+ml::Dataset make_binary_dataset(
+    const std::vector<fp::FixedFingerprint>& positives,
+    const std::vector<const fp::FixedFingerprint*>& negative_pool,
+    double ratio, ml::Rng& rng) {
+  ml::Dataset data(positives.empty() ? 0 : positives.front().size());
+  const auto want_negatives = static_cast<std::size_t>(
+      ratio * static_cast<double>(positives.size()));
+  const std::size_t n_neg = std::min(want_negatives, negative_pool.size());
+  const auto chosen = rng.sample_without_replacement(negative_pool.size(), n_neg);
+  for (std::size_t idx : chosen) data.add(*negative_pool[idx], 0);
+  for (const auto& f : positives) data.add(f, 1);
+  return data;
+}
+
+}  // namespace
+
+void ClassifierBank::train(
+    const std::vector<std::string>& type_names,
+    const std::vector<std::vector<fp::FixedFingerprint>>& by_type) {
+  names_ = type_names;
+  forests_.assign(type_names.size(), ml::RandomForest{});
+
+  ml::Rng rng(config_.seed);
+  for (std::size_t t = 0; t < by_type.size(); ++t) {
+    std::vector<const fp::FixedFingerprint*> negative_pool;
+    for (std::size_t other = 0; other < by_type.size(); ++other) {
+      if (other == t) continue;
+      for (const auto& f : by_type[other]) negative_pool.push_back(&f);
+    }
+    ml::Rng sample_rng = rng.fork();
+    const ml::Dataset data = make_binary_dataset(
+        by_type[t], negative_pool, config_.negative_ratio, sample_rng);
+    ml::ForestConfig fc = config_.forest;
+    fc.seed = sample_rng.next_u64();
+    forests_[t].train(data, fc);
+  }
+}
+
+std::size_t ClassifierBank::add_type(
+    const std::string& name, const std::vector<fp::FixedFingerprint>& positives,
+    const std::vector<const fp::FixedFingerprint*>& negative_pool) {
+  // Incremental learning: only this type's forest is (re)built.
+  auto it = std::find(names_.begin(), names_.end(), name);
+  std::size_t index;
+  if (it == names_.end()) {
+    index = names_.size();
+    names_.push_back(name);
+    forests_.emplace_back();
+  } else {
+    index = static_cast<std::size_t>(it - names_.begin());
+  }
+  ml::Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  const ml::Dataset data = make_binary_dataset(positives, negative_pool,
+                                               config_.negative_ratio, rng);
+  ml::ForestConfig fc = config_.forest;
+  fc.seed = rng.next_u64();
+  forests_[index].train(data, fc);
+  return index;
+}
+
+std::vector<double> ClassifierBank::scores(
+    const fp::FixedFingerprint& fingerprint) const {
+  std::vector<double> out(forests_.size(), 0.0);
+  for (std::size_t t = 0; t < forests_.size(); ++t) {
+    out[t] = forests_[t].positive_score(fingerprint);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ClassifierBank::accepted(
+    const fp::FixedFingerprint& fingerprint) const {
+  std::vector<std::size_t> out;
+  for (std::size_t t = 0; t < forests_.size(); ++t) {
+    if (forests_[t].positive_score(fingerprint) >= config_.accept_threshold) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+double ClassifierBank::score_one(std::size_t type_index,
+                                 const fp::FixedFingerprint& f) const {
+  return forests_[type_index].positive_score(f);
+}
+
+namespace {
+
+void write_string(net::ByteWriter& w, const std::string& s) {
+  w.u32be(static_cast<std::uint32_t>(s.size()));
+  w.bytes(s);
+}
+
+std::optional<std::string> read_string(net::ByteReader& r) {
+  auto len = r.u32be();
+  if (!len || *len > 4096) return std::nullopt;
+  auto view = r.bytes(*len);
+  if (!view) return std::nullopt;
+  return std::string(view->begin(), view->end());
+}
+
+}  // namespace
+
+void ClassifierBank::save(net::ByteWriter& w) const {
+  w.bytes(std::string("IBK1"));
+  w.u32be(static_cast<std::uint32_t>(config_.forest.num_trees));
+  w.u32be(std::bit_cast<std::uint32_t>(
+      static_cast<float>(config_.negative_ratio)));
+  w.u32be(std::bit_cast<std::uint32_t>(
+      static_cast<float>(config_.accept_threshold)));
+  w.u64be(config_.seed);
+  w.u32be(static_cast<std::uint32_t>(names_.size()));
+  for (std::size_t t = 0; t < names_.size(); ++t) {
+    write_string(w, names_[t]);
+    forests_[t].save(w);
+  }
+}
+
+std::optional<ClassifierBank> ClassifierBank::load(net::ByteReader& r) {
+  auto magic = r.bytes(4);
+  if (!magic || (*magic)[0] != 'I' || (*magic)[1] != 'B' ||
+      (*magic)[2] != 'K' || (*magic)[3] != '1') {
+    return std::nullopt;
+  }
+  BankConfig config;
+  auto num_trees = r.u32be();
+  auto neg_ratio = r.u32be();
+  auto threshold = r.u32be();
+  auto seed = r.u64be();
+  auto count = r.u32be();
+  if (!num_trees || !neg_ratio || !threshold || !seed || !count ||
+      *count > 1'000'000) {
+    return std::nullopt;
+  }
+  config.forest.num_trees = *num_trees;
+  config.negative_ratio = std::bit_cast<float>(*neg_ratio);
+  config.accept_threshold = std::bit_cast<float>(*threshold);
+  config.seed = *seed;
+  ClassifierBank bank(config);
+  for (std::uint32_t t = 0; t < *count; ++t) {
+    auto name = read_string(r);
+    if (!name) return std::nullopt;
+    auto forest = ml::RandomForest::load(r);
+    if (!forest) return std::nullopt;
+    bank.names_.push_back(std::move(*name));
+    bank.forests_.push_back(std::move(*forest));
+  }
+  return bank;
+}
+
+}  // namespace iotsentinel::core

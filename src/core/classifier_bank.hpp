@@ -1,0 +1,111 @@
+// One-classifier-per-device-type bank (paper Sect. IV-B.1).
+//
+// For every known device-type D_i a *binary* Random Forest C_i is trained:
+// positives are D_i's fingerprints F', negatives a random subset of the
+// other types' fingerprints capped at `negative_ratio` x positives to
+// avoid imbalanced-class degradation. New device-types can be added
+// without touching existing classifiers — the operation the paper calls
+// out as the scalability advantage over one multi-class model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <optional>
+
+#include "fingerprint/fingerprint.hpp"
+#include "ml/random_forest.hpp"
+#include "net/bytes.hpp"
+
+namespace iotsentinel::core {
+
+/// Accept threshold that calibrates the pipeline to the paper's reported
+/// behaviour on the 27-type corpus: ~55% of identifications need stage-2
+/// discrimination with ~7 edit distances on average, the family-confusable
+/// types split ~50/50 instead of being swallowed whole by one sibling's
+/// classifier, and the global accuracy lands at ~0.82 (paper: 0.815).
+/// The trade-off: a permissive threshold weakens new-device-type detection
+/// (more foreign fingerprints get accepted by some classifier) — the
+/// threshold ablation bench quantifies this.
+inline constexpr double kPaperCalibratedAcceptThreshold = 0.25;
+
+/// Bank-wide training configuration.
+struct BankConfig {
+  /// Per-type forest settings (30 trees per binary classifier).
+  ml::ForestConfig forest = default_forest();
+  /// Negatives sampled per positive (the paper uses 10 x n).
+  double negative_ratio = 10.0;
+  /// A classifier accepts a fingerprint when its positive-class vote
+  /// fraction is >= this threshold. The default is a bare majority, which
+  /// maximizes new-device-type discovery; the paper-reproduction benches
+  /// pass kPaperCalibratedAcceptThreshold instead.
+  double accept_threshold = 0.5;
+  /// Seed for negative subsampling and forest training.
+  std::uint64_t seed = 17;
+
+  static ml::ForestConfig default_forest() {
+    ml::ForestConfig config;
+    config.num_trees = 30;
+    return config;
+  }
+};
+
+/// The bank of per-type binary classifiers.
+class ClassifierBank {
+ public:
+  explicit ClassifierBank(BankConfig config = {}) : config_(config) {}
+
+  /// Trains one classifier per entry of `by_type`; `type_names[i]` labels
+  /// class i. Wipes any previous state.
+  void train(const std::vector<std::string>& type_names,
+             const std::vector<std::vector<fp::FixedFingerprint>>& by_type);
+
+  /// Adds (or retrains) a single device-type without touching the other
+  /// classifiers. `negative_pool` supplies fingerprints of other types.
+  /// Returns the type's index.
+  std::size_t add_type(
+      const std::string& name,
+      const std::vector<fp::FixedFingerprint>& positives,
+      const std::vector<const fp::FixedFingerprint*>& negative_pool);
+
+  /// Positive-class score of every classifier for this fingerprint.
+  [[nodiscard]] std::vector<double> scores(
+      const fp::FixedFingerprint& fingerprint) const;
+
+  /// Indices of the types whose classifier accepts the fingerprint.
+  [[nodiscard]] std::vector<std::size_t> accepted(
+      const fp::FixedFingerprint& fingerprint) const;
+
+  /// Score of a single classifier (timing benches isolate one step).
+  [[nodiscard]] double score_one(std::size_t type_index,
+                                 const fp::FixedFingerprint& f) const;
+
+  /// Direct access to a type's trained forest (feature-importance and
+  /// introspection tooling).
+  [[nodiscard]] const ml::RandomForest& forest(std::size_t i) const {
+    return forests_[i];
+  }
+
+  [[nodiscard]] std::size_t num_types() const { return forests_.size(); }
+  [[nodiscard]] const std::string& type_name(std::size_t i) const {
+    return names_[i];
+  }
+  [[nodiscard]] const std::vector<std::string>& type_names() const {
+    return names_;
+  }
+  [[nodiscard]] const BankConfig& config() const { return config_; }
+
+  /// Serializes the trained bank (config + names + forests, "IBK1" tag).
+  void save(net::ByteWriter& w) const;
+
+  /// Reads a bank back; nullopt on malformed input.
+  static std::optional<ClassifierBank> load(net::ByteReader& r);
+
+ private:
+  BankConfig config_;
+  std::vector<std::string> names_;
+  std::vector<ml::RandomForest> forests_;
+};
+
+}  // namespace iotsentinel::core

@@ -1,0 +1,104 @@
+#include "core/device_tracker.hpp"
+
+#include <algorithm>
+
+#include "net/dhcp.hpp"
+#include "net/dns.hpp"
+#include "net/parser.hpp"
+
+namespace iotsentinel::core {
+
+std::string TrackedDevice::summary() const {
+  std::string out = mac.to_string();
+  if (ip) out += " " + ip->to_string();
+  if (!hostname.empty()) out += " \"" + hostname + "\"";
+  if (!device_type.empty()) out += " [" + device_type + "]";
+  if (level) out += " (" + sdn::to_string(*level) + ")";
+  out += " pkts=" + std::to_string(packets);
+  return out;
+}
+
+void DeviceTracker::observe(const net::ParsedPacket& pkt,
+                            std::span<const std::uint8_t> frame) {
+  if (pkt.src_mac.is_zero() || pkt.src_mac.is_multicast()) return;
+
+  auto [it, inserted] = devices_.try_emplace(pkt.src_mac);
+  TrackedDevice& device = it->second;
+  if (inserted) {
+    device.mac = pkt.src_mac;
+    device.first_seen_us = pkt.timestamp_us;
+  }
+  device.last_seen_us = std::max(device.last_seen_us, pkt.timestamp_us);
+  ++device.packets;
+  device.bytes += pkt.wire_size;
+
+  // IP binding: prefer a concrete unicast source address.
+  if (pkt.src_ip && pkt.src_ip->is_v4()) {
+    const auto v4 = pkt.src_ip->v4();
+    if (v4.value() != 0 && !v4.is_multicast()) device.ip = v4;
+  }
+
+  // Message-content gleaning (needs the raw frame).
+  if (frame.empty()) return;
+  if (pkt.app.dhcp || pkt.app.bootp) {
+    if (auto dhcp = net::parse_dhcp(net::udp_payload_of(frame))) {
+      if (!dhcp->hostname.empty()) device.hostname = dhcp->hostname;
+      if (!dhcp->vendor_class.empty()) device.vendor_class = dhcp->vendor_class;
+      if (dhcp->requested_ip) device.ip = *dhcp->requested_ip;
+    }
+  } else if (pkt.app.dns || pkt.app.mdns) {
+    if (auto dns = net::parse_dns(net::udp_payload_of(frame))) {
+      for (const auto& question : dns->questions) {
+        if (device.dns_queries.size() >= kMaxDnsNames) break;
+        device.dns_queries.insert(question.name);
+      }
+    }
+  }
+}
+
+void DeviceTracker::mark_identified(const net::MacAddress& mac,
+                                    const std::string& device_type,
+                                    sdn::IsolationLevel level) {
+  auto it = devices_.find(mac);
+  if (it == devices_.end()) {
+    TrackedDevice device;
+    device.mac = mac;
+    it = devices_.emplace(mac, std::move(device)).first;
+  }
+  it->second.device_type = device_type;
+  it->second.level = level;
+}
+
+bool DeviceTracker::forget(const net::MacAddress& mac) {
+  return devices_.erase(mac) > 0;
+}
+
+const TrackedDevice* DeviceTracker::find(const net::MacAddress& mac) const {
+  auto it = devices_.find(mac);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+std::vector<const TrackedDevice*> DeviceTracker::all() const {
+  std::vector<const TrackedDevice*> out;
+  out.reserve(devices_.size());
+  for (const auto& [mac, device] : devices_) out.push_back(&device);
+  std::sort(out.begin(), out.end(),
+            [](const TrackedDevice* a, const TrackedDevice* b) {
+              return a->last_seen_us > b->last_seen_us;
+            });
+  return out;
+}
+
+std::vector<net::MacAddress> DeviceTracker::idle_devices(
+    std::uint64_t now_us, std::uint64_t idle_us) const {
+  std::vector<net::MacAddress> out;
+  for (const auto& [mac, device] : devices_) {
+    if (now_us > device.last_seen_us &&
+        now_us - device.last_seen_us >= idle_us) {
+      out.push_back(mac);
+    }
+  }
+  return out;
+}
+
+}  // namespace iotsentinel::core

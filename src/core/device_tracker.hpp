@@ -1,0 +1,82 @@
+// Network device inventory.
+//
+// The Security Gateway's user interface needs to tell the user *which*
+// physical device a MAC address is (paper Sect. III-C.3: "helps her to
+// identify the device in question"). The tracker maintains per-device
+// state gleaned passively: IP bindings (ARP/DHCP), the announced DHCP
+// hostname and vendor class, the DNS names the device resolves, traffic
+// counters and lifecycle timestamps, plus the identification verdict once
+// the IoTSSP returns one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sdn/isolation.hpp"
+
+namespace iotsentinel::core {
+
+/// Everything known about one device on the network.
+struct TrackedDevice {
+  net::MacAddress mac;
+  std::optional<net::Ipv4Address> ip;
+  /// DHCP option 12 hostname, when the device announced one.
+  std::string hostname;
+  /// DHCP option 60 vendor class.
+  std::string vendor_class;
+  /// Distinct DNS names the device queried (capped).
+  std::set<std::string> dns_queries;
+  std::uint64_t first_seen_us = 0;
+  std::uint64_t last_seen_us = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  /// Identification verdict (set via mark_identified).
+  std::string device_type;
+  std::optional<sdn::IsolationLevel> level;
+
+  /// One-line inventory rendering for UIs.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Passive device inventory.
+class DeviceTracker {
+ public:
+  /// Cap on remembered DNS names per device.
+  static constexpr std::size_t kMaxDnsNames = 32;
+
+  /// Records one observed packet. `frame` supplies the raw bytes so
+  /// DHCP/DNS message content can be inspected; pass an empty span when
+  /// only metadata is available.
+  void observe(const net::ParsedPacket& pkt,
+               std::span<const std::uint8_t> frame = {});
+
+  /// Attaches an identification verdict to a device.
+  void mark_identified(const net::MacAddress& mac,
+                       const std::string& device_type,
+                       sdn::IsolationLevel level);
+
+  /// Removes a departed device; returns true when it was known.
+  bool forget(const net::MacAddress& mac);
+
+  [[nodiscard]] const TrackedDevice* find(const net::MacAddress& mac) const;
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+
+  /// All devices, most recently seen first.
+  [[nodiscard]] std::vector<const TrackedDevice*> all() const;
+
+  /// Devices silent since `now_us - idle_us` (candidates for rule-cache
+  /// cleanup / departure handling).
+  [[nodiscard]] std::vector<net::MacAddress> idle_devices(
+      std::uint64_t now_us, std::uint64_t idle_us) const;
+
+ private:
+  std::unordered_map<net::MacAddress, TrackedDevice> devices_;
+};
+
+}  // namespace iotsentinel::core

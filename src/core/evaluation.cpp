@@ -1,0 +1,84 @@
+#include "core/evaluation.hpp"
+
+#include "ml/dataset.hpp"
+#include "ml/rng.hpp"
+
+namespace iotsentinel::core {
+
+CvOutcome cross_validate(
+    const std::vector<std::string>& type_names,
+    const std::vector<std::vector<fp::Fingerprint>>& by_type,
+    const CvConfig& config) {
+  const std::size_t num_types = type_names.size();
+
+  // Flatten the corpus into (fingerprint, label) pairs for fold splitting.
+  std::vector<const fp::Fingerprint*> samples;
+  std::vector<int> labels;
+  for (std::size_t t = 0; t < num_types; ++t) {
+    for (const auto& f : by_type[t]) {
+      samples.push_back(&f);
+      labels.push_back(static_cast<int>(t));
+    }
+  }
+
+  CvOutcome outcome;
+  outcome.confusion = ml::ConfusionMatrix(num_types);
+  std::uint64_t tested = 0;
+  std::uint64_t needed_discrimination = 0;
+  std::uint64_t total_distance_computations = 0;
+
+  ml::Rng rng(config.seed);
+  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+    const auto folds = ml::stratified_k_fold(labels, config.folds, rng);
+    for (const auto& fold : folds) {
+      // Rebuild the per-type training pools from the fold's train rows.
+      std::vector<std::vector<fp::Fingerprint>> train_by_type(num_types);
+      for (std::size_t idx : fold.train) {
+        train_by_type[static_cast<std::size_t>(labels[idx])].push_back(
+            *samples[idx]);
+      }
+
+      IdentifierConfig id_config = config.identifier;
+      // Vary training randomness across folds deterministically.
+      id_config.bank.seed = rng.next_u64();
+      id_config.seed = rng.next_u64();
+      DeviceIdentifier identifier(id_config);
+      identifier.train(type_names, train_by_type);
+
+      for (std::size_t idx : fold.test) {
+        const auto actual = static_cast<std::size_t>(labels[idx]);
+        const IdentificationResult result = identifier.identify(*samples[idx]);
+        ++tested;
+        if (result.used_discrimination) {
+          ++needed_discrimination;
+          total_distance_computations += result.distance_computations;
+        }
+        if (result.type_index) {
+          outcome.confusion.record(actual, *result.type_index);
+        } else {
+          ++outcome.rejected;
+        }
+      }
+    }
+  }
+
+  outcome.per_type_accuracy.resize(num_types);
+  std::uint64_t correct = 0;
+  for (std::size_t t = 0; t < num_types; ++t) {
+    outcome.per_type_accuracy[t] = outcome.confusion.class_accuracy(t);
+    correct += outcome.confusion.at(t, t);
+  }
+  outcome.global_accuracy =
+      tested ? static_cast<double>(correct) / static_cast<double>(tested) : 0.0;
+  outcome.discrimination_fraction =
+      tested ? static_cast<double>(needed_discrimination) /
+                   static_cast<double>(tested)
+             : 0.0;
+  outcome.mean_distance_computations =
+      tested ? static_cast<double>(total_distance_computations) /
+                   static_cast<double>(tested)
+             : 0.0;
+  return outcome;
+}
+
+}  // namespace iotsentinel::core

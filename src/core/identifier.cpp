@@ -1,0 +1,178 @@
+#include "core/identifier.hpp"
+
+#include <limits>
+
+#include "distance/damerau_levenshtein.hpp"
+#include "ml/rng.hpp"
+
+namespace iotsentinel::core {
+
+DeviceIdentifier::DeviceIdentifier(IdentifierConfig config)
+    : config_(config), bank_(config.bank) {}
+
+void DeviceIdentifier::train(
+    const std::vector<std::string>& type_names,
+    const std::vector<std::vector<fp::Fingerprint>>& by_type) {
+  // Derive the fixed-size vectors for the classifier bank.
+  std::vector<std::vector<fp::FixedFingerprint>> fixed_by_type;
+  fixed_by_type.reserve(by_type.size());
+  for (const auto& fingerprints : by_type) {
+    auto& fixed = fixed_by_type.emplace_back();
+    fixed.reserve(fingerprints.size());
+    for (const auto& f : fingerprints)
+      fixed.push_back(f.to_fixed(config_.fixed_prefix));
+  }
+  bank_.train(type_names, fixed_by_type);
+
+  // Select the stage-2 reference fingerprints per type.
+  ml::Rng rng(config_.seed);
+  references_.clear();
+  references_.resize(by_type.size());
+  for (std::size_t t = 0; t < by_type.size(); ++t) {
+    const auto& pool = by_type[t];
+    const std::size_t k = std::min(config_.references_per_type, pool.size());
+    for (std::size_t idx : rng.sample_without_replacement(pool.size(), k)) {
+      references_[t].push_back(pool[idx]);
+    }
+  }
+}
+
+std::vector<std::size_t> DeviceIdentifier::classify(
+    const fp::FixedFingerprint& fixed) const {
+  return bank_.accepted(fixed);
+}
+
+std::size_t DeviceIdentifier::discriminate(
+    const fp::Fingerprint& f, const std::vector<std::size_t>& candidates,
+    std::size_t* distance_computations) const {
+  std::size_t computations = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::size_t best_type = candidates.front();
+  for (std::size_t t : candidates) {
+    double score = 0.0;
+    for (const auto& ref : references_[t]) {
+      score += dist::normalized_fingerprint_distance(f, ref);
+      ++computations;
+    }
+    if (score < best_score) {
+      best_score = score;
+      best_type = t;
+    }
+  }
+  if (distance_computations) *distance_computations = computations;
+  return best_type;
+}
+
+IdentificationResult DeviceIdentifier::identify(
+    const fp::Fingerprint& f) const {
+  IdentificationResult result;
+  result.candidates = classify(f.to_fixed(config_.fixed_prefix));
+
+  if (result.candidates.empty()) {
+    result.is_new_type = true;
+    return result;
+  }
+  if (result.candidates.size() == 1) {
+    result.type_index = result.candidates.front();
+    result.type_name = bank_.type_name(*result.type_index);
+    return result;
+  }
+
+  result.used_discrimination = true;
+  const std::size_t winner =
+      discriminate(f, result.candidates, &result.distance_computations);
+  // Recompute the winner's score for reporting (cheap relative to stage 2).
+  double score = 0.0;
+  for (const auto& ref : references_[winner]) {
+    score += dist::normalized_fingerprint_distance(f, ref);
+  }
+  result.dissimilarity = score;
+  result.type_index = winner;
+  result.type_name = bank_.type_name(winner);
+  return result;
+}
+
+namespace {
+
+void write_fingerprint(net::ByteWriter& w, const fp::Fingerprint& f) {
+  w.u32be(static_cast<std::uint32_t>(f.size()));
+  for (const auto& packet : f.packets()) {
+    for (std::uint32_t value : packet) w.u32be(value);
+  }
+}
+
+std::optional<fp::Fingerprint> read_fingerprint(net::ByteReader& r) {
+  auto n = r.u32be();
+  if (!n || *n > 100'000) return std::nullopt;
+  fp::Fingerprint f;
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    fp::FeatureVector v{};
+    for (auto& value : v) {
+      auto read = r.u32be();
+      if (!read) return std::nullopt;
+      value = *read;
+    }
+    f.append(v);
+  }
+  // Columns were stored post-dedup; append() must not have dropped any.
+  if (f.size() != *n) return std::nullopt;
+  return f;
+}
+
+}  // namespace
+
+void DeviceIdentifier::save(net::ByteWriter& w) const {
+  w.bytes(std::string("IID1"));
+  w.u32be(static_cast<std::uint32_t>(config_.references_per_type));
+  w.u32be(static_cast<std::uint32_t>(config_.fixed_prefix));
+  w.u64be(config_.seed);
+  bank_.save(w);
+  w.u32be(static_cast<std::uint32_t>(references_.size()));
+  for (const auto& refs : references_) {
+    w.u32be(static_cast<std::uint32_t>(refs.size()));
+    for (const auto& f : refs) write_fingerprint(w, f);
+  }
+}
+
+std::optional<DeviceIdentifier> DeviceIdentifier::load(net::ByteReader& r) {
+  auto magic = r.bytes(4);
+  if (!magic || (*magic)[0] != 'I' || (*magic)[1] != 'I' ||
+      (*magic)[2] != 'D' || (*magic)[3] != '1') {
+    return std::nullopt;
+  }
+  auto refs_per_type = r.u32be();
+  auto fixed_prefix = r.u32be();
+  auto seed = r.u64be();
+  if (!refs_per_type || !fixed_prefix || !seed || *fixed_prefix == 0 ||
+      *fixed_prefix > 1024) {
+    return std::nullopt;
+  }
+  auto bank = ClassifierBank::load(r);
+  if (!bank) return std::nullopt;
+
+  IdentifierConfig config;
+  config.references_per_type = *refs_per_type;
+  config.fixed_prefix = *fixed_prefix;
+  config.seed = *seed;
+  config.bank = bank->config();
+  DeviceIdentifier identifier(config);
+  identifier.bank_ = std::move(*bank);
+
+  auto type_count = r.u32be();
+  if (!type_count || *type_count != identifier.bank_.num_types()) {
+    return std::nullopt;
+  }
+  identifier.references_.resize(*type_count);
+  for (std::uint32_t t = 0; t < *type_count; ++t) {
+    auto ref_count = r.u32be();
+    if (!ref_count || *ref_count > 10'000) return std::nullopt;
+    for (std::uint32_t i = 0; i < *ref_count; ++i) {
+      auto f = read_fingerprint(r);
+      if (!f) return std::nullopt;
+      identifier.references_[t].push_back(std::move(*f));
+    }
+  }
+  return identifier;
+}
+
+}  // namespace iotsentinel::core

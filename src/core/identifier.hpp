@@ -1,0 +1,100 @@
+// Two-stage device-type identification (paper Sect. IV-B).
+//
+// Stage 1: the ClassifierBank scores F' against every per-type classifier.
+//   - exactly one accept  -> that type is the answer
+//   - no accepts          -> the fingerprint is a *new* device-type
+//   - several accepts     -> stage 2
+// Stage 2: Damerau-Levenshtein discrimination — the variable-length F is
+// compared against (up to) five stored reference fingerprints of each
+// candidate type; the lowest summed normalized distance (global
+// dissimilarity score s_i in [0,5]) wins.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifier_bank.hpp"
+#include "fingerprint/fingerprint.hpp"
+
+namespace iotsentinel::core {
+
+/// Identifier configuration.
+struct IdentifierConfig {
+  BankConfig bank;
+  /// Reference fingerprints F stored per type for edit-distance
+  /// discrimination (the paper uses five).
+  std::size_t references_per_type = 5;
+  /// Packets concatenated into F' (the paper settled on 12 after a
+  /// preliminary analysis; the prefix-length ablation bench sweeps this).
+  std::size_t fixed_prefix = fp::kPrefixPackets;
+  /// Seed for reference selection.
+  std::uint64_t seed = 23;
+};
+
+/// Outcome of identifying one fingerprint.
+struct IdentificationResult {
+  /// Winning type index, or nullopt when rejected by every classifier.
+  std::optional<std::size_t> type_index;
+  /// Winning type name ("" for new device-types).
+  std::string type_name;
+  /// True when no classifier accepted: a device-type the bank has never
+  /// been trained on.
+  bool is_new_type = false;
+  /// Classifier-accepted candidates (before discrimination).
+  std::vector<std::size_t> candidates;
+  /// True when stage 2 ran (more than one candidate).
+  bool used_discrimination = false;
+  /// Number of edit-distance computations stage 2 performed.
+  std::size_t distance_computations = 0;
+  /// Winning dissimilarity score s_i (only meaningful after stage 2).
+  double dissimilarity = 0.0;
+};
+
+/// The trained two-stage identifier.
+class DeviceIdentifier {
+ public:
+  explicit DeviceIdentifier(IdentifierConfig config = {});
+
+  /// Trains the bank and selects reference fingerprints. `by_type[t]` are
+  /// the training fingerprints F of type `type_names[t]`; F' vectors are
+  /// derived internally.
+  void train(const std::vector<std::string>& type_names,
+             const std::vector<std::vector<fp::Fingerprint>>& by_type);
+
+  /// Full two-stage identification of a captured fingerprint.
+  [[nodiscard]] IdentificationResult identify(const fp::Fingerprint& f) const;
+
+  /// Stage 1 only (exposed for the Table-IV timing bench).
+  [[nodiscard]] std::vector<std::size_t> classify(
+      const fp::FixedFingerprint& fixed) const;
+
+  /// Stage 2 only: picks the best of `candidates` for `f` by dissimilarity.
+  /// `distance_computations`, when non-null, receives the comparison count.
+  [[nodiscard]] std::size_t discriminate(
+      const fp::Fingerprint& f, const std::vector<std::size_t>& candidates,
+      std::size_t* distance_computations = nullptr) const;
+
+  [[nodiscard]] const ClassifierBank& bank() const { return bank_; }
+  [[nodiscard]] std::size_t num_types() const { return bank_.num_types(); }
+  [[nodiscard]] const std::vector<fp::Fingerprint>& references(
+      std::size_t type_index) const {
+    return references_[type_index];
+  }
+
+  /// Serializes the trained identifier (bank + stage-2 references,
+  /// "IID1" tag) — the artifact an IoTSSP ships to replicas.
+  void save(net::ByteWriter& w) const;
+
+  /// Reads an identifier back; nullopt on malformed input.
+  static std::optional<DeviceIdentifier> load(net::ByteReader& r);
+
+ private:
+  IdentifierConfig config_;
+  ClassifierBank bank_;
+  /// references_[t] = up to `references_per_type` stored F of type t.
+  std::vector<std::vector<fp::Fingerprint>> references_;
+};
+
+}  // namespace iotsentinel::core

@@ -1,0 +1,113 @@
+#include "core/legacy_migration.hpp"
+
+namespace iotsentinel::core {
+
+LegacyMigrator::LegacyMigrator(const IoTSecurityService& service,
+                               sdn::Controller& controller,
+                               NotificationCenter& notifications,
+                               std::uint64_t psk_seed)
+    : service_(service),
+      controller_(controller),
+      notifications_(notifications),
+      psk_rng_(psk_seed) {}
+
+std::string LegacyMigrator::mint_psk() {
+  // 63-char-max WPA2 passphrase; 32 hex chars of seeded entropy.
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string psk;
+  psk.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    psk.push_back(kHex[psk_rng_.index(16)]);
+  }
+  return psk;
+}
+
+MigrationOutcome LegacyMigrator::migrate(const LegacyDevice& device,
+                                         std::uint64_t now_us) {
+  MigrationOutcome outcome;
+  outcome.mac = device.mac;
+
+  // Identify from the standby fingerprint and assess.
+  const ServiceVerdict verdict = service_.assess(device.standby_fingerprint);
+  outcome.device_type = verdict.device_type;
+  outcome.level = verdict.level;
+
+  if (verdict.level == sdn::IsolationLevel::kTrusted) {
+    if (device.supports_wps_rekeying) {
+      // Deprecate the shared PSK for this device and issue a fresh
+      // device-specific one; it may then join the trusted overlay.
+      outcome.issued_psk = mint_psk();
+      psks_[device.mac] = outcome.issued_psk;
+      outcome.overlay = sdn::Overlay::kTrusted;
+    } else {
+      // Clean but cannot re-key: stays untrusted until the user manually
+      // re-introduces it.
+      outcome.level = sdn::IsolationLevel::kStrict;
+      outcome.overlay = sdn::Overlay::kUntrusted;
+      outcome.needs_manual_reauth = true;
+      notifications_.notify({.device = device.mac,
+                             .device_type = verdict.device_type,
+                             .reason =
+                                 NotificationReason::kManualReauthRequired,
+                             .message = "Re-introduce this device to move it "
+                                        "into the trusted network",
+                             .raised_at_us = now_us});
+    }
+  } else {
+    outcome.overlay = sdn::Overlay::kUntrusted;
+    if (!verdict.is_known) {
+      notifications_.notify(
+          {.device = device.mac,
+           .device_type = "",
+           .reason = NotificationReason::kUnknownDeviceQuarantined,
+           .message = "Unknown device-type kept under strict isolation",
+           .raised_at_us = now_us});
+    }
+    if (device.has_uncontrolled_channel &&
+        verdict.level == sdn::IsolationLevel::kRestricted) {
+      // Vulnerable and equipped with a radio we cannot police: filtering
+      // cannot contain exfiltration, the device must go (Sect. III-C.3).
+      outcome.flagged_for_removal = true;
+      notifications_.notify(
+          {.device = device.mac,
+           .device_type = verdict.device_type,
+           .reason = NotificationReason::kRemoveDevice,
+           .message = "Vulnerable device with an uncontrollable radio "
+                      "channel — remove it from the network",
+           .raised_at_us = now_us});
+    }
+  }
+
+  // Install the resulting rule in the data plane.
+  sdn::EnforcementRule rule;
+  rule.device = device.mac;
+  rule.level = outcome.level;
+  for (const auto& ip : verdict.permitted_endpoints) {
+    rule.permitted_ips.insert(ip);
+  }
+  rule.installed_at_us = now_us;
+  controller_.apply_rule(std::move(rule), now_us);
+
+  outcomes_.push_back(outcome);
+  return outcome;
+}
+
+std::vector<MigrationOutcome> LegacyMigrator::migrate_all(
+    const std::vector<LegacyDevice>& devices, std::uint64_t now_us) {
+  std::vector<MigrationOutcome> results;
+  results.reserve(devices.size());
+  for (const auto& device : devices) {
+    results.push_back(migrate(device, now_us));
+    now_us += 1000;
+  }
+  return results;
+}
+
+std::optional<std::string> LegacyMigrator::psk_of(
+    const net::MacAddress& mac) const {
+  auto it = psks_.find(mac);
+  if (it == psks_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace iotsentinel::core

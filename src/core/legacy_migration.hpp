@@ -1,0 +1,91 @@
+// Legacy-installation support (paper Sect. VIII-A).
+//
+// A brownfield network authenticates every device with one shared
+// WPA2-Personal PSK; if any vulnerable device leaked it, the whole network
+// is suspect. IoT Sentinel's migration plan:
+//   1. all legacy devices start in the *untrusted* overlay,
+//   2. each is fingerprinted from its standby/operation traffic and
+//      identified,
+//   3. devices assessed clean AND supporting WPS re-keying are issued a
+//      fresh device-specific PSK and moved to the *trusted* overlay,
+//   4. clean devices without WPS support stay untrusted and the user is
+//      prompted to re-introduce them manually,
+//   5. vulnerable devices stay untrusted under their assessed level; if
+//      they also have an uncontrolled radio channel, a remove-device
+//      notification is raised (Sect. III-C.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/notifications.hpp"
+#include "ml/rng.hpp"
+#include "core/security_service.hpp"
+#include "sdn/controller.hpp"
+
+namespace iotsentinel::core {
+
+/// One device of the legacy installation, as known before migration.
+struct LegacyDevice {
+  net::MacAddress mac;
+  /// Does the device implement WPS re-keying (WiFi Simple Configuration)?
+  bool supports_wps_rekeying = true;
+  /// Does it own a channel the gateway cannot control (BT/LTE/RF)?
+  bool has_uncontrolled_channel = false;
+  /// Operational-traffic fingerprint captured from the live network.
+  fp::Fingerprint standby_fingerprint;
+};
+
+/// Outcome for one migrated device.
+struct MigrationOutcome {
+  net::MacAddress mac;
+  std::string device_type;  // "" when unidentified
+  sdn::IsolationLevel level = sdn::IsolationLevel::kStrict;
+  sdn::Overlay overlay = sdn::Overlay::kUntrusted;
+  /// Device-specific PSK issued via WPS re-keying (empty when not issued).
+  std::string issued_psk;
+  bool needs_manual_reauth = false;
+  bool flagged_for_removal = false;
+};
+
+/// Drives the overlay migration against the real controller.
+class LegacyMigrator {
+ public:
+  /// `service` identifies/assesses; rules land in `controller`;
+  /// user-facing outcomes land in `notifications`.
+  LegacyMigrator(const IoTSecurityService& service,
+                 sdn::Controller& controller,
+                 NotificationCenter& notifications,
+                 std::uint64_t psk_seed = 0x5ec2e7);
+
+  /// Migrates one device; installs its enforcement rule and returns the
+  /// outcome (also retrievable later via `outcomes()`).
+  MigrationOutcome migrate(const LegacyDevice& device, std::uint64_t now_us);
+
+  /// Migrates a whole installation.
+  std::vector<MigrationOutcome> migrate_all(
+      const std::vector<LegacyDevice>& devices, std::uint64_t now_us);
+
+  /// PSK issued to a device (nullopt when none was).
+  [[nodiscard]] std::optional<std::string> psk_of(
+      const net::MacAddress& mac) const;
+
+  [[nodiscard]] const std::vector<MigrationOutcome>& outcomes() const {
+    return outcomes_;
+  }
+
+ private:
+  std::string mint_psk();
+
+  const IoTSecurityService& service_;
+  sdn::Controller& controller_;
+  NotificationCenter& notifications_;
+  ml::Rng psk_rng_;
+  std::unordered_map<net::MacAddress, std::string> psks_;
+  std::vector<MigrationOutcome> outcomes_;
+};
+
+}  // namespace iotsentinel::core

@@ -1,0 +1,47 @@
+#include "core/model_store.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace iotsentinel::core {
+
+std::vector<std::uint8_t> serialize_identifier(
+    const DeviceIdentifier& identifier) {
+  net::ByteWriter w;
+  identifier.save(w);
+  return w.take();
+}
+
+std::optional<DeviceIdentifier> deserialize_identifier(
+    std::span<const std::uint8_t> blob) {
+  net::ByteReader r(blob);
+  auto identifier = DeviceIdentifier::load(r);
+  if (!identifier) return std::nullopt;
+  if (!r.empty()) return std::nullopt;  // trailing garbage
+  return identifier;
+}
+
+bool save_identifier_file(const std::string& path,
+                          const DeviceIdentifier& identifier) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) return false;
+  const auto blob = serialize_identifier(identifier);
+  return std::fwrite(blob.data(), 1, blob.size(), f.get()) == blob.size();
+}
+
+std::optional<DeviceIdentifier> load_identifier_file(
+    const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) return std::nullopt;
+  std::vector<std::uint8_t> blob;
+  std::uint8_t buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    blob.insert(blob.end(), buf, buf + n);
+  }
+  return deserialize_identifier(blob);
+}
+
+}  // namespace iotsentinel::core

@@ -1,0 +1,31 @@
+// File persistence for trained identification models.
+//
+// The IoTSSP trains its per-type classifiers offline from lab captures
+// (Sect. III-B); deployments then load the trained artifact. This module
+// provides the on-disk container: a single binary blob holding the
+// classifier bank and the stage-2 reference fingerprints.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/identifier.hpp"
+
+namespace iotsentinel::core {
+
+/// Serializes a trained identifier to a byte blob.
+std::vector<std::uint8_t> serialize_identifier(
+    const DeviceIdentifier& identifier);
+
+/// Parses a blob produced by `serialize_identifier`; nullopt on garbage.
+std::optional<DeviceIdentifier> deserialize_identifier(
+    std::span<const std::uint8_t> blob);
+
+/// Writes the identifier to `path`; false on I/O error.
+bool save_identifier_file(const std::string& path,
+                          const DeviceIdentifier& identifier);
+
+/// Loads an identifier from `path`; nullopt on I/O error or bad content.
+std::optional<DeviceIdentifier> load_identifier_file(const std::string& path);
+
+}  // namespace iotsentinel::core

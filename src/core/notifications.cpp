@@ -1,0 +1,48 @@
+#include "core/notifications.hpp"
+
+namespace iotsentinel::core {
+
+std::string to_string(NotificationReason reason) {
+  switch (reason) {
+    case NotificationReason::kRemoveDevice:
+      return "remove-device";
+    case NotificationReason::kManualReauthRequired:
+      return "manual-reauth-required";
+    case NotificationReason::kUnknownDeviceQuarantined:
+      return "unknown-device-quarantined";
+  }
+  return "?";
+}
+
+bool NotificationCenter::notify(UserNotification notification) {
+  for (const auto& existing : log_) {
+    if (!existing.acknowledged && existing.device == notification.device &&
+        existing.reason == notification.reason) {
+      return false;  // already pending
+    }
+  }
+  log_.push_back(std::move(notification));
+  if (callback_) callback_(log_.back());
+  return true;
+}
+
+std::size_t NotificationCenter::acknowledge(const net::MacAddress& device) {
+  std::size_t count = 0;
+  for (auto& notification : log_) {
+    if (!notification.acknowledged && notification.device == device) {
+      notification.acknowledged = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<const UserNotification*> NotificationCenter::pending() const {
+  std::vector<const UserNotification*> out;
+  for (const auto& notification : log_) {
+    if (!notification.acknowledged) out.push_back(&notification);
+  }
+  return out;
+}
+
+}  // namespace iotsentinel::core

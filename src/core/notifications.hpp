@@ -1,0 +1,79 @@
+// User notification mechanism (paper Sect. III-C.3).
+//
+// Network isolation and traffic filtering cannot protect against devices
+// with communication channels the gateway does not control (Bluetooth,
+// LTE, proprietary RF): a compromised device can exfiltrate over them
+// regardless of any flow rule. For those cases the paper prescribes
+// notifying the user, helping them identify the physical device, and
+// verifying its removal. This module is that notification ledger.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/mac_address.hpp"
+#include "sdn/isolation.hpp"
+
+namespace iotsentinel::core {
+
+/// Why the user is being interrupted.
+enum class NotificationReason {
+  /// Vulnerable device with an uncontrolled channel: isolation cannot
+  /// contain it, the device must be physically removed.
+  kRemoveDevice,
+  /// Legacy device without WPS re-keying support needs manual
+  /// re-introduction to join the trusted overlay (Sect. VIII-A).
+  kManualReauthRequired,
+  /// A device-type unknown to the IoTSSP joined and was put under strict
+  /// isolation; the user may want to review it.
+  kUnknownDeviceQuarantined,
+};
+
+std::string to_string(NotificationReason reason);
+
+/// One pending notification.
+struct UserNotification {
+  net::MacAddress device;
+  /// Identified device-type ("" when unknown) — the paper's "helps her to
+  /// identify the device in question".
+  std::string device_type;
+  NotificationReason reason = NotificationReason::kUnknownDeviceQuarantined;
+  std::string message;
+  std::uint64_t raised_at_us = 0;
+  bool acknowledged = false;
+};
+
+/// Append-only notification ledger with acknowledgement tracking.
+class NotificationCenter {
+ public:
+  using Callback = std::function<void(const UserNotification&)>;
+
+  /// Invoked for every new notification (UI hook).
+  void on_notify(Callback cb) { callback_ = std::move(cb); }
+
+  /// Raises a notification; duplicate (device, reason) pairs with an
+  /// unacknowledged notification outstanding are suppressed.
+  /// Returns true when a new notification was recorded.
+  bool notify(UserNotification notification);
+
+  /// Marks every outstanding notification for `device` acknowledged
+  /// (e.g. the user removed or re-authenticated it). Returns the number
+  /// acknowledged.
+  std::size_t acknowledge(const net::MacAddress& device);
+
+  /// Outstanding (unacknowledged) notifications.
+  [[nodiscard]] std::vector<const UserNotification*> pending() const;
+
+  /// Full history, acknowledged included.
+  [[nodiscard]] const std::vector<UserNotification>& history() const {
+    return log_;
+  }
+
+ private:
+  Callback callback_;
+  std::vector<UserNotification> log_;
+};
+
+}  // namespace iotsentinel::core

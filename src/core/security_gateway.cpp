@@ -1,0 +1,63 @@
+#include "core/security_gateway.hpp"
+
+#include "net/parser.hpp"
+
+namespace iotsentinel::core {
+
+SecurityGateway::SecurityGateway(const IoTSecurityService& service,
+                                 GatewayConfig config)
+    : service_(service),
+      extractor_(config.extractor),
+      controller_(config.controller),
+      switch_(controller_) {
+  extractor_.on_capture_complete(
+      [this](const fp::DeviceCapture& capture) { handle_capture(capture); });
+}
+
+sdn::SwitchResult SecurityGateway::on_frame(
+    std::span<const std::uint8_t> frame, std::uint64_t timestamp_us) {
+  last_ts_us_ = timestamp_us;
+  const net::ParsedPacket pkt = net::parse_ethernet_frame(frame, timestamp_us);
+  tracker_.observe(pkt, frame);
+  extractor_.observe(pkt);
+  return switch_.process(pkt, timestamp_us);
+}
+
+void SecurityGateway::advance_time(std::uint64_t now_us) {
+  last_ts_us_ = now_us;
+  extractor_.advance_time(now_us);
+  switch_.expire_flows(now_us);
+}
+
+void SecurityGateway::finish_pending_captures() { extractor_.flush_all(); }
+
+void SecurityGateway::handle_capture(const fp::DeviceCapture& capture) {
+  // Ship the fingerprint to the IoTSSP; translate the verdict into an
+  // enforcement rule for this device.
+  const ServiceVerdict verdict = service_.assess(capture.fingerprint);
+
+  sdn::EnforcementRule rule;
+  rule.device = capture.mac;
+  rule.level = verdict.level;
+  for (const auto& ip : verdict.permitted_endpoints) {
+    rule.permitted_ips.insert(ip);
+  }
+  rule.installed_at_us = last_ts_us_;
+  controller_.apply_rule(std::move(rule), last_ts_us_);
+  // Flows admitted under the provisional (no-rule) policy must be
+  // re-evaluated under the device's real isolation level.
+  switch_.flush_device(capture.mac);
+
+  tracker_.mark_identified(capture.mac, verdict.device_type, verdict.level);
+
+  GatewayEvent event;
+  event.device = capture.mac;
+  event.device_type = verdict.device_type;
+  event.level = verdict.level;
+  event.is_new_type = verdict.identification.is_new_type;
+  event.at_us = last_ts_us_;
+  events_.push_back(event);
+  if (observer_) observer_(events_.back());
+}
+
+}  // namespace iotsentinel::core

@@ -1,0 +1,86 @@
+// The Security Gateway (paper Sect. III-A): the on-premises component that
+// monitors traffic, fingerprints new devices, consults the IoT Security
+// Service and enforces the returned isolation level through the SDN stack.
+//
+// One call drives everything: on_frame(bytes, ts) parses the frame, feeds
+// the fingerprint extractor, and pushes the packet through the software
+// switch. When a device's setup phase completes, the fingerprint is sent
+// to the IoTSSP, the verdict converted into an EnforcementRule and
+// installed in the controller, and any stale flows of that device flushed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/device_tracker.hpp"
+#include "core/security_service.hpp"
+#include "fingerprint/extractor.hpp"
+#include "sdn/controller.hpp"
+#include "sdn/software_switch.hpp"
+
+namespace iotsentinel::core {
+
+/// A device-identified event for observers/UI.
+struct GatewayEvent {
+  net::MacAddress device;
+  std::string device_type;   // "" when unknown
+  sdn::IsolationLevel level = sdn::IsolationLevel::kStrict;
+  bool is_new_type = false;
+  std::uint64_t at_us = 0;
+};
+
+/// Gateway configuration.
+struct GatewayConfig {
+  fp::ExtractorConfig extractor;
+  sdn::ControllerConfig controller;
+};
+
+/// The gateway runtime.
+class SecurityGateway {
+ public:
+  /// `service` outlives the gateway (it is the remote IoTSSP).
+  explicit SecurityGateway(const IoTSecurityService& service,
+                           GatewayConfig config = {});
+
+  /// Observer invoked after each identification + enforcement install.
+  void on_device_identified(std::function<void(const GatewayEvent&)> cb) {
+    observer_ = std::move(cb);
+  }
+
+  /// Ingests one raw frame at capture time `timestamp_us`. Returns the
+  /// data-plane verdict for the frame.
+  sdn::SwitchResult on_frame(std::span<const std::uint8_t> frame,
+                             std::uint64_t timestamp_us);
+
+  /// Advances time without traffic (flushes idle setup captures).
+  void advance_time(std::uint64_t now_us);
+
+  /// Completes all in-progress captures (e.g. at shutdown).
+  void finish_pending_captures();
+
+  [[nodiscard]] sdn::Controller& controller() { return controller_; }
+  [[nodiscard]] sdn::SoftwareSwitch& data_plane() { return switch_; }
+  /// Passive device inventory (IP bindings, hostnames, DNS names,
+  /// identification verdicts) for the management UI.
+  [[nodiscard]] const DeviceTracker& inventory() const { return tracker_; }
+  [[nodiscard]] const std::vector<GatewayEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  void handle_capture(const fp::DeviceCapture& capture);
+
+  const IoTSecurityService& service_;
+  DeviceTracker tracker_;
+  fp::SetupCaptureExtractor extractor_;
+  sdn::Controller controller_;
+  sdn::SoftwareSwitch switch_;
+  std::function<void(const GatewayEvent&)> observer_;
+  std::vector<GatewayEvent> events_;
+  std::uint64_t last_ts_us_ = 0;
+};
+
+}  // namespace iotsentinel::core

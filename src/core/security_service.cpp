@@ -1,0 +1,30 @@
+#include "core/security_service.hpp"
+
+namespace iotsentinel::core {
+
+void IoTSecurityService::register_endpoints(
+    const std::string& device_type, std::vector<net::Ipv4Address> endpoints) {
+  endpoints_[device_type] = std::move(endpoints);
+}
+
+ServiceVerdict IoTSecurityService::assess(const fp::Fingerprint& f) const {
+  ServiceVerdict verdict;
+  verdict.identification = identifier_.identify(f);
+
+  if (verdict.identification.type_index) {
+    verdict.device_type = verdict.identification.type_name;
+    verdict.is_known = true;
+    verdict.level = db_.assess(verdict.device_type);
+  } else {
+    // Unknown device-type: strict isolation (paper Sect. III-B).
+    verdict.level = sdn::IsolationLevel::kStrict;
+  }
+
+  if (verdict.level == sdn::IsolationLevel::kRestricted) {
+    auto it = endpoints_.find(verdict.device_type);
+    if (it != endpoints_.end()) verdict.permitted_endpoints = it->second;
+  }
+  return verdict;
+}
+
+}  // namespace iotsentinel::core

@@ -1,0 +1,59 @@
+// The IoT Security Service (IoTSSP, paper Sect. III-B).
+//
+// Receives device fingerprints from Security Gateways, identifies the
+// device-type with the two-stage identifier, assesses the type against the
+// vulnerability database and returns the isolation level to enforce plus —
+// for Restricted devices — the permitted vendor-cloud endpoints. The
+// service is stateless with respect to its gateway clients, mirroring the
+// paper's privacy design.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/identifier.hpp"
+#include "core/vulnerability_db.hpp"
+#include "net/ip_address.hpp"
+#include "sdn/isolation.hpp"
+
+namespace iotsentinel::core {
+
+/// The IoTSSP's answer to one fingerprint submission.
+struct ServiceVerdict {
+  /// Identified type name; empty for new/unknown device-types.
+  std::string device_type;
+  bool is_known = false;
+  sdn::IsolationLevel level = sdn::IsolationLevel::kStrict;
+  /// Endpoints a Restricted device may still reach (vendor cloud).
+  std::vector<net::Ipv4Address> permitted_endpoints;
+  /// Full identification trace (candidates, discrimination use, ...).
+  IdentificationResult identification;
+};
+
+/// The cloud-side service.
+class IoTSecurityService {
+ public:
+  IoTSecurityService(DeviceIdentifier identifier, VulnerabilityDb db)
+      : identifier_(std::move(identifier)), db_(std::move(db)) {}
+
+  /// Registers the permitted cloud endpoints for a device-type (consulted
+  /// when the type is assessed Restricted).
+  void register_endpoints(const std::string& device_type,
+                          std::vector<net::Ipv4Address> endpoints);
+
+  /// The paper's request path: fingerprint in, isolation level out.
+  [[nodiscard]] ServiceVerdict assess(const fp::Fingerprint& f) const;
+
+  [[nodiscard]] const DeviceIdentifier& identifier() const {
+    return identifier_;
+  }
+  [[nodiscard]] const VulnerabilityDb& vulnerability_db() const { return db_; }
+
+ private:
+  DeviceIdentifier identifier_;
+  VulnerabilityDb db_;
+  std::unordered_map<std::string, std::vector<net::Ipv4Address>> endpoints_;
+};
+
+}  // namespace iotsentinel::core

@@ -1,0 +1,30 @@
+#include "distance/damerau_levenshtein.hpp"
+
+namespace iotsentinel::dist {
+
+std::size_t fingerprint_distance(const fp::Fingerprint& a,
+                                 const fp::Fingerprint& b) {
+  return damerau_levenshtein<fp::FeatureVector>(
+      std::span<const fp::FeatureVector>(a.packets()),
+      std::span<const fp::FeatureVector>(b.packets()));
+}
+
+double normalized_fingerprint_distance(const fp::Fingerprint& a,
+                                       const fp::Fingerprint& b) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(fingerprint_distance(a, b)) /
+         static_cast<double>(longest);
+}
+
+double dissimilarity_score(
+    const fp::Fingerprint& probe,
+    std::span<const fp::Fingerprint* const> references) {
+  double score = 0.0;
+  for (const auto* ref : references) {
+    score += normalized_fingerprint_distance(probe, *ref);
+  }
+  return score;
+}
+
+}  // namespace iotsentinel::dist

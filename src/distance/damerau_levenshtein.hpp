@@ -1,0 +1,70 @@
+// Damerau-Levenshtein edit distance with insertion, deletion, substitution
+// and *immediate* transposition (the optimal-string-alignment variant the
+// paper cites for fingerprint discrimination, Sect. IV-B.2).
+//
+// Fingerprints are treated as words whose characters are whole packet
+// columns: two packets are "equal characters" iff all 23 features match.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fingerprint/fingerprint.hpp"
+
+namespace iotsentinel::dist {
+
+/// Generic optimal-string-alignment distance over two sequences.
+/// `Eq(a[i], b[j])` decides character equality.
+template <typename T, typename Eq = std::equal_to<T>>
+std::size_t damerau_levenshtein(std::span<const T> a, std::span<const T> b,
+                                Eq eq = {}) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+
+  // Three-row rolling DP: prev2 (i-2), prev (i-1), cur (i).
+  std::vector<std::size_t> prev2(m + 1);
+  std::vector<std::size_t> prev(m + 1);
+  std::vector<std::size_t> cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t cost = eq(a[i - 1], b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1,        // deletion
+                         cur[j - 1] + 1,     // insertion
+                         prev[j - 1] + cost  // substitution / match
+      });
+      if (i > 1 && j > 1 && eq(a[i - 1], b[j - 2]) && eq(a[i - 2], b[j - 1])) {
+        cur[j] = std::min(cur[j], prev2[j - 2] + 1);  // transposition
+      }
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+/// Edit distance between two variable-length fingerprints F, in packet
+/// edits.
+std::size_t fingerprint_distance(const fp::Fingerprint& a,
+                                 const fp::Fingerprint& b);
+
+/// The paper's normalized distance: absolute distance divided by the
+/// length of the longer fingerprint, bounded on [0,1]. Two empty
+/// fingerprints have distance 0.
+double normalized_fingerprint_distance(const fp::Fingerprint& a,
+                                       const fp::Fingerprint& b);
+
+/// Global dissimilarity score s_i of fingerprint `probe` against up to
+/// five reference fingerprints of one device-type: the sum of normalized
+/// distances, in [0, references.size()] ⊆ [0, 5].
+double dissimilarity_score(
+    const fp::Fingerprint& probe,
+    std::span<const fp::Fingerprint* const> references);
+
+}  // namespace iotsentinel::dist

@@ -1,0 +1,98 @@
+#include "fingerprint/extractor.hpp"
+
+#include <algorithm>
+
+namespace iotsentinel::fp {
+
+SetupCaptureExtractor::SetupCaptureExtractor(ExtractorConfig config)
+    : config_(std::move(config)) {}
+
+void SetupCaptureExtractor::observe(const net::ParsedPacket& pkt) {
+  check_timeouts(pkt.timestamp_us);
+
+  const net::MacAddress& mac = pkt.src_mac;
+  if (mac.is_zero() || mac.is_multicast()) return;  // not a device source
+  if (config_.ignored_macs.contains(mac)) return;
+  if (fingerprinted_.contains(mac)) return;
+
+  auto it = active_.find(mac);
+  if (it == active_.end()) {
+    ActiveDevice dev;
+    dev.capture.mac = mac;
+    dev.capture.start_us = pkt.timestamp_us;
+    dev.last_packet_us = pkt.timestamp_us;
+    it = active_.emplace(mac, std::move(dev)).first;
+  } else {
+    ActiveDevice& dev = it->second;
+    const std::uint64_t gap = pkt.timestamp_us - dev.last_packet_us;
+    // Rate-decrease detection: a gap far above the running mean
+    // inter-arrival closes the setup phase; the current packet then belongs
+    // to normal operation and is not recorded.
+    if (dev.gap_count >= config_.min_packets &&
+        dev.capture.raw_packet_count >= config_.min_packets &&
+        gap >= config_.min_silence_us &&
+        static_cast<double>(gap) >
+            config_.rate_drop_factor * std::max(dev.mean_gap_us, 1.0)) {
+      complete(mac);
+      return;
+    }
+    dev.mean_gap_us =
+        (dev.mean_gap_us * static_cast<double>(dev.gap_count) +
+         static_cast<double>(gap)) /
+        static_cast<double>(dev.gap_count + 1);
+    ++dev.gap_count;
+    dev.last_packet_us = pkt.timestamp_us;
+  }
+
+  ActiveDevice& dev = it->second;
+  dev.capture.end_us = pkt.timestamp_us;
+  ++dev.capture.raw_packet_count;
+  dev.capture.fingerprint.append(dev.features.extract(pkt));
+  if (dev.capture.raw_packet_count >= config_.max_packets) complete(mac);
+}
+
+void SetupCaptureExtractor::advance_time(std::uint64_t now_us) {
+  check_timeouts(now_us);
+}
+
+void SetupCaptureExtractor::check_timeouts(std::uint64_t now_us) {
+  std::vector<net::MacAddress> expired;
+  for (const auto& [mac, dev] : active_) {
+    if (dev.capture.raw_packet_count >= config_.min_packets &&
+        now_us > dev.last_packet_us &&
+        now_us - dev.last_packet_us >= config_.idle_timeout_us) {
+      expired.push_back(mac);
+    }
+  }
+  for (const auto& mac : expired) complete(mac);
+}
+
+void SetupCaptureExtractor::flush_all() {
+  std::vector<net::MacAddress> macs;
+  macs.reserve(active_.size());
+  for (const auto& [mac, dev] : active_) macs.push_back(mac);
+  for (const auto& mac : macs) complete(mac);
+}
+
+void SetupCaptureExtractor::complete(const net::MacAddress& mac) {
+  auto it = active_.find(mac);
+  if (it == active_.end()) return;
+  DeviceCapture capture = std::move(it->second.capture);
+  active_.erase(it);
+  fingerprinted_.insert(mac);
+  completed_.push_back(capture);
+  if (callback_) callback_(completed_.back());
+}
+
+Fingerprint fingerprint_from_packets(
+    const std::vector<net::ParsedPacket>& packets, std::size_t max_packets) {
+  Fingerprint fp;
+  PacketFeatureExtractor features;
+  for (const auto& pkt : packets) {
+    if (fp.size() >= max_packets) break;
+    fp.append(features.extract(pkt));
+  }
+  return fp;
+}
+
+}  // namespace iotsentinel::fp

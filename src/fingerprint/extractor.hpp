@@ -1,0 +1,112 @@
+// Streaming fingerprint extraction from a mixed capture.
+//
+// The Security Gateway observes one interleaved packet stream for the whole
+// network. This module demultiplexes it by source MAC, detects devices
+// newly introduced to the network ("a new device identified by a newly
+// observed MAC address"), records their setup-phase packets, and closes a
+// fingerprint when the packet rate decays — the paper's signal that the
+// setup procedure has ended.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fingerprint/fingerprint.hpp"
+#include "net/mac_address.hpp"
+#include "net/packet.hpp"
+
+namespace iotsentinel::fp {
+
+/// Tuning knobs for setup-phase end detection.
+struct ExtractorConfig {
+  /// Hard cap on raw packets recorded per device (n in the paper; counted
+  /// before Eq. (1)'s duplicate removal).
+  std::size_t max_packets = 256;
+  /// Setup is considered over once the device has been silent for this
+  /// long AND has already sent at least `min_packets`.
+  std::uint64_t idle_timeout_us = 10'000'000;  // 10 s
+  /// A gap this many times the running mean inter-arrival also ends the
+  /// setup phase (the "decrease in the rate of packets sent").
+  double rate_drop_factor = 8.0;
+  /// ...but only when the gap also exceeds this absolute floor: setup
+  /// dialogues legitimately pause for a few hundred ms between steps
+  /// (app-driven reconnects, DHCP timers), which must not end the capture.
+  std::uint64_t min_silence_us = 2'000'000;  // 2 s
+  /// Do not end the capture before this many raw packets were recorded.
+  std::size_t min_packets = 4;
+  /// MACs to ignore entirely (the gateway's own interfaces, known
+  /// infrastructure).
+  std::unordered_set<net::MacAddress> ignored_macs;
+};
+
+/// A completed setup capture for one device.
+struct DeviceCapture {
+  net::MacAddress mac;
+  /// First / last packet timestamps of the setup phase.
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  /// Raw packet count before duplicate removal.
+  std::size_t raw_packet_count = 0;
+  Fingerprint fingerprint;
+};
+
+/// Incremental extractor; feed packets in timestamp order.
+class SetupCaptureExtractor {
+ public:
+  using CompletionCallback = std::function<void(const DeviceCapture&)>;
+
+  explicit SetupCaptureExtractor(ExtractorConfig config = {});
+
+  /// Invoked whenever a device's setup phase completes.
+  void on_capture_complete(CompletionCallback cb) { callback_ = std::move(cb); }
+
+  /// Processes one packet. Packets from already-fingerprinted devices and
+  /// ignored MACs are skipped. May fire the completion callback for *other*
+  /// devices whose idle timeout elapsed by this packet's timestamp.
+  void observe(const net::ParsedPacket& pkt);
+
+  /// Advances virtual time without a packet, flushing devices whose idle
+  /// timeout has expired.
+  void advance_time(std::uint64_t now_us);
+
+  /// Force-completes every in-progress capture (end of the monitoring run).
+  void flush_all();
+
+  /// Devices currently in their setup phase.
+  [[nodiscard]] std::size_t active_devices() const { return active_.size(); }
+
+  /// Completed captures, in completion order (also delivered via callback).
+  [[nodiscard]] const std::vector<DeviceCapture>& completed() const {
+    return completed_;
+  }
+
+ private:
+  struct ActiveDevice {
+    DeviceCapture capture;
+    PacketFeatureExtractor features;
+    std::uint64_t last_packet_us = 0;
+    double mean_gap_us = 0.0;
+    std::size_t gap_count = 0;
+  };
+
+  void complete(const net::MacAddress& mac);
+  void check_timeouts(std::uint64_t now_us);
+
+  ExtractorConfig config_;
+  CompletionCallback callback_;
+  std::unordered_map<net::MacAddress, ActiveDevice> active_;
+  std::unordered_set<net::MacAddress> fingerprinted_;
+  std::vector<DeviceCapture> completed_;
+};
+
+/// One-shot extraction: builds a single device's fingerprint from an
+/// already-demultiplexed packet sequence (e.g. a per-device pcap).
+Fingerprint fingerprint_from_packets(
+    const std::vector<net::ParsedPacket>& packets,
+    std::size_t max_packets = 256);
+
+}  // namespace iotsentinel::fp

@@ -1,0 +1,87 @@
+#include "fingerprint/features.hpp"
+
+#include "net/protocols.hpp"
+
+namespace iotsentinel::fp {
+
+std::string feature_name(FeatureIndex i) {
+  switch (i) {
+    case FeatureIndex::kArp: return "ARP";
+    case FeatureIndex::kLlc: return "LLC";
+    case FeatureIndex::kIp: return "IP";
+    case FeatureIndex::kIcmp: return "ICMP";
+    case FeatureIndex::kIcmpv6: return "ICMPv6";
+    case FeatureIndex::kEapol: return "EAPoL";
+    case FeatureIndex::kTcp: return "TCP";
+    case FeatureIndex::kUdp: return "UDP";
+    case FeatureIndex::kHttp: return "HTTP";
+    case FeatureIndex::kHttps: return "HTTPS";
+    case FeatureIndex::kDhcp: return "DHCP";
+    case FeatureIndex::kBootp: return "BOOTP";
+    case FeatureIndex::kSsdp: return "SSDP";
+    case FeatureIndex::kDns: return "DNS";
+    case FeatureIndex::kMdns: return "MDNS";
+    case FeatureIndex::kNtp: return "NTP";
+    case FeatureIndex::kIpOptPadding: return "IpOptPadding";
+    case FeatureIndex::kIpOptRouterAlert: return "IpOptRouterAlert";
+    case FeatureIndex::kSize: return "Size";
+    case FeatureIndex::kRawData: return "RawData";
+    case FeatureIndex::kDstIpCounter: return "DstIpCounter";
+    case FeatureIndex::kSrcPortClass: return "SrcPortClass";
+    case FeatureIndex::kDstPortClass: return "DstPortClass";
+  }
+  return "?";
+}
+
+std::uint32_t port_class(std::uint16_t port) {
+  if (port <= net::portclass::kWellKnownMax) return 1;
+  if (port <= net::portclass::kRegisteredMax) return 2;
+  return 3;
+}
+
+std::uint32_t port_class_of(const std::optional<std::uint16_t>& port) {
+  if (!port) return 0;
+  return port_class(*port);
+}
+
+FeatureVector PacketFeatureExtractor::extract(const net::ParsedPacket& pkt) {
+  FeatureVector v{};
+  auto set = [&v](FeatureIndex i, std::uint32_t value) {
+    v[static_cast<std::size_t>(i)] = value;
+  };
+
+  set(FeatureIndex::kArp, pkt.is_arp ? 1 : 0);
+  set(FeatureIndex::kLlc, pkt.is_llc ? 1 : 0);
+  set(FeatureIndex::kIp, pkt.is_ip() ? 1 : 0);
+  set(FeatureIndex::kIcmp, pkt.is_icmp ? 1 : 0);
+  set(FeatureIndex::kIcmpv6, pkt.is_icmpv6 ? 1 : 0);
+  set(FeatureIndex::kEapol, pkt.is_eapol ? 1 : 0);
+  set(FeatureIndex::kTcp, pkt.is_tcp ? 1 : 0);
+  set(FeatureIndex::kUdp, pkt.is_udp ? 1 : 0);
+  set(FeatureIndex::kHttp, pkt.app.http ? 1 : 0);
+  set(FeatureIndex::kHttps, pkt.app.https ? 1 : 0);
+  set(FeatureIndex::kDhcp, pkt.app.dhcp ? 1 : 0);
+  set(FeatureIndex::kBootp, pkt.app.bootp ? 1 : 0);
+  set(FeatureIndex::kSsdp, pkt.app.ssdp ? 1 : 0);
+  set(FeatureIndex::kDns, pkt.app.dns ? 1 : 0);
+  set(FeatureIndex::kMdns, pkt.app.mdns ? 1 : 0);
+  set(FeatureIndex::kNtp, pkt.app.ntp ? 1 : 0);
+  set(FeatureIndex::kIpOptPadding, pkt.ip_opt_padding ? 1 : 0);
+  set(FeatureIndex::kIpOptRouterAlert, pkt.ip_opt_router_alert ? 1 : 0);
+  set(FeatureIndex::kSize, pkt.wire_size);
+  set(FeatureIndex::kRawData, pkt.has_payload ? 1 : 0);
+
+  if (pkt.dst_ip) {
+    auto [it, inserted] = dst_counter_.try_emplace(
+        *pkt.dst_ip, static_cast<std::uint32_t>(dst_counter_.size() + 1));
+    set(FeatureIndex::kDstIpCounter, it->second);
+  } else {
+    set(FeatureIndex::kDstIpCounter, 0);
+  }
+
+  set(FeatureIndex::kSrcPortClass, port_class_of(pkt.src_port));
+  set(FeatureIndex::kDstPortClass, port_class_of(pkt.dst_port));
+  return v;
+}
+
+}  // namespace iotsentinel::fp

@@ -1,0 +1,100 @@
+// The 23 per-packet features of Table I and their extraction.
+//
+// Feature order is part of the fingerprint wire format (F' concatenates
+// packets feature-major), so it is fixed here once and mirrored by the
+// FeatureIndex enum. All features are integers; binary features use {0,1}.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "net/ip_address.hpp"
+#include "net/packet.hpp"
+
+namespace iotsentinel::fp {
+
+/// Number of per-packet features (Table I).
+inline constexpr std::size_t kNumFeatures = 23;
+
+/// Index of each Table-I feature inside a FeatureVector.
+enum class FeatureIndex : std::size_t {
+  // Link layer protocol (2)
+  kArp = 0,
+  kLlc = 1,
+  // Network layer protocol (4)
+  kIp = 2,
+  kIcmp = 3,
+  kIcmpv6 = 4,
+  kEapol = 5,
+  // Transport layer protocol (2)
+  kTcp = 6,
+  kUdp = 7,
+  // Application layer protocol (8)
+  kHttp = 8,
+  kHttps = 9,
+  kDhcp = 10,
+  kBootp = 11,
+  kSsdp = 12,
+  kDns = 13,
+  kMdns = 14,
+  kNtp = 15,
+  // IP options (2)
+  kIpOptPadding = 16,
+  kIpOptRouterAlert = 17,
+  // Packet content (2)
+  kSize = 18,     // integer: bytes on the wire
+  kRawData = 19,  // binary: payload present
+  // IP address (1)
+  kDstIpCounter = 20,  // integer: order of first contact with each peer
+  // Port class (2)
+  kSrcPortClass = 21,  // integer in {0,1,2,3}
+  kDstPortClass = 22,
+};
+
+/// One packet's feature vector p_i = {f_1..f_23}.
+using FeatureVector = std::array<std::uint32_t, kNumFeatures>;
+
+/// Convenience accessor.
+inline std::uint32_t get(const FeatureVector& v, FeatureIndex i) {
+  return v[static_cast<std::size_t>(i)];
+}
+
+/// Human-readable feature name ("ARP", "DstIpCounter", ...).
+std::string feature_name(FeatureIndex i);
+
+/// Maps a port number to the paper's port class:
+/// 1 = well-known [0,1023], 2 = registered [1024,49151],
+/// 3 = dynamic [49152,65535]. Absence of a port is encoded as 0 by the
+/// extractor (use `port_class_of(std::optional)` below).
+std::uint32_t port_class(std::uint16_t port);
+
+/// Port class with the "no port => 0" rule applied.
+std::uint32_t port_class_of(const std::optional<std::uint16_t>& port);
+
+/// Stateful per-device feature extractor.
+///
+/// The destination-IP counter feature (f21) is defined over the device's
+/// whole setup dialogue: the first distinct peer contacted maps to 1, the
+/// second to 2, and so on. One PacketFeatureExtractor must therefore be
+/// used per device per setup capture.
+class PacketFeatureExtractor {
+ public:
+  /// Extracts the 23 features from one parsed packet, updating the
+  /// destination-IP counter state.
+  FeatureVector extract(const net::ParsedPacket& pkt);
+
+  /// Number of distinct destination IPs seen so far.
+  [[nodiscard]] std::size_t distinct_destinations() const {
+    return dst_counter_.size();
+  }
+
+  /// Resets the destination-IP counter (new capture, same device).
+  void reset() { dst_counter_.clear(); }
+
+ private:
+  std::unordered_map<net::IpAddress, std::uint32_t> dst_counter_;
+};
+
+}  // namespace iotsentinel::fp

@@ -1,0 +1,101 @@
+#include "fingerprint/fingerprint.hpp"
+
+#include <charconv>
+#include <vector>
+
+namespace iotsentinel::fp {
+
+void Fingerprint::append(const FeatureVector& packet) {
+  if (!packets_.empty() && packets_.back() == packet) return;
+  packets_.push_back(packet);
+}
+
+FixedFingerprint Fingerprint::to_fixed(std::size_t prefix) const {
+  FixedFingerprint out(prefix * kNumFeatures, 0.0f);
+  std::vector<const FeatureVector*> seen;
+  std::size_t filled = 0;
+  for (const auto& p : packets_) {
+    if (filled == prefix) break;
+    bool duplicate = false;
+    for (const auto* s : seen) {
+      if (*s == p) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen.push_back(&p);
+    for (std::size_t f = 0; f < kNumFeatures; ++f) {
+      out[filled * kNumFeatures + f] = static_cast<float>(p[f]);
+    }
+    ++filled;
+  }
+  return out;
+}
+
+std::size_t Fingerprint::unique_packet_count() const {
+  std::vector<const FeatureVector*> seen;
+  for (const auto& p : packets_) {
+    bool duplicate = false;
+    for (const auto* s : seen) {
+      if (*s == p) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) seen.push_back(&p);
+  }
+  return seen.size();
+}
+
+std::string Fingerprint::to_csv() const {
+  std::string out;
+  for (const auto& p : packets_) {
+    for (std::size_t f = 0; f < kNumFeatures; ++f) {
+      if (f != 0) out.push_back(',');
+      out += std::to_string(p[f]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Fingerprint Fingerprint::from_csv(const std::string& csv) {
+  Fingerprint fp;
+  std::size_t line_start = 0;
+  while (line_start < csv.size()) {
+    std::size_t line_end = csv.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = csv.size();
+    FeatureVector v{};
+    const char* p = csv.data() + line_start;
+    const char* end = csv.data() + line_end;
+    bool ok = line_end > line_start;
+    for (std::size_t f = 0; f < kNumFeatures && ok; ++f) {
+      std::uint32_t value = 0;
+      auto [next, ec] = std::from_chars(p, end, value);
+      if (ec != std::errc{}) {
+        ok = false;
+        break;
+      }
+      v[f] = value;
+      p = next;
+      if (f + 1 < kNumFeatures) {
+        if (p == end || *p != ',') {
+          ok = false;
+          break;
+        }
+        ++p;
+      }
+    }
+    if (ok && p == end) {
+      // Bypass consecutive-dup removal: CSV is an exact serialization.
+      fp.packets_.push_back(v);
+    } else if (line_end > line_start) {
+      return Fingerprint{};  // malformed row: reject the whole blob
+    }
+    line_start = line_end + 1;
+  }
+  return fp;
+}
+
+}  // namespace iotsentinel::fp

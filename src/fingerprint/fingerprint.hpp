@@ -1,0 +1,70 @@
+// Device fingerprints F (variable length) and F' (fixed 276 dims).
+//
+// F is the 23×n matrix of Sect. IV-A: one column per packet received from
+// the device during setup, with *consecutive* duplicate columns discarded.
+// F' concatenates the first kPrefixPackets (=12) *globally unique* columns
+// of F into one flat vector of 12×23 = 276 features, zero-padded when F
+// has fewer unique columns.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fingerprint/features.hpp"
+
+namespace iotsentinel::fp {
+
+/// Number of packets concatenated into the fixed-size fingerprint F'.
+/// The paper's preliminary analysis settled on 12 as the trade-off between
+/// discriminative power and fill rate.
+inline constexpr std::size_t kPrefixPackets = 12;
+
+/// Dimensionality of F' (12 packets x 23 features).
+inline constexpr std::size_t kFixedDims = kPrefixPackets * kNumFeatures;
+
+/// Fixed-size fingerprint F' used by the per-type classifiers.
+using FixedFingerprint = std::vector<float>;  // always kFixedDims long
+
+/// Variable-length fingerprint F: the deduplicated packet-feature sequence.
+class Fingerprint {
+ public:
+  Fingerprint() = default;
+
+  /// Appends one packet column; a column identical to the immediately
+  /// preceding one is discarded (p_i == p_{i+1} rule of Eq. (1)).
+  void append(const FeatureVector& packet);
+
+  /// Number of columns n (after consecutive-duplicate removal).
+  [[nodiscard]] std::size_t size() const { return packets_.size(); }
+  [[nodiscard]] bool empty() const { return packets_.empty(); }
+
+  [[nodiscard]] const FeatureVector& packet(std::size_t i) const {
+    return packets_[i];
+  }
+  [[nodiscard]] const std::vector<FeatureVector>& packets() const {
+    return packets_;
+  }
+
+  /// Builds the fixed-size fingerprint F': the first `prefix` globally
+  /// unique columns concatenated feature-major, zero-padded to
+  /// prefix*kNumFeatures entries.
+  [[nodiscard]] FixedFingerprint to_fixed(
+      std::size_t prefix = kPrefixPackets) const;
+
+  /// Number of globally unique columns (bounds how much of F' is filled).
+  [[nodiscard]] std::size_t unique_packet_count() const;
+
+  /// Serializes as CSV rows "f1,...,f23" (one row per packet) for export.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Parses the `to_csv` format; returns an empty fingerprint on garbage.
+  static Fingerprint from_csv(const std::string& csv);
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+ private:
+  std::vector<FeatureVector> packets_;
+};
+
+}  // namespace iotsentinel::fp

@@ -1,0 +1,63 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace iotsentinel::ml {
+
+void Dataset::add(std::span<const float> features, int label) {
+  if (num_features_ == 0) num_features_ = features.size();
+  if (features.size() != num_features_) {
+    std::fprintf(stderr,
+                 "Dataset::add: feature width %zu != expected %zu\n",
+                 features.size(), num_features_);
+    std::abort();
+  }
+  data_.insert(data_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+int Dataset::num_classes() const {
+  int max_label = -1;
+  for (int l : labels_) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(num_features_);
+  for (std::size_t i : indices) out.add(row(i), label(i));
+  return out;
+}
+
+std::vector<FoldSplit> stratified_k_fold(const std::vector<int>& labels,
+                                         std::size_t k, Rng& rng) {
+  // Group sample indices by class, shuffle within class, deal round-robin
+  // so every fold receives floor/ceil(n_c / k) samples of class c.
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    by_class[labels[i]].push_back(i);
+
+  std::vector<std::vector<std::size_t>> fold_test(k);
+  for (auto& [label, indices] : by_class) {
+    rng.shuffle(indices);
+    for (std::size_t i = 0; i < indices.size(); ++i)
+      fold_test[i % k].push_back(indices[i]);
+  }
+
+  std::vector<FoldSplit> splits(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    splits[f].test = fold_test[f];
+    std::sort(splits[f].test.begin(), splits[f].test.end());
+    for (std::size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      splits[f].train.insert(splits[f].train.end(), fold_test[g].begin(),
+                             fold_test[g].end());
+    }
+    std::sort(splits[f].train.begin(), splits[f].train.end());
+  }
+  return splits;
+}
+
+}  // namespace iotsentinel::ml

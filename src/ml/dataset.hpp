@@ -1,0 +1,59 @@
+// Tabular dataset container and cross-validation index generation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/rng.hpp"
+
+namespace iotsentinel::ml {
+
+/// Row-major feature matrix with integer labels.
+///
+/// Rows are samples (one F' fingerprint each in this library), columns are
+/// features. Labels are small non-negative class ids.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t num_features) : num_features_(num_features) {}
+
+  /// Appends one sample; `features.size()` must equal `num_features()`
+  /// (checked, aborts on mismatch — this is a programming error).
+  void add(std::span<const float> features, int label);
+
+  [[nodiscard]] std::size_t size() const { return labels_.size(); }
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+  [[nodiscard]] std::size_t num_features() const { return num_features_; }
+
+  [[nodiscard]] std::span<const float> row(std::size_t i) const {
+    return {data_.data() + i * num_features_, num_features_};
+  }
+  [[nodiscard]] int label(std::size_t i) const { return labels_[i]; }
+  [[nodiscard]] const std::vector<int>& labels() const { return labels_; }
+
+  /// Number of distinct label values (max label + 1).
+  [[nodiscard]] int num_classes() const;
+
+  /// Builds a new dataset from a subset of row indices.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+ private:
+  std::size_t num_features_ = 0;
+  std::vector<float> data_;
+  std::vector<int> labels_;
+};
+
+/// One train/test split of a cross-validation run (row indices).
+struct FoldSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified k-fold splits: each fold's test set preserves the overall
+/// class proportions (the paper evaluates with stratified 10-fold CV).
+/// Samples of each class are shuffled with `rng` then dealt round-robin.
+std::vector<FoldSplit> stratified_k_fold(const std::vector<int>& labels,
+                                         std::size_t k, Rng& rng);
+
+}  // namespace iotsentinel::ml

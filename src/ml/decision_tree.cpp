@@ -1,0 +1,269 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace iotsentinel::ml {
+namespace {
+
+/// Gini impurity of a class histogram with `total` samples.
+double gini(const std::vector<std::uint32_t>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double sum_sq = 0.0;
+  for (std::uint32_t c : counts) {
+    const double p = static_cast<double>(c) / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+struct SplitCandidate {
+  int feature = -1;
+  float threshold = 0.0f;
+  double impurity = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+void DecisionTree::train(const Dataset& data,
+                         std::span<const std::size_t> indices,
+                         int num_classes, const TreeConfig& config, Rng& rng) {
+  nodes_.clear();
+  num_classes_ = num_classes;
+  importances_.assign(data.num_features(), 0.0);
+  root_samples_ = indices.size();
+  std::vector<std::size_t> work(indices.begin(), indices.end());
+  build(data, work, 0, config, rng);
+  // Normalize the accumulated impurity decreases to sum to 1.
+  double total = 0.0;
+  for (double v : importances_) total += v;
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+}
+
+int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& indices,
+                        std::size_t depth, const TreeConfig& config, Rng& rng) {
+  // Class histogram for this node.
+  std::vector<std::uint32_t> counts(static_cast<std::size_t>(num_classes_), 0);
+  for (std::size_t i : indices) ++counts[static_cast<std::size_t>(data.label(i))];
+  const double total = static_cast<double>(indices.size());
+  const double node_impurity = gini(counts, total);
+
+  auto make_leaf = [&]() -> int {
+    Node leaf;
+    leaf.counts = counts;
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  const bool depth_exhausted = config.max_depth != 0 && depth >= config.max_depth;
+  if (indices.size() < config.min_samples_split || node_impurity == 0.0 ||
+      depth_exhausted) {
+    return make_leaf();
+  }
+
+  // Feature subsampling (mtry). 0 => consider every feature.
+  const std::size_t d = data.num_features();
+  std::vector<std::size_t> feature_pool;
+  if (config.max_features == 0 || config.max_features >= d) {
+    feature_pool.resize(d);
+    for (std::size_t f = 0; f < d; ++f) feature_pool[f] = f;
+  } else {
+    feature_pool = rng.sample_without_replacement(d, config.max_features);
+  }
+
+  // Scan candidate thresholds per feature: sort the node's values once and
+  // sweep the class histogram across boundaries between distinct values.
+  SplitCandidate best;
+  std::vector<std::pair<float, int>> values;  // (feature value, label)
+  values.reserve(indices.size());
+  for (std::size_t feature : feature_pool) {
+    values.clear();
+    for (std::size_t i : indices) {
+      values.emplace_back(data.row(i)[feature], data.label(i));
+    }
+    std::sort(values.begin(), values.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (values.front().first == values.back().first) continue;  // constant
+
+    std::vector<std::uint32_t> left_counts(
+        static_cast<std::size_t>(num_classes_), 0);
+    std::vector<std::uint32_t> right_counts = counts;
+    std::size_t n_left = 0;
+    for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+      const auto label = static_cast<std::size_t>(values[i].second);
+      ++left_counts[label];
+      --right_counts[label];
+      ++n_left;
+      if (values[i].first == values[i + 1].first) continue;  // same value
+      const std::size_t n_right = values.size() - n_left;
+      if (n_left < config.min_samples_leaf || n_right < config.min_samples_leaf)
+        continue;
+      const double weighted =
+          (static_cast<double>(n_left) * gini(left_counts, static_cast<double>(n_left)) +
+           static_cast<double>(n_right) * gini(right_counts, static_cast<double>(n_right))) /
+          total;
+      if (weighted < best.impurity) {
+        best.impurity = weighted;
+        best.feature = static_cast<int>(feature);
+        // Midpoint threshold between adjacent distinct values.
+        best.threshold = values[i].first +
+                         (values[i + 1].first - values[i].first) / 2.0f;
+        // Guard against midpoint rounding onto the left value.
+        if (best.threshold <= values[i].first)
+          best.threshold = values[i + 1].first;
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.impurity >= node_impurity) return make_leaf();
+
+  // Gini importance: impurity decrease weighted by the node's share of
+  // the training sample.
+  importances_[static_cast<std::size_t>(best.feature)] +=
+      (total / static_cast<double>(root_samples_)) *
+      (node_impurity - best.impurity);
+
+  std::vector<std::size_t> left_idx;
+  std::vector<std::size_t> right_idx;
+  left_idx.reserve(indices.size());
+  right_idx.reserve(indices.size());
+  for (std::size_t i : indices) {
+    if (data.row(i)[static_cast<std::size_t>(best.feature)] < best.threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return make_leaf();
+
+  // Reserve this node's slot before recursing (children append after it).
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  indices.clear();
+  indices.shrink_to_fit();
+  const int left = build(data, left_idx, depth + 1, config, rng);
+  const int right = build(data, right_idx, depth + 1, config, rng);
+  Node& node = nodes_[static_cast<std::size_t>(self)];
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  node.left = left;
+  node.right = right;
+  return self;
+}
+
+int DecisionTree::predict(std::span<const float> features) const {
+  const auto proba = predict_proba(features);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
+                          proba.begin());
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const float> features) const {
+  std::vector<double> out(static_cast<std::size_t>(num_classes_), 0.0);
+  if (nodes_.empty()) return out;
+  std::size_t node = 0;
+  while (nodes_[node].left >= 0) {
+    const Node& n = nodes_[node];
+    node = static_cast<std::size_t>(
+        features[static_cast<std::size_t>(n.feature)] < n.threshold ? n.left
+                                                                    : n.right);
+  }
+  const auto& counts = nodes_[node].counts;
+  double total = 0.0;
+  for (std::uint32_t c : counts) total += c;
+  if (total == 0.0) return out;
+  for (std::size_t c = 0; c < counts.size(); ++c)
+    out[c] = static_cast<double>(counts[c]) / total;
+  return out;
+}
+
+std::size_t DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the flat representation.
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    if (nodes_[node].left >= 0) {
+      stack.emplace_back(static_cast<std::size_t>(nodes_[node].left), depth + 1);
+      stack.emplace_back(static_cast<std::size_t>(nodes_[node].right), depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+void DecisionTree::save(net::ByteWriter& w) const {
+  w.u32be(static_cast<std::uint32_t>(num_classes_));
+  w.u32be(static_cast<std::uint32_t>(importances_.size()));
+  for (double v : importances_) {
+    w.u32be(std::bit_cast<std::uint32_t>(static_cast<float>(v)));
+  }
+  w.u32be(static_cast<std::uint32_t>(nodes_.size()));
+  for (const auto& node : nodes_) {
+    w.u32be(static_cast<std::uint32_t>(node.feature));
+    w.u32be(std::bit_cast<std::uint32_t>(node.threshold));
+    w.u32be(static_cast<std::uint32_t>(node.left));
+    w.u32be(static_cast<std::uint32_t>(node.right));
+    w.u32be(static_cast<std::uint32_t>(node.counts.size()));
+    for (std::uint32_t c : node.counts) w.u32be(c);
+  }
+}
+
+std::optional<DecisionTree> DecisionTree::load(net::ByteReader& r) {
+  DecisionTree tree;
+  auto num_classes = r.u32be();
+  auto num_importances = r.u32be();
+  if (!num_classes || !num_importances ||
+      *num_importances > 1'000'000) {
+    return std::nullopt;
+  }
+  tree.num_classes_ = static_cast<int>(*num_classes);
+  tree.importances_.reserve(*num_importances);
+  for (std::uint32_t i = 0; i < *num_importances; ++i) {
+    auto bits = r.u32be();
+    if (!bits) return std::nullopt;
+    tree.importances_.push_back(std::bit_cast<float>(*bits));
+  }
+  auto node_count = r.u32be();
+  if (!node_count || *node_count > 10'000'000) return std::nullopt;
+  tree.nodes_.reserve(*node_count);
+  for (std::uint32_t i = 0; i < *node_count; ++i) {
+    Node node;
+    auto feature = r.u32be();
+    auto threshold = r.u32be();
+    auto left = r.u32be();
+    auto right = r.u32be();
+    auto counts = r.u32be();
+    if (!feature || !threshold || !left || !right || !counts ||
+        *counts > 1'000'000) {
+      return std::nullopt;
+    }
+    node.feature = static_cast<int>(*feature);
+    node.threshold = std::bit_cast<float>(*threshold);
+    node.left = static_cast<int>(*left);
+    node.right = static_cast<int>(*right);
+    node.counts.reserve(*counts);
+    for (std::uint32_t c = 0; c < *counts; ++c) {
+      auto value = r.u32be();
+      if (!value) return std::nullopt;
+      node.counts.push_back(*value);
+    }
+    // Structural sanity: children must point forward within the vector.
+    if (node.left >= 0 &&
+        (node.left <= static_cast<int>(i) || node.right <= static_cast<int>(i) ||
+         static_cast<std::uint32_t>(node.left) >= *node_count ||
+         static_cast<std::uint32_t>(node.right) >= *node_count)) {
+      return std::nullopt;
+    }
+    tree.nodes_.push_back(std::move(node));
+  }
+  return tree;
+}
+
+}  // namespace iotsentinel::ml

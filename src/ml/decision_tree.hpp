@@ -1,0 +1,88 @@
+// CART decision tree for classification (gini impurity, axis-aligned
+// threshold splits, optional per-node feature subsampling for forests).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include <optional>
+
+#include "ml/dataset.hpp"
+#include "ml/rng.hpp"
+#include "net/bytes.hpp"
+
+namespace iotsentinel::ml {
+
+/// Decision-tree hyperparameters.
+struct TreeConfig {
+  /// Maximum tree depth; 0 means unlimited.
+  std::size_t max_depth = 0;
+  /// Minimum samples required to attempt a split.
+  std::size_t min_samples_split = 2;
+  /// Minimum samples in each leaf.
+  std::size_t min_samples_leaf = 1;
+  /// Features examined per split; 0 means all (single trees) — forests set
+  /// this to ~sqrt(d).
+  std::size_t max_features = 0;
+};
+
+/// A trained CART classifier.
+///
+/// Nodes are stored in a flat vector (index-linked) for cache-friendly
+/// prediction; leaves store the full class histogram so predict_proba can
+/// return calibrated leaf frequencies.
+class DecisionTree {
+ public:
+  /// Trains on (a subset of) `data`. `indices` selects rows (with
+  /// duplicates allowed — bootstrap samples pass repeated indices).
+  /// `num_classes` fixes the output arity across forest members.
+  void train(const Dataset& data, std::span<const std::size_t> indices,
+             int num_classes, const TreeConfig& config, Rng& rng);
+
+  /// Most frequent class at the reached leaf.
+  [[nodiscard]] int predict(std::span<const float> features) const;
+
+  /// Class distribution at the reached leaf.
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const float> features) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+  [[nodiscard]] bool trained() const { return !nodes_.empty(); }
+
+  /// Mean-decrease-in-impurity (gini) importance per feature, normalized
+  /// to sum to 1 (all zeros for a single-leaf tree).
+  [[nodiscard]] const std::vector<double>& feature_importances() const {
+    return importances_;
+  }
+
+  /// Serializes the trained tree (structure + leaf histograms + feature
+  /// importances) into `w`. Format is versioned by the enclosing forest.
+  void save(net::ByteWriter& w) const;
+
+  /// Reads a tree back; nullopt on malformed input.
+  static std::optional<DecisionTree> load(net::ByteReader& r);
+
+ private:
+  struct Node {
+    // Internal node: feature/threshold valid, left/right >= 0.
+    // Leaf: left == -1; `counts` holds the class histogram.
+    int feature = -1;
+    float threshold = 0.0f;
+    int left = -1;
+    int right = -1;
+    std::vector<std::uint32_t> counts;
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& indices,
+            std::size_t depth, const TreeConfig& config, Rng& rng);
+
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+  std::size_t root_samples_ = 0;
+  int num_classes_ = 0;
+};
+
+}  // namespace iotsentinel::ml

@@ -1,0 +1,69 @@
+#include "ml/metrics.hpp"
+
+#include <cstdio>
+
+namespace iotsentinel::ml {
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.n_ != n_) return;  // arity mismatch: ignore (caller bug)
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+std::uint64_t ConfusionMatrix::row_total(std::size_t c) const {
+  std::uint64_t sum = 0;
+  for (std::size_t p = 0; p < n_; ++p) sum += at(c, p);
+  return sum;
+}
+
+std::uint64_t ConfusionMatrix::total() const {
+  std::uint64_t sum = 0;
+  for (auto v : counts_) sum += v;
+  return sum;
+}
+
+double ConfusionMatrix::class_accuracy(std::size_t c) const {
+  const std::uint64_t row = row_total(c);
+  if (row == 0) return 0.0;
+  return static_cast<double>(at(c, c)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::uint64_t all = total();
+  if (all == 0) return 0.0;
+  std::uint64_t correct = 0;
+  for (std::size_t c = 0; c < n_; ++c) correct += at(c, c);
+  return static_cast<double>(correct) / static_cast<double>(all);
+}
+
+std::string ConfusionMatrix::to_table(
+    const std::vector<std::size_t>& classes,
+    const std::vector<std::string>& labels) const {
+  std::string out = "A\\P";
+  char buf[32];
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%8zu", i + 1);
+    out += buf;
+  }
+  out += '\n';
+  for (std::size_t r = 0; r < classes.size(); ++r) {
+    std::snprintf(buf, sizeof(buf), "%-3zu", r + 1);
+    out += buf;
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      std::snprintf(buf, sizeof(buf), "%8llu",
+                    static_cast<unsigned long long>(at(classes[r], classes[c])));
+      out += buf;
+    }
+    if (r < labels.size()) {
+      out += "   # ";
+      out += labels[r];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace iotsentinel::ml

@@ -1,0 +1,55 @@
+// Classification quality metrics: accuracy, per-class accuracy (the
+// quantity plotted in the paper's Fig. 5) and confusion matrices
+// (Table III).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iotsentinel::ml {
+
+/// Square confusion matrix: rows = actual class, columns = predicted.
+class ConfusionMatrix {
+ public:
+  ConfusionMatrix() = default;
+  explicit ConfusionMatrix(std::size_t num_classes)
+      : n_(num_classes), counts_(num_classes * num_classes, 0) {}
+
+  void record(std::size_t actual, std::size_t predicted) {
+    ++counts_.at(actual * n_ + predicted);
+  }
+
+  /// Merges another matrix of the same arity (repeated CV runs).
+  void merge(const ConfusionMatrix& other);
+
+  [[nodiscard]] std::size_t num_classes() const { return n_; }
+  [[nodiscard]] std::uint64_t at(std::size_t actual,
+                                 std::size_t predicted) const {
+    return counts_.at(actual * n_ + predicted);
+  }
+
+  /// Samples whose actual class is `c`.
+  [[nodiscard]] std::uint64_t row_total(std::size_t c) const;
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// Correct / total for class `c` (Fig. 5's "ratio of correct
+  /// identification"); 0 when the class never occurred.
+  [[nodiscard]] double class_accuracy(std::size_t c) const;
+
+  /// Overall correct / total (the paper's "global ratio", 0.815).
+  [[nodiscard]] double accuracy() const;
+
+  /// Pretty-prints the sub-matrix over `classes` with the given labels
+  /// (Table III shows only the 10 confusable types).
+  [[nodiscard]] std::string to_table(
+      const std::vector<std::size_t>& classes,
+      const std::vector<std::string>& labels) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace iotsentinel::ml

@@ -1,0 +1,110 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace iotsentinel::ml {
+
+void RandomForest::train(const Dataset& data, const ForestConfig& config) {
+  std::vector<std::size_t> all(data.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  train(data, all, config);
+}
+
+void RandomForest::train(const Dataset& data,
+                         std::span<const std::size_t> indices,
+                         const ForestConfig& config) {
+  trees_.clear();
+  num_classes_ = data.num_classes();
+  if (indices.empty() || num_classes_ <= 0) return;
+
+  TreeConfig tree_config = config.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(data.num_features()))));
+    if (tree_config.max_features == 0) tree_config.max_features = 1;
+  }
+
+  const auto bootstrap_size = static_cast<std::size_t>(
+      std::max(1.0, config.bootstrap_fraction *
+                        static_cast<double>(indices.size())));
+
+  Rng base(config.seed);
+  trees_.resize(config.num_trees);
+  for (auto& tree : trees_) {
+    Rng tree_rng = base.fork();
+    std::vector<std::size_t> sample(bootstrap_size);
+    for (auto& s : sample) s = indices[tree_rng.index(indices.size())];
+    tree.train(data, sample, num_classes_, tree_config, tree_rng);
+  }
+}
+
+int RandomForest::predict(std::span<const float> features) const {
+  const auto proba = predict_proba(features);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
+                          proba.begin());
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const float> features) const {
+  std::vector<double> sum(static_cast<std::size_t>(num_classes_), 0.0);
+  if (trees_.empty()) return sum;
+  for (const auto& tree : trees_) {
+    const auto p = tree.predict_proba(features);
+    for (std::size_t c = 0; c < sum.size(); ++c) sum[c] += p[c];
+  }
+  for (auto& v : sum) v /= static_cast<double>(trees_.size());
+  return sum;
+}
+
+std::vector<double> RandomForest::feature_importances() const {
+  std::vector<double> sum;
+  for (const auto& tree : trees_) {
+    const auto& imp = tree.feature_importances();
+    if (sum.empty()) sum.assign(imp.size(), 0.0);
+    for (std::size_t f = 0; f < imp.size(); ++f) sum[f] += imp[f];
+  }
+  double total = 0.0;
+  for (double v : sum) total += v;
+  if (total > 0.0) {
+    for (double& v : sum) v /= total;
+  }
+  return sum;
+}
+
+double RandomForest::positive_score(std::span<const float> features) const {
+  const auto proba = predict_proba(features);
+  return proba.size() > 1 ? proba[1] : 0.0;
+}
+
+void RandomForest::save(net::ByteWriter& w) const {
+  w.bytes(std::string("IRF1"));
+  w.u32be(static_cast<std::uint32_t>(num_classes_));
+  w.u32be(static_cast<std::uint32_t>(trees_.size()));
+  for (const auto& tree : trees_) tree.save(w);
+}
+
+std::optional<RandomForest> RandomForest::load(net::ByteReader& r) {
+  auto magic = r.bytes(4);
+  if (!magic || (*magic)[0] != 'I' || (*magic)[1] != 'R' ||
+      (*magic)[2] != 'F' || (*magic)[3] != '1') {
+    return std::nullopt;
+  }
+  RandomForest forest;
+  auto num_classes = r.u32be();
+  auto tree_count = r.u32be();
+  if (!num_classes || !tree_count || *tree_count > 100'000) {
+    return std::nullopt;
+  }
+  forest.num_classes_ = static_cast<int>(*num_classes);
+  forest.trees_.reserve(*tree_count);
+  for (std::uint32_t i = 0; i < *tree_count; ++i) {
+    auto tree = DecisionTree::load(r);
+    if (!tree) return std::nullopt;
+    forest.trees_.push_back(std::move(*tree));
+  }
+  return forest;
+}
+
+}  // namespace iotsentinel::ml

@@ -1,0 +1,74 @@
+// Random Forest classifier (Breiman 2001): bootstrap-bagged CART trees
+// with per-node feature subsampling and majority voting.
+//
+// IoT Sentinel trains one *binary* forest per device-type (Sect. IV-B.1),
+// but the implementation is generic over the number of classes so the
+// ablation benches can also compare against a single multi-class forest.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include <optional>
+
+#include "ml/decision_tree.hpp"
+
+namespace iotsentinel::ml {
+
+/// Forest hyperparameters.
+struct ForestConfig {
+  /// Number of trees.
+  std::size_t num_trees = 30;
+  /// Per-tree config; `max_features == 0` selects sqrt(d) automatically.
+  TreeConfig tree;
+  /// Fraction of the training set drawn (with replacement) per tree.
+  double bootstrap_fraction = 1.0;
+  /// Base RNG seed; tree t uses an independent stream forked from it.
+  std::uint64_t seed = 1;
+};
+
+/// A trained Random Forest.
+class RandomForest {
+ public:
+  /// Trains on the full dataset.
+  void train(const Dataset& data, const ForestConfig& config);
+
+  /// Trains on a row subset (cross-validation folds pass indices).
+  void train(const Dataset& data, std::span<const std::size_t> indices,
+             const ForestConfig& config);
+
+  /// Majority-vote class.
+  [[nodiscard]] int predict(std::span<const float> features) const;
+
+  /// Mean of the member trees' leaf distributions.
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const float> features) const;
+
+  /// Probability assigned to class 1 — the accept score of the paper's
+  /// binary per-device-type classifiers.
+  [[nodiscard]] double positive_score(std::span<const float> features) const;
+
+  /// Mean gini feature importance across the member trees (normalized to
+  /// sum to 1 when any tree split at all).
+  [[nodiscard]] std::vector<double> feature_importances() const;
+
+  [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+  [[nodiscard]] bool trained() const { return !trees_.empty(); }
+  [[nodiscard]] const DecisionTree& tree(std::size_t i) const {
+    return trees_[i];
+  }
+
+  /// Serializes the trained forest ("IRF1" tagged section).
+  void save(net::ByteWriter& w) const;
+
+  /// Reads a forest back; nullopt on malformed input.
+  static std::optional<RandomForest> load(net::ByteReader& r);
+
+ private:
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace iotsentinel::ml

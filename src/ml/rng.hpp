@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation for reproducible ML runs.
+//
+// std::mt19937 distributions are not guaranteed identical across standard
+// libraries, so all sampling in this library goes through this SplitMix64-
+// seeded xoshiro256** generator with hand-rolled bounded sampling. The same
+// seed yields the same trees, folds and traffic everywhere.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace iotsentinel::ml {
+
+/// xoshiro256** PRNG (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed'1071'5e47'11e1ULL) {
+    // SplitMix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's rejection-free-ish method
+  /// (debiased multiply-shift with rejection on the low word).
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      // 128-bit multiply high/low.
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(bound);
+      const std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= threshold) return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform size_t index in [0, n).
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(bounded(n));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k indices sampled from [0, n) without replacement (k <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k) {
+    std::vector<std::size_t> pool(n);
+    std::iota(pool.begin(), pool.end(), std::size_t{0});
+    // Partial Fisher-Yates: fix the first k slots.
+    for (std::size_t i = 0; i < k && i < n; ++i) {
+      const std::size_t j = i + index(n - i);
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k < n ? k : n);
+    return pool;
+  }
+
+  /// Derives an independent child generator (for per-tree streams).
+  Rng fork() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace iotsentinel::ml

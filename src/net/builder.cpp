@@ -1,0 +1,499 @@
+#include "net/builder.hpp"
+
+#include <algorithm>
+
+#include "net/bytes.hpp"
+#include "net/protocols.hpp"
+
+namespace iotsentinel::net {
+namespace {
+
+constexpr std::size_t kMinEthernetFrame = 60;  // without FCS
+
+/// Multicast MAC for an IPv4 multicast group (01:00:5e + low 23 bits).
+MacAddress ipv4_multicast_mac(Ipv4Address group) {
+  return MacAddress::of(0x01, 0x00, 0x5e,
+                        static_cast<std::uint8_t>(group.octet(1) & 0x7f),
+                        group.octet(2), group.octet(3));
+}
+
+/// Multicast MAC for an IPv6 multicast address (33:33 + low 32 bits).
+MacAddress ipv6_multicast_mac(const Ipv6Address& group) {
+  const auto& o = group.octets();
+  return MacAddress::of(0x33, 0x33, o[12], o[13], o[14], o[15]);
+}
+
+void pad_to_min(Bytes& frame) {
+  if (frame.size() < kMinEthernetFrame) frame.resize(kMinEthernetFrame, 0);
+}
+
+}  // namespace
+
+Bytes build_ethernet(const MacAddress& src, const MacAddress& dst,
+                     std::uint16_t ethertype,
+                     std::span<const std::uint8_t> payload) {
+  ByteWriter w(14 + payload.size());
+  w.bytes(std::span<const std::uint8_t>(dst.octets()));
+  w.bytes(std::span<const std::uint8_t>(src.octets()));
+  w.u16be(ethertype);
+  w.bytes(payload);
+  Bytes frame = w.take();
+  pad_to_min(frame);
+  return frame;
+}
+
+Bytes build_llc_frame(const MacAddress& src, const MacAddress& dst,
+                      std::uint8_t dsap, std::uint8_t ssap,
+                      std::span<const std::uint8_t> payload) {
+  ByteWriter w(17 + payload.size());
+  w.bytes(std::span<const std::uint8_t>(dst.octets()));
+  w.bytes(std::span<const std::uint8_t>(src.octets()));
+  w.u16be(static_cast<std::uint16_t>(3 + payload.size()));  // 802.3 length
+  w.u8(dsap);
+  w.u8(ssap);
+  w.u8(0x03);  // control: unnumbered information
+  w.bytes(payload);
+  Bytes frame = w.take();
+  pad_to_min(frame);
+  return frame;
+}
+
+Bytes build_ipv4(const MacAddress& src_mac, const MacAddress& dst_mac,
+                 Ipv4Address src_ip, Ipv4Address dst_ip, std::uint8_t proto,
+                 std::span<const std::uint8_t> payload,
+                 const Ipv4Options& opts) {
+  ByteWriter options;
+  if (opts.router_alert) {
+    options.u8(ipopt::kRouterAlert);
+    options.u8(4);
+    options.u16be(0);
+  }
+  if (opts.padding) {
+    // NOP padding; keep the options area 4-byte aligned afterwards.
+    options.u8(ipopt::kNop);
+  }
+  while (options.size() % 4 != 0) options.u8(ipopt::kEndOfOptions);
+
+  const std::size_t ihl_bytes = 20 + options.size();
+  ByteWriter w(ihl_bytes + payload.size());
+  w.u8(static_cast<std::uint8_t>(0x40 | (ihl_bytes / 4)));
+  w.u8(0);  // DSCP/ECN
+  w.u16be(static_cast<std::uint16_t>(ihl_bytes + payload.size()));
+  w.u16be(0);       // identification
+  w.u16be(0x4000);  // DF
+  w.u8(opts.ttl);
+  w.u8(proto);
+  w.u16be(0);  // checksum patched below
+  w.u32be(src_ip.value());
+  w.u32be(dst_ip.value());
+  w.bytes(options.data());
+  Bytes header = w.take();
+  const std::uint16_t csum =
+      internet_checksum(std::span<const std::uint8_t>(header).first(ihl_bytes));
+  header[10] = static_cast<std::uint8_t>(csum >> 8);
+  header[11] = static_cast<std::uint8_t>(csum & 0xff);
+  header.insert(header.end(), payload.begin(), payload.end());
+  return build_ethernet(src_mac, dst_mac, ethertype::kIpv4, header);
+}
+
+Bytes build_ipv6(const MacAddress& src_mac, const MacAddress& dst_mac,
+                 const Ipv6Address& src_ip, const Ipv6Address& dst_ip,
+                 std::uint8_t next_header,
+                 std::span<const std::uint8_t> payload, bool router_alert) {
+  ByteWriter ext;
+  if (router_alert) {
+    // Hop-by-hop header: next, hdr-ext-len(0 => 8 bytes total), then the
+    // RFC 2711 router-alert TLV (5, 2, value 0 = MLD) and PadN to fill.
+    ext.u8(next_header);
+    ext.u8(0);
+    ext.u8(5);
+    ext.u8(2);
+    ext.u16be(0);
+    ext.u8(1);  // PadN
+    ext.u8(0);
+  }
+
+  ByteWriter w(40 + ext.size() + payload.size());
+  w.u32be(0x60000000);
+  w.u16be(static_cast<std::uint16_t>(ext.size() + payload.size()));
+  w.u8(router_alert ? ipproto::kIpv6HopByHop : next_header);
+  w.u8(router_alert ? 1 : 255);  // hop limit (MLD uses 1)
+  w.bytes(std::span<const std::uint8_t>(src_ip.octets()));
+  w.bytes(std::span<const std::uint8_t>(dst_ip.octets()));
+  w.bytes(ext.data());
+  w.bytes(payload);
+  return build_ethernet(src_mac, dst_mac, ethertype::kIpv6, w.data());
+}
+
+Bytes build_udp_payload(std::uint16_t src_port, std::uint16_t dst_port,
+                        std::span<const std::uint8_t> body) {
+  ByteWriter w(8 + body.size());
+  w.u16be(src_port);
+  w.u16be(dst_port);
+  w.u16be(static_cast<std::uint16_t>(8 + body.size()));
+  w.u16be(0);  // checksum optional over IPv4
+  w.bytes(body);
+  return w.take();
+}
+
+Bytes build_tcp_payload(std::uint16_t src_port, std::uint16_t dst_port,
+                        std::uint32_t seq, std::uint32_t ack, TcpFlags flags,
+                        std::span<const std::uint8_t> body) {
+  ByteWriter w(20 + body.size());
+  w.u16be(src_port);
+  w.u16be(dst_port);
+  w.u32be(seq);
+  w.u32be(ack);
+  std::uint16_t off_flags = 5 << 12;
+  if (flags.fin) off_flags |= 0x01;
+  if (flags.syn) off_flags |= 0x02;
+  if (flags.rst) off_flags |= 0x04;
+  if (flags.psh) off_flags |= 0x08;
+  if (flags.ack) off_flags |= 0x10;
+  w.u16be(off_flags);
+  w.u16be(0xffff);  // window
+  w.u16be(0);       // checksum (not validated by the parser)
+  w.u16be(0);       // urgent
+  w.bytes(body);
+  return w.take();
+}
+
+Bytes build_arp_request(const MacAddress& sender_mac, Ipv4Address sender_ip,
+                        Ipv4Address target_ip) {
+  ByteWriter w(28);
+  w.u16be(1);                    // htype: Ethernet
+  w.u16be(ethertype::kIpv4);     // ptype
+  w.u8(6);
+  w.u8(4);
+  w.u16be(arpop::kRequest);
+  w.bytes(std::span<const std::uint8_t>(sender_mac.octets()));
+  w.u32be(sender_ip.value());
+  w.pad(6);  // unknown target MAC
+  w.u32be(target_ip.value());
+  return build_ethernet(sender_mac, MacAddress::broadcast(), ethertype::kArp,
+                        w.data());
+}
+
+Bytes build_gratuitous_arp(const MacAddress& sender_mac, Ipv4Address ip) {
+  return build_arp_request(sender_mac, ip, ip);
+}
+
+Bytes build_eapol(const MacAddress& src, const MacAddress& dst,
+                  std::uint8_t type, std::span<const std::uint8_t> body) {
+  ByteWriter w(4 + body.size());
+  w.u8(2);  // 802.1X-2004
+  w.u8(type);
+  w.u16be(static_cast<std::uint16_t>(body.size()));
+  w.bytes(body);
+  return build_ethernet(src, dst, ethertype::kEapol, w.data());
+}
+
+Bytes build_eapol_key(const MacAddress& src, const MacAddress& dst) {
+  // WPA2 key descriptor: type(1) + info(2) + len(2) + replay(8) + nonce(32)
+  // + iv(16) + rsc(8) + id(8) + mic(16) + datalen(2) = 95 bytes.
+  Bytes body(95, 0);
+  body[0] = 2;  // RSN key descriptor
+  return build_eapol(src, dst, eapoltype::kKey, body);
+}
+
+Bytes build_dhcp(const MacAddress& client_mac, std::uint8_t message_type,
+                 std::uint32_t xid, Ipv4Address src_ip,
+                 const std::vector<std::uint8_t>& param_req,
+                 const std::string& hostname) {
+  ByteWriter w(300);
+  w.u8(1);  // op: BOOTREQUEST
+  w.u8(1);  // htype: Ethernet
+  w.u8(6);  // hlen
+  w.u8(0);  // hops
+  w.u32be(xid);
+  w.u16be(0);      // secs
+  w.u16be(0x8000); // flags: broadcast
+  w.u32be(src_ip.value());  // ciaddr
+  w.u32be(0);               // yiaddr
+  w.u32be(0);               // siaddr
+  w.u32be(0);               // giaddr
+  w.bytes(std::span<const std::uint8_t>(client_mac.octets()));
+  w.pad(10);   // chaddr padding
+  w.pad(64);   // sname
+  w.pad(128);  // file
+  // DHCP magic cookie + options.
+  w.u8(0x63);
+  w.u8(0x82);
+  w.u8(0x53);
+  w.u8(0x63);
+  w.u8(53);  // message type
+  w.u8(1);
+  w.u8(message_type);
+  w.u8(61);  // client identifier
+  w.u8(7);
+  w.u8(1);
+  w.bytes(std::span<const std::uint8_t>(client_mac.octets()));
+  if (!param_req.empty()) {
+    w.u8(55);
+    w.u8(static_cast<std::uint8_t>(param_req.size()));
+    w.bytes(param_req);
+  }
+  if (!hostname.empty() && hostname.size() <= 255) {
+    w.u8(12);
+    w.u8(static_cast<std::uint8_t>(hostname.size()));
+    w.bytes(hostname);
+  }
+  w.u8(255);  // end
+  const Bytes udp = build_udp_payload(port::kDhcpClient, port::kDhcpServer,
+                                      w.data());
+  return build_ipv4(client_mac, MacAddress::broadcast(), src_ip,
+                    Ipv4Address::broadcast(), ipproto::kUdp, udp);
+}
+
+namespace {
+
+/// Encodes "a.b.c" as DNS labels.
+Bytes dns_encode_name(const std::string& hostname) {
+  Bytes out;
+  std::size_t start = 0;
+  while (start <= hostname.size()) {
+    std::size_t dot = hostname.find('.', start);
+    if (dot == std::string::npos) dot = hostname.size();
+    const std::size_t len = dot - start;
+    out.push_back(static_cast<std::uint8_t>(len));
+    for (std::size_t i = start; i < dot; ++i)
+      out.push_back(static_cast<std::uint8_t>(hostname[i]));
+    start = dot + 1;
+    if (dot == hostname.size()) break;
+  }
+  out.push_back(0);
+  return out;
+}
+
+Bytes dns_query_body(std::uint16_t txn_id, const std::string& hostname,
+                     bool response) {
+  ByteWriter w(12 + hostname.size() + 6);
+  w.u16be(txn_id);
+  w.u16be(response ? 0x8400 : 0x0100);  // flags
+  w.u16be(1);                           // QDCOUNT
+  w.u16be(response ? 1 : 0);            // ANCOUNT
+  w.u16be(0);
+  w.u16be(0);
+  w.bytes(dns_encode_name(hostname));
+  w.u16be(1);  // QTYPE A
+  w.u16be(1);  // QCLASS IN
+  if (response) {
+    w.u16be(0xc00c);  // name pointer
+    w.u16be(1);
+    w.u16be(1);
+    w.u32be(120);  // TTL
+    w.u16be(4);
+    w.u32be(Ipv4Address::of(93, 184, 216, 34).value());
+  }
+  return w.take();
+}
+
+}  // namespace
+
+Bytes build_dns_query(const MacAddress& src_mac, const MacAddress& dst_mac,
+                      Ipv4Address src_ip, Ipv4Address server,
+                      std::uint16_t src_port, std::uint16_t txn_id,
+                      const std::string& hostname) {
+  const Bytes body = dns_query_body(txn_id, hostname, /*response=*/false);
+  const Bytes udp = build_udp_payload(src_port, port::kDns, body);
+  return build_ipv4(src_mac, dst_mac, src_ip, server, ipproto::kUdp, udp);
+}
+
+Bytes build_mdns(const MacAddress& src_mac, Ipv4Address src_ip,
+                 const std::string& name, bool is_response) {
+  const Ipv4Address group = Ipv4Address::of(224, 0, 0, 251);
+  const Bytes body = dns_query_body(0, name, is_response);
+  const Bytes udp = build_udp_payload(port::kMdns, port::kMdns, body);
+  return build_ipv4(src_mac, ipv4_multicast_mac(group), src_ip, group,
+                    ipproto::kUdp, udp, {.ttl = 255});
+}
+
+Bytes build_ssdp_msearch(const MacAddress& src_mac, Ipv4Address src_ip,
+                         std::uint16_t src_port,
+                         const std::string& search_target) {
+  const Ipv4Address group = Ipv4Address::of(239, 255, 255, 250);
+  std::string msg =
+      "M-SEARCH * HTTP/1.1\r\n"
+      "HOST: 239.255.255.250:1900\r\n"
+      "MAN: \"ssdp:discover\"\r\n"
+      "MX: 3\r\n"
+      "ST: " + search_target + "\r\n\r\n";
+  ByteWriter body;
+  body.bytes(msg);
+  const Bytes udp = build_udp_payload(src_port, port::kSsdp, body.data());
+  return build_ipv4(src_mac, ipv4_multicast_mac(group), src_ip, group,
+                    ipproto::kUdp, udp, {.ttl = 2});
+}
+
+Bytes build_ssdp_notify(const MacAddress& src_mac, Ipv4Address src_ip,
+                        const std::string& location_url,
+                        const std::string& server_tag) {
+  const Ipv4Address group = Ipv4Address::of(239, 255, 255, 250);
+  std::string msg =
+      "NOTIFY * HTTP/1.1\r\n"
+      "HOST: 239.255.255.250:1900\r\n"
+      "CACHE-CONTROL: max-age=1800\r\n"
+      "LOCATION: " + location_url + "\r\n"
+      "NT: upnp:rootdevice\r\n"
+      "NTS: ssdp:alive\r\n"
+      "SERVER: " + server_tag + "\r\n\r\n";
+  ByteWriter body;
+  body.bytes(msg);
+  const Bytes udp = build_udp_payload(port::kSsdp, port::kSsdp, body.data());
+  return build_ipv4(src_mac, ipv4_multicast_mac(group), src_ip, group,
+                    ipproto::kUdp, udp, {.ttl = 2});
+}
+
+Bytes build_ntp_request(const MacAddress& src_mac, const MacAddress& dst_mac,
+                        Ipv4Address src_ip, Ipv4Address server,
+                        std::uint16_t src_port) {
+  Bytes body(48, 0);
+  body[0] = 0x23;  // LI=0, VN=4, mode=3 (client)
+  const Bytes udp = build_udp_payload(src_port, port::kNtp, body);
+  return build_ipv4(src_mac, dst_mac, src_ip, server, ipproto::kUdp, udp);
+}
+
+Bytes build_tcp_syn(const MacAddress& src_mac, const MacAddress& dst_mac,
+                    Ipv4Address src_ip, Ipv4Address dst_ip,
+                    std::uint16_t src_port, std::uint16_t dst_port,
+                    std::uint32_t seq) {
+  const Bytes tcp = build_tcp_payload(src_port, dst_port, seq, 0,
+                                      {.syn = true}, {});
+  return build_ipv4(src_mac, dst_mac, src_ip, dst_ip, ipproto::kTcp, tcp);
+}
+
+Bytes build_http_get(const MacAddress& src_mac, const MacAddress& dst_mac,
+                     Ipv4Address src_ip, Ipv4Address dst_ip,
+                     std::uint16_t src_port, const std::string& host,
+                     const std::string& path, const std::string& user_agent) {
+  std::string msg = "GET " + path +
+                    " HTTP/1.1\r\n"
+                    "Host: " + host + "\r\n"
+                    "User-Agent: " + user_agent + "\r\n"
+                    "Connection: keep-alive\r\n\r\n";
+  ByteWriter body;
+  body.bytes(msg);
+  const Bytes tcp = build_tcp_payload(src_port, port::kHttp, 1000, 2000,
+                                      {.ack = true, .psh = true}, body.data());
+  return build_ipv4(src_mac, dst_mac, src_ip, dst_ip, ipproto::kTcp, tcp);
+}
+
+Bytes build_tls_client_hello(const MacAddress& src_mac,
+                             const MacAddress& dst_mac, Ipv4Address src_ip,
+                             Ipv4Address dst_ip, std::uint16_t src_port,
+                             const std::string& sni) {
+  // Minimal but structurally valid TLS 1.2 ClientHello with an SNI
+  // extension; only the record shape matters to the detector.
+  ByteWriter hello;
+  hello.u16be(0x0303);  // client version
+  hello.pad(32, 0xab);  // random
+  hello.u8(0);          // session id length
+  hello.u16be(4);       // cipher suites length
+  hello.u16be(0xc02f);
+  hello.u16be(0x009c);
+  hello.u8(1);  // compression methods length
+  hello.u8(0);
+  // Extensions: server_name only.
+  ByteWriter sni_ext;
+  sni_ext.u16be(static_cast<std::uint16_t>(sni.size() + 3));  // list length
+  sni_ext.u8(0);                                              // host_name
+  sni_ext.u16be(static_cast<std::uint16_t>(sni.size()));
+  sni_ext.bytes(sni);
+  ByteWriter exts;
+  exts.u16be(0);  // extension type: server_name
+  exts.u16be(static_cast<std::uint16_t>(sni_ext.size()));
+  exts.bytes(sni_ext.data());
+  hello.u16be(static_cast<std::uint16_t>(exts.size()));
+  hello.bytes(exts.data());
+
+  ByteWriter handshake;
+  handshake.u8(1);  // ClientHello
+  handshake.u8(0);
+  handshake.u16be(static_cast<std::uint16_t>(hello.size()));
+  handshake.bytes(hello.data());
+
+  ByteWriter record;
+  record.u8(22);  // handshake
+  record.u16be(0x0303);
+  record.u16be(static_cast<std::uint16_t>(handshake.size()));
+  record.bytes(handshake.data());
+
+  const Bytes tcp = build_tcp_payload(src_port, port::kHttps, 3000, 4000,
+                                      {.ack = true, .psh = true},
+                                      record.data());
+  return build_ipv4(src_mac, dst_mac, src_ip, dst_ip, ipproto::kTcp, tcp);
+}
+
+Bytes build_igmp_join(const MacAddress& src_mac, Ipv4Address src_ip,
+                      Ipv4Address group) {
+  ByteWriter igmp(8);
+  igmp.u8(0x16);  // IGMPv2 membership report
+  igmp.u8(0);
+  igmp.u16be(0);  // checksum patched below
+  igmp.u32be(group.value());
+  Bytes body = igmp.take();
+  const std::uint16_t csum = internet_checksum(body);
+  body[2] = static_cast<std::uint8_t>(csum >> 8);
+  body[3] = static_cast<std::uint8_t>(csum & 0xff);
+  return build_ipv4(src_mac, ipv4_multicast_mac(group), src_ip, group,
+                    /*proto=*/2, body,
+                    {.ttl = 1, .router_alert = true, .padding = true});
+}
+
+Bytes build_icmp_echo(const MacAddress& src_mac, const MacAddress& dst_mac,
+                      Ipv4Address src_ip, Ipv4Address dst_ip,
+                      std::uint16_t ident, std::uint16_t seq,
+                      std::size_t payload_len) {
+  ByteWriter icmp(8 + payload_len);
+  icmp.u8(8);  // echo request
+  icmp.u8(0);
+  icmp.u16be(0);  // checksum patched below
+  icmp.u16be(ident);
+  icmp.u16be(seq);
+  for (std::size_t i = 0; i < payload_len; ++i)
+    icmp.u8(static_cast<std::uint8_t>('a' + i % 26));
+  Bytes body = icmp.take();
+  const std::uint16_t csum = internet_checksum(body);
+  body[2] = static_cast<std::uint8_t>(csum >> 8);
+  body[3] = static_cast<std::uint8_t>(csum & 0xff);
+  return build_ipv4(src_mac, dst_mac, src_ip, dst_ip, ipproto::kIcmp, body);
+}
+
+Bytes build_icmpv6_router_solicit(const MacAddress& src_mac) {
+  const Ipv6Address src = Ipv6Address::link_local_from_mac(src_mac.octets());
+  const Ipv6Address dst = Ipv6Address::all_routers();
+  ByteWriter icmp(16);
+  icmp.u8(133);  // router solicitation
+  icmp.u8(0);
+  icmp.u16be(0);  // checksum (not validated)
+  icmp.u32be(0);  // reserved
+  // Source link-layer address option.
+  icmp.u8(1);
+  icmp.u8(1);
+  icmp.bytes(std::span<const std::uint8_t>(src_mac.octets()));
+  return build_ipv6(src_mac, ipv6_multicast_mac(dst), src, dst,
+                    ipproto::kIcmpv6, icmp.data());
+}
+
+Bytes build_mldv1_report(const MacAddress& src_mac) {
+  const Ipv6Address src = Ipv6Address::link_local_from_mac(src_mac.octets());
+  // Join the solicited-node multicast group derived from the MAC.
+  auto sol = Ipv6Address::of_groups({0xff02, 0, 0, 0, 0, 1, 0xff00, 0});
+  auto octets = sol.octets();
+  octets[13] = src_mac.octets()[3];
+  octets[14] = src_mac.octets()[4];
+  octets[15] = src_mac.octets()[5];
+  const Ipv6Address group(octets);
+
+  ByteWriter icmp(24);
+  icmp.u8(131);  // MLDv1 report
+  icmp.u8(0);
+  icmp.u16be(0);  // checksum
+  icmp.u16be(0);  // max response delay
+  icmp.u16be(0);  // reserved
+  icmp.bytes(std::span<const std::uint8_t>(group.octets()));
+  return build_ipv6(src_mac, ipv6_multicast_mac(group), src, group,
+                    ipproto::kIcmpv6, icmp.data(), /*router_alert=*/true);
+}
+
+}  // namespace iotsentinel::net

@@ -1,0 +1,168 @@
+// Wire-format packet construction.
+//
+// The traffic simulator produces *real packet bytes* through these
+// builders, which the fingerprinting pipeline then parses exactly as it
+// would parse a live capture or a pcap file. This keeps the simulated
+// substrate honest: features are never synthesised directly, they always
+// travel through the byte layer.
+//
+// Layer builders (Ethernet/IPv4/IPv6/UDP/TCP) compose; message builders
+// (DHCP, DNS, SSDP, NTP, ...) produce complete frames for the setup-phase
+// dialogues Table I's protocol set anticipates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+
+namespace iotsentinel::net {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// --- layer builders --------------------------------------------------------
+
+/// Ethernet II frame around an arbitrary payload.
+Bytes build_ethernet(const MacAddress& src, const MacAddress& dst,
+                     std::uint16_t ethertype, std::span<const std::uint8_t> payload);
+
+/// 802.3 frame with an LLC header (DSAP/SSAP/control) and payload.
+Bytes build_llc_frame(const MacAddress& src, const MacAddress& dst,
+                      std::uint8_t dsap, std::uint8_t ssap,
+                      std::span<const std::uint8_t> payload);
+
+/// Options for the IPv4 header builder.
+struct Ipv4Options {
+  std::uint8_t ttl = 64;
+  /// Adds the RFC 2113 Router Alert option (as IGMP joins do).
+  bool router_alert = false;
+  /// Pads the options area with NOPs to a 4-byte boundary.
+  bool padding = false;
+};
+
+/// IPv4 packet inside an Ethernet frame.
+Bytes build_ipv4(const MacAddress& src_mac, const MacAddress& dst_mac,
+                 Ipv4Address src_ip, Ipv4Address dst_ip, std::uint8_t proto,
+                 std::span<const std::uint8_t> payload,
+                 const Ipv4Options& opts = {});
+
+/// IPv6 packet inside an Ethernet frame. When `router_alert` is set a
+/// hop-by-hop extension header carrying the RFC 2711 option is inserted
+/// (as MLD reports do).
+Bytes build_ipv6(const MacAddress& src_mac, const MacAddress& dst_mac,
+                 const Ipv6Address& src_ip, const Ipv6Address& dst_ip,
+                 std::uint8_t next_header,
+                 std::span<const std::uint8_t> payload,
+                 bool router_alert = false);
+
+/// UDP datagram payload (header + body) for embedding into IPv4/IPv6.
+Bytes build_udp_payload(std::uint16_t src_port, std::uint16_t dst_port,
+                        std::span<const std::uint8_t> body);
+
+/// TCP header flags.
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+};
+
+/// TCP segment payload (header + body) for embedding into IPv4/IPv6.
+Bytes build_tcp_payload(std::uint16_t src_port, std::uint16_t dst_port,
+                        std::uint32_t seq, std::uint32_t ack, TcpFlags flags,
+                        std::span<const std::uint8_t> body);
+
+// --- complete frames for setup-phase dialogues ------------------------------
+
+/// ARP request "who has `target`, tell `sender`", broadcast.
+Bytes build_arp_request(const MacAddress& sender_mac, Ipv4Address sender_ip,
+                        Ipv4Address target_ip);
+
+/// Gratuitous ARP announcing `ip` (sent by devices after DHCP completes).
+Bytes build_gratuitous_arp(const MacAddress& sender_mac, Ipv4Address ip);
+
+/// EAPoL frame (802.1X); `type` is an eapoltype:: constant. Used for the
+/// WPA2 4-way handshake frames visible during WiFi association.
+Bytes build_eapol(const MacAddress& src, const MacAddress& dst,
+                  std::uint8_t type, std::span<const std::uint8_t> body);
+
+/// EAPoL-Key frame with a WPA2-key-descriptor-sized body.
+Bytes build_eapol_key(const MacAddress& src, const MacAddress& dst);
+
+/// DHCP client message (DISCOVER/REQUEST/INFORM per dhcptype::), broadcast
+/// from 0.0.0.0 unless `src_ip` is given. `param_req` lists option codes in
+/// the parameter-request option — vendors differ here, which perturbs size.
+/// `hostname`, when non-empty, adds option 12 (many devices announce a
+/// model-specific hostname).
+Bytes build_dhcp(const MacAddress& client_mac, std::uint8_t message_type,
+                 std::uint32_t xid, Ipv4Address src_ip = Ipv4Address::any(),
+                 const std::vector<std::uint8_t>& param_req = {1, 3, 6, 15},
+                 const std::string& hostname = "");
+
+/// DNS A-record query for `hostname` to `server`.
+Bytes build_dns_query(const MacAddress& src_mac, const MacAddress& dst_mac,
+                      Ipv4Address src_ip, Ipv4Address server,
+                      std::uint16_t src_port, std::uint16_t txn_id,
+                      const std::string& hostname);
+
+/// mDNS announcement / query for `name` to 224.0.0.251:5353.
+Bytes build_mdns(const MacAddress& src_mac, Ipv4Address src_ip,
+                 const std::string& name, bool is_response);
+
+/// SSDP M-SEARCH discovery probe to 239.255.255.250:1900.
+Bytes build_ssdp_msearch(const MacAddress& src_mac, Ipv4Address src_ip,
+                         std::uint16_t src_port, const std::string& search_target);
+
+/// SSDP NOTIFY alive announcement to 239.255.255.250:1900.
+Bytes build_ssdp_notify(const MacAddress& src_mac, Ipv4Address src_ip,
+                        const std::string& location_url,
+                        const std::string& server_tag);
+
+/// NTP v4 client request to `server`.
+Bytes build_ntp_request(const MacAddress& src_mac, const MacAddress& dst_mac,
+                        Ipv4Address src_ip, Ipv4Address server,
+                        std::uint16_t src_port);
+
+/// TCP SYN toward `dst_ip:dst_port` (connection establishment).
+Bytes build_tcp_syn(const MacAddress& src_mac, const MacAddress& dst_mac,
+                    Ipv4Address src_ip, Ipv4Address dst_ip,
+                    std::uint16_t src_port, std::uint16_t dst_port,
+                    std::uint32_t seq);
+
+/// HTTP GET request segment toward `host`.
+Bytes build_http_get(const MacAddress& src_mac, const MacAddress& dst_mac,
+                     Ipv4Address src_ip, Ipv4Address dst_ip,
+                     std::uint16_t src_port, const std::string& host,
+                     const std::string& path,
+                     const std::string& user_agent = "IoTDevice/1.0");
+
+/// TLS ClientHello segment toward `dst_ip`:443 (HTTPS cloud check-in);
+/// `sni` sets the server-name extension, perturbing packet size per vendor.
+Bytes build_tls_client_hello(const MacAddress& src_mac,
+                             const MacAddress& dst_mac, Ipv4Address src_ip,
+                             Ipv4Address dst_ip, std::uint16_t src_port,
+                             const std::string& sni);
+
+/// IGMPv2 membership report for `group` — carries the IPv4 Router Alert
+/// option and option padding, exercising both Table-I IP-option features.
+Bytes build_igmp_join(const MacAddress& src_mac, Ipv4Address src_ip,
+                      Ipv4Address group);
+
+/// ICMP echo request.
+Bytes build_icmp_echo(const MacAddress& src_mac, const MacAddress& dst_mac,
+                      Ipv4Address src_ip, Ipv4Address dst_ip,
+                      std::uint16_t ident, std::uint16_t seq,
+                      std::size_t payload_len = 32);
+
+/// ICMPv6 Router Solicitation from the MAC-derived link-local address.
+Bytes build_icmpv6_router_solicit(const MacAddress& src_mac);
+
+/// ICMPv6 MLDv1 report (with hop-by-hop router-alert header) joining the
+/// solicited-node multicast group, as every IPv6-enabled device emits.
+Bytes build_mldv1_report(const MacAddress& src_mac);
+
+}  // namespace iotsentinel::net

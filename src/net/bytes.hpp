@@ -1,0 +1,176 @@
+// Byte-buffer reading and writing helpers with explicit big-endian
+// (network order) accessors and bounds checking.
+//
+// Parsers in this library never touch raw pointers: they consume a
+// ByteReader, which returns std::optional on out-of-bounds access instead
+// of invoking undefined behaviour. Builders produce bytes through a
+// ByteWriter that appends to a growable buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iotsentinel::net {
+
+/// Immutable cursor over a byte span. All multi-byte reads are big-endian
+/// (network byte order). Every accessor is bounds-checked and returns
+/// std::nullopt on truncation; the cursor does not advance on failure.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Current absolute offset from the start of the buffer.
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  /// True when the cursor is at the end of the buffer.
+  [[nodiscard]] bool empty() const { return remaining() == 0; }
+
+  /// Reads one byte.
+  std::optional<std::uint8_t> u8() {
+    if (remaining() < 1) return std::nullopt;
+    return data_[pos_++];
+  }
+
+  /// Reads a 16-bit big-endian integer.
+  std::optional<std::uint16_t> u16be() {
+    if (remaining() < 2) return std::nullopt;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  /// Reads a 64-bit big-endian integer.
+  std::optional<std::uint64_t> u64be() {
+    if (remaining() < 8) return std::nullopt;
+    auto hi = u32be();
+    auto lo = u32be();
+    return (static_cast<std::uint64_t>(*hi) << 32) | *lo;
+  }
+
+  /// Reads a 32-bit big-endian integer.
+  std::optional<std::uint32_t> u32be() {
+    if (remaining() < 4) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+
+  /// Reads a 32-bit little-endian integer (used by the pcap container
+  /// format, which is host-endian with a magic-number marker).
+  std::optional<std::uint32_t> u32le() {
+    if (remaining() < 4) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+
+  /// Reads a 16-bit little-endian integer.
+  std::optional<std::uint16_t> u16le() {
+    if (remaining() < 2) return std::nullopt;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8) | data_[pos_]);
+    pos_ += 2;
+    return v;
+  }
+
+  /// Returns a view of the next n bytes and advances past them.
+  std::optional<std::span<const std::uint8_t>> bytes(std::size_t n) {
+    if (remaining() < n) return std::nullopt;
+    auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  /// Advances the cursor by n bytes. Returns false (without moving) on
+  /// truncation.
+  bool skip(std::size_t n) {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
+
+  /// Returns the rest of the buffer without consuming it.
+  [[nodiscard]] std::span<const std::uint8_t> peek_rest() const {
+    return data_.subspan(pos_);
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only builder for wire-format messages. Multi-byte writes are
+/// big-endian unless suffixed `le`.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16be(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+
+  void u64be(std::uint64_t v) {
+    u32be(static_cast<std::uint32_t>(v >> 32));
+    u32be(static_cast<std::uint32_t>(v & 0xffffffff));
+  }
+
+  void u32be(std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8)
+      buf_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+
+  void u16le(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32le(std::uint32_t v) {
+    for (int shift = 0; shift <= 24; shift += 8)
+      buf_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void bytes(const std::string& s) {
+    for (char c : s) buf_.push_back(static_cast<std::uint8_t>(c));
+  }
+
+  /// Appends n copies of `fill`.
+  void pad(std::size_t n, std::uint8_t fill = 0) {
+    buf_.insert(buf_.end(), n, fill);
+  }
+
+  /// Overwrites a previously written 16-bit big-endian field in place
+  /// (used to patch length/checksum fields after the payload is known).
+  void patch_u16be(std::size_t offset, std::uint16_t v) {
+    buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+    buf_.at(offset + 1) = static_cast<std::uint8_t>(v & 0xff);
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// RFC 1071 Internet checksum over a byte range (used by IPv4/ICMP builders
+/// so that generated packets are well-formed for external tools).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace iotsentinel::net

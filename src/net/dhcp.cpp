@@ -1,0 +1,86 @@
+#include "net/dhcp.hpp"
+
+#include <algorithm>
+
+#include "net/bytes.hpp"
+
+namespace iotsentinel::net {
+
+std::optional<DhcpMessage> parse_dhcp(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  DhcpMessage msg;
+
+  auto op = r.u8();
+  auto htype = r.u8();
+  auto hlen = r.u8();
+  auto hops = r.u8();
+  auto xid = r.u32be();
+  if (!op || !htype || !hlen || !hops || !xid) return std::nullopt;
+  if (*op != 1 && *op != 2) return std::nullopt;
+  msg.op = *op;
+  msg.xid = *xid;
+  if (!r.skip(4)) return std::nullopt;  // secs + flags
+  auto ciaddr = r.u32be();
+  auto yiaddr = r.u32be();
+  if (!ciaddr || !yiaddr) return std::nullopt;
+  msg.client_addr = Ipv4Address(*ciaddr);
+  msg.your_addr = Ipv4Address(*yiaddr);
+  if (!r.skip(8)) return std::nullopt;  // siaddr + giaddr
+  auto chaddr = r.bytes(16);
+  if (!chaddr) return std::nullopt;
+  if (*htype == 1 && *hlen == 6) {
+    std::array<std::uint8_t, 6> mac{};
+    std::copy_n(chaddr->begin(), 6, mac.begin());
+    msg.client_mac = MacAddress(mac);
+  }
+  if (!r.skip(64 + 128)) return std::nullopt;  // sname + file
+
+  // Magic cookie, then options.
+  auto cookie = r.u32be();
+  if (!cookie || *cookie != 0x63825363) return std::nullopt;
+
+  while (!r.empty()) {
+    auto code = r.u8();
+    if (!code) break;
+    if (*code == 0) continue;   // pad
+    if (*code == 255) break;    // end
+    auto len = r.u8();
+    if (!len) break;
+    auto body = r.bytes(*len);
+    if (!body) break;  // truncated option list: keep what we have
+    msg.option_codes.push_back(*code);
+    switch (*code) {
+      case 12:  // hostname
+        msg.hostname.assign(body->begin(), body->end());
+        break;
+      case 50:  // requested IP
+        if (*len == 4) {
+          msg.requested_ip = Ipv4Address(
+              (std::uint32_t{(*body)[0]} << 24) | ((*body)[1] << 16) |
+              ((*body)[2] << 8) | (*body)[3]);
+        }
+        break;
+      case 53:  // message type
+        if (*len >= 1) msg.message_type = (*body)[0];
+        break;
+      case 54:  // server identifier
+        if (*len == 4) {
+          msg.server_id = Ipv4Address(
+              (std::uint32_t{(*body)[0]} << 24) | ((*body)[1] << 16) |
+              ((*body)[2] << 8) | (*body)[3]);
+        }
+        break;
+      case 55:  // parameter request list
+        msg.param_request_list.assign(body->begin(), body->end());
+        break;
+      case 60:  // vendor class
+        msg.vendor_class.assign(body->begin(), body->end());
+        break;
+      default:
+        break;  // recorded in option_codes, content ignored
+    }
+  }
+  return msg;
+}
+
+}  // namespace iotsentinel::net

@@ -1,0 +1,53 @@
+// Structured DHCP/BOOTP message parsing.
+//
+// The fingerprinting features only need the DHCP *flag* (and get it from
+// the heuristic detector), but the gateway's device inventory benefits
+// from the message content: client hostname (option 12), vendor class
+// (option 60), requested parameters (option 55) and the leased/requested
+// addresses. This module parses the full message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+
+namespace iotsentinel::net {
+
+/// A parsed DHCP message (client or server side).
+struct DhcpMessage {
+  /// BOOTP op: 1 request, 2 reply.
+  std::uint8_t op = 0;
+  std::uint32_t xid = 0;
+  /// ciaddr: client's current address (INFORM/renew).
+  Ipv4Address client_addr;
+  /// yiaddr: address offered/assigned by the server.
+  Ipv4Address your_addr;
+  MacAddress client_mac;
+  /// Option 53 message type (dhcptype::*); 0 when absent (plain BOOTP).
+  std::uint8_t message_type = 0;
+  /// Option 12 client hostname.
+  std::string hostname;
+  /// Option 60 vendor class identifier.
+  std::string vendor_class;
+  /// Option 55 parameter request list.
+  std::vector<std::uint8_t> param_request_list;
+  /// Option 50 requested IP address.
+  std::optional<Ipv4Address> requested_ip;
+  /// Option 54 server identifier.
+  std::optional<Ipv4Address> server_id;
+  /// All option codes present, in wire order (itself a fingerprintable
+  /// vendor signature).
+  std::vector<std::uint8_t> option_codes;
+};
+
+/// Parses the UDP payload of a DHCP packet (the BOOTP frame). Returns
+/// nullopt when the fixed header or magic cookie is malformed; unknown
+/// options are skipped, a truncated option list ends parsing gracefully.
+std::optional<DhcpMessage> parse_dhcp(std::span<const std::uint8_t> payload);
+
+}  // namespace iotsentinel::net

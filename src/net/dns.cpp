@@ -1,0 +1,102 @@
+#include "net/dns.hpp"
+
+#include "net/bytes.hpp"
+
+namespace iotsentinel::net {
+namespace {
+
+/// Decodes a (possibly compressed) name starting at `offset` in `msg`.
+/// Returns the dotted name and advances `offset` past the in-place part.
+/// Compression pointers are followed within `msg` with a hop limit.
+std::optional<std::string> read_name(std::span<const std::uint8_t> msg,
+                                     std::size_t& offset) {
+  std::string name;
+  std::size_t pos = offset;
+  bool jumped = false;
+  int hops = 0;
+
+  while (true) {
+    if (pos >= msg.size()) return std::nullopt;
+    const std::uint8_t len = msg[pos];
+    if (len == 0) {
+      ++pos;
+      break;
+    }
+    if ((len & 0xc0) == 0xc0) {  // compression pointer
+      if (pos + 1 >= msg.size()) return std::nullopt;
+      if (++hops > 16) return std::nullopt;  // pointer loop
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | msg[pos + 1];
+      if (!jumped) offset = pos + 2;
+      jumped = true;
+      if (target >= msg.size()) return std::nullopt;
+      pos = target;
+      continue;
+    }
+    if ((len & 0xc0) != 0) return std::nullopt;  // reserved label types
+    if (pos + 1 + len > msg.size()) return std::nullopt;
+    if (!name.empty()) name.push_back('.');
+    for (std::uint8_t i = 0; i < len; ++i) {
+      name.push_back(static_cast<char>(msg[pos + 1 + i]));
+    }
+    pos += 1 + len;
+    if (name.size() > 255) return std::nullopt;
+  }
+  if (!jumped) offset = pos;
+  return name;
+}
+
+}  // namespace
+
+std::optional<DnsMessage> parse_dns(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 12) return std::nullopt;
+  DnsMessage msg;
+  msg.txn_id = static_cast<std::uint16_t>((payload[0] << 8) | payload[1]);
+  msg.is_response = (payload[2] & 0x80) != 0;
+  const std::size_t qd = (static_cast<std::size_t>(payload[4]) << 8) | payload[5];
+  const std::size_t an = (static_cast<std::size_t>(payload[6]) << 8) | payload[7];
+  if (qd > 128 || an > 512) return std::nullopt;  // implausible
+
+  std::size_t offset = 12;
+  for (std::size_t q = 0; q < qd; ++q) {
+    auto name = read_name(payload, offset);
+    if (!name || offset + 4 > payload.size()) return msg;  // truncated
+    DnsQuestion question;
+    question.name = std::move(*name);
+    question.qtype = static_cast<std::uint16_t>((payload[offset] << 8) |
+                                                payload[offset + 1]);
+    question.qclass = static_cast<std::uint16_t>((payload[offset + 2] << 8) |
+                                                 payload[offset + 3]);
+    offset += 4;
+    msg.questions.push_back(std::move(question));
+  }
+
+  for (std::size_t a = 0; a < an; ++a) {
+    auto name = read_name(payload, offset);
+    if (!name || offset + 10 > payload.size()) return msg;  // truncated
+    DnsAnswer answer;
+    answer.name = std::move(*name);
+    answer.rtype = static_cast<std::uint16_t>((payload[offset] << 8) |
+                                              payload[offset + 1]);
+    answer.ttl = (static_cast<std::uint32_t>(payload[offset + 4]) << 24) |
+                 (static_cast<std::uint32_t>(payload[offset + 5]) << 16) |
+                 (static_cast<std::uint32_t>(payload[offset + 6]) << 8) |
+                 payload[offset + 7];
+    const std::size_t rdlen = (static_cast<std::size_t>(payload[offset + 8]) << 8) |
+                              payload[offset + 9];
+    offset += 10;
+    if (offset + rdlen > payload.size()) return msg;
+    if (answer.rtype == 1 && rdlen == 4) {  // A record
+      answer.address = Ipv4Address(
+          (static_cast<std::uint32_t>(payload[offset]) << 24) |
+          (static_cast<std::uint32_t>(payload[offset + 1]) << 16) |
+          (static_cast<std::uint32_t>(payload[offset + 2]) << 8) |
+          payload[offset + 3]);
+    }
+    offset += rdlen;
+    msg.answers.push_back(std::move(answer));
+  }
+  return msg;
+}
+
+}  // namespace iotsentinel::net

@@ -1,0 +1,47 @@
+// Structured DNS/mDNS message parsing.
+//
+// Queried names are a strong behavioural signal (every vendor cloud has
+// its own hostnames); the device inventory records them per device. The
+// parser handles standard label sequences and RFC 1035 compression
+// pointers with loop protection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ip_address.hpp"
+
+namespace iotsentinel::net {
+
+/// One parsed question entry.
+struct DnsQuestion {
+  std::string name;   // dotted form, lower-cased as on the wire
+  std::uint16_t qtype = 0;
+  std::uint16_t qclass = 0;
+};
+
+/// One parsed answer record (A records carry `address`).
+struct DnsAnswer {
+  std::string name;
+  std::uint16_t rtype = 0;
+  std::uint32_t ttl = 0;
+  std::optional<Ipv4Address> address;  // for A records
+};
+
+/// A parsed DNS message.
+struct DnsMessage {
+  std::uint16_t txn_id = 0;
+  bool is_response = false;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsAnswer> answers;
+};
+
+/// Parses a DNS/mDNS message (UDP payload). Returns nullopt when the
+/// header is malformed; truncated record sections yield the records parsed
+/// so far.
+std::optional<DnsMessage> parse_dns(std::span<const std::uint8_t> payload);
+
+}  // namespace iotsentinel::net

@@ -1,0 +1,64 @@
+#include "net/ip_address.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace iotsentinel::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+Ipv6Address Ipv6Address::link_local_from_mac(
+    const std::array<std::uint8_t, 6>& mac) {
+  std::array<std::uint8_t, 16> o{};
+  o[0] = 0xfe;
+  o[1] = 0x80;
+  // EUI-64: flip the universal/local bit and insert ff:fe in the middle.
+  o[8] = static_cast<std::uint8_t>(mac[0] ^ 0x02);
+  o[9] = mac[1];
+  o[10] = mac[2];
+  o[11] = 0xff;
+  o[12] = 0xfe;
+  o[13] = mac[3];
+  o[14] = mac[4];
+  o[15] = mac[5];
+  return Ipv6Address(o);
+}
+
+std::string Ipv6Address::to_string() const {
+  std::string out;
+  out.reserve(40);
+  char buf[6];
+  for (std::size_t i = 0; i < 8; ++i) {
+    const unsigned group =
+        (static_cast<unsigned>(octets_[2 * i]) << 8) | octets_[2 * i + 1];
+    std::snprintf(buf, sizeof(buf), i == 0 ? "%x" : ":%x", group);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace iotsentinel::net

@@ -1,0 +1,179 @@
+// IPv4 / IPv6 address value types and a tagged union over both.
+//
+// Fingerprint feature f21 ("destination IP counter") needs a hashable,
+// comparable address key; enforcement rules (restricted isolation level)
+// carry whitelists of permitted addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace iotsentinel::net {
+
+/// A 32-bit IPv4 address.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+
+  static constexpr Ipv4Address of(std::uint8_t a, std::uint8_t b,
+                                  std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad "a.b.c.d".
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  static constexpr Ipv4Address any() { return Ipv4Address(0); }
+  static constexpr Ipv4Address broadcast() { return Ipv4Address(0xffffffff); }
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// True for 224.0.0.0/4.
+  [[nodiscard]] constexpr bool is_multicast() const {
+    return (value_ & 0xf0000000) == 0xe0000000;
+  }
+
+  /// True for 255.255.255.255.
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    return value_ == 0xffffffff;
+  }
+
+  /// True for RFC1918 private ranges.
+  [[nodiscard]] constexpr bool is_private() const {
+    return (value_ & 0xff000000) == 0x0a000000 ||    // 10/8
+           (value_ & 0xfff00000) == 0xac100000 ||    // 172.16/12
+           (value_ & 0xffff0000) == 0xc0a80000;      // 192.168/16
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Address&,
+                                    const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A 128-bit IPv6 address.
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  constexpr explicit Ipv6Address(std::array<std::uint8_t, 16> octets)
+      : octets_(octets) {}
+
+  /// Builds an address from 8 16-bit groups (as written in colon notation).
+  static constexpr Ipv6Address of_groups(std::array<std::uint16_t, 8> groups) {
+    std::array<std::uint8_t, 16> o{};
+    for (std::size_t i = 0; i < 8; ++i) {
+      o[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+      o[2 * i + 1] = static_cast<std::uint8_t>(groups[i] & 0xff);
+    }
+    return Ipv6Address(o);
+  }
+
+  /// The all-nodes link-local multicast address ff02::1.
+  static constexpr Ipv6Address all_nodes() {
+    return of_groups({0xff02, 0, 0, 0, 0, 0, 0, 1});
+  }
+
+  /// The all-routers link-local multicast address ff02::2.
+  static constexpr Ipv6Address all_routers() {
+    return of_groups({0xff02, 0, 0, 0, 0, 0, 0, 2});
+  }
+
+  /// Derives the EUI-64 link-local address fe80::... from a MAC address,
+  /// as IoT devices do during SLAAC when joining a network.
+  static Ipv6Address link_local_from_mac(
+      const std::array<std::uint8_t, 6>& mac);
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 16>& octets() const {
+    return octets_;
+  }
+
+  [[nodiscard]] constexpr bool is_multicast() const {
+    return octets_[0] == 0xff;
+  }
+
+  /// Canonical-ish textual form (full groups, no zero compression).
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv6Address&,
+                                    const Ipv6Address&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> octets_{};
+};
+
+/// Either an IPv4 or an IPv6 address.
+class IpAddress {
+ public:
+  IpAddress() : addr_(Ipv4Address()) {}
+  IpAddress(Ipv4Address v4) : addr_(v4) {}           // NOLINT(google-explicit-constructor)
+  IpAddress(Ipv6Address v6) : addr_(std::move(v6)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_v4() const {
+    return std::holds_alternative<Ipv4Address>(addr_);
+  }
+  [[nodiscard]] bool is_v6() const { return !is_v4(); }
+
+  [[nodiscard]] const Ipv4Address& v4() const {
+    return std::get<Ipv4Address>(addr_);
+  }
+  [[nodiscard]] const Ipv6Address& v6() const {
+    return std::get<Ipv6Address>(addr_);
+  }
+
+  [[nodiscard]] bool is_multicast() const {
+    return is_v4() ? v4().is_multicast() : v6().is_multicast();
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return is_v4() ? v4().to_string() : v6().to_string();
+  }
+
+  friend auto operator<=>(const IpAddress&, const IpAddress&) = default;
+  friend bool operator==(const IpAddress&, const IpAddress&) = default;
+
+ private:
+  std::variant<Ipv4Address, Ipv6Address> addr_;
+};
+
+}  // namespace iotsentinel::net
+
+template <>
+struct std::hash<iotsentinel::net::Ipv4Address> {
+  std::size_t operator()(const iotsentinel::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<iotsentinel::net::Ipv6Address> {
+  std::size_t operator()(const iotsentinel::net::Ipv6Address& a) const noexcept {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    for (int i = 0; i < 8; ++i) hi = (hi << 8) | a.octets()[static_cast<std::size_t>(i)];
+    for (int i = 8; i < 16; ++i) lo = (lo << 8) | a.octets()[static_cast<std::size_t>(i)];
+    return std::hash<std::uint64_t>{}(hi * 0x9e3779b97f4a7c15ULL ^ lo);
+  }
+};
+
+template <>
+struct std::hash<iotsentinel::net::IpAddress> {
+  std::size_t operator()(const iotsentinel::net::IpAddress& a) const noexcept {
+    if (a.is_v4()) return std::hash<iotsentinel::net::Ipv4Address>{}(a.v4());
+    return std::hash<iotsentinel::net::Ipv6Address>{}(a.v6()) ^ 0x1;
+  }
+};

@@ -1,0 +1,60 @@
+#include "net/mac_address.hpp"
+
+#include <cctype>
+
+namespace iotsentinel::net {
+namespace {
+
+std::optional<int> hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return std::nullopt;
+}
+
+char to_hex(int v, bool upper) {
+  if (v < 10) return static_cast<char>('0' + v);
+  return static_cast<char>((upper ? 'A' : 'a') + v - 10);
+}
+
+std::string format(const std::array<std::uint8_t, 6>& octets, char sep,
+                   bool upper) {
+  std::string out;
+  out.reserve(17);
+  for (std::size_t i = 0; i < octets.size(); ++i) {
+    if (i != 0) out.push_back(sep);
+    out.push_back(to_hex(octets[i] >> 4, upper));
+    out.push_back(to_hex(octets[i] & 0xf, upper));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  // Expected shape: XX?XX?XX?XX?XX?XX with ':' or '-' separators.
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::size_t base = i * 3;
+    auto hi = hex_digit(text[base]);
+    auto lo = hex_digit(text[base + 1]);
+    if (!hi || !lo) return std::nullopt;
+    octets[i] = static_cast<std::uint8_t>((*hi << 4) | *lo);
+    if (i < 5) {
+      const char sep = text[base + 2];
+      if (sep != ':' && sep != '-') return std::nullopt;
+    }
+  }
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  return format(octets_, ':', /*upper=*/false);
+}
+
+std::string MacAddress::to_rule_string() const {
+  return format(octets_, '-', /*upper=*/true);
+}
+
+}  // namespace iotsentinel::net

@@ -1,0 +1,89 @@
+// 48-bit IEEE 802 MAC address value type.
+//
+// IoT Sentinel keys both fingerprint extraction ("a new device identified by
+// a newly observed MAC address") and enforcement rules (Fig. 2) on MAC
+// addresses, so this type is used pervasively as a map key.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace iotsentinel::net {
+
+/// A 48-bit MAC address. Trivially copyable, totally ordered, hashable.
+class MacAddress {
+ public:
+  /// The all-zero address (used as "unset").
+  constexpr MacAddress() = default;
+
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Builds an address from its 6 octets in transmission order.
+  static constexpr MacAddress of(std::uint8_t a, std::uint8_t b,
+                                 std::uint8_t c, std::uint8_t d,
+                                 std::uint8_t e, std::uint8_t f) {
+    return MacAddress(std::array<std::uint8_t, 6>{a, b, c, d, e, f});
+  }
+
+  /// Parses "aa:bb:cc:dd:ee:ff" or "AA-BB-CC-DD-EE-FF".
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  /// The broadcast address ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddress broadcast() {
+    return of(0xff, 0xff, 0xff, 0xff, 0xff, 0xff);
+  }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+
+  /// True for ff:ff:ff:ff:ff:ff.
+  [[nodiscard]] bool is_broadcast() const { return *this == broadcast(); }
+
+  /// True when the group bit (LSB of first octet) is set: multicast or
+  /// broadcast destination.
+  [[nodiscard]] bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+
+  /// True for 00:00:00:00:00:00.
+  [[nodiscard]] bool is_zero() const { return *this == MacAddress(); }
+
+  /// Canonical lower-case colon-separated form, e.g. "13:73:74:7e:a9:c2".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Enforcement-rule display form used by the paper's Fig. 2,
+  /// e.g. "13-73-74-7E-A9-C2".
+  [[nodiscard]] std::string to_rule_string() const;
+
+  /// Packs the address into the low 48 bits of a u64 (stable hash input).
+  [[nodiscard]] constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto o : octets_) v = (v << 8) | o;
+    return v;
+  }
+
+  friend constexpr auto operator<=>(const MacAddress&,
+                                    const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+}  // namespace iotsentinel::net
+
+template <>
+struct std::hash<iotsentinel::net::MacAddress> {
+  std::size_t operator()(const iotsentinel::net::MacAddress& m) const noexcept {
+    // SplitMix64 finalizer over the packed 48-bit value: cheap and well
+    // distributed for use in unordered_map rule caches.
+    std::uint64_t x = m.to_u64() + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

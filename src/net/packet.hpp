@@ -1,0 +1,89 @@
+// Parsed-packet summary produced by the protocol parser.
+//
+// This is the single interface between the packet substrate and the
+// fingerprinting layer: every Table-I feature can be computed from a
+// ParsedPacket without re-touching raw bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+
+namespace iotsentinel::net {
+
+/// Application-layer protocols recognised by the detector; one bit each so
+/// a packet can carry several labels (e.g. DHCP is also BOOTP).
+struct AppProtocols {
+  bool http = false;
+  bool https = false;
+  bool dhcp = false;
+  bool bootp = false;
+  bool ssdp = false;
+  bool dns = false;
+  bool mdns = false;
+  bool ntp = false;
+
+  friend bool operator==(const AppProtocols&, const AppProtocols&) = default;
+};
+
+/// Flattened, header-only summary of one captured frame.
+///
+/// Field groups mirror the paper's Table I: link-layer flags, network-layer
+/// flags, transport flags, application protocols, IP options, packet
+/// content, addresses and ports. No payload bytes are retained beyond the
+/// `has_payload` flag, so fingerprints work on encrypted traffic.
+struct ParsedPacket {
+  // --- capture metadata -------------------------------------------------
+  /// Capture timestamp in microseconds (virtual time in simulation).
+  std::uint64_t timestamp_us = 0;
+  /// Total frame length on the wire, in bytes.
+  std::uint32_t wire_size = 0;
+
+  // --- link layer --------------------------------------------------------
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  /// True when the frame is 802.3 with an LLC header (length field instead
+  /// of an EtherType).
+  bool is_llc = false;
+  bool is_arp = false;
+  /// 802.1X EAPoL (WPA2 key handshake frames during WiFi association).
+  bool is_eapol = false;
+
+  // --- network layer -----------------------------------------------------
+  bool is_ipv4 = false;
+  bool is_ipv6 = false;
+  bool is_icmp = false;
+  bool is_icmpv6 = false;
+  /// IPv4 header options observed (Table I "IP options" features).
+  bool ip_opt_padding = false;
+  bool ip_opt_router_alert = false;
+  std::optional<IpAddress> src_ip;
+  std::optional<IpAddress> dst_ip;
+
+  // --- transport layer ---------------------------------------------------
+  bool is_tcp = false;
+  bool is_udp = false;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+
+  // --- application layer -------------------------------------------------
+  AppProtocols app;
+
+  // --- content -----------------------------------------------------------
+  /// True when bytes remain after all recognised headers ("raw data").
+  bool has_payload = false;
+  /// Number of payload bytes after the last recognised header.
+  std::uint32_t payload_size = 0;
+
+  /// Any IP protocol present?
+  [[nodiscard]] bool is_ip() const { return is_ipv4 || is_ipv6; }
+
+  /// One-line debug rendering, e.g.
+  /// "ts=12000us 60B aa:..->ff:.. IPv4 UDP 68->67 DHCP".
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace iotsentinel::net

@@ -1,0 +1,471 @@
+#include "net/parser.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <string_view>
+
+#include "net/bytes.hpp"
+#include "net/protocols.hpp"
+
+namespace iotsentinel::net {
+namespace {
+
+std::optional<MacAddress> read_mac(ByteReader& r) {
+  auto view = r.bytes(6);
+  if (!view) return std::nullopt;
+  std::array<std::uint8_t, 6> o{};
+  std::copy(view->begin(), view->end(), o.begin());
+  return MacAddress(o);
+}
+
+std::optional<Ipv4Address> read_ipv4(ByteReader& r) {
+  auto v = r.u32be();
+  if (!v) return std::nullopt;
+  return Ipv4Address(*v);
+}
+
+std::optional<Ipv6Address> read_ipv6(ByteReader& r) {
+  auto view = r.bytes(16);
+  if (!view) return std::nullopt;
+  std::array<std::uint8_t, 16> o{};
+  std::copy(view->begin(), view->end(), o.begin());
+  return Ipv6Address(o);
+}
+
+bool starts_with(std::span<const std::uint8_t> data, std::string_view prefix) {
+  if (data.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (static_cast<char>(data[i]) != prefix[i]) return false;
+  }
+  return true;
+}
+
+/// HTTP request methods / response prefix seen at payload start.
+bool looks_like_http(std::span<const std::uint8_t> payload) {
+  static constexpr std::string_view kPrefixes[] = {
+      "GET ",    "POST ",   "PUT ",     "HEAD ",  "DELETE ",
+      "OPTIONS", "PATCH ",  "HTTP/1.",  "HTTP/2",
+  };
+  for (auto p : kPrefixes) {
+    if (starts_with(payload, p)) return true;
+  }
+  return false;
+}
+
+/// SSDP is HTTPU: M-SEARCH / NOTIFY / 200 OK over UDP 1900.
+bool looks_like_ssdp(std::span<const std::uint8_t> payload) {
+  return starts_with(payload, "M-SEARCH") || starts_with(payload, "NOTIFY") ||
+         starts_with(payload, "HTTP/1.1 200 OK");
+}
+
+/// TLS record: handshake (22), version 3.x.
+bool looks_like_tls(std::span<const std::uint8_t> payload) {
+  return payload.size() >= 3 && payload[0] == 22 && payload[1] == 3 &&
+         payload[2] <= 4;
+}
+
+/// BOOTP fixed header is 236 bytes followed (for DHCP) by the magic cookie
+/// 63 82 53 63.
+bool has_dhcp_cookie(std::span<const std::uint8_t> payload) {
+  return payload.size() >= 240 && payload[236] == 0x63 &&
+         payload[237] == 0x82 && payload[238] == 0x53 && payload[239] == 0x63;
+}
+
+/// BOOTP op is 1 (request) or 2 (reply), htype 1 (Ethernet).
+bool looks_like_bootp(std::span<const std::uint8_t> payload) {
+  return payload.size() >= 236 && (payload[0] == 1 || payload[0] == 2) &&
+         payload[1] == 1 && payload[2] == 6;
+}
+
+/// DNS header: 12 bytes, QDCOUNT >= 1 for queries; accept any well-formed
+/// header shape since we only see the first bytes.
+bool looks_like_dns(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 12) return false;
+  const unsigned qd = (static_cast<unsigned>(payload[4]) << 8) | payload[5];
+  const unsigned an = (static_cast<unsigned>(payload[6]) << 8) | payload[7];
+  return qd + an > 0 && qd < 64 && an < 256;
+}
+
+/// NTP: first byte is LI|VN|Mode with version 1..4 and mode 1..5.
+bool looks_like_ntp(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 48) return false;
+  const unsigned vn = (payload[0] >> 3) & 0x7;
+  const unsigned mode = payload[0] & 0x7;
+  return vn >= 1 && vn <= 4 && mode >= 1 && mode <= 5;
+}
+
+void parse_transport_payload(ParsedPacket& pkt,
+                             std::span<const std::uint8_t> payload) {
+  pkt.payload_size = static_cast<std::uint32_t>(payload.size());
+  pkt.has_payload = !payload.empty();
+  const std::uint16_t sp = pkt.src_port.value_or(0);
+  const std::uint16_t dp = pkt.dst_port.value_or(0);
+  pkt.app = detect_app_protocols(pkt.is_tcp, pkt.is_udp, sp, dp, payload);
+}
+
+void parse_tcp(ParsedPacket& pkt, ByteReader& r) {
+  auto sp = r.u16be();
+  auto dp = r.u16be();
+  if (!sp || !dp) return;
+  pkt.is_tcp = true;
+  pkt.src_port = *sp;
+  pkt.dst_port = *dp;
+  if (!r.skip(8)) return;  // seq + ack
+  auto offset_flags = r.u16be();
+  if (!offset_flags) return;
+  const std::size_t header_len = ((*offset_flags >> 12) & 0xf) * 4;
+  if (header_len < 20) return;
+  // Already consumed 14 of the header (ports 4, seq/ack 8, off/flags 2).
+  if (!r.skip(4)) return;  // window(2) is next; skip window+checksum...
+  // window(2) + checksum(2) + urgent(2) = 6 bytes then options.
+  if (!r.skip(2)) return;
+  const std::size_t options_len = header_len - 20;
+  if (!r.skip(options_len)) return;
+  parse_transport_payload(pkt, r.peek_rest());
+}
+
+void parse_udp(ParsedPacket& pkt, ByteReader& r) {
+  auto sp = r.u16be();
+  auto dp = r.u16be();
+  auto len = r.u16be();
+  auto checksum = r.u16be();
+  if (!sp || !dp || !len || !checksum) return;
+  pkt.is_udp = true;
+  pkt.src_port = *sp;
+  pkt.dst_port = *dp;
+  // UDP length covers header + payload; trust the smaller of the declared
+  // and available payload sizes.
+  std::span<const std::uint8_t> payload = r.peek_rest();
+  if (*len >= 8) {
+    const std::size_t declared = static_cast<std::size_t>(*len) - 8;
+    if (declared < payload.size()) payload = payload.subspan(0, declared);
+  }
+  parse_transport_payload(pkt, payload);
+}
+
+void parse_ipv4_options(ParsedPacket& pkt,
+                        std::span<const std::uint8_t> options) {
+  ByteReader r(options);
+  while (!r.empty()) {
+    auto kind = r.u8();
+    if (!kind) return;
+    if (*kind == ipopt::kEndOfOptions) {
+      // Remaining bytes (if any) are padding to the 4-byte boundary.
+      if (!r.empty()) pkt.ip_opt_padding = true;
+      return;
+    }
+    if (*kind == ipopt::kNop) {
+      pkt.ip_opt_padding = true;
+      continue;
+    }
+    auto len = r.u8();
+    if (!len || *len < 2) return;  // malformed option
+    if (*kind == ipopt::kRouterAlert) pkt.ip_opt_router_alert = true;
+    if (!r.skip(static_cast<std::size_t>(*len) - 2)) return;
+  }
+}
+
+void parse_ipv4(ParsedPacket& pkt, ByteReader& r) {
+  auto ver_ihl = r.u8();
+  if (!ver_ihl || (*ver_ihl >> 4) != 4) return;
+  const std::size_t ihl = (*ver_ihl & 0xf) * 4;
+  if (ihl < 20) return;
+  pkt.is_ipv4 = true;
+  if (!r.skip(1)) return;  // DSCP/ECN
+  auto total_len = r.u16be();
+  if (!total_len) return;
+  if (!r.skip(5)) return;  // id(2) + flags/frag(2) + ttl(1)
+  auto proto = r.u8();
+  if (!proto) return;
+  if (!r.skip(2)) return;  // checksum
+  auto src = read_ipv4(r);
+  auto dst = read_ipv4(r);
+  if (!src || !dst) return;
+  pkt.src_ip = IpAddress(*src);
+  pkt.dst_ip = IpAddress(*dst);
+  if (ihl > 20) {
+    auto opts = r.bytes(ihl - 20);
+    if (!opts) return;
+    parse_ipv4_options(pkt, *opts);
+  }
+  // Clamp to the declared total length so Ethernet minimum-frame padding is
+  // not mistaken for transport payload.
+  std::span<const std::uint8_t> ip_payload = r.peek_rest();
+  if (*total_len >= ihl) {
+    const std::size_t declared = *total_len - ihl;
+    if (declared < ip_payload.size()) ip_payload = ip_payload.subspan(0, declared);
+  }
+  ByteReader pr(ip_payload);
+  switch (*proto) {
+    case ipproto::kIcmp:
+      pkt.is_icmp = true;
+      pkt.has_payload = pr.remaining() > 8;
+      pkt.payload_size = static_cast<std::uint32_t>(
+          pr.remaining() > 8 ? pr.remaining() - 8 : 0);
+      break;
+    case ipproto::kTcp:
+      parse_tcp(pkt, pr);
+      break;
+    case ipproto::kUdp:
+      parse_udp(pkt, pr);
+      break;
+    default:
+      pkt.has_payload = !pr.empty();
+      pkt.payload_size = static_cast<std::uint32_t>(pr.remaining());
+      break;
+  }
+}
+
+void parse_ipv6(ParsedPacket& pkt, ByteReader& r) {
+  auto first = r.u8();
+  if (!first || (*first >> 4) != 6) return;
+  pkt.is_ipv6 = true;
+  if (!r.skip(3)) return;  // rest of version/tc/flow label
+  auto payload_len = r.u16be();
+  auto next_header = r.u8();
+  auto hop_limit = r.u8();
+  if (!payload_len || !next_header || !hop_limit) return;
+  auto src = read_ipv6(r);
+  auto dst = read_ipv6(r);
+  if (!src || !dst) return;
+  pkt.src_ip = IpAddress(*src);
+  pkt.dst_ip = IpAddress(*dst);
+
+  // Clamp to the declared payload length (same padding concern as IPv4).
+  std::span<const std::uint8_t> ip_payload = r.peek_rest();
+  if (*payload_len < ip_payload.size())
+    ip_payload = ip_payload.subspan(0, *payload_len);
+  ByteReader pr(ip_payload);
+
+  std::uint8_t nh = *next_header;
+  // Walk extension headers; only hop-by-hop is expected from IoT setup
+  // traffic (MLD reports carry a router-alert option there).
+  for (int guard = 0; guard < 8 && nh == ipproto::kIpv6HopByHop; ++guard) {
+    auto ext_next = pr.u8();
+    auto ext_len = pr.u8();
+    if (!ext_next || !ext_len) return;
+    const std::size_t body_len = (static_cast<std::size_t>(*ext_len) + 1) * 8 - 2;
+    auto body = pr.bytes(body_len);
+    if (!body) return;
+    // Scan TLV options for router alert (type 5) and PadN/Pad1 (0/1).
+    ByteReader opt(*body);
+    while (!opt.empty()) {
+      auto t = opt.u8();
+      if (!t) break;
+      if (*t == 0) {  // Pad1
+        pkt.ip_opt_padding = true;
+        continue;
+      }
+      auto l = opt.u8();
+      if (!l) break;
+      if (*t == 1) pkt.ip_opt_padding = true;       // PadN
+      if (*t == 5) pkt.ip_opt_router_alert = true;  // RFC 2711
+      if (!opt.skip(*l)) break;
+    }
+    nh = *ext_next;
+  }
+
+  switch (nh) {
+    case ipproto::kIcmpv6:
+      pkt.is_icmpv6 = true;
+      pkt.has_payload = pr.remaining() > 8;
+      pkt.payload_size = static_cast<std::uint32_t>(
+          pr.remaining() > 8 ? pr.remaining() - 8 : 0);
+      break;
+    case ipproto::kTcp:
+      parse_tcp(pkt, pr);
+      break;
+    case ipproto::kUdp:
+      parse_udp(pkt, pr);
+      break;
+    default:
+      pkt.has_payload = !pr.empty();
+      pkt.payload_size = static_cast<std::uint32_t>(pr.remaining());
+      break;
+  }
+}
+
+void parse_arp(ParsedPacket& pkt, ByteReader& r) {
+  pkt.is_arp = true;
+  // ARP for Ethernet/IPv4: htype(2) ptype(2) hlen(1) plen(1) op(2)
+  // sha(6) spa(4) tha(6) tpa(4). Record protocol addresses when present.
+  if (!r.skip(8)) return;
+  if (!r.skip(6)) return;  // sender MAC already known from Ethernet
+  auto spa = read_ipv4(r);
+  if (!r.skip(6)) return;
+  auto tpa = read_ipv4(r);
+  if (spa && spa->value() != 0) pkt.src_ip = IpAddress(*spa);
+  if (tpa && tpa->value() != 0) pkt.dst_ip = IpAddress(*tpa);
+}
+
+void parse_eapol(ParsedPacket& pkt, ByteReader& r) {
+  pkt.is_eapol = true;
+  auto version = r.u8();
+  auto type = r.u8();
+  auto len = r.u16be();
+  if (!version || !type || !len) return;
+  pkt.has_payload = *len > 0;
+  pkt.payload_size = *len;
+}
+
+}  // namespace
+
+AppProtocols detect_app_protocols(bool is_tcp, bool is_udp,
+                                  std::uint16_t src_port,
+                                  std::uint16_t dst_port,
+                                  std::span<const std::uint8_t> payload) {
+  AppProtocols app;
+  auto on_port = [&](std::uint16_t p) {
+    return src_port == p || dst_port == p;
+  };
+
+  if (is_udp) {
+    if (on_port(port::kDhcpServer) || on_port(port::kDhcpClient)) {
+      app.bootp = looks_like_bootp(payload) || payload.empty();
+      app.dhcp = has_dhcp_cookie(payload);
+      // A BOOTP frame on the DHCP ports without the cookie is plain BOOTP.
+      if (!app.bootp && app.dhcp) app.bootp = true;
+    }
+    if (on_port(port::kMdns)) {
+      app.mdns = payload.empty() || looks_like_dns(payload);
+    } else if (on_port(port::kDns)) {
+      app.dns = payload.empty() || looks_like_dns(payload);
+    }
+    if (on_port(port::kSsdp)) {
+      app.ssdp = payload.empty() || looks_like_ssdp(payload) ||
+                 looks_like_http(payload);
+    }
+    if (on_port(port::kNtp)) {
+      app.ntp = payload.empty() || looks_like_ntp(payload);
+    }
+    if (on_port(port::kHttps)) app.https = true;  // QUIC / DTLS 443
+  }
+
+  if (is_tcp) {
+    if (on_port(port::kDns)) app.dns = true;  // DNS over TCP
+    if (on_port(port::kHttps) || looks_like_tls(payload)) app.https = true;
+    if (on_port(port::kHttp) || on_port(port::kHttpAlt) ||
+        looks_like_http(payload)) {
+      app.http = !app.https;
+    }
+  }
+
+  return app;
+}
+
+ParsedPacket parse_ethernet_frame(std::span<const std::uint8_t> frame,
+                                  std::uint64_t timestamp_us) {
+  ParsedPacket pkt;
+  pkt.timestamp_us = timestamp_us;
+  pkt.wire_size = static_cast<std::uint32_t>(frame.size());
+
+  ByteReader r(frame);
+  auto dst = read_mac(r);
+  auto src = read_mac(r);
+  auto type_or_len = r.u16be();
+  if (!dst || !src || !type_or_len) return pkt;
+  pkt.dst_mac = *dst;
+  pkt.src_mac = *src;
+
+  if (*type_or_len <= ethertype::kMaxLength8023) {
+    // 802.3 frame: LLC header (DSAP, SSAP, control) follows. Spanning-tree
+    // BPDUs and other non-IP control frames land here.
+    pkt.is_llc = true;
+    pkt.has_payload = r.remaining() > 3;
+    pkt.payload_size =
+        static_cast<std::uint32_t>(r.remaining() > 3 ? r.remaining() - 3 : 0);
+    return pkt;
+  }
+
+  switch (*type_or_len) {
+    case ethertype::kIpv4:
+      parse_ipv4(pkt, r);
+      break;
+    case ethertype::kIpv6:
+      parse_ipv6(pkt, r);
+      break;
+    case ethertype::kArp:
+      parse_arp(pkt, r);
+      break;
+    case ethertype::kEapol:
+      parse_eapol(pkt, r);
+      break;
+    default:
+      pkt.has_payload = !r.empty();
+      pkt.payload_size = static_cast<std::uint32_t>(r.remaining());
+      break;
+  }
+  return pkt;
+}
+
+std::span<const std::uint8_t> udp_payload_of(
+    std::span<const std::uint8_t> frame) {
+  // Ethernet(14) + IPv4(ihl) + UDP(8): compute offsets with the same
+  // bounds discipline as the main parser.
+  if (frame.size() < 14 + 20 + 8) return {};
+  if (frame[12] != 0x08 || frame[13] != 0x00) return {};  // not IPv4
+  const std::uint8_t ver_ihl = frame[14];
+  if ((ver_ihl >> 4) != 4) return {};
+  const std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0xf) * 4;
+  if (ihl < 20 || frame.size() < 14 + ihl + 8) return {};
+  if (frame[14 + 9] != ipproto::kUdp) return {};
+  const std::size_t total_len =
+      (static_cast<std::size_t>(frame[16]) << 8) | frame[17];
+  const std::size_t udp_off = 14 + ihl;
+  const std::size_t udp_len =
+      (static_cast<std::size_t>(frame[udp_off + 4]) << 8) |
+      frame[udp_off + 5];
+  if (udp_len < 8) return {};
+  std::size_t payload_len = udp_len - 8;
+  // Clamp to the frame and the IP total length (min-frame padding).
+  payload_len = std::min(payload_len, frame.size() - udp_off - 8);
+  if (total_len >= ihl + 8) {
+    payload_len = std::min(payload_len, total_len - ihl - 8);
+  }
+  return frame.subspan(udp_off + 8, payload_len);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::string ParsedPacket::summary() const {
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ts=%lluus %uB ",
+                static_cast<unsigned long long>(timestamp_us), wire_size);
+  out += buf;
+  out += src_mac.to_string() + " -> " + dst_mac.to_string();
+  if (is_llc) out += " LLC";
+  if (is_arp) out += " ARP";
+  if (is_eapol) out += " EAPoL";
+  if (is_ipv4) out += " IPv4";
+  if (is_ipv6) out += " IPv6";
+  if (is_icmp) out += " ICMP";
+  if (is_icmpv6) out += " ICMPv6";
+  if (is_tcp) out += " TCP";
+  if (is_udp) out += " UDP";
+  if (src_port && dst_port) {
+    std::snprintf(buf, sizeof(buf), " %u->%u", *src_port, *dst_port);
+    out += buf;
+  }
+  if (app.http) out += " HTTP";
+  if (app.https) out += " HTTPS";
+  if (app.dhcp) out += " DHCP";
+  else if (app.bootp) out += " BOOTP";
+  if (app.ssdp) out += " SSDP";
+  if (app.dns) out += " DNS";
+  if (app.mdns) out += " MDNS";
+  if (app.ntp) out += " NTP";
+  return out;
+}
+
+}  // namespace iotsentinel::net

@@ -1,0 +1,44 @@
+// Full-stack frame parser: raw bytes -> ParsedPacket.
+//
+// Handles Ethernet II and 802.3/LLC framing, ARP, EAPoL (802.1X), IPv4
+// with header options, IPv6 with hop-by-hop extension headers, ICMP,
+// ICMPv6, TCP and UDP, plus application-protocol detection. Parsing is
+// strictly bounds-checked; malformed or truncated packets yield a summary
+// of whatever prefix was valid (mirroring what a passive monitor can know)
+// rather than failing outright.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/packet.hpp"
+
+namespace iotsentinel::net {
+
+/// Parses one Ethernet frame.
+///
+/// `timestamp_us` is the capture timestamp copied into the result. A frame
+/// shorter than the 14-byte Ethernet header returns a ParsedPacket with
+/// only `wire_size`/`timestamp_us` set.
+ParsedPacket parse_ethernet_frame(std::span<const std::uint8_t> frame,
+                                  std::uint64_t timestamp_us = 0);
+
+/// Application-protocol detection given transport endpoints and payload.
+///
+/// Combines well-known-port matching (both directions) with lightweight
+/// payload heuristics: HTTP method/status lines, TLS handshake records for
+/// HTTPS on unusual ports, the BOOTP magic cookie for DHCP, SSDP start
+/// lines, and the DNS/MDNS header shape.
+AppProtocols detect_app_protocols(bool is_tcp, bool is_udp,
+                                  std::uint16_t src_port,
+                                  std::uint16_t dst_port,
+                                  std::span<const std::uint8_t> payload);
+
+/// Locates the UDP payload inside an Ethernet/IPv4 frame (for consumers
+/// that need message content, e.g. the device inventory's DHCP/DNS
+/// inspection). Empty span when the frame is not a well-formed IPv4/UDP
+/// packet.
+std::span<const std::uint8_t> udp_payload_of(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace iotsentinel::net

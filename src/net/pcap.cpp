@@ -1,0 +1,134 @@
+#include "net/pcap.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "net/bytes.hpp"
+
+namespace iotsentinel::net {
+namespace {
+
+constexpr std::uint32_t kMagicUsLe = 0xa1b2c3d4;   // written LE, read as LE
+constexpr std::uint32_t kMagicUsBe = 0xd4c3b2a1;   // file is big-endian
+constexpr std::uint32_t kMagicNsLe = 0xa1b23c4d;
+constexpr std::uint32_t kMagicNsBe = 0x4d3cb2a1;
+
+struct Endian {
+  bool big = false;
+  bool nanos = false;
+};
+
+std::optional<std::uint32_t> read_u32(ByteReader& r, bool big) {
+  return big ? r.u32be() : r.u32le();
+}
+
+}  // namespace
+
+PcapParseResult parse_pcap(std::span<const std::uint8_t> data) {
+  PcapParseResult result;
+  ByteReader r(data);
+
+  auto magic = r.u32le();
+  if (!magic) {
+    result.error = "truncated header: missing magic";
+    return result;
+  }
+  Endian e;
+  switch (*magic) {
+    case kMagicUsLe: break;
+    case kMagicNsLe: e.nanos = true; break;
+    case kMagicUsBe: e.big = true; break;
+    case kMagicNsBe: e.big = true; e.nanos = true; break;
+    default:
+      result.error = "bad magic number";
+      return result;
+  }
+
+  // version_major(2) version_minor(2) thiszone(4) sigfigs(4) snaplen(4)
+  // network(4) = 20 bytes after the magic.
+  if (!r.skip(16)) {
+    result.error = "truncated global header";
+    return result;
+  }
+  auto linktype = read_u32(r, e.big);
+  if (!linktype) {
+    result.error = "truncated global header (linktype)";
+    return result;
+  }
+  result.file.linktype = *linktype;
+
+  while (!r.empty()) {
+    auto ts_sec = read_u32(r, e.big);
+    auto ts_frac = read_u32(r, e.big);
+    auto incl_len = read_u32(r, e.big);
+    auto orig_len = read_u32(r, e.big);
+    if (!ts_sec || !ts_frac || !incl_len || !orig_len) {
+      result.error = "truncated record header";
+      return result;
+    }
+    if (*incl_len > 0x0400'0000) {  // 64 MiB sanity bound per record
+      result.error = "implausible record length";
+      return result;
+    }
+    auto frame = r.bytes(*incl_len);
+    if (!frame) {
+      result.error = "truncated record body";
+      return result;
+    }
+    PcapRecord rec;
+    const std::uint64_t frac_us = e.nanos ? *ts_frac / 1000 : *ts_frac;
+    rec.timestamp_us = static_cast<std::uint64_t>(*ts_sec) * 1'000'000 + frac_us;
+    rec.orig_len = *orig_len;
+    rec.frame.assign(frame->begin(), frame->end());
+    result.file.records.push_back(std::move(rec));
+  }
+  result.ok = true;
+  return result;
+}
+
+PcapParseResult read_pcap_file(const std::string& path) {
+  PcapParseResult result;
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) {
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  return parse_pcap(data);
+}
+
+std::vector<std::uint8_t> serialize_pcap(const PcapFile& file) {
+  ByteWriter w(24 + file.records.size() * 80);
+  w.u32le(kMagicUsLe);
+  w.u16le(2);   // version major
+  w.u16le(4);   // version minor
+  w.u32le(0);   // thiszone
+  w.u32le(0);   // sigfigs
+  w.u32le(65535);  // snaplen
+  w.u32le(file.linktype);
+  for (const auto& rec : file.records) {
+    w.u32le(static_cast<std::uint32_t>(rec.timestamp_us / 1'000'000));
+    w.u32le(static_cast<std::uint32_t>(rec.timestamp_us % 1'000'000));
+    w.u32le(static_cast<std::uint32_t>(rec.frame.size()));
+    w.u32le(rec.orig_len != 0 ? rec.orig_len
+                              : static_cast<std::uint32_t>(rec.frame.size()));
+    w.bytes(rec.frame);
+  }
+  return w.take();
+}
+
+bool write_pcap_file(const std::string& path, const PcapFile& file) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) return false;
+  const auto data = serialize_pcap(file);
+  return std::fwrite(data.data(), 1, data.size(), f.get()) == data.size();
+}
+
+}  // namespace iotsentinel::net

@@ -1,0 +1,55 @@
+// Native reader/writer for the classic libpcap capture-file format
+// (tcpdump's on-disk format, magic 0xa1b2c3d4).
+//
+// The paper's measurement rig recorded setup traffic with tcpdump; this
+// module lets the library ingest those captures directly and lets the
+// simulator persist generated traffic in a format every standard tool can
+// open. Both microsecond (0xa1b2c3d4) and nanosecond (0xa1b23c4d) variants
+// and both byte orders are read; writing always uses the microsecond
+// little-endian variant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iotsentinel::net {
+
+/// One captured record: timestamp plus frame bytes.
+struct PcapRecord {
+  std::uint64_t timestamp_us = 0;
+  /// Original length on the wire (>= frame.size() when snapped).
+  std::uint32_t orig_len = 0;
+  std::vector<std::uint8_t> frame;
+};
+
+/// A parsed capture file.
+struct PcapFile {
+  /// Link type; 1 = LINKTYPE_ETHERNET, the only type this library emits.
+  std::uint32_t linktype = 1;
+  std::vector<PcapRecord> records;
+};
+
+/// Outcome of a pcap parse; on failure `error` describes the first
+/// malformation encountered (records before it are kept).
+struct PcapParseResult {
+  PcapFile file;
+  bool ok = false;
+  std::string error;
+};
+
+/// Parses an in-memory pcap image.
+PcapParseResult parse_pcap(std::span<const std::uint8_t> data);
+
+/// Reads and parses a pcap file from disk.
+PcapParseResult read_pcap_file(const std::string& path);
+
+/// Serializes records into a classic little-endian microsecond pcap image.
+std::vector<std::uint8_t> serialize_pcap(const PcapFile& file);
+
+/// Writes a pcap file to disk; returns false on I/O failure.
+bool write_pcap_file(const std::string& path, const PcapFile& file);
+
+}  // namespace iotsentinel::net

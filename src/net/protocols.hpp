@@ -1,0 +1,77 @@
+// Wire-protocol constants shared by the parser and the packet builder.
+#pragma once
+
+#include <cstdint>
+
+namespace iotsentinel::net {
+
+/// EtherType values (Ethernet II frames).
+namespace ethertype {
+inline constexpr std::uint16_t kIpv4 = 0x0800;
+inline constexpr std::uint16_t kArp = 0x0806;
+inline constexpr std::uint16_t kIpv6 = 0x86dd;
+inline constexpr std::uint16_t kEapol = 0x888e;  // 802.1X authentication
+/// Values <= 1500 in the EtherType slot are 802.3 lengths (LLC follows).
+inline constexpr std::uint16_t kMaxLength8023 = 1500;
+}  // namespace ethertype
+
+/// IP protocol numbers.
+namespace ipproto {
+inline constexpr std::uint8_t kIcmp = 1;
+inline constexpr std::uint8_t kTcp = 6;
+inline constexpr std::uint8_t kUdp = 17;
+inline constexpr std::uint8_t kIcmpv6 = 58;
+inline constexpr std::uint8_t kIpv6HopByHop = 0;
+}  // namespace ipproto
+
+/// IPv4 option kinds relevant to the Table-I features.
+namespace ipopt {
+inline constexpr std::uint8_t kEndOfOptions = 0;
+inline constexpr std::uint8_t kNop = 1;  // padding
+inline constexpr std::uint8_t kRouterAlert = 148;  // RFC 2113 (copied|measurement|20)
+}  // namespace ipopt
+
+/// Well-known UDP/TCP ports used for application-protocol detection.
+namespace port {
+inline constexpr std::uint16_t kHttp = 80;
+inline constexpr std::uint16_t kHttpAlt = 8080;
+inline constexpr std::uint16_t kHttps = 443;
+inline constexpr std::uint16_t kDhcpServer = 67;   // BOOTP/DHCP server
+inline constexpr std::uint16_t kDhcpClient = 68;   // BOOTP/DHCP client
+inline constexpr std::uint16_t kDns = 53;
+inline constexpr std::uint16_t kMdns = 5353;
+inline constexpr std::uint16_t kSsdp = 1900;
+inline constexpr std::uint16_t kNtp = 123;
+}  // namespace port
+
+/// IANA port-class boundaries; the paper's port-class feature maps a port
+/// to {0: none, 1: well-known, 2: registered, 3: dynamic}.
+namespace portclass {
+inline constexpr std::uint16_t kWellKnownMax = 1023;
+inline constexpr std::uint16_t kRegisteredMax = 49151;
+}  // namespace portclass
+
+/// ARP opcodes.
+namespace arpop {
+inline constexpr std::uint16_t kRequest = 1;
+inline constexpr std::uint16_t kReply = 2;
+}  // namespace arpop
+
+/// DHCP message types (option 53).
+namespace dhcptype {
+inline constexpr std::uint8_t kDiscover = 1;
+inline constexpr std::uint8_t kOffer = 2;
+inline constexpr std::uint8_t kRequest = 3;
+inline constexpr std::uint8_t kAck = 5;
+inline constexpr std::uint8_t kInform = 8;
+}  // namespace dhcptype
+
+/// EAPoL packet types (802.1X).
+namespace eapoltype {
+inline constexpr std::uint8_t kEapPacket = 0;
+inline constexpr std::uint8_t kStart = 1;
+inline constexpr std::uint8_t kLogoff = 2;
+inline constexpr std::uint8_t kKey = 3;
+}  // namespace eapoltype
+
+}  // namespace iotsentinel::net

@@ -1,0 +1,67 @@
+#include "sdn/enforcement_rule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace iotsentinel::sdn {
+
+bool TrafficFilter::applies(const net::ParsedPacket& pkt,
+                            bool from_device) const {
+  if (direction == FilterDirection::kFromDevice && !from_device) return false;
+  if (direction == FilterDirection::kToDevice && from_device) return false;
+  if (ip_proto) {
+    const bool want_tcp = *ip_proto == 6;
+    const bool want_udp = *ip_proto == 17;
+    if (want_tcp && !pkt.is_tcp) return false;
+    if (want_udp && !pkt.is_udp) return false;
+    if (!want_tcp && !want_udp) return false;
+  }
+  if (dst_port && (!pkt.dst_port || *pkt.dst_port != *dst_port)) return false;
+  return true;
+}
+
+std::optional<bool> EnforcementRule::filter_verdict_drop(
+    const net::ParsedPacket& pkt, bool from_device) const {
+  for (const auto& filter : flow_filters) {
+    if (filter.applies(pkt, from_device)) return filter.drop;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t EnforcementRule::hash() const {
+  // Mix the MAC, level and permitted set into one stable key. Order of
+  // permitted IPs must not matter, so they are combined commutatively.
+  std::uint64_t h = device.to_u64() * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(level) + 0x517cc1b727220a95ULL;
+  std::uint64_t ip_mix = 0;
+  for (const auto& ip : permitted_ips) {
+    std::uint64_t x = ip.value() + 0x2545f4914f6cdd1dULL;
+    x = (x ^ (x >> 33)) * 0xff51afd7ed558ccdULL;
+    ip_mix += x;  // commutative combine
+  }
+  h ^= ip_mix;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 31);
+}
+
+std::string EnforcementRule::to_string() const {
+  std::string out = "Device: " + device.to_rule_string() + "\n";
+  out += "Isolation level: " + sdn::to_string(level) + "\n";
+  if (level == IsolationLevel::kRestricted) {
+    out += "Permitted:";
+    std::vector<net::Ipv4Address> sorted(permitted_ips.begin(),
+                                         permitted_ips.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      out += (i == 0 ? " " : ", ") + sorted[i].to_string();
+    }
+    out += "\n";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Hash: 0x%016llx\n",
+                static_cast<unsigned long long>(hash()));
+  out += buf;
+  return out;
+}
+
+}  // namespace iotsentinel::sdn

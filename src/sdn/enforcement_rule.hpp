@@ -1,0 +1,94 @@
+// Per-device enforcement rules (paper Fig. 2).
+//
+// A rule is keyed by the device MAC address, carries the isolation level
+// and — for Restricted — the set of permitted remote IP addresses through
+// which the device may reach its cloud service. The `hash` value mirrors
+// the paper's rule-storage key for the hash-table cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <optional>
+
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+#include "net/packet.hpp"
+#include "sdn/isolation.hpp"
+
+namespace iotsentinel::sdn {
+
+/// Direction of a per-flow filter relative to the rule's device.
+enum class FilterDirection {
+  kFromDevice,  // packets the device sends
+  kToDevice,    // packets addressed to the device
+  kBoth,
+};
+
+/// Flow-level refinement of a device's isolation level (the paper's
+/// "extend the traffic filtering mechanism ... up to the level of
+/// individual flows"): e.g. block inbound telnet to a camera while leaving
+/// its video streaming untouched.
+struct TrafficFilter {
+  FilterDirection direction = FilterDirection::kBoth;
+  /// IP protocol to match (6 = TCP, 17 = UDP); wildcard when unset.
+  std::optional<std::uint8_t> ip_proto;
+  /// Destination port of the packet; wildcard when unset.
+  std::optional<std::uint16_t> dst_port;
+  /// Verdict when the filter matches (true = drop, false = allow —
+  /// an explicit allow overrides later drops, enabling allow-lists).
+  bool drop = true;
+  /// Human-readable tag for diagnostics ("block-telnet").
+  std::string label;
+
+  /// Does this filter apply to `pkt`? `from_device` says whether the
+  /// packet was sent by the rule's device (vs addressed to it).
+  [[nodiscard]] bool applies(const net::ParsedPacket& pkt,
+                             bool from_device) const;
+};
+
+/// One device's enforcement rule.
+struct EnforcementRule {
+  net::MacAddress device;
+  IsolationLevel level = IsolationLevel::kStrict;
+  /// Remote endpoints a Restricted device may contact.
+  std::unordered_set<net::Ipv4Address> permitted_ips;
+  /// Flow-level filters evaluated before the overlay/whitelist policy;
+  /// the first matching filter decides.
+  std::vector<TrafficFilter> flow_filters;
+  /// Installation time (for cache aging / eviction of departed devices).
+  std::uint64_t installed_at_us = 0;
+
+  /// Stable 64-bit key used for hash-table storage (Fig. 2's "hash value").
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// May this device reach the given remote (Internet) address?
+  [[nodiscard]] bool permits_remote(net::Ipv4Address remote) const {
+    switch (level) {
+      case IsolationLevel::kTrusted: return true;
+      case IsolationLevel::kRestricted: return permitted_ips.contains(remote);
+      case IsolationLevel::kStrict: return false;
+    }
+    return false;
+  }
+
+  /// Overlay the device belongs to.
+  [[nodiscard]] Overlay overlay() const { return overlay_for(level); }
+
+  /// Evaluates the flow filters against a packet; nullopt when none match.
+  /// `from_device` distinguishes egress from ingress relative to this
+  /// rule's device.
+  [[nodiscard]] std::optional<bool> filter_verdict_drop(
+      const net::ParsedPacket& pkt, bool from_device) const;
+
+  /// Renders the rule in the paper's Fig. 2 style:
+  ///   Device: 13-73-74-7E-A9-C2
+  ///   Isolation level: Restricted
+  ///   Permitted: 104.31.18.30, 104.31.19.30
+  ///   Hash: 0x...
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace iotsentinel::sdn

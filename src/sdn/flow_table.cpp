@@ -1,0 +1,114 @@
+#include "sdn/flow_table.hpp"
+
+#include <algorithm>
+
+namespace iotsentinel::sdn {
+namespace {
+
+std::optional<net::Ipv4Address> packet_v4(const std::optional<net::IpAddress>& ip) {
+  if (ip && ip->is_v4()) return ip->v4();
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool FlowMatch::matches(const net::ParsedPacket& pkt) const {
+  if (src_mac && pkt.src_mac != *src_mac) return false;
+  if (dst_mac && pkt.dst_mac != *dst_mac) return false;
+  if (src_ip) {
+    auto v4 = packet_v4(pkt.src_ip);
+    if (!v4 || *v4 != *src_ip) return false;
+  }
+  if (dst_ip) {
+    auto v4 = packet_v4(pkt.dst_ip);
+    if (!v4 || *v4 != *dst_ip) return false;
+  }
+  if (ip_proto) {
+    const bool want_tcp = *ip_proto == 6;
+    const bool want_udp = *ip_proto == 17;
+    if (want_tcp && !pkt.is_tcp) return false;
+    if (want_udp && !pkt.is_udp) return false;
+    if (!want_tcp && !want_udp) return false;  // only TCP/UDP matchable
+  }
+  if (src_port && (!pkt.src_port || *pkt.src_port != *src_port)) return false;
+  if (dst_port && (!pkt.dst_port || *pkt.dst_port != *dst_port)) return false;
+  return true;
+}
+
+FlowMatch FlowMatch::micro_flow(const net::ParsedPacket& pkt) {
+  FlowMatch m;
+  m.src_mac = pkt.src_mac;
+  m.dst_mac = pkt.dst_mac;
+  m.src_ip = packet_v4(pkt.src_ip);
+  m.dst_ip = packet_v4(pkt.dst_ip);
+  if (pkt.is_tcp) m.ip_proto = 6;
+  if (pkt.is_udp) m.ip_proto = 17;
+  m.src_port = pkt.src_port;
+  m.dst_port = pkt.dst_port;
+  return m;
+}
+
+std::string FlowMatch::to_string() const {
+  std::string out;
+  auto field = [&out](const std::string& name, const std::string& value) {
+    if (!out.empty()) out += ",";
+    out += name + "=" + value;
+  };
+  if (src_mac) field("dl_src", src_mac->to_string());
+  if (dst_mac) field("dl_dst", dst_mac->to_string());
+  if (src_ip) field("nw_src", src_ip->to_string());
+  if (dst_ip) field("nw_dst", dst_ip->to_string());
+  if (ip_proto) field("nw_proto", std::to_string(*ip_proto));
+  if (src_port) field("tp_src", std::to_string(*src_port));
+  if (dst_port) field("tp_dst", std::to_string(*dst_port));
+  if (out.empty()) out = "any";
+  return out;
+}
+
+std::uint64_t FlowTable::install(FlowEntry entry, std::uint64_t now_us) {
+  entry.installed_us = now_us;
+  entry.last_matched_us = now_us;
+  const std::uint64_t id = next_id_++;
+  // Insert keeping descending priority; equal priorities keep insertion
+  // order so earlier rules win ties (OpenFlow leaves ties undefined; we
+  // pin them for determinism).
+  auto pos = std::find_if(entries_.begin(), entries_.end(),
+                          [&](const FlowEntry& e) {
+                            return e.priority < entry.priority;
+                          });
+  entries_.insert(pos, std::move(entry));
+  return id;
+}
+
+std::optional<FlowAction> FlowTable::process(const net::ParsedPacket& pkt,
+                                             std::uint64_t now_us) {
+  for (auto& entry : entries_) {
+    if (entry.match.matches(pkt)) {
+      ++entry.packets;
+      entry.bytes += pkt.wire_size;
+      entry.last_matched_us = now_us;
+      ++matched_;
+      return entry.action;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+std::size_t FlowTable::expire(std::uint64_t now_us) {
+  const std::size_t before = entries_.size();
+  std::erase_if(entries_, [now_us](const FlowEntry& e) {
+    return e.idle_timeout_us != 0 &&
+           now_us - e.last_matched_us >= e.idle_timeout_us;
+  });
+  return before - entries_.size();
+}
+
+std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
+  const std::size_t before = entries_.size();
+  std::erase_if(entries_,
+                [cookie](const FlowEntry& e) { return e.cookie == cookie; });
+  return before - entries_.size();
+}
+
+}  // namespace iotsentinel::sdn

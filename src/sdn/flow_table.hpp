@@ -1,0 +1,95 @@
+// OpenFlow-style flow table: priority-ordered match/action entries with
+// per-entry statistics and idle timeouts.
+//
+// This is the data plane the paper programs through Open vSwitch; the
+// controller installs one micro-flow entry per admitted/blocked flow so
+// subsequent packets of the flow are switched without a controller
+// round-trip.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+#include "net/packet.hpp"
+
+namespace iotsentinel::sdn {
+
+/// Match fields; unset optionals are wildcards.
+struct FlowMatch {
+  std::optional<net::MacAddress> src_mac;
+  std::optional<net::MacAddress> dst_mac;
+  std::optional<net::Ipv4Address> src_ip;
+  std::optional<net::Ipv4Address> dst_ip;
+  /// IP protocol (6 = TCP, 17 = UDP); wildcard when unset.
+  std::optional<std::uint8_t> ip_proto;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+
+  /// Does this match cover the packet?
+  [[nodiscard]] bool matches(const net::ParsedPacket& pkt) const;
+
+  /// Exact micro-flow match for one packet (all populated fields pinned).
+  static FlowMatch micro_flow(const net::ParsedPacket& pkt);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Forwarding decision of an entry.
+enum class FlowAction {
+  kForward,
+  kDrop,
+};
+
+/// One table entry.
+struct FlowEntry {
+  FlowMatch match;
+  FlowAction action = FlowAction::kDrop;
+  /// Higher wins; ties broken by insertion order (older first).
+  std::uint16_t priority = 0;
+  /// Entry is removed when unmatched for this long; 0 = permanent.
+  std::uint64_t idle_timeout_us = 0;
+  /// Bookkeeping (maintained by FlowTable).
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t last_matched_us = 0;
+  std::uint64_t installed_us = 0;
+  /// Installation cookie: lets the controller bulk-remove a device's flows.
+  std::uint64_t cookie = 0;
+};
+
+/// Priority-ordered flow table.
+class FlowTable {
+ public:
+  /// Installs an entry; returns its stable id.
+  std::uint64_t install(FlowEntry entry, std::uint64_t now_us);
+
+  /// Finds the highest-priority matching entry, updates its counters, and
+  /// returns its action. Returns nullopt on table miss.
+  std::optional<FlowAction> process(const net::ParsedPacket& pkt,
+                                    std::uint64_t now_us);
+
+  /// Removes entries idle past their timeout. Returns number removed.
+  std::size_t expire(std::uint64_t now_us);
+
+  /// Removes all entries with the given cookie. Returns number removed.
+  std::size_t remove_by_cookie(std::uint64_t cookie);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<FlowEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t matched_packets() const { return matched_; }
+
+ private:
+  std::vector<FlowEntry> entries_;  // kept sorted by descending priority
+  std::uint64_t next_id_ = 1;
+  std::uint64_t misses_ = 0;
+  std::uint64_t matched_ = 0;
+};
+
+}  // namespace iotsentinel::sdn

@@ -1,0 +1,47 @@
+// Isolation levels assigned by the IoT Security Service (Sect. V, Fig. 3).
+#pragma once
+
+#include <string>
+
+namespace iotsentinel::sdn {
+
+/// Network isolation level for one device.
+enum class IsolationLevel {
+  /// Untrusted overlay only; no Internet access. Assigned to unknown
+  /// device-types.
+  kStrict,
+  /// Untrusted overlay plus a whitelist of remote endpoints (the vendor's
+  /// cloud service). Assigned to device-types with known vulnerabilities.
+  kRestricted,
+  /// Trusted overlay and unrestricted Internet access. Assigned to
+  /// device-types with no reported vulnerabilities.
+  kTrusted,
+};
+
+/// The two virtual network overlays the gateway maintains (Sect. III-C.1).
+enum class Overlay {
+  kUntrusted,
+  kTrusted,
+};
+
+/// Overlay membership implied by an isolation level: only trusted devices
+/// join the trusted overlay.
+inline Overlay overlay_for(IsolationLevel level) {
+  return level == IsolationLevel::kTrusted ? Overlay::kTrusted
+                                           : Overlay::kUntrusted;
+}
+
+inline std::string to_string(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kStrict: return "Strict";
+    case IsolationLevel::kRestricted: return "Restricted";
+    case IsolationLevel::kTrusted: return "Trusted";
+  }
+  return "?";
+}
+
+inline std::string to_string(Overlay overlay) {
+  return overlay == Overlay::kTrusted ? "trusted" : "untrusted";
+}
+
+}  // namespace iotsentinel::sdn

@@ -1,0 +1,27 @@
+#include "sdn/software_switch.hpp"
+
+namespace iotsentinel::sdn {
+
+SwitchResult SoftwareSwitch::process(const net::ParsedPacket& pkt,
+                                     std::uint64_t now_us) {
+  SwitchResult result;
+  if (auto action = table_.process(pkt, now_us)) {
+    ++fast_;
+    result.action = *action;
+    result.path = SwitchPath::kFastPath;
+    result.reason = "flow-entry";
+    return result;
+  }
+
+  ++slow_;
+  PacketInDecision decision = controller_.packet_in(pkt, now_us);
+  if (decision.flow_to_install) {
+    table_.install(std::move(*decision.flow_to_install), now_us);
+  }
+  result.action = decision.action;
+  result.path = SwitchPath::kSlowPath;
+  result.reason = decision.reason;
+  return result;
+}
+
+}  // namespace iotsentinel::sdn

@@ -1,0 +1,61 @@
+// Open vSwitch-style software switch with an OpenFlow-ish fast/slow path.
+//
+// Packets are first matched against the local flow table (fast path); a
+// table miss raises a packet-in to the attached controller, whose decision
+// is applied and whose returned flow entry, if any, is installed so the
+// rest of the flow stays on the fast path. Per-path counters feed the
+// latency model of the network simulator (controller round-trips cost
+// more than fast-path switching).
+#pragma once
+
+#include <cstdint>
+
+#include "sdn/controller.hpp"
+#include "sdn/flow_table.hpp"
+
+namespace iotsentinel::sdn {
+
+/// How a packet traversed the switch (cost model input).
+enum class SwitchPath {
+  kFastPath,    // matched an installed flow entry
+  kSlowPath,    // controller round-trip (packet-in)
+};
+
+/// Result of pushing one packet through the switch.
+struct SwitchResult {
+  FlowAction action = FlowAction::kDrop;
+  SwitchPath path = SwitchPath::kFastPath;
+  const char* reason = "";
+};
+
+/// The data-plane element of the Security Gateway.
+class SoftwareSwitch {
+ public:
+  explicit SoftwareSwitch(Controller& controller) : controller_(controller) {}
+
+  /// Switches one packet at virtual time `now_us`.
+  SwitchResult process(const net::ParsedPacket& pkt, std::uint64_t now_us);
+
+  /// Expires idle flow entries (call periodically from the simulator).
+  std::size_t expire_flows(std::uint64_t now_us) {
+    return table_.expire(now_us);
+  }
+
+  /// Flushes all flows installed for a device (rule change / departure).
+  std::size_t flush_device(const net::MacAddress& device) {
+    return table_.remove_by_cookie(device.to_u64());
+  }
+
+  [[nodiscard]] FlowTable& table() { return table_; }
+  [[nodiscard]] const FlowTable& table() const { return table_; }
+  [[nodiscard]] std::uint64_t fast_path_packets() const { return fast_; }
+  [[nodiscard]] std::uint64_t slow_path_packets() const { return slow_; }
+
+ private:
+  Controller& controller_;
+  FlowTable table_;
+  std::uint64_t fast_ = 0;
+  std::uint64_t slow_ = 0;
+};
+
+}  // namespace iotsentinel::sdn

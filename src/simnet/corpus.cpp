@@ -1,0 +1,77 @@
+#include "simnet/corpus.hpp"
+
+#include "fingerprint/extractor.hpp"
+#include "simnet/traffic_generator.hpp"
+
+namespace iotsentinel::sim {
+namespace {
+
+FingerprintCorpus generate(const std::vector<const DeviceProfile*>& profiles,
+                           std::size_t runs_per_type, std::uint64_t seed) {
+  FingerprintCorpus corpus;
+  TrafficGenerator generator;
+  ml::Rng master(seed);
+  std::uint32_t instance = 1;
+  for (const auto* profile : profiles) {
+    corpus.type_names.push_back(profile->name);
+    auto& runs = corpus.by_type.emplace_back();
+    runs.reserve(runs_per_type);
+    for (std::size_t r = 0; r < runs_per_type; ++r) {
+      ml::Rng run_rng = master.fork();
+      const net::MacAddress mac =
+          TrafficGenerator::mint_mac(*profile, instance++);
+      const net::Ipv4Address ip = net::Ipv4Address::of(
+          192, 168, 0, static_cast<std::uint8_t>(2 + run_rng.index(250)));
+      const auto frames = generator.generate(*profile, mac, ip, run_rng);
+      const auto packets = parse_frames(frames);
+      runs.push_back(fp::fingerprint_from_packets(packets));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace
+
+FingerprintCorpus generate_standby_corpus(std::size_t runs_per_type,
+                                          std::uint64_t seed,
+                                          std::size_t cycles) {
+  FingerprintCorpus corpus;
+  TrafficGenerator generator;
+  ml::Rng master(seed);
+  std::uint32_t instance = 60'000;
+  for (const auto& profile : device_catalog()) {
+    corpus.type_names.push_back(profile.name);
+    auto& runs = corpus.by_type.emplace_back();
+    runs.reserve(runs_per_type);
+    for (std::size_t r = 0; r < runs_per_type; ++r) {
+      ml::Rng run_rng = master.fork();
+      const net::MacAddress mac =
+          TrafficGenerator::mint_mac(profile, instance++);
+      const net::Ipv4Address ip = net::Ipv4Address::of(
+          192, 168, 0, static_cast<std::uint8_t>(2 + run_rng.index(250)));
+      const auto frames =
+          generator.generate_standby(profile, mac, ip, cycles, run_rng);
+      runs.push_back(fp::fingerprint_from_packets(parse_frames(frames)));
+    }
+  }
+  return corpus;
+}
+
+FingerprintCorpus generate_corpus(std::size_t runs_per_type,
+                                  std::uint64_t seed) {
+  std::vector<const DeviceProfile*> profiles;
+  for (const auto& p : device_catalog()) profiles.push_back(&p);
+  return generate(profiles, runs_per_type, seed);
+}
+
+FingerprintCorpus generate_corpus_for(const std::vector<std::string>& names,
+                                      std::size_t runs_per_type,
+                                      std::uint64_t seed) {
+  std::vector<const DeviceProfile*> profiles;
+  for (const auto& name : names) {
+    if (const auto* p = find_profile(name)) profiles.push_back(p);
+  }
+  return generate(profiles, runs_per_type, seed);
+}
+
+}  // namespace iotsentinel::sim

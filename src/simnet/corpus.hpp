@@ -1,0 +1,47 @@
+// Fingerprint corpus generation: the simulated counterpart of the paper's
+// dataset of 540 fingerprints (27 device-types x 20 setup captures).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fingerprint/fingerprint.hpp"
+#include "simnet/device_catalog.hpp"
+
+namespace iotsentinel::sim {
+
+/// Per-type fingerprint collections.
+struct FingerprintCorpus {
+  /// Device-type names, catalog order.
+  std::vector<std::string> type_names;
+  /// by_type[t][r] = fingerprint F of run r of type t.
+  std::vector<std::vector<fp::Fingerprint>> by_type;
+
+  [[nodiscard]] std::size_t num_types() const { return type_names.size(); }
+  [[nodiscard]] std::size_t total() const {
+    std::size_t n = 0;
+    for (const auto& v : by_type) n += v.size();
+    return n;
+  }
+};
+
+/// Generates `runs_per_type` setup captures for every catalog device-type
+/// (each run = fresh traffic generation -> parse -> feature extraction ->
+/// F), deterministically from `seed`.
+FingerprintCorpus generate_corpus(std::size_t runs_per_type = 20,
+                                  std::uint64_t seed = 42);
+
+/// Generates captures for a subset of device-types (by catalog name).
+FingerprintCorpus generate_corpus_for(const std::vector<std::string>& names,
+                                      std::size_t runs_per_type,
+                                      std::uint64_t seed);
+
+/// Standby-traffic corpus for the legacy-installation extension (paper
+/// Sect. VIII-A): each "run" is a window of `cycles` operational cycles of
+/// the device's standby behaviour instead of a setup dialogue.
+FingerprintCorpus generate_standby_corpus(std::size_t runs_per_type,
+                                          std::uint64_t seed,
+                                          std::size_t cycles = 3);
+
+}  // namespace iotsentinel::sim

@@ -1,0 +1,113 @@
+// Behavioural device models: scripted setup-phase dialogues.
+//
+// The paper collected 20 real setup captures per device-type; we replace
+// the physical devices with per-type scripts. Each script is an ordered
+// list of SetupSteps (WPA2 handshake, DHCP, discovery, cloud check-in...)
+// with stochastic knobs (skip probabilities, repeat jitter, timing jitter,
+// retransmissions). Device-types the paper found mutually confusable share
+// the same script, mirroring their identical hardware/firmware; everyone
+// else differs in protocol mix, peer order, and message sizes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ip_address.hpp"
+
+namespace iotsentinel::sim {
+
+/// One unit of setup behaviour; expands to one or more packets.
+enum class StepKind {
+  /// 802.1X/WPA2: EAPoL-Start + two visible EAPoL-Key frames.
+  kEapolHandshake,
+  /// DHCP DISCOVER + REQUEST (client side of the exchange).
+  kDhcpExchange,
+  /// ARP probe for the own address + gratuitous ARP announcement.
+  kArpAnnounce,
+  /// ARP request for the default gateway.
+  kArpGateway,
+  /// ICMPv6 router solicitation (IPv6-enabled stacks).
+  kIpv6RouterSolicit,
+  /// MLDv1 report joining the solicited-node group (hop-by-hop router
+  /// alert => exercises both IPv6 option features).
+  kMldReport,
+  /// IGMPv2 join (IPv4 router alert + padding options).
+  kIgmpJoin,
+  /// DNS A query for `host` to the gateway resolver.
+  kDnsQuery,
+  /// NTP client request to `remote`.
+  kNtpSync,
+  /// mDNS announcement of service `host`.
+  kMdnsAnnounce,
+  /// SSDP M-SEARCH for target `host`.
+  kSsdpSearch,
+  /// SSDP NOTIFY alive with LOCATION built from `host`.
+  kSsdpNotify,
+  /// TCP SYN + HTTP GET to `remote` (`host` = Host header, `path` below).
+  kHttpCloudCheck,
+  /// TCP SYN + TLS ClientHello to `remote`:443 with SNI `host`.
+  kHttpsCloudCheck,
+  /// Bare TCP SYN to `remote`:`port` (proprietary cloud protocols).
+  kTcpConnect,
+  /// ICMP echo request to `remote` (connectivity probe).
+  kIcmpPing,
+};
+
+/// One scripted step with its stochastic knobs.
+struct SetupStep {
+  StepKind kind = StepKind::kDhcpExchange;
+  /// Hostname / SNI / mDNS service / SSDP target, as the kind requires.
+  std::string host;
+  /// HTTP path for kHttpCloudCheck.
+  std::string path = "/";
+  /// Remote endpoint for cloud/NTP/ping steps.
+  net::Ipv4Address remote;
+  /// TCP port for kTcpConnect.
+  std::uint16_t port = 0;
+  /// Base number of times the step's packets are emitted.
+  int repeat = 1;
+  /// Up to this many extra repeats, uniformly sampled.
+  int repeat_jitter = 0;
+  /// Probability the whole step is skipped in a given run.
+  double skip_prob = 0.0;
+  /// Mean pause before the step starts, milliseconds.
+  double gap_ms = 50.0;
+};
+
+/// A device-type's complete behavioural profile.
+struct DeviceProfile {
+  /// Table-II identifier, e.g. "D-LinkSiren".
+  std::string name;
+  /// Table-II model string, e.g. "D-Link Siren DCH-S220".
+  std::string model;
+  /// Script executed when the device is introduced to the network.
+  std::vector<SetupStep> steps;
+  /// One standby/operation cycle (heartbeats, cloud keepalives, periodic
+  /// NTP, service re-announcements). Used by the legacy-installation
+  /// extension (paper Sect. VIII-A): fingerprinting devices that are
+  /// already connected from their operational traffic. Populated by the
+  /// catalog, derived from the device's own services and cloud endpoints.
+  std::vector<SetupStep> standby_steps;
+  /// True when the device has a communication channel the gateway cannot
+  /// control (Bluetooth, LTE, proprietary RF) — triggers the paper's
+  /// user-notification mitigation when the device is also vulnerable.
+  bool has_uncontrolled_channel = false;
+  /// Vendor DHCP parameter-request list (option 55) — vendors differ, and
+  /// the difference shows up in the packet-size feature.
+  std::vector<std::uint8_t> dhcp_params{1, 3, 6, 15};
+  /// DHCP hostname (option 12) the device announces; empty = none. Real
+  /// devices commonly send a model-specific name, which the gateway's
+  /// device inventory surfaces to the user.
+  std::string dhcp_hostname;
+  /// Probability that any emitted packet is immediately retransmitted
+  /// (exercises the consecutive-duplicate removal of Eq. (1)).
+  double retransmit_prob = 0.05;
+  /// Mean intra-step gap between packets, milliseconds.
+  double intra_gap_ms = 8.0;
+  /// Locally administered OUI prefix used when minting instance MACs.
+  std::array<std::uint8_t, 3> oui{0x02, 0x00, 0x00};
+};
+
+}  // namespace iotsentinel::sim

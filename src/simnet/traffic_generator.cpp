@@ -1,0 +1,249 @@
+#include "simnet/traffic_generator.hpp"
+
+#include "net/parser.hpp"
+#include "net/protocols.hpp"
+
+namespace iotsentinel::sim {
+namespace {
+
+/// Exponential-ish jitter around a mean, bounded to [0.3, 3] x mean so
+/// captures never stall.
+std::uint64_t jitter_us(double mean_ms, ml::Rng& rng) {
+  const double factor = 0.3 + 2.7 * rng.uniform() * rng.uniform();
+  return static_cast<std::uint64_t>(mean_ms * factor * 1000.0);
+}
+
+}  // namespace
+
+TrafficGenerator::TrafficGenerator(GeneratorConfig config)
+    : config_(config) {}
+
+net::MacAddress TrafficGenerator::mint_mac(const DeviceProfile& profile,
+                                           std::uint32_t instance) {
+  return net::MacAddress::of(profile.oui[0], profile.oui[1], profile.oui[2],
+                             static_cast<std::uint8_t>(instance >> 16),
+                             static_cast<std::uint8_t>(instance >> 8),
+                             static_cast<std::uint8_t>(instance));
+}
+
+void TrafficGenerator::push(std::vector<TimedFrame>& out,
+                            std::uint64_t& now_us, net::Bytes frame,
+                            const DeviceProfile& profile, ml::Rng& rng) {
+  out.push_back({now_us, frame});
+  // Occasional immediate retransmission of the same frame (lossy WiFi
+  // during setup) — discarded later by Eq. (1)'s duplicate removal, but it
+  // exercises that code path and perturbs setup-phase duration.
+  if (rng.chance(profile.retransmit_prob)) {
+    now_us += jitter_us(2.0, rng);
+    out.push_back({now_us, std::move(frame)});
+  }
+  now_us += jitter_us(profile.intra_gap_ms, rng);
+}
+
+void TrafficGenerator::emit_step(const DeviceProfile& profile,
+                                 const SetupStep& step,
+                                 const net::MacAddress& mac,
+                                 net::Ipv4Address ip, std::uint64_t& now_us,
+                                 ml::Rng& rng, std::vector<TimedFrame>& out) {
+  using namespace iotsentinel::net;
+  const MacAddress gw_mac = config_.gateway_mac;
+  const Ipv4Address gw_ip = config_.gateway_ip;
+  // Ephemeral source port for this step's client sockets; class stays
+  // "dynamic" but the value varies run to run like a real stack.
+  const auto eph = static_cast<std::uint16_t>(49152 + rng.index(16384));
+
+  switch (step.kind) {
+    case StepKind::kEapolHandshake: {
+      push(out, now_us, build_eapol(mac, gw_mac, eapoltype::kStart, {}),
+           profile, rng);
+      push(out, now_us, build_eapol_key(mac, gw_mac), profile, rng);
+      push(out, now_us, build_eapol_key(mac, gw_mac), profile, rng);
+      break;
+    }
+    case StepKind::kDhcpExchange: {
+      const auto xid = static_cast<std::uint32_t>(rng.next_u64());
+      push(out, now_us,
+           build_dhcp(mac, dhcptype::kDiscover, xid, Ipv4Address::any(),
+                      profile.dhcp_params, profile.dhcp_hostname),
+           profile, rng);
+      push(out, now_us,
+           build_dhcp(mac, dhcptype::kRequest, xid, Ipv4Address::any(),
+                      profile.dhcp_params, profile.dhcp_hostname),
+           profile, rng);
+      break;
+    }
+    case StepKind::kArpAnnounce: {
+      push(out, now_us, build_arp_request(mac, Ipv4Address::any(), ip),
+           profile, rng);
+      push(out, now_us, build_gratuitous_arp(mac, ip), profile, rng);
+      break;
+    }
+    case StepKind::kArpGateway: {
+      push(out, now_us, build_arp_request(mac, ip, gw_ip), profile, rng);
+      break;
+    }
+    case StepKind::kIpv6RouterSolicit: {
+      push(out, now_us, build_icmpv6_router_solicit(mac), profile, rng);
+      break;
+    }
+    case StepKind::kMldReport: {
+      push(out, now_us, build_mldv1_report(mac), profile, rng);
+      break;
+    }
+    case StepKind::kIgmpJoin: {
+      push(out, now_us,
+           build_igmp_join(mac, ip, Ipv4Address::of(239, 255, 255, 250)),
+           profile, rng);
+      break;
+    }
+    case StepKind::kDnsQuery: {
+      push(out, now_us,
+           build_dns_query(mac, gw_mac, ip, gw_ip, eph,
+                           static_cast<std::uint16_t>(rng.next_u64()),
+                           step.host),
+           profile, rng);
+      break;
+    }
+    case StepKind::kNtpSync: {
+      push(out, now_us, build_ntp_request(mac, gw_mac, ip, step.remote, eph),
+           profile, rng);
+      break;
+    }
+    case StepKind::kMdnsAnnounce: {
+      push(out, now_us, build_mdns(mac, ip, step.host, /*is_response=*/true),
+           profile, rng);
+      break;
+    }
+    case StepKind::kSsdpSearch: {
+      push(out, now_us, build_ssdp_msearch(mac, ip, eph, step.host), profile,
+           rng);
+      break;
+    }
+    case StepKind::kSsdpNotify: {
+      push(out, now_us,
+           build_ssdp_notify(mac, ip,
+                             "http://" + ip.to_string() + ":49153/" +
+                                 step.host + ".xml",
+                             step.host + " UPnP/1.0"),
+           profile, rng);
+      break;
+    }
+    case StepKind::kHttpCloudCheck: {
+      push(out, now_us,
+           build_tcp_syn(mac, gw_mac, ip, step.remote, eph, port::kHttp,
+                         static_cast<std::uint32_t>(rng.next_u64())),
+           profile, rng);
+      push(out, now_us,
+           build_http_get(mac, gw_mac, ip, step.remote, eph, step.host,
+                          step.path, profile.name + "/1.0"),
+           profile, rng);
+      break;
+    }
+    case StepKind::kHttpsCloudCheck: {
+      push(out, now_us,
+           build_tcp_syn(mac, gw_mac, ip, step.remote, eph, port::kHttps,
+                         static_cast<std::uint32_t>(rng.next_u64())),
+           profile, rng);
+      push(out, now_us,
+           build_tls_client_hello(mac, gw_mac, ip, step.remote, eph,
+                                  step.host),
+           profile, rng);
+      break;
+    }
+    case StepKind::kTcpConnect: {
+      push(out, now_us,
+           build_tcp_syn(mac, gw_mac, ip, step.remote, eph, step.port,
+                         static_cast<std::uint32_t>(rng.next_u64())),
+           profile, rng);
+      break;
+    }
+    case StepKind::kIcmpPing: {
+      push(out, now_us,
+           build_icmp_echo(mac, gw_mac, ip, step.remote,
+                           static_cast<std::uint16_t>(rng.next_u64()), 1),
+           profile, rng);
+      break;
+    }
+  }
+}
+
+std::vector<TimedFrame> TrafficGenerator::generate(
+    const DeviceProfile& profile, const net::MacAddress& device_mac,
+    net::Ipv4Address device_ip, ml::Rng& rng) {
+  std::vector<TimedFrame> out;
+  std::uint64_t now_us = config_.start_time_us;
+
+  for (const auto& step : profile.steps) {
+    if (step.skip_prob > 0.0 && rng.chance(step.skip_prob)) continue;
+    now_us += jitter_us(step.gap_ms, rng);
+    int occurrences = step.repeat;
+    if (step.repeat_jitter > 0) {
+      occurrences += static_cast<int>(
+          rng.index(static_cast<std::size_t>(step.repeat_jitter) + 1));
+    }
+    for (int i = 0; i < occurrences; ++i) {
+      emit_step(profile, step, device_mac, device_ip, now_us, rng, out);
+    }
+  }
+
+  // Optional operational-phase heartbeats at a much lower rate; the
+  // extractor's rate-decrease detector must cut these off.
+  for (std::size_t i = 0; i < config_.trailing_heartbeats; ++i) {
+    now_us += config_.heartbeat_gap_us + jitter_us(500.0, rng);
+    out.push_back({now_us, net::build_arp_request(device_mac, device_ip,
+                                                  config_.gateway_ip)});
+  }
+  return out;
+}
+
+std::vector<TimedFrame> TrafficGenerator::generate_standby(
+    const DeviceProfile& profile, const net::MacAddress& device_mac,
+    net::Ipv4Address device_ip, std::size_t cycles, ml::Rng& rng,
+    std::uint64_t cycle_gap_us) {
+  std::vector<TimedFrame> out;
+  std::uint64_t now_us = config_.start_time_us;
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    for (const auto& step : profile.standby_steps) {
+      if (step.skip_prob > 0.0 && rng.chance(step.skip_prob)) continue;
+      now_us += jitter_us(step.gap_ms, rng);
+      int occurrences = step.repeat;
+      if (step.repeat_jitter > 0) {
+        occurrences += static_cast<int>(
+            rng.index(static_cast<std::size_t>(step.repeat_jitter) + 1));
+      }
+      for (int i = 0; i < occurrences; ++i) {
+        emit_step(profile, step, device_mac, device_ip, now_us, rng, out);
+      }
+    }
+    // Quiet period until the next operational cycle.
+    now_us += cycle_gap_us / 2 + rng.index(cycle_gap_us);
+  }
+  return out;
+}
+
+net::PcapFile TrafficGenerator::generate_pcap(const DeviceProfile& profile,
+                                              const net::MacAddress& mac,
+                                              net::Ipv4Address ip,
+                                              ml::Rng& rng) {
+  net::PcapFile file;
+  for (auto& tf : generate(profile, mac, ip, rng)) {
+    net::PcapRecord rec;
+    rec.timestamp_us = tf.timestamp_us;
+    rec.orig_len = static_cast<std::uint32_t>(tf.frame.size());
+    rec.frame = std::move(tf.frame);
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+std::vector<net::ParsedPacket> parse_frames(
+    const std::vector<TimedFrame>& frames) {
+  std::vector<net::ParsedPacket> out;
+  out.reserve(frames.size());
+  for (const auto& tf : frames) {
+    out.push_back(net::parse_ethernet_frame(tf.frame, tf.timestamp_us));
+  }
+  return out;
+}
+
+}  // namespace iotsentinel::sim

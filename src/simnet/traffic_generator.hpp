@@ -1,0 +1,94 @@
+// Executes a DeviceProfile into a timestamped sequence of real wire-format
+// frames — the simulated equivalent of one tcpdump setup capture.
+//
+// All stochasticity (skips, repeat jitter, retransmissions, timing) comes
+// from the caller-provided Rng, so the same seed reproduces the same
+// capture byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/rng.hpp"
+#include "net/builder.hpp"
+#include "net/mac_address.hpp"
+#include "net/packet.hpp"
+#include "net/pcap.hpp"
+#include "simnet/device_model.hpp"
+
+namespace iotsentinel::sim {
+
+/// One generated frame with its virtual capture time.
+struct TimedFrame {
+  std::uint64_t timestamp_us = 0;
+  net::Bytes frame;
+};
+
+/// Generation knobs independent of the device profile.
+struct GeneratorConfig {
+  /// The gateway's addresses (DHCP server, resolver, default router).
+  net::MacAddress gateway_mac =
+      net::MacAddress::of(0x02, 0x47, 0x57, 0x00, 0x00, 0x01);
+  net::Ipv4Address gateway_ip = net::Ipv4Address::of(192, 168, 0, 1);
+  /// Subnet devices draw their leased addresses from (192.168.0.x).
+  net::Ipv4Address subnet_base = net::Ipv4Address::of(192, 168, 0, 0);
+  /// Virtual time at which the capture starts.
+  std::uint64_t start_time_us = 0;
+  /// Appends low-rate operational heartbeat packets after the setup burst
+  /// (for testing setup-phase end detection). Number of heartbeats:
+  std::size_t trailing_heartbeats = 0;
+  /// Gap between heartbeats, microseconds.
+  std::uint64_t heartbeat_gap_us = 30'000'000;
+};
+
+/// Generates setup captures from device profiles.
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(GeneratorConfig config = {});
+
+  /// Mints a deterministic per-instance MAC from the profile's OUI and an
+  /// instance number.
+  static net::MacAddress mint_mac(const DeviceProfile& profile,
+                                  std::uint32_t instance);
+
+  /// Produces one setup capture for `profile`. `rng` drives every random
+  /// choice; `device_mac`/`device_ip` identify this instance.
+  std::vector<TimedFrame> generate(const DeviceProfile& profile,
+                                   const net::MacAddress& device_mac,
+                                   net::Ipv4Address device_ip, ml::Rng& rng);
+
+  /// Convenience: run `generate` and wrap the result as a pcap image.
+  net::PcapFile generate_pcap(const DeviceProfile& profile,
+                              const net::MacAddress& device_mac,
+                              net::Ipv4Address device_ip, ml::Rng& rng);
+
+  /// Produces `cycles` standby/operation cycles of the profile's
+  /// `standby_steps`, separated by long quiet periods (`cycle_gap_us`
+  /// +-50% jitter). This is the traffic a legacy installation's gateway
+  /// observes from already-connected devices (paper Sect. VIII-A).
+  std::vector<TimedFrame> generate_standby(const DeviceProfile& profile,
+                                           const net::MacAddress& device_mac,
+                                           net::Ipv4Address device_ip,
+                                           std::size_t cycles, ml::Rng& rng,
+                                           std::uint64_t cycle_gap_us =
+                                               60'000'000);
+
+ private:
+  /// Emits the packets of one step occurrence into `out`.
+  void emit_step(const DeviceProfile& profile, const SetupStep& step,
+                 const net::MacAddress& mac, net::Ipv4Address ip,
+                 std::uint64_t& now_us, ml::Rng& rng,
+                 std::vector<TimedFrame>& out);
+
+  void push(std::vector<TimedFrame>& out, std::uint64_t& now_us,
+            net::Bytes frame, const DeviceProfile& profile, ml::Rng& rng);
+
+  GeneratorConfig config_;
+};
+
+/// Parses a generated capture back into ParsedPackets (what the gateway's
+/// monitoring module would see).
+std::vector<net::ParsedPacket> parse_frames(
+    const std::vector<TimedFrame>& frames);
+
+}  // namespace iotsentinel::sim

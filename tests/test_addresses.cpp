@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+
+namespace iotsentinel::net {
+namespace {
+
+TEST(MacAddress, ParseAndFormatRoundTrip) {
+  auto mac = MacAddress::parse("13:73:74:7e:a9:c2");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "13:73:74:7e:a9:c2");
+  EXPECT_EQ(mac->to_rule_string(), "13-73-74-7E-A9-C2");
+}
+
+TEST(MacAddress, ParseAcceptsDashesAndUppercase) {
+  auto mac = MacAddress::parse("AA-BB-CC-DD-EE-FF");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(*mac, MacAddress::of(0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff));
+}
+
+TEST(MacAddress, ParseRejectsGarbage) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("aa:bb:cc:dd:ee").has_value());
+  EXPECT_FALSE(MacAddress::parse("aa:bb:cc:dd:ee:fg").has_value());
+  EXPECT_FALSE(MacAddress::parse("aabbccddeeff0011").has_value());
+  EXPECT_FALSE(MacAddress::parse("aa.bb.cc.dd.ee.ff").has_value());
+}
+
+TEST(MacAddress, ClassificationBits) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+  EXPECT_TRUE(MacAddress::of(0x01, 0x00, 0x5e, 1, 2, 3).is_multicast());
+  EXPECT_FALSE(MacAddress::of(0x02, 0, 0, 0, 0, 1).is_multicast());
+  EXPECT_TRUE(MacAddress().is_zero());
+}
+
+TEST(MacAddress, HashDistributesDistinctKeys) {
+  std::unordered_set<MacAddress> set;
+  for (int i = 0; i < 1000; ++i) {
+    set.insert(MacAddress::of(0x02, 0, 0, 0,
+                              static_cast<std::uint8_t>(i >> 8),
+                              static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+TEST(Ipv4Address, ParseAndFormat) {
+  auto ip = Ipv4Address::parse("192.168.0.17");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "192.168.0.17");
+  EXPECT_EQ(*ip, Ipv4Address::of(192, 168, 0, 17));
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("192.168.0").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("192.168.0.256").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4Address, RangeClassification) {
+  EXPECT_TRUE(Ipv4Address::of(10, 1, 2, 3).is_private());
+  EXPECT_TRUE(Ipv4Address::of(172, 16, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address::of(172, 31, 255, 1).is_private());
+  EXPECT_FALSE(Ipv4Address::of(172, 32, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address::of(192, 168, 255, 255).is_private());
+  EXPECT_FALSE(Ipv4Address::of(8, 8, 8, 8).is_private());
+  EXPECT_TRUE(Ipv4Address::of(224, 0, 0, 251).is_multicast());
+  EXPECT_TRUE(Ipv4Address::of(239, 255, 255, 250).is_multicast());
+  EXPECT_FALSE(Ipv4Address::of(223, 255, 255, 255).is_multicast());
+  EXPECT_TRUE(Ipv4Address::broadcast().is_broadcast());
+}
+
+TEST(Ipv6Address, LinkLocalFromMacUsesEui64) {
+  const auto mac = MacAddress::of(0x02, 0x11, 0x22, 0x33, 0x44, 0x55);
+  const auto ll = Ipv6Address::link_local_from_mac(mac.octets());
+  const auto& o = ll.octets();
+  EXPECT_EQ(o[0], 0xfe);
+  EXPECT_EQ(o[1], 0x80);
+  EXPECT_EQ(o[8], 0x00);  // U/L bit flipped: 0x02 ^ 0x02
+  EXPECT_EQ(o[11], 0xff);
+  EXPECT_EQ(o[12], 0xfe);
+  EXPECT_EQ(o[15], 0x55);
+}
+
+TEST(Ipv6Address, MulticastDetection) {
+  EXPECT_TRUE(Ipv6Address::all_nodes().is_multicast());
+  EXPECT_TRUE(Ipv6Address::all_routers().is_multicast());
+  EXPECT_FALSE(Ipv6Address::link_local_from_mac({0, 1, 2, 3, 4, 5})
+                   .is_multicast());
+}
+
+TEST(IpAddress, VariantDispatchAndHash) {
+  IpAddress v4 = Ipv4Address::of(1, 2, 3, 4);
+  IpAddress v6 = Ipv6Address::all_nodes();
+  EXPECT_TRUE(v4.is_v4());
+  EXPECT_TRUE(v6.is_v6());
+  EXPECT_NE(v4, v6);
+  std::unordered_set<IpAddress> set{v4, v6, v4};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(IpAddress, OrderingIsConsistent) {
+  IpAddress a = Ipv4Address::of(1, 2, 3, 4);
+  IpAddress b = Ipv4Address::of(1, 2, 3, 5);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, IpAddress(Ipv4Address::of(1, 2, 3, 4)));
+}
+
+}  // namespace
+}  // namespace iotsentinel::net

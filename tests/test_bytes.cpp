@@ -1,0 +1,105 @@
+#include "net/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotsentinel::net {
+namespace {
+
+TEST(ByteReader, ReadsBigEndianScalars) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07};
+  ByteReader r(data);
+  EXPECT_EQ(r.u8(), 0x01);
+  EXPECT_EQ(r.u16be(), 0x0203);
+  EXPECT_EQ(r.u32be(), 0x04050607u);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, ReadsLittleEndianScalars) {
+  const std::uint8_t data[] = {0xd4, 0xc3, 0xb2, 0xa1, 0x34, 0x12};
+  ByteReader r(data);
+  EXPECT_EQ(r.u32le(), 0xa1b2c3d4u);
+  EXPECT_EQ(r.u16le(), 0x1234);
+}
+
+TEST(ByteReader, FailsWithoutAdvancingOnTruncation) {
+  const std::uint8_t data[] = {0xaa};
+  ByteReader r(data);
+  EXPECT_FALSE(r.u16be().has_value());
+  EXPECT_EQ(r.remaining(), 1u);  // cursor unchanged
+  EXPECT_EQ(r.u8(), 0xaa);
+}
+
+TEST(ByteReader, BytesViewAndSkip) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  auto view = r.bytes(3);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ((*view)[2], 3);
+  EXPECT_FALSE(r.skip(5));
+  EXPECT_TRUE(r.skip(2));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, PeekRestDoesNotConsume) {
+  const std::uint8_t data[] = {9, 8, 7};
+  ByteReader r(data);
+  ASSERT_TRUE(r.skip(1));
+  EXPECT_EQ(r.peek_rest().size(), 2u);
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(ByteWriter, RoundTripsThroughReader) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16be(0x1234);
+  w.u32be(0xdeadbeef);
+  w.u32le(0xcafebabe);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16be(), 0x1234);
+  EXPECT_EQ(r.u32be(), 0xdeadbeefu);
+  EXPECT_EQ(r.u32le(), 0xcafebabeu);
+}
+
+TEST(ByteWriter, PatchU16FixesEarlierField) {
+  ByteWriter w;
+  w.u16be(0);
+  w.bytes(std::string("xyz"));
+  w.patch_u16be(0, 3);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u16be(), 3);
+}
+
+TEST(ByteWriter, PadAppendsFill) {
+  ByteWriter w;
+  w.pad(4, 0x55);
+  ASSERT_EQ(w.size(), 4u);
+  for (auto b : w.data()) EXPECT_EQ(b, 0x55);
+}
+
+TEST(InternetChecksum, MatchesKnownVector) {
+  // Classic RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> 0x220d.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::uint8_t even[] = {0x12, 0x34, 0x56, 0x00};
+  const std::uint8_t odd[] = {0x12, 0x34, 0x56};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(InternetChecksum, ValidatedMessageSumsToZero) {
+  // A message with its own checksum embedded verifies to 0xffff complement.
+  std::vector<std::uint8_t> msg = {0x45, 0x00, 0x00, 0x1c, 0x00, 0x00,
+                                   0x40, 0x00, 0x40, 0x11, 0x00, 0x00,
+                                   0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8,
+                                   0x00, 0x02};
+  const std::uint16_t csum = internet_checksum(msg);
+  msg[10] = static_cast<std::uint8_t>(csum >> 8);
+  msg[11] = static_cast<std::uint8_t>(csum & 0xff);
+  EXPECT_EQ(internet_checksum(msg), 0);
+}
+
+}  // namespace
+}  // namespace iotsentinel::net

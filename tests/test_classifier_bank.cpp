@@ -1,0 +1,137 @@
+#include "core/classifier_bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simnet/corpus.hpp"
+
+namespace iotsentinel::core {
+namespace {
+
+/// Small corpus over a few clearly distinct device-types.
+sim::FingerprintCorpus distinct_corpus() {
+  return sim::generate_corpus_for(
+      {"Aria", "HueBridge", "MAXGateway", "WeMoLink"}, 12, 77);
+}
+
+std::vector<std::vector<fp::FixedFingerprint>> to_fixed(
+    const sim::FingerprintCorpus& corpus) {
+  std::vector<std::vector<fp::FixedFingerprint>> out;
+  for (const auto& runs : corpus.by_type) {
+    auto& fixed = out.emplace_back();
+    for (const auto& f : runs) fixed.push_back(f.to_fixed());
+  }
+  return out;
+}
+
+TEST(ClassifierBank, AcceptsOwnTypeRejectsOthers) {
+  const auto corpus = distinct_corpus();
+  const auto fixed = to_fixed(corpus);
+  ClassifierBank bank;
+  bank.train(corpus.type_names, fixed);
+  ASSERT_EQ(bank.num_types(), 4u);
+
+  // Every training fingerprint should be accepted by (at least) its own
+  // classifier, and for clearly distinct types mostly only by it.
+  for (std::size_t t = 0; t < fixed.size(); ++t) {
+    std::size_t own_accepts = 0;
+    std::size_t foreign_accepts = 0;
+    for (const auto& f : fixed[t]) {
+      const auto accepted = bank.accepted(f);
+      for (std::size_t a : accepted) {
+        if (a == t) {
+          ++own_accepts;
+        } else {
+          ++foreign_accepts;
+        }
+      }
+    }
+    EXPECT_GE(own_accepts, fixed[t].size() - 1) << corpus.type_names[t];
+    EXPECT_LE(foreign_accepts, 2u) << corpus.type_names[t];
+  }
+}
+
+TEST(ClassifierBank, ScoresAreProbabilities) {
+  const auto corpus = distinct_corpus();
+  const auto fixed = to_fixed(corpus);
+  ClassifierBank bank;
+  bank.train(corpus.type_names, fixed);
+  const auto scores = bank.scores(fixed[0][0]);
+  ASSERT_EQ(scores.size(), 4u);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  EXPECT_GT(scores[0], 0.5);  // own type confidently accepted
+}
+
+TEST(ClassifierBank, ScoreOneMatchesScores) {
+  const auto corpus = distinct_corpus();
+  const auto fixed = to_fixed(corpus);
+  ClassifierBank bank;
+  bank.train(corpus.type_names, fixed);
+  const auto all = bank.scores(fixed[1][3]);
+  for (std::size_t t = 0; t < bank.num_types(); ++t) {
+    EXPECT_DOUBLE_EQ(bank.score_one(t, fixed[1][3]), all[t]);
+  }
+}
+
+TEST(ClassifierBank, AddTypeExtendsBankIncrementally) {
+  auto corpus = distinct_corpus();
+  auto fixed = to_fixed(corpus);
+
+  // Train on the first three types only.
+  std::vector<std::string> names3(corpus.type_names.begin(),
+                                  corpus.type_names.end() - 1);
+  std::vector<std::vector<fp::FixedFingerprint>> fixed3(fixed.begin(),
+                                                        fixed.end() - 1);
+  ClassifierBank bank;
+  bank.train(names3, fixed3);
+  EXPECT_EQ(bank.num_types(), 3u);
+
+  // Snapshot existing classifiers' behaviour on a probe.
+  const auto probe = fixed[0][0];
+  const auto before = bank.scores(probe);
+
+  // Add the fourth type; existing classifiers must be untouched.
+  std::vector<const fp::FixedFingerprint*> negative_pool;
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (const auto& f : fixed[t]) negative_pool.push_back(&f);
+  }
+  const std::size_t idx = bank.add_type(corpus.type_names[3], fixed[3],
+                                        negative_pool);
+  EXPECT_EQ(idx, 3u);
+  EXPECT_EQ(bank.num_types(), 4u);
+  const auto after = bank.scores(probe);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(before[t], after[t]) << "classifier " << t << " changed";
+  }
+  // And the new classifier recognises its own type.
+  EXPECT_GT(bank.score_one(3, fixed[3][0]), 0.5);
+}
+
+TEST(ClassifierBank, AddTypeRetrainsExistingName) {
+  const auto corpus = distinct_corpus();
+  const auto fixed = to_fixed(corpus);
+  ClassifierBank bank;
+  bank.train(corpus.type_names, fixed);
+  std::vector<const fp::FixedFingerprint*> pool;
+  for (const auto& f : fixed[1]) pool.push_back(&f);
+  const std::size_t idx = bank.add_type(corpus.type_names[0], fixed[0], pool);
+  EXPECT_EQ(idx, 0u);
+  EXPECT_EQ(bank.num_types(), 4u);  // no duplicate entry
+}
+
+TEST(ClassifierBank, DeterministicAcrossRuns) {
+  const auto corpus = distinct_corpus();
+  const auto fixed = to_fixed(corpus);
+  ClassifierBank a;
+  ClassifierBank b;
+  a.train(corpus.type_names, fixed);
+  b.train(corpus.type_names, fixed);
+  const auto sa = a.scores(fixed[2][5]);
+  const auto sb = b.scores(fixed[2][5]);
+  for (std::size_t t = 0; t < sa.size(); ++t) EXPECT_DOUBLE_EQ(sa[t], sb[t]);
+}
+
+}  // namespace
+}  // namespace iotsentinel::core

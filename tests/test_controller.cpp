@@ -1,0 +1,193 @@
+// Controller policy tests: the strict/restricted/trusted matrix over
+// local-overlay and Internet destinations (paper Sect. V / Fig. 3).
+#include "sdn/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "net/parser.hpp"
+#include "net/protocols.hpp"
+
+namespace iotsentinel::sdn {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+const MacAddress kStrictDev = MacAddress::of(0x02, 1, 0, 0, 0, 1);
+const MacAddress kRestrictedDev = MacAddress::of(0x02, 2, 0, 0, 0, 2);
+const MacAddress kTrustedDev = MacAddress::of(0x02, 3, 0, 0, 0, 3);
+const MacAddress kTrustedDev2 = MacAddress::of(0x02, 4, 0, 0, 0, 4);
+const MacAddress kUnknownDev = MacAddress::of(0x02, 5, 0, 0, 0, 5);
+
+const Ipv4Address kIpStrict = Ipv4Address::of(192, 168, 0, 11);
+const Ipv4Address kIpRestricted = Ipv4Address::of(192, 168, 0, 12);
+const Ipv4Address kIpTrusted = Ipv4Address::of(192, 168, 0, 13);
+const Ipv4Address kIpTrusted2 = Ipv4Address::of(192, 168, 0, 14);
+const Ipv4Address kVendorCloud = Ipv4Address::of(104, 31, 18, 30);
+const Ipv4Address kOtherCloud = Ipv4Address::of(8, 8, 8, 8);
+
+class ControllerPolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    controller_.apply_rule({.device = kStrictDev,
+                            .level = IsolationLevel::kStrict},
+                           0);
+    controller_.apply_rule({.device = kRestrictedDev,
+                            .level = IsolationLevel::kRestricted,
+                            .permitted_ips = {kVendorCloud}},
+                           0);
+    controller_.apply_rule({.device = kTrustedDev,
+                            .level = IsolationLevel::kTrusted},
+                           0);
+    controller_.apply_rule({.device = kTrustedDev2,
+                            .level = IsolationLevel::kTrusted},
+                           0);
+  }
+
+  FlowAction run(const MacAddress& src_mac, Ipv4Address src_ip,
+                 const MacAddress& dst_mac, Ipv4Address dst_ip) {
+    const auto udp = net::build_udp_payload(50000, 8000, {});
+    const auto frame = net::build_ipv4(src_mac, dst_mac, src_ip, dst_ip,
+                                       net::ipproto::kUdp, udp);
+    const auto pkt = net::parse_ethernet_frame(frame, 1);
+    return controller_.packet_in(pkt, 1).action;
+  }
+
+  Controller controller_;
+};
+
+TEST_F(ControllerPolicyTest, StrictDeviceCannotReachInternet) {
+  EXPECT_EQ(run(kStrictDev, kIpStrict, kTrustedDev, kVendorCloud),
+            FlowAction::kDrop);
+  EXPECT_EQ(run(kStrictDev, kIpStrict, kTrustedDev, kOtherCloud),
+            FlowAction::kDrop);
+}
+
+TEST_F(ControllerPolicyTest, RestrictedDeviceReachesOnlyWhitelist) {
+  EXPECT_EQ(run(kRestrictedDev, kIpRestricted, kTrustedDev, kVendorCloud),
+            FlowAction::kForward);
+  EXPECT_EQ(run(kRestrictedDev, kIpRestricted, kTrustedDev, kOtherCloud),
+            FlowAction::kDrop);
+}
+
+TEST_F(ControllerPolicyTest, TrustedDeviceHasFullInternet) {
+  EXPECT_EQ(run(kTrustedDev, kIpTrusted, kTrustedDev2, kVendorCloud),
+            FlowAction::kForward);
+  EXPECT_EQ(run(kTrustedDev, kIpTrusted, kTrustedDev2, kOtherCloud),
+            FlowAction::kForward);
+}
+
+TEST_F(ControllerPolicyTest, UnidentifiedDeviceHasNoInternet) {
+  EXPECT_EQ(run(kUnknownDev, Ipv4Address::of(192, 168, 0, 99), kTrustedDev,
+                kOtherCloud),
+            FlowAction::kDrop);
+}
+
+TEST_F(ControllerPolicyTest, OverlayIsolationBlocksCrossOverlay) {
+  // Untrusted (strict/restricted) <-> trusted overlay is blocked.
+  EXPECT_EQ(run(kStrictDev, kIpStrict, kTrustedDev, kIpTrusted),
+            FlowAction::kDrop);
+  EXPECT_EQ(run(kTrustedDev, kIpTrusted, kStrictDev, kIpStrict),
+            FlowAction::kDrop);
+  EXPECT_EQ(run(kRestrictedDev, kIpRestricted, kTrustedDev, kIpTrusted),
+            FlowAction::kDrop);
+}
+
+TEST_F(ControllerPolicyTest, SameOverlayCommunicationAllowed) {
+  // Both untrusted: strict <-> restricted may talk.
+  EXPECT_EQ(run(kStrictDev, kIpStrict, kRestrictedDev, kIpRestricted),
+            FlowAction::kForward);
+  // Both trusted.
+  EXPECT_EQ(run(kTrustedDev, kIpTrusted, kTrustedDev2, kIpTrusted2),
+            FlowAction::kForward);
+  // Unknown devices default into the untrusted overlay.
+  EXPECT_EQ(run(kUnknownDev, Ipv4Address::of(192, 168, 0, 99), kStrictDev,
+                kIpStrict),
+            FlowAction::kForward);
+}
+
+TEST_F(ControllerPolicyTest, InfrastructureTrafficAlwaysFlows) {
+  // DHCP from a strict device must be forwarded (or no device could ever
+  // complete its setup dialogue).
+  const auto dhcp =
+      net::parse_ethernet_frame(net::build_dhcp(kStrictDev, 1, 42), 1);
+  EXPECT_EQ(controller_.packet_in(dhcp, 1).action, FlowAction::kForward);
+  // ARP likewise.
+  const auto arp = net::parse_ethernet_frame(
+      net::build_arp_request(kStrictDev, kIpStrict,
+                             Ipv4Address::of(192, 168, 0, 1)),
+      1);
+  EXPECT_EQ(controller_.packet_in(arp, 1).action, FlowAction::kForward);
+}
+
+TEST_F(ControllerPolicyTest, InfrastructureTrafficIsNotInstalled) {
+  const auto dhcp =
+      net::parse_ethernet_frame(net::build_dhcp(kStrictDev, 1, 42), 1);
+  const auto decision = controller_.packet_in(dhcp, 1);
+  EXPECT_FALSE(decision.flow_to_install.has_value());
+}
+
+TEST_F(ControllerPolicyTest, UnicastDecisionsComeWithFlowEntries) {
+  const auto udp = net::build_udp_payload(50000, 8000, {});
+  const auto frame = net::build_ipv4(kTrustedDev, kTrustedDev2, kIpTrusted,
+                                     kIpTrusted2, net::ipproto::kUdp, udp);
+  const auto pkt = net::parse_ethernet_frame(frame, 1);
+  const auto decision = controller_.packet_in(pkt, 1);
+  ASSERT_TRUE(decision.flow_to_install.has_value());
+  EXPECT_EQ(decision.flow_to_install->action, FlowAction::kForward);
+  EXPECT_EQ(decision.flow_to_install->cookie, kTrustedDev.to_u64());
+  EXPECT_TRUE(decision.flow_to_install->match.matches(pkt));
+}
+
+TEST_F(ControllerPolicyTest, LocalMulticastForwardedWithoutInstall) {
+  const auto frame = net::build_mdns(kStrictDev, kIpStrict,
+                                     "_svc._tcp.local", true);
+  const auto pkt = net::parse_ethernet_frame(frame, 1);
+  const auto decision = controller_.packet_in(pkt, 1);
+  EXPECT_EQ(decision.action, FlowAction::kForward);
+  EXPECT_FALSE(decision.flow_to_install.has_value());
+}
+
+TEST_F(ControllerPolicyTest, DropCounterTracksBlocks) {
+  const auto before = controller_.drops();
+  run(kStrictDev, kIpStrict, kTrustedDev, kOtherCloud);
+  EXPECT_EQ(controller_.drops(), before + 1);
+}
+
+TEST_F(ControllerPolicyTest, LevelOfReportsInstalledRules) {
+  EXPECT_EQ(controller_.level_of(kStrictDev), IsolationLevel::kStrict);
+  EXPECT_EQ(controller_.level_of(kTrustedDev), IsolationLevel::kTrusted);
+  EXPECT_FALSE(controller_.level_of(kUnknownDev).has_value());
+}
+
+TEST_F(ControllerPolicyTest, RemoveDeviceRevokesRule) {
+  controller_.remove_device(kTrustedDev);
+  EXPECT_FALSE(controller_.level_of(kTrustedDev).has_value());
+  // Without a rule the device loses Internet access.
+  EXPECT_EQ(run(kTrustedDev, kIpTrusted, kTrustedDev2, kOtherCloud),
+            FlowAction::kDrop);
+}
+
+TEST(ControllerNoFiltering, ForwardsEverything) {
+  Controller controller({.filtering_enabled = false});
+  const auto udp = net::build_udp_payload(50000, 8000, {});
+  const auto frame = net::build_ipv4(kStrictDev, kTrustedDev, kIpStrict,
+                                     kOtherCloud, net::ipproto::kUdp, udp);
+  const auto pkt = net::parse_ethernet_frame(frame, 1);
+  const auto decision = controller.packet_in(pkt, 1);
+  EXPECT_EQ(decision.action, FlowAction::kForward);
+  EXPECT_TRUE(decision.flow_to_install.has_value());
+}
+
+TEST(IsInternetDestination, Classification) {
+  EXPECT_TRUE(is_internet_destination(Ipv4Address::of(8, 8, 8, 8)));
+  EXPECT_FALSE(is_internet_destination(Ipv4Address::of(192, 168, 1, 1)));
+  EXPECT_FALSE(is_internet_destination(Ipv4Address::of(10, 0, 0, 1)));
+  EXPECT_FALSE(is_internet_destination(Ipv4Address::of(239, 255, 255, 250)));
+  EXPECT_FALSE(is_internet_destination(Ipv4Address::broadcast()));
+  EXPECT_FALSE(is_internet_destination(Ipv4Address::any()));
+}
+
+}  // namespace
+}  // namespace iotsentinel::sdn

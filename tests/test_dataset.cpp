@@ -1,0 +1,113 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace iotsentinel::ml {
+namespace {
+
+Dataset small_dataset() {
+  Dataset d(2);
+  for (int i = 0; i < 10; ++i) {
+    const float x = static_cast<float>(i);
+    const float row[] = {x, -x};
+    d.add(row, i % 2);
+  }
+  return d;
+}
+
+TEST(Dataset, StoresRowsAndLabels) {
+  const Dataset d = small_dataset();
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.num_classes(), 2);
+  EXPECT_FLOAT_EQ(d.row(3)[0], 3.0f);
+  EXPECT_FLOAT_EQ(d.row(3)[1], -3.0f);
+  EXPECT_EQ(d.label(3), 1);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  const Dataset d = small_dataset();
+  const std::size_t idx[] = {0, 2, 4};
+  const Dataset sub = d.subset(idx);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_FLOAT_EQ(sub.row(2)[0], 4.0f);
+  EXPECT_EQ(sub.label(1), 0);
+}
+
+TEST(Dataset, InfersWidthFromFirstRow) {
+  Dataset d;
+  const float row[] = {1.0f, 2.0f, 3.0f};
+  d.add(row, 0);
+  EXPECT_EQ(d.num_features(), 3u);
+}
+
+TEST(StratifiedKFold, PartitionsAllSamplesExactlyOnce) {
+  std::vector<int> labels;
+  for (int t = 0; t < 3; ++t)
+    for (int i = 0; i < 20; ++i) labels.push_back(t);
+  Rng rng(1);
+  const auto folds = stratified_k_fold(labels, 10, rng);
+  ASSERT_EQ(folds.size(), 10u);
+
+  std::vector<int> seen(labels.size(), 0);
+  for (const auto& fold : folds) {
+    for (std::size_t idx : fold.test) ++seen[idx];
+    // train + test must cover everything exactly once per fold.
+    EXPECT_EQ(fold.train.size() + fold.test.size(), labels.size());
+    std::set<std::size_t> all(fold.train.begin(), fold.train.end());
+    all.insert(fold.test.begin(), fold.test.end());
+    EXPECT_EQ(all.size(), labels.size());
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(StratifiedKFold, PreservesClassProportions) {
+  std::vector<int> labels;
+  for (int t = 0; t < 3; ++t)
+    for (int i = 0; i < 20; ++i) labels.push_back(t);
+  Rng rng(2);
+  const auto folds = stratified_k_fold(labels, 10, rng);
+  for (const auto& fold : folds) {
+    std::map<int, int> per_class;
+    for (std::size_t idx : fold.test) ++per_class[labels[idx]];
+    ASSERT_EQ(per_class.size(), 3u);
+    for (const auto& [label, count] : per_class) EXPECT_EQ(count, 2);
+  }
+}
+
+TEST(StratifiedKFold, HandlesUnevenClassSizes) {
+  std::vector<int> labels(17, 0);
+  labels.insert(labels.end(), 5, 1);
+  Rng rng(3);
+  const auto folds = stratified_k_fold(labels, 4, rng);
+  std::size_t total_test = 0;
+  for (const auto& fold : folds) total_test += fold.test.size();
+  EXPECT_EQ(total_test, labels.size());
+  // Class 1 (5 samples over 4 folds): every fold gets 1 or 2.
+  for (const auto& fold : folds) {
+    int ones = 0;
+    for (std::size_t idx : fold.test) ones += labels[idx] == 1 ? 1 : 0;
+    EXPECT_GE(ones, 1);
+    EXPECT_LE(ones, 2);
+  }
+}
+
+TEST(StratifiedKFold, DeterministicGivenSeed) {
+  std::vector<int> labels(40, 0);
+  for (std::size_t i = 20; i < 40; ++i) labels[i] = 1;
+  Rng a(5);
+  Rng b(5);
+  const auto fa = stratified_k_fold(labels, 5, a);
+  const auto fb = stratified_k_fold(labels, 5, b);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].test, fb[i].test);
+    EXPECT_EQ(fa[i].train, fb[i].train);
+  }
+}
+
+}  // namespace
+}  // namespace iotsentinel::ml

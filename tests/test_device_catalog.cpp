@@ -1,0 +1,118 @@
+#include "simnet/device_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace iotsentinel::sim {
+namespace {
+
+bool same_steps(const DeviceProfile& a, const DeviceProfile& b) {
+  if (a.steps.size() != b.steps.size()) return false;
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    const SetupStep& x = a.steps[i];
+    const SetupStep& y = b.steps[i];
+    if (x.kind != y.kind || x.host != y.host || x.remote != y.remote ||
+        x.port != y.port || x.repeat != y.repeat ||
+        x.repeat_jitter != y.repeat_jitter || x.skip_prob != y.skip_prob) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(DeviceCatalog, HasAll27TableIITypes) {
+  EXPECT_EQ(device_catalog().size(), 27u);
+  std::set<std::string> names;
+  for (const auto& p : device_catalog()) names.insert(p.name);
+  EXPECT_EQ(names.size(), 27u);  // unique identifiers
+}
+
+TEST(DeviceCatalog, FindProfileWorks) {
+  ASSERT_NE(find_profile("HueBridge"), nullptr);
+  EXPECT_EQ(find_profile("HueBridge")->name, "HueBridge");
+  EXPECT_EQ(find_profile("NotADevice"), nullptr);
+  ASSERT_TRUE(profile_index("Aria").has_value());
+  EXPECT_EQ(*profile_index("Aria"), 0u);
+  EXPECT_FALSE(profile_index("NotADevice").has_value());
+}
+
+TEST(DeviceCatalog, EveryProfileHasSetupSteps) {
+  for (const auto& p : device_catalog()) {
+    EXPECT_FALSE(p.steps.empty()) << p.name;
+    EXPECT_FALSE(p.model.empty()) << p.name;
+    EXPECT_GT(p.intra_gap_ms, 0.0) << p.name;
+  }
+}
+
+TEST(DeviceCatalog, ConfusableFamiliesShareIdenticalScripts) {
+  // The paper's Table-III root cause: identical hardware/firmware.
+  const auto* water = find_profile("D-LinkWaterSensor");
+  const auto* siren = find_profile("D-LinkSiren");
+  const auto* sensor = find_profile("D-LinkSensor");
+  ASSERT_TRUE(water && siren && sensor);
+  EXPECT_TRUE(same_steps(*water, *siren));
+  EXPECT_TRUE(same_steps(*water, *sensor));
+
+  EXPECT_TRUE(same_steps(*find_profile("TP-LinkPlugHS110"),
+                         *find_profile("TP-LinkPlugHS100")));
+  EXPECT_TRUE(same_steps(*find_profile("EdimaxPlug1101W"),
+                         *find_profile("EdimaxPlug2101W")));
+  EXPECT_TRUE(same_steps(*find_profile("SmarterCoffee"),
+                         *find_profile("iKettle2")));
+}
+
+TEST(DeviceCatalog, DlinkSwitchDiffersSlightlyFromSensors) {
+  // Same platform but a plug: one extra (often-skipped) step, matching its
+  // slightly higher Fig. 5 accuracy.
+  const auto* plug = find_profile("D-LinkSwitch");
+  const auto* sensor = find_profile("D-LinkSensor");
+  ASSERT_TRUE(plug && sensor);
+  EXPECT_FALSE(same_steps(*plug, *sensor));
+  EXPECT_EQ(plug->steps.size(), sensor->steps.size() + 1);
+}
+
+TEST(DeviceCatalog, DistinctDevicesHaveDistinctScripts) {
+  // Outside the known confusable groups, scripts must differ pairwise.
+  const std::set<std::string> confusable(confusable_device_names().begin(),
+                                         confusable_device_names().end());
+  const auto& catalog = device_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    for (std::size_t j = i + 1; j < catalog.size(); ++j) {
+      if (confusable.contains(catalog[i].name) &&
+          confusable.contains(catalog[j].name)) {
+        continue;
+      }
+      EXPECT_FALSE(same_steps(catalog[i], catalog[j]))
+          << catalog[i].name << " vs " << catalog[j].name;
+    }
+  }
+}
+
+TEST(DeviceCatalog, ConfusableListMatchesPaperOrder) {
+  const auto& names = confusable_device_names();
+  ASSERT_EQ(names.size(), 10u);
+  EXPECT_EQ(names[0], "D-LinkSwitch");       // paper index 1
+  EXPECT_EQ(names[4], "TP-LinkPlugHS110");   // paper index 5
+  EXPECT_EQ(names[9], "iKettle2");           // paper index 10
+  for (const auto& n : names) {
+    EXPECT_NE(find_profile(n), nullptr) << n;
+  }
+}
+
+TEST(DeviceCatalog, CloudStepsUsePublicAddresses) {
+  for (const auto& p : device_catalog()) {
+    for (const auto& step : p.steps) {
+      if (step.kind == StepKind::kHttpCloudCheck ||
+          step.kind == StepKind::kHttpsCloudCheck ||
+          step.kind == StepKind::kTcpConnect) {
+        EXPECT_FALSE(step.remote.is_private())
+            << p.name << " step towards " << step.remote.to_string();
+        EXPECT_NE(step.remote.value(), 0u) << p.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iotsentinel::sim

@@ -1,0 +1,137 @@
+#include "core/device_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "net/parser.hpp"
+#include "net/protocols.hpp"
+
+namespace iotsentinel::core {
+namespace {
+
+const net::MacAddress kDev = net::MacAddress::of(0x02, 5, 5, 5, 5, 5);
+const net::MacAddress kGw = net::MacAddress::of(0x02, 1, 1, 1, 1, 1);
+const net::Ipv4Address kDevIp = net::Ipv4Address::of(192, 168, 0, 60);
+const net::Ipv4Address kGwIp = net::Ipv4Address::of(192, 168, 0, 1);
+
+void feed(DeviceTracker& tracker, const net::Bytes& frame, std::uint64_t ts) {
+  tracker.observe(net::parse_ethernet_frame(frame, ts), frame);
+}
+
+TEST(DeviceTracker, GleansHostnameFromDhcp) {
+  DeviceTracker tracker;
+  feed(tracker,
+       net::build_dhcp(kDev, net::dhcptype::kDiscover, 1,
+                       net::Ipv4Address::any(), {1, 3, 6}, "smart-cam"),
+       1000);
+  const TrackedDevice* device = tracker.find(kDev);
+  ASSERT_NE(device, nullptr);
+  EXPECT_EQ(device->hostname, "smart-cam");
+  EXPECT_EQ(device->first_seen_us, 1000u);
+}
+
+TEST(DeviceTracker, GleansDnsQueries) {
+  DeviceTracker tracker;
+  feed(tracker,
+       net::build_dns_query(kDev, kGw, kDevIp, kGwIp, 50000, 1,
+                            "cloud.vendor-a.com"),
+       1000);
+  feed(tracker,
+       net::build_dns_query(kDev, kGw, kDevIp, kGwIp, 50001, 2,
+                            "ntp.vendor-a.com"),
+       2000);
+  feed(tracker,
+       net::build_dns_query(kDev, kGw, kDevIp, kGwIp, 50002, 3,
+                            "cloud.vendor-a.com"),  // repeat: dedup'd
+       3000);
+  const TrackedDevice* device = tracker.find(kDev);
+  ASSERT_NE(device, nullptr);
+  EXPECT_EQ(device->dns_queries.size(), 2u);
+  EXPECT_TRUE(device->dns_queries.contains("cloud.vendor-a.com"));
+  EXPECT_EQ(device->ip, kDevIp);
+}
+
+TEST(DeviceTracker, CountsTrafficAndTimestamps) {
+  DeviceTracker tracker;
+  const auto frame =
+      net::build_dns_query(kDev, kGw, kDevIp, kGwIp, 50000, 1, "x.com");
+  feed(tracker, frame, 1000);
+  feed(tracker, frame, 5000);
+  const TrackedDevice* device = tracker.find(kDev);
+  ASSERT_NE(device, nullptr);
+  EXPECT_EQ(device->packets, 2u);
+  EXPECT_EQ(device->bytes, 2 * frame.size());
+  EXPECT_EQ(device->first_seen_us, 1000u);
+  EXPECT_EQ(device->last_seen_us, 5000u);
+}
+
+TEST(DeviceTracker, MarkIdentifiedAttachesVerdict) {
+  DeviceTracker tracker;
+  feed(tracker, net::build_gratuitous_arp(kDev, kDevIp), 1000);
+  tracker.mark_identified(kDev, "EdimaxCam", sdn::IsolationLevel::kRestricted);
+  const TrackedDevice* device = tracker.find(kDev);
+  ASSERT_NE(device, nullptr);
+  EXPECT_EQ(device->device_type, "EdimaxCam");
+  EXPECT_EQ(device->level, sdn::IsolationLevel::kRestricted);
+  const std::string summary = device->summary();
+  EXPECT_NE(summary.find("EdimaxCam"), std::string::npos);
+  EXPECT_NE(summary.find("Restricted"), std::string::npos);
+}
+
+TEST(DeviceTracker, MarkIdentifiedCreatesUnknownDevice) {
+  DeviceTracker tracker;
+  tracker.mark_identified(kDev, "Aria", sdn::IsolationLevel::kTrusted);
+  EXPECT_NE(tracker.find(kDev), nullptr);
+}
+
+TEST(DeviceTracker, IgnoresMulticastSources) {
+  DeviceTracker tracker;
+  auto pkt = net::parse_ethernet_frame(
+      net::build_gratuitous_arp(kDev, kDevIp), 1);
+  pkt.src_mac = net::MacAddress::of(0x01, 0, 0x5e, 0, 0, 1);
+  tracker.observe(pkt);
+  EXPECT_EQ(tracker.size(), 0u);
+}
+
+TEST(DeviceTracker, IdleDevicesAndForget) {
+  DeviceTracker tracker;
+  feed(tracker, net::build_gratuitous_arp(kDev, kDevIp), 1000);
+  const auto other = net::MacAddress::of(0x02, 9, 9, 9, 9, 9);
+  feed(tracker,
+       net::build_gratuitous_arp(other, net::Ipv4Address::of(192, 168, 0, 61)),
+       50'000'000);
+
+  const auto idle = tracker.idle_devices(60'000'000, 30'000'000);
+  ASSERT_EQ(idle.size(), 1u);
+  EXPECT_EQ(idle[0], kDev);
+
+  EXPECT_TRUE(tracker.forget(kDev));
+  EXPECT_FALSE(tracker.forget(kDev));
+  EXPECT_EQ(tracker.size(), 1u);
+}
+
+TEST(DeviceTracker, AllSortsByRecency) {
+  DeviceTracker tracker;
+  const auto a = net::MacAddress::of(0x02, 1, 0, 0, 0, 1);
+  const auto b = net::MacAddress::of(0x02, 1, 0, 0, 0, 2);
+  feed(tracker, net::build_gratuitous_arp(a, kDevIp), 1000);
+  feed(tracker, net::build_gratuitous_arp(b, kDevIp), 2000);
+  const auto all = tracker.all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->mac, b);  // most recent first
+  EXPECT_EQ(all[1]->mac, a);
+}
+
+TEST(DeviceTracker, WorksWithoutFrameBytes) {
+  DeviceTracker tracker;
+  const auto pkt = net::parse_ethernet_frame(
+      net::build_dns_query(kDev, kGw, kDevIp, kGwIp, 50000, 1, "x.com"), 7);
+  tracker.observe(pkt);  // metadata only
+  const TrackedDevice* device = tracker.find(kDev);
+  ASSERT_NE(device, nullptr);
+  EXPECT_TRUE(device->dns_queries.empty());  // no content without bytes
+  EXPECT_EQ(device->packets, 1u);
+}
+
+}  // namespace
+}  // namespace iotsentinel::core

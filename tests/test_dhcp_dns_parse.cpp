@@ -1,0 +1,129 @@
+// Structured DHCP and DNS parsing tests (round trips against the builders
+// plus malformed-input robustness).
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "net/dhcp.hpp"
+#include "net/dns.hpp"
+#include "net/parser.hpp"
+#include "net/protocols.hpp"
+
+namespace iotsentinel::net {
+namespace {
+
+const MacAddress kDev = MacAddress::of(0x02, 7, 7, 7, 7, 7);
+const MacAddress kGw = MacAddress::of(0x02, 1, 1, 1, 1, 1);
+const Ipv4Address kDevIp = Ipv4Address::of(192, 168, 0, 44);
+const Ipv4Address kGwIp = Ipv4Address::of(192, 168, 0, 1);
+
+TEST(DhcpParse, RoundTripsBuilderOutput) {
+  const std::vector<std::uint8_t> params = {1, 3, 6, 15, 42};
+  const auto frame = build_dhcp(kDev, dhcptype::kDiscover, 0xcafe1234,
+                                Ipv4Address::any(), params, "hue-bridge");
+  const auto payload = udp_payload_of(frame);
+  ASSERT_FALSE(payload.empty());
+  const auto msg = parse_dhcp(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->op, 1);
+  EXPECT_EQ(msg->xid, 0xcafe1234u);
+  EXPECT_EQ(msg->client_mac, kDev);
+  EXPECT_EQ(msg->message_type, dhcptype::kDiscover);
+  EXPECT_EQ(msg->hostname, "hue-bridge");
+  EXPECT_EQ(msg->param_request_list, params);
+  // Option codes in wire order: 53, 61, 55, 12.
+  ASSERT_GE(msg->option_codes.size(), 4u);
+  EXPECT_EQ(msg->option_codes[0], 53);
+  EXPECT_EQ(msg->option_codes.back(), 12);
+}
+
+TEST(DhcpParse, NoHostnameOptionWhenEmpty) {
+  const auto frame = build_dhcp(kDev, dhcptype::kRequest, 7);
+  const auto msg = parse_dhcp(udp_payload_of(frame));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->hostname.empty());
+  for (std::uint8_t code : msg->option_codes) EXPECT_NE(code, 12);
+}
+
+TEST(DhcpParse, RejectsGarbage) {
+  EXPECT_FALSE(parse_dhcp({}).has_value());
+  const std::vector<std::uint8_t> junk(300, 0xaa);
+  EXPECT_FALSE(parse_dhcp(junk).has_value());
+  // Valid fixed header but wrong magic cookie.
+  auto frame = build_dhcp(kDev, dhcptype::kDiscover, 1);
+  auto payload_span = udp_payload_of(frame);
+  std::vector<std::uint8_t> payload(payload_span.begin(), payload_span.end());
+  payload[236] = 0x00;  // clobber the cookie
+  EXPECT_FALSE(parse_dhcp(payload).has_value());
+}
+
+TEST(DhcpParse, TruncatedOptionsKeepParsedPrefix) {
+  auto frame = build_dhcp(kDev, dhcptype::kDiscover, 1, Ipv4Address::any(),
+                          {1, 3, 6}, "host");
+  auto payload_span = udp_payload_of(frame);
+  std::vector<std::uint8_t> payload(payload_span.begin(),
+                                    payload_span.end() - 4);  // clip the tail
+  const auto msg = parse_dhcp(payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->message_type, dhcptype::kDiscover);
+}
+
+TEST(DnsParse, RoundTripsQuery) {
+  const auto frame = build_dns_query(kDev, kGw, kDevIp, kGwIp, 50000, 0xbeef,
+                                     "devs.tplinkcloud.com");
+  const auto msg = parse_dns(udp_payload_of(frame));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->txn_id, 0xbeef);
+  EXPECT_FALSE(msg->is_response);
+  ASSERT_EQ(msg->questions.size(), 1u);
+  EXPECT_EQ(msg->questions[0].name, "devs.tplinkcloud.com");
+  EXPECT_EQ(msg->questions[0].qtype, 1);  // A
+  EXPECT_TRUE(msg->answers.empty());
+}
+
+TEST(DnsParse, ParsesResponseWithCompressedAnswer) {
+  // The mDNS builder emits a response with a compression-pointer answer.
+  const auto frame = build_mdns(kDev, kDevIp, "printer.local", true);
+  const auto msg = parse_dns(udp_payload_of(frame));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->is_response);
+  ASSERT_EQ(msg->questions.size(), 1u);
+  EXPECT_EQ(msg->questions[0].name, "printer.local");
+  ASSERT_EQ(msg->answers.size(), 1u);
+  EXPECT_EQ(msg->answers[0].name, "printer.local");  // via pointer to 0x0c
+  ASSERT_TRUE(msg->answers[0].address.has_value());
+}
+
+TEST(DnsParse, RejectsTruncatedHeader) {
+  const std::vector<std::uint8_t> tiny = {1, 2, 3};
+  EXPECT_FALSE(parse_dns(tiny).has_value());
+}
+
+TEST(DnsParse, SurvivesPointerLoops) {
+  // Header + a name that is a pointer to itself.
+  std::vector<std::uint8_t> evil = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+                                    0xc0, 0x0c};
+  const auto msg = parse_dns(evil);
+  // Parse must terminate (no hang/crash); the question is dropped.
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->questions.empty());
+}
+
+TEST(UdpPayloadOf, EmptyForNonUdpFrames) {
+  EXPECT_TRUE(udp_payload_of(build_arp_request(kDev, kDevIp, kGwIp)).empty());
+  EXPECT_TRUE(udp_payload_of(build_tcp_syn(kDev, kGw, kDevIp, kGwIp, 50000,
+                                           80, 1))
+                  .empty());
+  EXPECT_TRUE(udp_payload_of({}).empty());
+}
+
+TEST(UdpPayloadOf, ExcludesMinFramePadding) {
+  // A tiny UDP datagram padded to the 60-byte Ethernet minimum: the
+  // payload span must honour the UDP length field, not the frame size.
+  const Bytes udp = build_udp_payload(50000, 9999, {});
+  const Bytes frame = build_ipv4(kDev, kGw, kDevIp, kGwIp, ipproto::kUdp, udp);
+  EXPECT_GE(frame.size(), 60u);
+  EXPECT_TRUE(udp_payload_of(frame).empty());
+}
+
+}  // namespace
+}  // namespace iotsentinel::net

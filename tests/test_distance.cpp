@@ -1,0 +1,152 @@
+// Damerau-Levenshtein (OSA) distance: unit cases + parameterized metric
+// property sweeps on random fingerprint-like sequences.
+#include "distance/damerau_levenshtein.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ml/rng.hpp"
+
+namespace iotsentinel::dist {
+namespace {
+
+std::size_t sdist(const std::string& a, const std::string& b) {
+  return damerau_levenshtein<char>(std::span<const char>(a.data(), a.size()),
+                                   std::span<const char>(b.data(), b.size()));
+}
+
+TEST(DamerauLevenshtein, ClassicCases) {
+  EXPECT_EQ(sdist("", ""), 0u);
+  EXPECT_EQ(sdist("abc", "abc"), 0u);
+  EXPECT_EQ(sdist("abc", ""), 3u);
+  EXPECT_EQ(sdist("", "abc"), 3u);
+  EXPECT_EQ(sdist("abc", "abd"), 1u);     // substitution
+  EXPECT_EQ(sdist("abc", "abcd"), 1u);    // insertion
+  EXPECT_EQ(sdist("abcd", "abc"), 1u);    // deletion
+  EXPECT_EQ(sdist("ab", "ba"), 1u);       // transposition (Damerau!)
+  EXPECT_EQ(sdist("ca", "abc"), 3u);      // OSA's known deviation case
+  EXPECT_EQ(sdist("kitten", "sitting"), 3u);
+}
+
+TEST(DamerauLevenshtein, Transposition) {
+  // Plain Levenshtein gives 2 for an adjacent swap; OSA gives 1.
+  EXPECT_EQ(sdist("paper", "papre"), 1u);
+  EXPECT_EQ(sdist("sentinel", "sentienl"), 1u);
+}
+
+fp::Fingerprint make_fp(const std::string& word) {
+  fp::Fingerprint f;
+  for (char c : word) {
+    fp::FeatureVector v{};
+    v[0] = static_cast<std::uint32_t>(c);
+    f.append(v);
+  }
+  return f;
+}
+
+TEST(FingerprintDistance, PacketColumnsActAsCharacters) {
+  EXPECT_EQ(fingerprint_distance(make_fp("abc"), make_fp("abc")), 0u);
+  EXPECT_EQ(fingerprint_distance(make_fp("abc"), make_fp("abd")), 1u);
+  EXPECT_EQ(fingerprint_distance(make_fp("ab"), make_fp("ba")), 1u);
+}
+
+TEST(NormalizedDistance, BoundsAndNormalization) {
+  EXPECT_DOUBLE_EQ(
+      normalized_fingerprint_distance(make_fp(""), make_fp("")), 0.0);
+  EXPECT_DOUBLE_EQ(
+      normalized_fingerprint_distance(make_fp("abcd"), make_fp("abcd")), 0.0);
+  // Completely different, equal length: distance = len / len = 1.
+  EXPECT_DOUBLE_EQ(
+      normalized_fingerprint_distance(make_fp("aaaa"), make_fp("bbbb")), 1.0);
+  // One empty: distance = |other| / |other| = 1.
+  EXPECT_DOUBLE_EQ(
+      normalized_fingerprint_distance(make_fp(""), make_fp("xy")), 1.0);
+  // One substitution over length 4.
+  EXPECT_DOUBLE_EQ(
+      normalized_fingerprint_distance(make_fp("abcd"), make_fp("abcx")), 0.25);
+}
+
+TEST(DissimilarityScore, SumsOverReferences) {
+  const fp::Fingerprint probe = make_fp("abcd");
+  const fp::Fingerprint same = make_fp("abcd");
+  const fp::Fingerprint off = make_fp("abcx");
+  const fp::Fingerprint* refs[] = {&same, &off, &off};
+  const double score =
+      dissimilarity_score(probe, std::span<const fp::Fingerprint* const>(refs));
+  EXPECT_DOUBLE_EQ(score, 0.0 + 0.25 + 0.25);
+}
+
+TEST(DissimilarityScore, BoundedByReferenceCount) {
+  const fp::Fingerprint probe = make_fp("zzzz");
+  const fp::Fingerprint far = make_fp("abcd");
+  std::vector<const fp::Fingerprint*> refs(5, &far);
+  const double score = dissimilarity_score(
+      probe, std::span<const fp::Fingerprint* const>(refs));
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 5.0);
+}
+
+// --- metric property sweeps -------------------------------------------------
+
+class DistancePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::string random_word(ml::Rng& rng, std::size_t max_len) {
+    std::string w(rng.index(max_len + 1), 'a');
+    for (auto& c : w) c = static_cast<char>('a' + rng.index(4));
+    return w;
+  }
+};
+
+TEST_P(DistancePropertyTest, SymmetryIdentityAndBounds) {
+  ml::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string a = random_word(rng, 12);
+    const std::string b = random_word(rng, 12);
+    const std::size_t ab = sdist(a, b);
+    const std::size_t ba = sdist(b, a);
+    EXPECT_EQ(ab, ba) << a << " vs " << b;
+    EXPECT_EQ(sdist(a, a), 0u);
+    // d >= |len difference| and d <= max length.
+    const std::size_t diff =
+        a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+    EXPECT_GE(ab, diff);
+    EXPECT_LE(ab, std::max(a.size(), b.size()));
+    // Zero distance iff equal.
+    EXPECT_EQ(ab == 0, a == b);
+  }
+}
+
+TEST_P(DistancePropertyTest, SingleEditCostsOne) {
+  ml::Rng rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string a = random_word(rng, 10);
+    if (a.empty()) continue;
+    std::string inserted = a;
+    inserted.insert(inserted.begin() + static_cast<std::ptrdiff_t>(
+                        rng.index(inserted.size() + 1)), 'z');
+    EXPECT_EQ(sdist(a, inserted), 1u);
+
+    std::string substituted = a;
+    substituted[rng.index(substituted.size())] = 'z';
+    const std::size_t d = sdist(a, substituted);
+    EXPECT_LE(d, 1u);  // 0 if the char happened to be 'z' already
+  }
+}
+
+TEST_P(DistancePropertyTest, NormalizedStaysInUnitInterval) {
+  ml::Rng rng(GetParam() ^ 0x1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto fa = make_fp(random_word(rng, 15));
+    const auto fb = make_fp(random_word(rng, 15));
+    const double d = normalized_fingerprint_distance(fa, fb);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistancePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 1234));
+
+}  // namespace
+}  // namespace iotsentinel::dist

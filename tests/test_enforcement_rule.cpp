@@ -1,0 +1,94 @@
+#include "sdn/enforcement_rule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotsentinel::sdn {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+const MacAddress kDevice = MacAddress::of(0x13, 0x73, 0x74, 0x7e, 0xa9, 0xc2);
+const Ipv4Address kCloudA = Ipv4Address::of(104, 31, 18, 30);
+const Ipv4Address kCloudB = Ipv4Address::of(104, 31, 19, 30);
+
+TEST(EnforcementRule, TrustedPermitsAnyRemote) {
+  EnforcementRule rule{.device = kDevice, .level = IsolationLevel::kTrusted};
+  EXPECT_TRUE(rule.permits_remote(kCloudA));
+  EXPECT_TRUE(rule.permits_remote(Ipv4Address::of(8, 8, 8, 8)));
+  EXPECT_EQ(rule.overlay(), Overlay::kTrusted);
+}
+
+TEST(EnforcementRule, RestrictedPermitsOnlyWhitelist) {
+  EnforcementRule rule{.device = kDevice,
+                       .level = IsolationLevel::kRestricted,
+                       .permitted_ips = {kCloudA, kCloudB}};
+  EXPECT_TRUE(rule.permits_remote(kCloudA));
+  EXPECT_TRUE(rule.permits_remote(kCloudB));
+  EXPECT_FALSE(rule.permits_remote(Ipv4Address::of(8, 8, 8, 8)));
+  EXPECT_EQ(rule.overlay(), Overlay::kUntrusted);
+}
+
+TEST(EnforcementRule, StrictPermitsNothing) {
+  EnforcementRule rule{.device = kDevice, .level = IsolationLevel::kStrict};
+  EXPECT_FALSE(rule.permits_remote(kCloudA));
+  EXPECT_EQ(rule.overlay(), Overlay::kUntrusted);
+}
+
+TEST(EnforcementRule, HashIsStableAndOrderInsensitive) {
+  EnforcementRule a{.device = kDevice,
+                    .level = IsolationLevel::kRestricted,
+                    .permitted_ips = {kCloudA, kCloudB}};
+  EnforcementRule b{.device = kDevice,
+                    .level = IsolationLevel::kRestricted,
+                    .permitted_ips = {kCloudB, kCloudA}};
+  EXPECT_EQ(a.hash(), b.hash());  // commutative IP combine
+  EXPECT_EQ(a.hash(), a.hash());  // stable
+}
+
+TEST(EnforcementRule, HashDistinguishesContent) {
+  EnforcementRule base{.device = kDevice, .level = IsolationLevel::kStrict};
+  EnforcementRule other_level = base;
+  other_level.level = IsolationLevel::kTrusted;
+  EXPECT_NE(base.hash(), other_level.hash());
+
+  EnforcementRule other_device = base;
+  other_device.device = MacAddress::of(1, 2, 3, 4, 5, 6);
+  EXPECT_NE(base.hash(), other_device.hash());
+
+  EnforcementRule extra_ip = base;
+  extra_ip.permitted_ips.insert(kCloudA);
+  EXPECT_NE(base.hash(), extra_ip.hash());
+}
+
+TEST(EnforcementRule, ToStringMirrorsFig2Format) {
+  EnforcementRule rule{.device = kDevice,
+                       .level = IsolationLevel::kRestricted,
+                       .permitted_ips = {kCloudB, kCloudA}};
+  const std::string text = rule.to_string();
+  EXPECT_NE(text.find("Device: 13-73-74-7E-A9-C2"), std::string::npos);
+  EXPECT_NE(text.find("Isolation level: Restricted"), std::string::npos);
+  // Permitted IPs are listed sorted.
+  const auto pos_a = text.find("104.31.18.30");
+  const auto pos_b = text.find("104.31.19.30");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_NE(text.find("Hash: 0x"), std::string::npos);
+}
+
+TEST(EnforcementRule, StrictToStringOmitsWhitelist) {
+  EnforcementRule rule{.device = kDevice, .level = IsolationLevel::kStrict};
+  EXPECT_EQ(rule.to_string().find("Permitted"), std::string::npos);
+}
+
+TEST(IsolationLevel, OverlayMapping) {
+  EXPECT_EQ(overlay_for(IsolationLevel::kTrusted), Overlay::kTrusted);
+  EXPECT_EQ(overlay_for(IsolationLevel::kRestricted), Overlay::kUntrusted);
+  EXPECT_EQ(overlay_for(IsolationLevel::kStrict), Overlay::kUntrusted);
+  EXPECT_EQ(to_string(IsolationLevel::kStrict), "Strict");
+  EXPECT_EQ(to_string(Overlay::kTrusted), "trusted");
+}
+
+}  // namespace
+}  // namespace iotsentinel::sdn

@@ -1,0 +1,83 @@
+// Cross-validation harness tests on a reduced corpus (fast), checking the
+// paper's qualitative findings hold: distinct types identify ~perfectly,
+// identical-platform siblings confuse only within their family.
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simnet/corpus.hpp"
+
+namespace iotsentinel::core {
+namespace {
+
+TEST(CrossValidation, DistinctTypesScoreNearPerfect) {
+  const auto corpus = sim::generate_corpus_for(
+      {"Aria", "HueBridge", "MAXGateway", "Withings", "Lightify"}, 20, 51);
+  CvConfig config;
+  config.repetitions = 1;
+  const CvOutcome out =
+      cross_validate(corpus.type_names, corpus.by_type, config);
+  EXPECT_GE(out.global_accuracy, 0.95);
+  for (std::size_t t = 0; t < corpus.num_types(); ++t) {
+    EXPECT_GE(out.per_type_accuracy[t], 0.9) << corpus.type_names[t];
+  }
+}
+
+TEST(CrossValidation, SiblingConfusionStaysInFamily) {
+  const auto corpus = sim::generate_corpus_for(
+      {"EdimaxPlug1101W", "EdimaxPlug2101W", "Aria", "HueBridge"}, 20, 53);
+  CvConfig config;
+  config.repetitions = 2;
+  const CvOutcome out =
+      cross_validate(corpus.type_names, corpus.by_type, config);
+
+  // All mass in rows 0-1 must stay within columns 0-1 (family block).
+  std::uint64_t family_mass = 0;
+  std::uint64_t leaked = 0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < corpus.num_types(); ++c) {
+      (c < 2 ? family_mass : leaked) += out.confusion.at(r, c);
+    }
+  }
+  EXPECT_GT(family_mass, 0u);
+  EXPECT_LE(leaked, family_mass / 10);  // at most stray leakage
+  // Distinct types unharmed by the confusable pair.
+  EXPECT_GE(out.per_type_accuracy[2], 0.9);
+  EXPECT_GE(out.per_type_accuracy[3], 0.9);
+}
+
+TEST(CrossValidation, StatisticsAreConsistent) {
+  const auto corpus =
+      sim::generate_corpus_for({"Aria", "HueBridge", "Withings"}, 10, 55);
+  CvConfig config;
+  config.repetitions = 1;
+  config.folds = 5;
+  const CvOutcome out =
+      cross_validate(corpus.type_names, corpus.by_type, config);
+  // 30 samples tested once.
+  EXPECT_EQ(out.confusion.total() + out.rejected, 30u);
+  EXPECT_GE(out.discrimination_fraction, 0.0);
+  EXPECT_LE(out.discrimination_fraction, 1.0);
+  EXPECT_GE(out.mean_distance_computations, 0.0);
+  EXPECT_EQ(out.per_type_accuracy.size(), 3u);
+}
+
+TEST(CrossValidation, DeterministicForSameSeed) {
+  const auto corpus =
+      sim::generate_corpus_for({"Aria", "HueBridge"}, 10, 57);
+  CvConfig config;
+  config.repetitions = 1;
+  config.folds = 5;
+  config.seed = 99;
+  const CvOutcome a = cross_validate(corpus.type_names, corpus.by_type, config);
+  const CvOutcome b = cross_validate(corpus.type_names, corpus.by_type, config);
+  EXPECT_EQ(a.global_accuracy, b.global_accuracy);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(a.confusion.at(r, c), b.confusion.at(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iotsentinel::core

@@ -1,0 +1,148 @@
+#include "fingerprint/extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "net/parser.hpp"
+#include "net/protocols.hpp"
+
+namespace iotsentinel::fp {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+const MacAddress kDevA = MacAddress::of(0x02, 0xa, 0, 0, 0, 1);
+const MacAddress kDevB = MacAddress::of(0x02, 0xb, 0, 0, 0, 2);
+const MacAddress kGw = MacAddress::of(0x02, 0x47, 0, 0, 0, 1);
+const Ipv4Address kIpA = Ipv4Address::of(192, 168, 0, 10);
+const Ipv4Address kIpB = Ipv4Address::of(192, 168, 0, 11);
+const Ipv4Address kGwIp = Ipv4Address::of(192, 168, 0, 1);
+
+/// Builds a DNS-query packet whose hostname length varies with `variant`
+/// so consecutive packets have distinct feature vectors (sizes differ).
+net::ParsedPacket packet_from(const MacAddress& mac, Ipv4Address ip,
+                              std::uint64_t ts, std::uint16_t sport,
+                              int variant = 0) {
+  const std::string host =
+      std::string(static_cast<std::size_t>(variant % 16) + 1, 'a') + ".example";
+  return net::parse_ethernet_frame(
+      net::build_dns_query(mac, kGw, ip, kGwIp, sport,
+                           static_cast<std::uint16_t>(ts), host),
+      ts);
+}
+
+TEST(Extractor, CompletesOnIdleTimeout) {
+  SetupCaptureExtractor ex({.idle_timeout_us = 1'000'000, .min_packets = 2});
+  for (int i = 0; i < 5; ++i) {
+    ex.observe(packet_from(kDevA, kIpA, 1000u * static_cast<std::uint64_t>(i + 1),
+                           static_cast<std::uint16_t>(50000 + i), i));
+  }
+  EXPECT_EQ(ex.active_devices(), 1u);
+  ex.advance_time(10'000'000);
+  EXPECT_EQ(ex.active_devices(), 0u);
+  ASSERT_EQ(ex.completed().size(), 1u);
+  EXPECT_EQ(ex.completed()[0].mac, kDevA);
+  EXPECT_GE(ex.completed()[0].fingerprint.size(), 2u);
+}
+
+TEST(Extractor, DemultiplexesConcurrentDevices) {
+  SetupCaptureExtractor ex({.idle_timeout_us = 1'000'000, .min_packets = 2});
+  for (int i = 0; i < 4; ++i) {
+    const auto ts = 1000u * static_cast<std::uint64_t>(i + 1);
+    ex.observe(packet_from(kDevA, kIpA, ts, static_cast<std::uint16_t>(50000 + i)));
+    ex.observe(packet_from(kDevB, kIpB, ts + 311,
+                           static_cast<std::uint16_t>(51000 + i)));
+  }
+  EXPECT_EQ(ex.active_devices(), 2u);
+  ex.flush_all();
+  EXPECT_EQ(ex.completed().size(), 2u);
+}
+
+TEST(Extractor, RateDropEndsSetupPhase) {
+  // Packets every ~1 ms, then a 10 s gap: the gap must end the capture and
+  // the late packet must NOT be part of the fingerprint.
+  SetupCaptureExtractor ex(
+      {.idle_timeout_us = 60'000'000, .rate_drop_factor = 8.0,
+       .min_packets = 4});
+  std::uint64_t ts = 0;
+  for (int i = 0; i < 10; ++i) {
+    ts += 1000;
+    ex.observe(packet_from(kDevA, kIpA, ts,
+                           static_cast<std::uint16_t>(50000 + i), i));
+  }
+  ts += 10'000'000;
+  ex.observe(packet_from(kDevA, kIpA, ts, 59999));  // heartbeat
+  ASSERT_EQ(ex.completed().size(), 1u);
+  EXPECT_LE(ex.completed()[0].end_us, ts - 10'000'000);
+}
+
+TEST(Extractor, MaxPacketCapCompletesCapture) {
+  SetupCaptureExtractor ex({.max_packets = 5, .min_packets = 1});
+  for (int i = 0; i < 20; ++i) {
+    ex.observe(packet_from(kDevA, kIpA, 1000u * static_cast<std::uint64_t>(i + 1),
+                           static_cast<std::uint16_t>(50000 + i), i));
+  }
+  ASSERT_EQ(ex.completed().size(), 1u);
+  EXPECT_EQ(ex.completed()[0].raw_packet_count, 5u);
+  EXPECT_EQ(ex.completed()[0].fingerprint.size(), 5u);  // all distinct
+}
+
+TEST(Extractor, IgnoresConfiguredAndNonDeviceSources) {
+  ExtractorConfig cfg{.min_packets = 1};
+  cfg.ignored_macs.insert(kGw);
+  SetupCaptureExtractor ex(cfg);
+  ex.observe(packet_from(kGw, kGwIp, 1000, 50000));  // ignored MAC
+  net::ParsedPacket multicast_src = packet_from(kDevA, kIpA, 2000, 50001);
+  multicast_src.src_mac = MacAddress::of(0x01, 0, 0x5e, 0, 0, 1);
+  ex.observe(multicast_src);  // multicast source: not a device
+  EXPECT_EQ(ex.active_devices(), 0u);
+}
+
+TEST(Extractor, DeviceIsFingerprintedOnlyOnce) {
+  SetupCaptureExtractor ex({.max_packets = 3, .min_packets = 1});
+  for (int i = 0; i < 10; ++i) {
+    ex.observe(packet_from(kDevA, kIpA, 1000u * static_cast<std::uint64_t>(i + 1),
+                           static_cast<std::uint16_t>(50000 + i), i));
+  }
+  // Capture completed at 3 packets; later traffic must not reopen it.
+  EXPECT_EQ(ex.completed().size(), 1u);
+  EXPECT_EQ(ex.active_devices(), 0u);
+}
+
+TEST(Extractor, CallbackFiresOnCompletion) {
+  SetupCaptureExtractor ex({.max_packets = 2, .min_packets = 1});
+  std::vector<net::MacAddress> seen;
+  ex.on_capture_complete(
+      [&](const DeviceCapture& c) { seen.push_back(c.mac); });
+  ex.observe(packet_from(kDevA, kIpA, 1000, 50000));
+  ex.observe(packet_from(kDevA, kIpA, 2000, 50001));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], kDevA);
+}
+
+TEST(Extractor, RawCountIncludesDuplicatesFingerprintDoesNot) {
+  SetupCaptureExtractor ex({.min_packets = 1});
+  const auto pkt = packet_from(kDevA, kIpA, 1000, 50000);
+  auto dup = pkt;
+  dup.timestamp_us = 1500;
+  ex.observe(pkt);
+  ex.observe(dup);  // identical feature vector -> dropped from F
+  ex.flush_all();
+  ASSERT_EQ(ex.completed().size(), 1u);
+  EXPECT_EQ(ex.completed()[0].raw_packet_count, 2u);
+  EXPECT_EQ(ex.completed()[0].fingerprint.size(), 1u);
+}
+
+TEST(FingerprintFromPackets, RespectsMaxPackets) {
+  std::vector<net::ParsedPacket> packets;
+  for (int i = 0; i < 50; ++i) {
+    packets.push_back(packet_from(kDevA, kIpA, 1000u * static_cast<std::uint64_t>(i),
+                                  static_cast<std::uint16_t>(50000 + i), i));
+  }
+  const Fingerprint f = fingerprint_from_packets(packets, 10);
+  EXPECT_LE(f.size(), 10u);
+}
+
+}  // namespace
+}  // namespace iotsentinel::fp

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ml/random_forest.hpp"
+
+namespace iotsentinel::ml {
+namespace {
+
+/// Data where only feature 1 matters: x1 < 0.5 -> class 0, else class 1;
+/// features 0 and 2 are noise.
+Dataset informative_feature_one(std::uint64_t seed) {
+  Dataset d(3);
+  Rng rng(seed);
+  for (int i = 0; i < 200; ++i) {
+    const float x1 = static_cast<float>(rng.uniform());
+    const float row[] = {static_cast<float>(rng.uniform()), x1,
+                         static_cast<float>(rng.uniform())};
+    d.add(row, x1 < 0.5f ? 0 : 1);
+  }
+  return d;
+}
+
+TEST(FeatureImportance, InformativeFeatureDominates) {
+  const Dataset d = informative_feature_one(1);
+  RandomForest forest;
+  forest.train(d, {.num_trees = 25, .seed = 3});
+  const auto imp = forest.feature_importances();
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_GT(imp[1], 0.7);
+  EXPECT_GT(imp[1], imp[0]);
+  EXPECT_GT(imp[1], imp[2]);
+}
+
+TEST(FeatureImportance, NormalizedToOne) {
+  const Dataset d = informative_feature_one(2);
+  RandomForest forest;
+  forest.train(d, {.num_trees = 10, .seed = 4});
+  const auto imp = forest.feature_importances();
+  const double sum = std::accumulate(imp.begin(), imp.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double v : imp) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(FeatureImportance, PureDataYieldsAllZeros) {
+  Dataset d(2);
+  for (int i = 0; i < 10; ++i) {
+    const float row[] = {static_cast<float>(i), 0.0f};
+    d.add(row, 1);  // single class: no split ever happens
+  }
+  RandomForest forest;
+  forest.train(d, {.num_trees = 5, .seed = 5});
+  for (double v : forest.feature_importances()) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(FeatureImportance, SingleTreeMatchesForestOfOne) {
+  const Dataset d = informative_feature_one(3);
+  RandomForest forest;
+  forest.train(d, {.num_trees = 1, .seed = 6});
+  const auto forest_imp = forest.feature_importances();
+  const auto& tree_imp = forest.tree(0).feature_importances();
+  ASSERT_EQ(forest_imp.size(), tree_imp.size());
+  for (std::size_t f = 0; f < forest_imp.size(); ++f) {
+    EXPECT_NEAR(forest_imp[f], tree_imp[f], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace iotsentinel::ml

@@ -1,0 +1,165 @@
+// Table-I feature extraction tests.
+#include "fingerprint/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/fingerprint.hpp"
+
+#include "net/builder.hpp"
+#include "net/parser.hpp"
+#include "net/protocols.hpp"
+
+namespace iotsentinel::fp {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+const MacAddress kDev = MacAddress::of(0x02, 1, 2, 3, 4, 5);
+const MacAddress kGw = MacAddress::of(0x02, 9, 9, 9, 9, 9);
+const Ipv4Address kDevIp = Ipv4Address::of(192, 168, 0, 50);
+const Ipv4Address kGwIp = Ipv4Address::of(192, 168, 0, 1);
+
+TEST(PortClass, MatchesPaperMapping) {
+  EXPECT_EQ(port_class(0), 1u);
+  EXPECT_EQ(port_class(80), 1u);
+  EXPECT_EQ(port_class(1023), 1u);
+  EXPECT_EQ(port_class(1024), 2u);
+  EXPECT_EQ(port_class(49151), 2u);
+  EXPECT_EQ(port_class(49152), 3u);
+  EXPECT_EQ(port_class(65535), 3u);
+  EXPECT_EQ(port_class_of(std::nullopt), 0u);
+  EXPECT_EQ(port_class_of(std::uint16_t{443}), 1u);
+}
+
+TEST(Features, VectorHas23Entries) {
+  EXPECT_EQ(kNumFeatures, 23u);
+  EXPECT_EQ(kFixedDims, 276u);
+}
+
+TEST(Features, DhcpPacketSetsExpectedFlags) {
+  PacketFeatureExtractor fx;
+  const auto pkt = net::parse_ethernet_frame(
+      net::build_dhcp(kDev, net::dhcptype::kDiscover, 1), 0);
+  const FeatureVector v = fx.extract(pkt);
+  EXPECT_EQ(get(v, FeatureIndex::kIp), 1u);
+  EXPECT_EQ(get(v, FeatureIndex::kUdp), 1u);
+  EXPECT_EQ(get(v, FeatureIndex::kDhcp), 1u);
+  EXPECT_EQ(get(v, FeatureIndex::kBootp), 1u);
+  EXPECT_EQ(get(v, FeatureIndex::kArp), 0u);
+  EXPECT_EQ(get(v, FeatureIndex::kTcp), 0u);
+  EXPECT_EQ(get(v, FeatureIndex::kSrcPortClass), 1u);  // 68 well-known
+  EXPECT_EQ(get(v, FeatureIndex::kDstPortClass), 1u);  // 67 well-known
+  EXPECT_EQ(get(v, FeatureIndex::kSize), pkt.wire_size);
+}
+
+TEST(Features, ArpHasNoPortsAndNoIpFlag) {
+  PacketFeatureExtractor fx;
+  const auto pkt = net::parse_ethernet_frame(
+      net::build_arp_request(kDev, kDevIp, kGwIp), 0);
+  const FeatureVector v = fx.extract(pkt);
+  EXPECT_EQ(get(v, FeatureIndex::kArp), 1u);
+  EXPECT_EQ(get(v, FeatureIndex::kIp), 0u);
+  EXPECT_EQ(get(v, FeatureIndex::kSrcPortClass), 0u);
+  EXPECT_EQ(get(v, FeatureIndex::kDstPortClass), 0u);
+}
+
+TEST(Features, IgmpJoinSetsIpOptionFeatures) {
+  PacketFeatureExtractor fx;
+  const auto pkt = net::parse_ethernet_frame(
+      net::build_igmp_join(kDev, kDevIp, Ipv4Address::of(239, 255, 255, 250)),
+      0);
+  const FeatureVector v = fx.extract(pkt);
+  EXPECT_EQ(get(v, FeatureIndex::kIpOptRouterAlert), 1u);
+  EXPECT_EQ(get(v, FeatureIndex::kIpOptPadding), 1u);
+}
+
+TEST(Features, DestinationIpCounterCountsFirstContactOrder) {
+  PacketFeatureExtractor fx;
+  const Ipv4Address peer_a = Ipv4Address::of(10, 0, 0, 1);
+  const Ipv4Address peer_b = Ipv4Address::of(10, 0, 0, 2);
+  auto frame_to = [&](Ipv4Address dst) {
+    return net::parse_ethernet_frame(
+        net::build_dns_query(kDev, kGw, kDevIp, dst, 50000, 1, "x.com"), 0);
+  };
+  EXPECT_EQ(get(fx.extract(frame_to(peer_a)), FeatureIndex::kDstIpCounter), 1u);
+  EXPECT_EQ(get(fx.extract(frame_to(peer_b)), FeatureIndex::kDstIpCounter), 2u);
+  // Revisiting a known peer keeps its original counter value.
+  EXPECT_EQ(get(fx.extract(frame_to(peer_a)), FeatureIndex::kDstIpCounter), 1u);
+  EXPECT_EQ(fx.distinct_destinations(), 2u);
+}
+
+TEST(Features, DstCounterZeroWithoutIp) {
+  PacketFeatureExtractor fx;
+  const auto pkt =
+      net::parse_ethernet_frame(net::build_eapol_key(kDev, kGw), 0);
+  const FeatureVector v = fx.extract(pkt);
+  EXPECT_EQ(get(v, FeatureIndex::kDstIpCounter), 0u);
+  EXPECT_EQ(get(v, FeatureIndex::kEapol), 1u);
+}
+
+TEST(Features, ResetClearsCounterState) {
+  PacketFeatureExtractor fx;
+  const auto pkt = net::parse_ethernet_frame(
+      net::build_dns_query(kDev, kGw, kDevIp, kGwIp, 50000, 1, "a.com"), 0);
+  fx.extract(pkt);
+  EXPECT_EQ(fx.distinct_destinations(), 1u);
+  fx.reset();
+  EXPECT_EQ(fx.distinct_destinations(), 0u);
+  EXPECT_EQ(get(fx.extract(pkt), FeatureIndex::kDstIpCounter), 1u);
+}
+
+TEST(Features, RawDataFlagTracksPayload) {
+  PacketFeatureExtractor fx;
+  const auto syn = net::parse_ethernet_frame(
+      net::build_tcp_syn(kDev, kGw, kDevIp, kGwIp, 49999, 80, 1), 0);
+  EXPECT_EQ(get(fx.extract(syn), FeatureIndex::kRawData), 0u);
+  const auto get_req = net::parse_ethernet_frame(
+      net::build_http_get(kDev, kGw, kDevIp, kGwIp, 49999, "h", "/"), 0);
+  EXPECT_EQ(get(fx.extract(get_req), FeatureIndex::kRawData), 1u);
+}
+
+TEST(Features, EveryFeatureHasAName) {
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    EXPECT_NE(feature_name(static_cast<FeatureIndex>(i)), "?");
+  }
+}
+
+// Binary features must be 0/1 for every builder-generated packet kind.
+class BinaryFeatureDomainTest
+    : public ::testing::TestWithParam<net::Bytes> {};
+
+TEST_P(BinaryFeatureDomainTest, BinaryFeaturesStayBinary) {
+  PacketFeatureExtractor fx;
+  const auto pkt = net::parse_ethernet_frame(GetParam(), 0);
+  const FeatureVector v = fx.extract(pkt);
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    const auto idx = static_cast<FeatureIndex>(i);
+    if (idx == FeatureIndex::kSize || idx == FeatureIndex::kDstIpCounter ||
+        idx == FeatureIndex::kSrcPortClass ||
+        idx == FeatureIndex::kDstPortClass) {
+      continue;  // integer features
+    }
+    EXPECT_LE(v[i], 1u) << feature_name(idx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuilders, BinaryFeatureDomainTest,
+    ::testing::Values(
+        net::build_arp_request(kDev, kDevIp, kGwIp),
+        net::build_eapol_key(kDev, kGw),
+        net::build_dhcp(kDev, net::dhcptype::kDiscover, 1),
+        net::build_dns_query(kDev, kGw, kDevIp, kGwIp, 50000, 1, "a.b"),
+        net::build_mdns(kDev, kDevIp, "_svc._tcp.local", true),
+        net::build_ssdp_msearch(kDev, kDevIp, 49500, "ssdp:all"),
+        net::build_ntp_request(kDev, kGw, kDevIp, kGwIp, 49700),
+        net::build_http_get(kDev, kGw, kDevIp, kGwIp, 49600, "h", "/"),
+        net::build_tls_client_hello(kDev, kGw, kDevIp, kGwIp, 49601, "sni"),
+        net::build_igmp_join(kDev, kDevIp, Ipv4Address::of(239, 255, 255, 250)),
+        net::build_icmp_echo(kDev, kGw, kDevIp, kGwIp, 1, 1),
+        net::build_icmpv6_router_solicit(kDev),
+        net::build_mldv1_report(kDev)));
+
+}  // namespace
+}  // namespace iotsentinel::fp

@@ -1,0 +1,110 @@
+#include "fingerprint/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotsentinel::fp {
+namespace {
+
+FeatureVector vec(std::uint32_t tag) {
+  FeatureVector v{};
+  v[0] = tag;
+  v[static_cast<std::size_t>(FeatureIndex::kSize)] = 60 + tag;
+  return v;
+}
+
+TEST(Fingerprint, AppendDiscardsConsecutiveDuplicates) {
+  Fingerprint f;
+  f.append(vec(1));
+  f.append(vec(1));  // dropped (p_i == p_{i+1})
+  f.append(vec(2));
+  f.append(vec(1));  // kept: not consecutive with the first vec(1)
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.packet(0), vec(1));
+  EXPECT_EQ(f.packet(1), vec(2));
+  EXPECT_EQ(f.packet(2), vec(1));
+}
+
+TEST(Fingerprint, UniquePacketCountIsGlobal) {
+  Fingerprint f;
+  f.append(vec(1));
+  f.append(vec(2));
+  f.append(vec(1));
+  f.append(vec(3));
+  EXPECT_EQ(f.size(), 4u);
+  EXPECT_EQ(f.unique_packet_count(), 3u);
+}
+
+TEST(Fingerprint, ToFixedIs276Wide) {
+  Fingerprint f;
+  f.append(vec(5));
+  const FixedFingerprint fixed = f.to_fixed();
+  EXPECT_EQ(fixed.size(), kFixedDims);
+  EXPECT_EQ(fixed.size(), 276u);
+}
+
+TEST(Fingerprint, ToFixedZeroPadsWhenShort) {
+  Fingerprint f;
+  f.append(vec(1));
+  f.append(vec(2));
+  const FixedFingerprint fixed = f.to_fixed();
+  // First two packet slots populated, rest zero.
+  EXPECT_FLOAT_EQ(fixed[0], 1.0f);
+  EXPECT_FLOAT_EQ(fixed[kNumFeatures], 2.0f);
+  for (std::size_t i = 2 * kNumFeatures; i < fixed.size(); ++i) {
+    EXPECT_FLOAT_EQ(fixed[i], 0.0f);
+  }
+}
+
+TEST(Fingerprint, ToFixedSkipsGlobalDuplicates) {
+  Fingerprint f;
+  f.append(vec(1));
+  f.append(vec(2));
+  f.append(vec(1));  // global duplicate, must not occupy an F' slot
+  f.append(vec(3));
+  const FixedFingerprint fixed = f.to_fixed();
+  EXPECT_FLOAT_EQ(fixed[0], 1.0f);
+  EXPECT_FLOAT_EQ(fixed[kNumFeatures], 2.0f);
+  EXPECT_FLOAT_EQ(fixed[2 * kNumFeatures], 3.0f);
+}
+
+TEST(Fingerprint, ToFixedTruncatesAtPrefix) {
+  Fingerprint f;
+  for (std::uint32_t i = 0; i < 40; ++i) f.append(vec(i));
+  const FixedFingerprint fixed = f.to_fixed();
+  // Slot 11 holds vec(11); nothing beyond packet 12 is present.
+  EXPECT_FLOAT_EQ(fixed[11 * kNumFeatures], 11.0f);
+  EXPECT_EQ(fixed.size(), 276u);
+}
+
+TEST(Fingerprint, ToFixedHonoursCustomPrefix) {
+  Fingerprint f;
+  for (std::uint32_t i = 0; i < 10; ++i) f.append(vec(i));
+  EXPECT_EQ(f.to_fixed(4).size(), 4 * kNumFeatures);
+  EXPECT_EQ(f.to_fixed(20).size(), 20 * kNumFeatures);
+}
+
+TEST(Fingerprint, CsvRoundTrip) {
+  Fingerprint f;
+  f.append(vec(1));
+  f.append(vec(2));
+  f.append(vec(1));
+  const Fingerprint parsed = Fingerprint::from_csv(f.to_csv());
+  EXPECT_EQ(parsed, f);
+}
+
+TEST(Fingerprint, FromCsvRejectsMalformedRows) {
+  EXPECT_TRUE(Fingerprint::from_csv("1,2,3\n").empty());
+  EXPECT_TRUE(Fingerprint::from_csv("garbage").empty());
+}
+
+TEST(Fingerprint, EmptyFingerprintBehaviour) {
+  Fingerprint f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.unique_packet_count(), 0u);
+  const FixedFingerprint fixed = f.to_fixed();
+  for (float x : fixed) EXPECT_FLOAT_EQ(x, 0.0f);
+  EXPECT_TRUE(Fingerprint::from_csv("").empty());
+}
+
+}  // namespace
+}  // namespace iotsentinel::fp

@@ -1,0 +1,157 @@
+#include "sdn/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "net/parser.hpp"
+#include "net/protocols.hpp"
+
+namespace iotsentinel::sdn {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+const MacAddress kA = MacAddress::of(0x02, 0xa, 0, 0, 0, 1);
+const MacAddress kB = MacAddress::of(0x02, 0xb, 0, 0, 0, 2);
+const Ipv4Address kIpA = Ipv4Address::of(192, 168, 0, 10);
+const Ipv4Address kIpB = Ipv4Address::of(192, 168, 0, 20);
+
+net::ParsedPacket udp_packet(std::uint16_t sport, std::uint16_t dport) {
+  const auto udp = net::build_udp_payload(sport, dport, {});
+  const auto frame =
+      net::build_ipv4(kA, kB, kIpA, kIpB, net::ipproto::kUdp, udp);
+  return net::parse_ethernet_frame(frame, 0);
+}
+
+TEST(FlowMatch, WildcardsMatchEverything) {
+  FlowMatch any;
+  EXPECT_TRUE(any.matches(udp_packet(1000, 2000)));
+  EXPECT_EQ(any.to_string(), "any");
+}
+
+TEST(FlowMatch, FieldMismatchesReject) {
+  const auto pkt = udp_packet(1000, 2000);
+  FlowMatch m;
+  m.src_mac = kB;  // wrong
+  EXPECT_FALSE(m.matches(pkt));
+  m = FlowMatch{};
+  m.dst_ip = Ipv4Address::of(10, 0, 0, 1);
+  EXPECT_FALSE(m.matches(pkt));
+  m = FlowMatch{};
+  m.ip_proto = 6;  // TCP wanted, packet is UDP
+  EXPECT_FALSE(m.matches(pkt));
+  m = FlowMatch{};
+  m.dst_port = 2001;
+  EXPECT_FALSE(m.matches(pkt));
+}
+
+TEST(FlowMatch, MicroFlowPinsAllFields) {
+  const auto pkt = udp_packet(49999, 53);
+  const FlowMatch m = FlowMatch::micro_flow(pkt);
+  EXPECT_TRUE(m.matches(pkt));
+  EXPECT_FALSE(m.matches(udp_packet(49999, 54)));
+  EXPECT_EQ(m.ip_proto, std::uint8_t{17});
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("dl_src=02:0a"), std::string::npos);
+  EXPECT_NE(s.find("tp_dst=53"), std::string::npos);
+}
+
+TEST(FlowTable, HighestPriorityWins) {
+  FlowTable table;
+  FlowEntry drop_all;
+  drop_all.action = FlowAction::kDrop;
+  drop_all.priority = 1;
+  table.install(drop_all, 0);
+
+  FlowEntry allow_dns;
+  allow_dns.match.dst_port = 53;
+  allow_dns.action = FlowAction::kForward;
+  allow_dns.priority = 100;
+  table.install(allow_dns, 0);
+
+  EXPECT_EQ(table.process(udp_packet(40000, 53), 1),
+            FlowAction::kForward);
+  EXPECT_EQ(table.process(udp_packet(40000, 80), 1), FlowAction::kDrop);
+}
+
+TEST(FlowTable, EqualPriorityKeepsInsertionOrder) {
+  FlowTable table;
+  FlowEntry first;
+  first.action = FlowAction::kForward;
+  first.priority = 5;
+  table.install(first, 0);
+  FlowEntry second;
+  second.action = FlowAction::kDrop;
+  second.priority = 5;
+  table.install(second, 0);
+  EXPECT_EQ(table.process(udp_packet(1, 2), 1), FlowAction::kForward);
+}
+
+TEST(FlowTable, MissReturnsNulloptAndCounts) {
+  FlowTable table;
+  FlowEntry dns_only;
+  dns_only.match.dst_port = 53;
+  dns_only.action = FlowAction::kForward;
+  table.install(dns_only, 0);
+  EXPECT_FALSE(table.process(udp_packet(1, 80), 1).has_value());
+  EXPECT_EQ(table.misses(), 1u);
+  EXPECT_EQ(table.matched_packets(), 0u);
+}
+
+TEST(FlowTable, CountersTrackMatchedTraffic) {
+  FlowTable table;
+  FlowEntry entry;
+  entry.action = FlowAction::kForward;
+  table.install(entry, 0);
+  const auto pkt = udp_packet(1, 2);
+  table.process(pkt, 10);
+  table.process(pkt, 20);
+  ASSERT_EQ(table.entries().size(), 1u);
+  EXPECT_EQ(table.entries()[0].packets, 2u);
+  EXPECT_EQ(table.entries()[0].bytes, 2ull * pkt.wire_size);
+  EXPECT_EQ(table.entries()[0].last_matched_us, 20u);
+}
+
+TEST(FlowTable, IdleEntriesExpire) {
+  FlowTable table;
+  FlowEntry ephemeral;
+  ephemeral.action = FlowAction::kForward;
+  ephemeral.idle_timeout_us = 1000;
+  table.install(ephemeral, 0);
+  FlowEntry permanent;
+  permanent.action = FlowAction::kForward;
+  permanent.idle_timeout_us = 0;
+  table.install(permanent, 0);
+
+  EXPECT_EQ(table.expire(500), 0u);
+  EXPECT_EQ(table.expire(5000), 1u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, MatchRefreshesIdleTimer) {
+  FlowTable table;
+  FlowEntry entry;
+  entry.action = FlowAction::kForward;
+  entry.idle_timeout_us = 1000;
+  table.install(entry, 0);
+  table.process(udp_packet(1, 2), 900);
+  EXPECT_EQ(table.expire(1500), 0u);  // refreshed at 900
+  EXPECT_EQ(table.expire(2000), 1u);
+}
+
+TEST(FlowTable, RemoveByCookie) {
+  FlowTable table;
+  for (int i = 0; i < 4; ++i) {
+    FlowEntry entry;
+    entry.action = FlowAction::kForward;
+    entry.cookie = static_cast<std::uint64_t>(i % 2);
+    table.install(entry, 0);
+  }
+  EXPECT_EQ(table.remove_by_cookie(0), 2u);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.remove_by_cookie(7), 0u);
+}
+
+}  // namespace
+}  // namespace iotsentinel::sdn

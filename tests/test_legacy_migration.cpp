@@ -1,0 +1,147 @@
+#include "core/legacy_migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/extractor.hpp"
+#include "simnet/corpus.hpp"
+#include "simnet/traffic_generator.hpp"
+
+namespace iotsentinel::core {
+namespace {
+
+fp::Fingerprint standby_fp(const std::string& type, std::uint64_t seed) {
+  const auto* profile = sim::find_profile(type);
+  sim::TrafficGenerator gen;
+  ml::Rng rng(seed);
+  const auto frames = gen.generate_standby(
+      *profile, sim::TrafficGenerator::mint_mac(*profile, 42),
+      net::Ipv4Address::of(192, 168, 0, 66), 3, rng);
+  return fp::fingerprint_from_packets(sim::parse_frames(frames));
+}
+
+/// Service trained on standby fingerprints of a broad type set; EdimaxCam
+/// carries a vulnerability record.
+IoTSecurityService make_service() {
+  const auto corpus = sim::generate_standby_corpus(12, 555);
+  DeviceIdentifier identifier;
+  identifier.train(corpus.type_names, corpus.by_type);
+  VulnerabilityDb db = VulnerabilityDb::with_sample_data();
+  IoTSecurityService service(std::move(identifier), std::move(db));
+  service.register_endpoints("EdimaxCam",
+                             {net::Ipv4Address::of(104, 22, 7, 70)});
+  return service;
+}
+
+struct MigrationHarness {
+  IoTSecurityService service = make_service();
+  sdn::Controller controller;
+  NotificationCenter notifications;
+  LegacyMigrator migrator{service, controller, notifications};
+};
+
+TEST(LegacyMigration, CleanWpsDeviceJoinsTrustedOverlayWithFreshPsk) {
+  MigrationHarness h;
+  LegacyDevice device;
+  device.mac = net::MacAddress::of(2, 1, 0, 0, 0, 1);
+  device.supports_wps_rekeying = true;
+  device.standby_fingerprint = standby_fp("HueBridge", 1);
+
+  const MigrationOutcome out = h.migrator.migrate(device, 100);
+  EXPECT_EQ(out.device_type, "HueBridge");
+  EXPECT_EQ(out.level, sdn::IsolationLevel::kTrusted);
+  EXPECT_EQ(out.overlay, sdn::Overlay::kTrusted);
+  EXPECT_FALSE(out.issued_psk.empty());
+  EXPECT_EQ(h.migrator.psk_of(device.mac), out.issued_psk);
+  EXPECT_EQ(h.controller.level_of(device.mac),
+            sdn::IsolationLevel::kTrusted);
+  EXPECT_TRUE(h.notifications.pending().empty());
+}
+
+TEST(LegacyMigration, CleanDeviceWithoutWpsStaysUntrustedAndPromptsUser) {
+  MigrationHarness h;
+  LegacyDevice device;
+  device.mac = net::MacAddress::of(2, 1, 0, 0, 0, 2);
+  device.supports_wps_rekeying = false;
+  device.standby_fingerprint = standby_fp("Aria", 2);
+
+  const MigrationOutcome out = h.migrator.migrate(device, 100);
+  EXPECT_EQ(out.overlay, sdn::Overlay::kUntrusted);
+  EXPECT_TRUE(out.needs_manual_reauth);
+  EXPECT_TRUE(out.issued_psk.empty());
+  EXPECT_FALSE(h.migrator.psk_of(device.mac).has_value());
+  ASSERT_EQ(h.notifications.pending().size(), 1u);
+  EXPECT_EQ(h.notifications.pending()[0]->reason,
+            NotificationReason::kManualReauthRequired);
+}
+
+TEST(LegacyMigration, VulnerableDeviceStaysRestrictedUntrusted) {
+  MigrationHarness h;
+  LegacyDevice device;
+  device.mac = net::MacAddress::of(2, 1, 0, 0, 0, 3);
+  device.standby_fingerprint = standby_fp("EdimaxCam", 3);
+
+  const MigrationOutcome out = h.migrator.migrate(device, 100);
+  EXPECT_EQ(out.level, sdn::IsolationLevel::kRestricted);
+  EXPECT_EQ(out.overlay, sdn::Overlay::kUntrusted);
+  EXPECT_FALSE(out.flagged_for_removal);  // no uncontrolled channel
+  // The whitelist travelled into the installed rule.
+  const sdn::EnforcementRule* rule = h.controller.rules().lookup(device.mac);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_TRUE(rule->permitted_ips.contains(net::Ipv4Address::of(104, 22, 7, 70)));
+}
+
+TEST(LegacyMigration, VulnerableWithUncontrolledChannelFlagsRemoval) {
+  MigrationHarness h;
+  LegacyDevice device;
+  device.mac = net::MacAddress::of(2, 1, 0, 0, 0, 4);
+  device.has_uncontrolled_channel = true;
+  device.standby_fingerprint = standby_fp("EdimaxCam", 4);
+
+  const MigrationOutcome out = h.migrator.migrate(device, 100);
+  EXPECT_TRUE(out.flagged_for_removal);
+  bool saw_removal = false;
+  for (const auto* n : h.notifications.pending()) {
+    saw_removal |= n->reason == NotificationReason::kRemoveDevice;
+  }
+  EXPECT_TRUE(saw_removal);
+}
+
+TEST(LegacyMigration, MigrateAllProcessesEveryDevice) {
+  MigrationHarness h;
+  std::vector<LegacyDevice> devices;
+  const char* types[] = {"HueBridge", "Aria", "D-LinkCam"};
+  for (int i = 0; i < 3; ++i) {
+    LegacyDevice d;
+    d.mac = net::MacAddress::of(2, 2, 0, 0, 0, static_cast<std::uint8_t>(i));
+    d.standby_fingerprint = standby_fp(types[i], 10 + static_cast<std::uint64_t>(i));
+    devices.push_back(std::move(d));
+  }
+  const auto outcomes = h.migrator.migrate_all(devices, 100);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(h.migrator.outcomes().size(), 3u);
+  for (const auto& d : devices) {
+    EXPECT_TRUE(h.controller.level_of(d.mac).has_value());
+  }
+}
+
+TEST(LegacyMigration, IssuedPsksAreUniquePerDevice) {
+  MigrationHarness h;
+  std::vector<std::string> psks;
+  for (int i = 0; i < 4; ++i) {
+    LegacyDevice d;
+    d.mac = net::MacAddress::of(2, 3, 0, 0, 0, static_cast<std::uint8_t>(i));
+    d.standby_fingerprint = standby_fp("HueBridge", 20 + static_cast<std::uint64_t>(i));
+    const auto out = h.migrator.migrate(d, 100);
+    if (!out.issued_psk.empty()) psks.push_back(out.issued_psk);
+  }
+  ASSERT_GE(psks.size(), 2u);
+  for (std::size_t i = 0; i < psks.size(); ++i) {
+    EXPECT_EQ(psks[i].size(), 32u);
+    for (std::size_t j = i + 1; j < psks.size(); ++j) {
+      EXPECT_NE(psks[i], psks[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iotsentinel::core

@@ -1,0 +1,77 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotsentinel::ml {
+namespace {
+
+TEST(ConfusionMatrix, RecordsAndReportsCounts) {
+  ConfusionMatrix m(3);
+  m.record(0, 0);
+  m.record(0, 1);
+  m.record(1, 1);
+  m.record(2, 2);
+  m.record(2, 2);
+  EXPECT_EQ(m.at(0, 0), 1u);
+  EXPECT_EQ(m.at(0, 1), 1u);
+  EXPECT_EQ(m.at(2, 2), 2u);
+  EXPECT_EQ(m.row_total(0), 2u);
+  EXPECT_EQ(m.total(), 5u);
+}
+
+TEST(ConfusionMatrix, AccuracyComputations) {
+  ConfusionMatrix m(2);
+  for (int i = 0; i < 8; ++i) m.record(0, 0);
+  for (int i = 0; i < 2; ++i) m.record(0, 1);
+  for (int i = 0; i < 5; ++i) m.record(1, 1);
+  for (int i = 0; i < 5; ++i) m.record(1, 0);
+  EXPECT_DOUBLE_EQ(m.class_accuracy(0), 0.8);
+  EXPECT_DOUBLE_EQ(m.class_accuracy(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 13.0 / 20.0);
+}
+
+TEST(ConfusionMatrix, EmptyClassAccuracyIsZero) {
+  ConfusionMatrix m(2);
+  m.record(0, 0);
+  EXPECT_DOUBLE_EQ(m.class_accuracy(1), 0.0);
+}
+
+TEST(ConfusionMatrix, MergeAddsCounts) {
+  ConfusionMatrix a(2);
+  ConfusionMatrix b(2);
+  a.record(0, 0);
+  b.record(0, 0);
+  b.record(1, 0);
+  a.merge(b);
+  EXPECT_EQ(a.at(0, 0), 2u);
+  EXPECT_EQ(a.at(1, 0), 1u);
+}
+
+TEST(ConfusionMatrix, MergeIntoEmptyAdopts) {
+  ConfusionMatrix empty;
+  ConfusionMatrix b(2);
+  b.record(1, 1);
+  empty.merge(b);
+  EXPECT_EQ(empty.num_classes(), 2u);
+  EXPECT_EQ(empty.at(1, 1), 1u);
+}
+
+TEST(ConfusionMatrix, ToTableSelectsSubMatrix) {
+  ConfusionMatrix m(4);
+  m.record(2, 2);
+  m.record(2, 3);
+  m.record(3, 3);
+  const std::string table = m.to_table({2, 3}, {"TypeC", "TypeD"});
+  EXPECT_NE(table.find("TypeC"), std::string::npos);
+  EXPECT_NE(table.find("TypeD"), std::string::npos);
+  // Row for actual=2 must contain both counts 1 and 1.
+  EXPECT_NE(table.find('1'), std::string::npos);
+}
+
+TEST(ConfusionMatrix, ZeroTotalAccuracyIsZero) {
+  ConfusionMatrix m(3);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace iotsentinel::ml

@@ -1,0 +1,138 @@
+#include "simnet/network_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotsentinel::sim {
+namespace {
+
+TEST(NetworkSim, PaperTestbedBaseRttsMatchTableV) {
+  NetworkSim sim = make_paper_testbed(/*filtering=*/false, 7);
+  const RttResult d1d4 = sim.measure_rtt("D1", "D4", 30);
+  EXPECT_EQ(d1d4.dropped, 0u);
+  EXPECT_NEAR(d1d4.rtt_ms.mean(), 24.5, 2.0);
+
+  const RttResult d1sl = sim.measure_rtt("D1", "Slocal", 30);
+  EXPECT_NEAR(d1sl.rtt_ms.mean(), 17.0, 2.5);
+
+  const RttResult d1sr = sim.measure_rtt("D1", "Sremote", 30);
+  EXPECT_NEAR(d1sr.rtt_ms.mean(), 20.0, 2.5);
+}
+
+TEST(NetworkSim, FilteringAddsOnlySmallOverhead) {
+  NetworkSim with = make_paper_testbed(true, 7);
+  NetworkSim without = make_paper_testbed(false, 7);
+  const double w = with.measure_rtt("D1", "D4", 40).rtt_ms.mean();
+  const double wo = without.measure_rtt("D1", "D4", 40).rtt_ms.mean();
+  EXPECT_GT(w, wo - 0.5);        // filtering never makes it faster
+  EXPECT_LT(w - wo, 2.0);        // ... and costs well under 2 ms on average
+}
+
+TEST(NetworkSim, StrictDeviceGetsPingBlocked) {
+  NetworkSim sim = make_paper_testbed(true, 7);
+  sdn::EnforcementRule strict;
+  strict.device = sim.host("D1").mac;
+  strict.level = sdn::IsolationLevel::kStrict;
+  sim.apply_rule(std::move(strict));
+  // D1 (untrusted overlay) -> D4 (trusted overlay): blocked.
+  const RttResult res = sim.measure_rtt("D1", "D4", 10);
+  EXPECT_EQ(res.dropped, 10u);
+  EXPECT_EQ(res.rtt_ms.count(), 0u);
+}
+
+TEST(NetworkSim, NoFilteringForwardsEvenStrictDevices) {
+  NetworkSim sim = make_paper_testbed(false, 7);
+  sdn::EnforcementRule strict;
+  strict.device = sim.host("D1").mac;
+  strict.level = sdn::IsolationLevel::kStrict;
+  sim.apply_rule(std::move(strict));
+  const RttResult res = sim.measure_rtt("D1", "D4", 10);
+  EXPECT_EQ(res.dropped, 0u);
+}
+
+TEST(NetworkSim, ConcurrentFlowsPopulateFlowTable) {
+  NetworkSim sim = make_paper_testbed(true, 7);
+  sim.set_concurrent_flows(100);
+  EXPECT_EQ(sim.concurrent_flows(), 100u);
+  EXPECT_GE(sim.data_plane().table().size(), 90u);  // broadcast etc. aside
+}
+
+TEST(NetworkSim, LatencyGrowsMildlyWithFlows) {
+  NetworkSim idle = make_paper_testbed(true, 7);
+  NetworkSim busy = make_paper_testbed(true, 7);
+  busy.set_concurrent_flows(150);
+  const double idle_ms = idle.measure_rtt("D1", "D4", 40).rtt_ms.mean();
+  const double busy_ms = busy.measure_rtt("D1", "D4", 40).rtt_ms.mean();
+  // Fig. 6a: increase exists but is "insignificant" (< 1 ms at 150 flows).
+  EXPECT_GT(busy_ms, idle_ms - 0.5);
+  EXPECT_LT(busy_ms - idle_ms, 1.5);
+}
+
+TEST(NetworkSim, CpuUtilizationRisesWithFlows) {
+  NetworkSim sim = make_paper_testbed(true, 7);
+  RunningStats idle;
+  for (int i = 0; i < 20; ++i) idle.add(sim.cpu_utilization_pct());
+  sim.set_concurrent_flows(150);
+  RunningStats busy;
+  for (int i = 0; i < 20; ++i) busy.add(sim.cpu_utilization_pct());
+  EXPECT_GT(busy.mean(), idle.mean());
+  EXPECT_LT(busy.mean(), 55.0);  // Fig. 6b peaks below ~50%
+  EXPECT_GT(idle.mean(), 30.0);
+}
+
+TEST(NetworkSim, FilteringCpuOverheadIsSmall) {
+  NetworkSim with = make_paper_testbed(true, 7);
+  NetworkSim without = make_paper_testbed(false, 7);
+  with.set_concurrent_flows(100);
+  without.set_concurrent_flows(100);
+  RunningStats w;
+  RunningStats wo;
+  for (int i = 0; i < 50; ++i) {
+    w.add(with.cpu_utilization_pct());
+    wo.add(without.cpu_utilization_pct());
+  }
+  // Table VI: +0.63% (+-1.8) CPU.
+  EXPECT_LT(w.mean() - wo.mean(), 2.5);
+}
+
+TEST(NetworkSim, MemoryGrowsLinearlyWithRulesWhenFiltering) {
+  NetworkSim sim = make_paper_testbed(true, 7);
+  const double mb0 = sim.memory_mb(0);
+  const double mb10k = sim.memory_mb(10'000);
+  const double mb20k = sim.memory_mb(20'000);
+  EXPECT_LT(mb0, mb10k);
+  EXPECT_LT(mb10k, mb20k);
+  // Fig. 6c: ~85 MB at 20k rules, ~40 MB base.
+  EXPECT_NEAR(mb0, 40.0, 5.0);
+  EXPECT_NEAR(mb20k, 86.0, 10.0);
+  // Linearity: midpoint within a tolerance.
+  EXPECT_NEAR(mb10k, (mb0 + mb20k) / 2, 1.0);
+}
+
+TEST(NetworkSim, MemoryFlatWithoutFiltering) {
+  NetworkSim sim = make_paper_testbed(false, 7);
+  EXPECT_NEAR(sim.memory_mb(20'000) - sim.memory_mb(0), 0.8, 0.8);
+}
+
+TEST(NetworkSim, RawMeasuredMemoryAlsoGrows) {
+  NetworkSim sim = make_paper_testbed(true, 7);
+  const double before = sim.memory_mb(0, /*calibrated=*/false);
+  for (int i = 0; i < 2000; ++i) {
+    sdn::EnforcementRule rule;
+    rule.device = net::MacAddress::of(0x02, 0x99, 0,
+                                      static_cast<std::uint8_t>(i >> 8), 0,
+                                      static_cast<std::uint8_t>(i));
+    rule.level = sdn::IsolationLevel::kRestricted;
+    rule.permitted_ips.insert(net::Ipv4Address::of(104, 0, 0, 1));
+    sim.apply_rule(std::move(rule));
+  }
+  const double after = sim.memory_mb(0, /*calibrated=*/false);
+  EXPECT_GT(after, before);
+}
+
+TEST(NetworkSim, UnknownHostAborts) {
+  NetworkSim sim = make_paper_testbed(true, 7);
+  EXPECT_DEATH((void)sim.host("Nope"), "unknown host");
+}
+
+}  // namespace
+}  // namespace iotsentinel::sim

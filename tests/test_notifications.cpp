@@ -1,0 +1,76 @@
+#include "core/notifications.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iotsentinel::core {
+namespace {
+
+const net::MacAddress kDevA = net::MacAddress::of(2, 0, 0, 0, 0, 1);
+const net::MacAddress kDevB = net::MacAddress::of(2, 0, 0, 0, 0, 2);
+
+UserNotification removal(const net::MacAddress& mac) {
+  return {.device = mac,
+          .device_type = "EdimaxCam",
+          .reason = NotificationReason::kRemoveDevice,
+          .message = "remove it",
+          .raised_at_us = 5};
+}
+
+TEST(NotificationCenter, RecordsAndListsPending) {
+  NotificationCenter center;
+  EXPECT_TRUE(center.notify(removal(kDevA)));
+  ASSERT_EQ(center.pending().size(), 1u);
+  EXPECT_EQ(center.pending()[0]->device, kDevA);
+  EXPECT_EQ(center.pending()[0]->reason, NotificationReason::kRemoveDevice);
+}
+
+TEST(NotificationCenter, SuppressesDuplicatePendingPairs) {
+  NotificationCenter center;
+  EXPECT_TRUE(center.notify(removal(kDevA)));
+  EXPECT_FALSE(center.notify(removal(kDevA)));  // same device + reason
+  EXPECT_EQ(center.pending().size(), 1u);
+  // Different reason for the same device is a new notification.
+  EXPECT_TRUE(center.notify(
+      {.device = kDevA,
+       .reason = NotificationReason::kManualReauthRequired,
+       .message = "reauth"}));
+  EXPECT_EQ(center.pending().size(), 2u);
+}
+
+TEST(NotificationCenter, AcknowledgeClearsAndAllowsReraising) {
+  NotificationCenter center;
+  center.notify(removal(kDevA));
+  center.notify(removal(kDevB));
+  EXPECT_EQ(center.acknowledge(kDevA), 1u);
+  EXPECT_EQ(center.pending().size(), 1u);
+  EXPECT_EQ(center.pending()[0]->device, kDevB);
+  // After acknowledgement the same (device, reason) may be raised again.
+  EXPECT_TRUE(center.notify(removal(kDevA)));
+  // History keeps everything.
+  EXPECT_EQ(center.history().size(), 3u);
+}
+
+TEST(NotificationCenter, AcknowledgeUnknownDeviceIsZero) {
+  NotificationCenter center;
+  EXPECT_EQ(center.acknowledge(kDevA), 0u);
+}
+
+TEST(NotificationCenter, CallbackFiresOnNewOnly) {
+  NotificationCenter center;
+  int fired = 0;
+  center.on_notify([&](const UserNotification&) { ++fired; });
+  center.notify(removal(kDevA));
+  center.notify(removal(kDevA));  // suppressed -> no callback
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(NotificationReasonStrings, AllNamed) {
+  EXPECT_EQ(to_string(NotificationReason::kRemoveDevice), "remove-device");
+  EXPECT_EQ(to_string(NotificationReason::kManualReauthRequired),
+            "manual-reauth-required");
+  EXPECT_EQ(to_string(NotificationReason::kUnknownDeviceQuarantined),
+            "unknown-device-quarantined");
+}
+
+}  // namespace
+}  // namespace iotsentinel::core

@@ -1,0 +1,229 @@
+// Parser tests: every builder output must parse back with the expected
+// protocol flags, plus robustness on truncated/garbage frames.
+#include "net/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "net/protocols.hpp"
+
+namespace iotsentinel::net {
+namespace {
+
+const MacAddress kDev = MacAddress::of(0x02, 0xaa, 0xbb, 0x00, 0x00, 0x01);
+const MacAddress kGw = MacAddress::of(0x02, 0x47, 0x57, 0x00, 0x00, 0x01);
+const Ipv4Address kDevIp = Ipv4Address::of(192, 168, 0, 23);
+const Ipv4Address kGwIp = Ipv4Address::of(192, 168, 0, 1);
+const Ipv4Address kCloud = Ipv4Address::of(104, 20, 5, 50);
+
+TEST(Parser, ArpRequest) {
+  const auto frame = build_arp_request(kDev, kDevIp, kGwIp);
+  const auto pkt = parse_ethernet_frame(frame, 7);
+  EXPECT_EQ(pkt.timestamp_us, 7u);
+  EXPECT_TRUE(pkt.is_arp);
+  EXPECT_FALSE(pkt.is_ip());
+  EXPECT_EQ(pkt.src_mac, kDev);
+  EXPECT_EQ(pkt.dst_mac, MacAddress::broadcast());
+  ASSERT_TRUE(pkt.src_ip.has_value());
+  EXPECT_EQ(pkt.src_ip->v4(), kDevIp);
+  ASSERT_TRUE(pkt.dst_ip.has_value());
+  EXPECT_EQ(pkt.dst_ip->v4(), kGwIp);
+}
+
+TEST(Parser, GratuitousArpHasNoSpuriousPorts) {
+  const auto pkt =
+      parse_ethernet_frame(build_gratuitous_arp(kDev, kDevIp), 0);
+  EXPECT_TRUE(pkt.is_arp);
+  EXPECT_FALSE(pkt.src_port.has_value());
+  EXPECT_FALSE(pkt.dst_port.has_value());
+}
+
+TEST(Parser, EapolKeyFrame) {
+  const auto pkt = parse_ethernet_frame(build_eapol_key(kDev, kGw), 0);
+  EXPECT_TRUE(pkt.is_eapol);
+  EXPECT_FALSE(pkt.is_ip());
+  EXPECT_TRUE(pkt.has_payload);
+}
+
+TEST(Parser, DhcpDiscoverDetectedAsDhcpAndBootp) {
+  const auto frame = build_dhcp(kDev, dhcptype::kDiscover, 0x1234);
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_TRUE(pkt.is_ipv4);
+  EXPECT_TRUE(pkt.is_udp);
+  EXPECT_TRUE(pkt.app.dhcp);
+  EXPECT_TRUE(pkt.app.bootp);
+  EXPECT_EQ(pkt.src_port, port::kDhcpClient);
+  EXPECT_EQ(pkt.dst_port, port::kDhcpServer);
+  ASSERT_TRUE(pkt.dst_ip.has_value());
+  EXPECT_TRUE(pkt.dst_ip->v4().is_broadcast());
+}
+
+TEST(Parser, DnsQuery) {
+  const auto frame =
+      build_dns_query(kDev, kGw, kDevIp, kGwIp, 50000, 0x42, "example.com");
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_TRUE(pkt.is_udp);
+  EXPECT_TRUE(pkt.app.dns);
+  EXPECT_FALSE(pkt.app.mdns);
+  EXPECT_EQ(pkt.dst_port, port::kDns);
+}
+
+TEST(Parser, MdnsIsMdnsNotDns) {
+  const auto frame = build_mdns(kDev, kDevIp, "_hue._tcp.local", true);
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_TRUE(pkt.app.mdns);
+  EXPECT_FALSE(pkt.app.dns);
+  ASSERT_TRUE(pkt.dst_ip.has_value());
+  EXPECT_TRUE(pkt.dst_ip->v4().is_multicast());
+  EXPECT_TRUE(pkt.dst_mac.is_multicast());
+}
+
+TEST(Parser, SsdpMsearch) {
+  const auto frame = build_ssdp_msearch(kDev, kDevIp, 49500, "ssdp:all");
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_TRUE(pkt.app.ssdp);
+  EXPECT_TRUE(pkt.is_udp);
+  EXPECT_EQ(pkt.dst_port, port::kSsdp);
+  EXPECT_TRUE(pkt.has_payload);
+}
+
+TEST(Parser, SsdpNotify) {
+  const auto frame = build_ssdp_notify(kDev, kDevIp,
+                                       "http://192.168.0.23:49153/desc.xml",
+                                       "TestDevice UPnP/1.0");
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_TRUE(pkt.app.ssdp);
+}
+
+TEST(Parser, NtpRequest) {
+  const auto frame = build_ntp_request(kDev, kGw, kDevIp,
+                                       Ipv4Address::of(94, 130, 49, 186),
+                                       49700);
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_TRUE(pkt.app.ntp);
+  EXPECT_EQ(pkt.dst_port, port::kNtp);
+}
+
+TEST(Parser, HttpGet) {
+  const auto frame = build_http_get(kDev, kGw, kDevIp, kCloud, 49600,
+                                    "cloud.example.com", "/register");
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_TRUE(pkt.is_tcp);
+  EXPECT_TRUE(pkt.app.http);
+  EXPECT_FALSE(pkt.app.https);
+  EXPECT_TRUE(pkt.has_payload);
+  EXPECT_EQ(pkt.dst_port, port::kHttp);
+}
+
+TEST(Parser, TlsClientHelloIsHttps) {
+  const auto frame = build_tls_client_hello(kDev, kGw, kDevIp, kCloud, 49601,
+                                            "cloud.example.com");
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_TRUE(pkt.is_tcp);
+  EXPECT_TRUE(pkt.app.https);
+  EXPECT_FALSE(pkt.app.http);
+}
+
+TEST(Parser, TcpSynHasNoPayload) {
+  const auto frame = build_tcp_syn(kDev, kGw, kDevIp, kCloud, 49602, 8883, 1);
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_TRUE(pkt.is_tcp);
+  EXPECT_FALSE(pkt.has_payload);  // min-frame padding must not count
+  EXPECT_EQ(pkt.payload_size, 0u);
+}
+
+TEST(Parser, IgmpJoinSetsBothIpOptionFeatures) {
+  const auto frame =
+      build_igmp_join(kDev, kDevIp, Ipv4Address::of(239, 255, 255, 250));
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_TRUE(pkt.is_ipv4);
+  EXPECT_TRUE(pkt.ip_opt_router_alert);
+  EXPECT_TRUE(pkt.ip_opt_padding);
+  EXPECT_FALSE(pkt.is_tcp);
+  EXPECT_FALSE(pkt.is_udp);
+}
+
+TEST(Parser, IcmpEcho) {
+  const auto frame = build_icmp_echo(kDev, kGw, kDevIp, kGwIp, 7, 1);
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_TRUE(pkt.is_icmp);
+  EXPECT_TRUE(pkt.is_ipv4);
+  EXPECT_TRUE(pkt.has_payload);
+}
+
+TEST(Parser, Icmpv6RouterSolicitation) {
+  const auto pkt = parse_ethernet_frame(build_icmpv6_router_solicit(kDev), 0);
+  EXPECT_TRUE(pkt.is_ipv6);
+  EXPECT_TRUE(pkt.is_icmpv6);
+  EXPECT_FALSE(pkt.ip_opt_router_alert);
+  ASSERT_TRUE(pkt.src_ip.has_value());
+  EXPECT_TRUE(pkt.src_ip->is_v6());
+}
+
+TEST(Parser, MldReportCarriesV6RouterAlert) {
+  const auto pkt = parse_ethernet_frame(build_mldv1_report(kDev), 0);
+  EXPECT_TRUE(pkt.is_ipv6);
+  EXPECT_TRUE(pkt.is_icmpv6);
+  EXPECT_TRUE(pkt.ip_opt_router_alert);
+  EXPECT_TRUE(pkt.ip_opt_padding);  // PadN in the hop-by-hop header
+}
+
+TEST(Parser, LlcFrame) {
+  const std::uint8_t payload[] = {0x00, 0x00, 0x00, 0x00};
+  const auto frame = build_llc_frame(kDev, kGw, 0x42, 0x42, payload);
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_TRUE(pkt.is_llc);
+  EXPECT_FALSE(pkt.is_ip());
+}
+
+TEST(Parser, WireSizeMatchesFrame) {
+  const auto frame = build_dhcp(kDev, dhcptype::kRequest, 1);
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_EQ(pkt.wire_size, frame.size());
+}
+
+TEST(Parser, TruncatedFrameYieldsPartialSummary) {
+  const std::uint8_t tiny[] = {1, 2, 3};
+  const auto pkt = parse_ethernet_frame(tiny, 5);
+  EXPECT_EQ(pkt.wire_size, 3u);
+  EXPECT_FALSE(pkt.is_ip());
+  EXPECT_FALSE(pkt.is_arp);
+}
+
+TEST(Parser, UnknownEthertypePreservesMacs) {
+  Bytes payload = {0xde, 0xad};
+  const auto frame = build_ethernet(kDev, kGw, 0x1234, payload);
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  EXPECT_EQ(pkt.src_mac, kDev);
+  EXPECT_FALSE(pkt.is_ip());
+  EXPECT_TRUE(pkt.has_payload);
+}
+
+TEST(Parser, SummaryMentionsProtocols) {
+  const auto frame = build_dhcp(kDev, dhcptype::kDiscover, 9);
+  const auto pkt = parse_ethernet_frame(frame, 0);
+  const std::string s = pkt.summary();
+  EXPECT_NE(s.find("IPv4"), std::string::npos);
+  EXPECT_NE(s.find("UDP"), std::string::npos);
+  EXPECT_NE(s.find("DHCP"), std::string::npos);
+}
+
+// Property sweep: parsing any prefix of a valid frame must be safe and
+// never report protocols beyond what the prefix can prove.
+class ParserTruncationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParserTruncationTest, NoCrashOnAnyPrefix) {
+  const auto frame = build_tls_client_hello(kDev, kGw, kDevIp, kCloud, 49000,
+                                            "truncation.example.com");
+  const std::size_t cut = std::min(GetParam(), frame.size());
+  const std::span<const std::uint8_t> prefix(frame.data(), cut);
+  const auto pkt = parse_ethernet_frame(prefix, 0);
+  EXPECT_EQ(pkt.wire_size, cut);
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, ParserTruncationTest,
+                         ::testing::Values(0, 1, 5, 13, 14, 20, 33, 34, 40,
+                                           53, 54, 60, 80, 120, 10'000));
+
+}  // namespace
+}  // namespace iotsentinel::net

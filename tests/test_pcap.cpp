@@ -1,0 +1,135 @@
+#include "net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "net/builder.hpp"
+#include "net/bytes.hpp"
+
+namespace iotsentinel::net {
+namespace {
+
+PcapFile sample_file() {
+  PcapFile file;
+  const auto mac = MacAddress::of(0x02, 1, 2, 3, 4, 5);
+  for (int i = 0; i < 5; ++i) {
+    PcapRecord rec;
+    rec.timestamp_us = 1'700'000'000'000'000ULL + static_cast<std::uint64_t>(i) * 12'345;
+    rec.frame = build_arp_request(mac, Ipv4Address::of(192, 168, 0, 9),
+                                  Ipv4Address::of(192, 168, 0, 1));
+    rec.orig_len = static_cast<std::uint32_t>(rec.frame.size());
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+TEST(Pcap, SerializeParseRoundTrip) {
+  const PcapFile original = sample_file();
+  const auto image = serialize_pcap(original);
+  const PcapParseResult parsed = parse_pcap(image);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.file.linktype, 1u);
+  ASSERT_EQ(parsed.file.records.size(), original.records.size());
+  for (std::size_t i = 0; i < original.records.size(); ++i) {
+    EXPECT_EQ(parsed.file.records[i].timestamp_us,
+              original.records[i].timestamp_us);
+    EXPECT_EQ(parsed.file.records[i].frame, original.records[i].frame);
+  }
+}
+
+TEST(Pcap, FileRoundTripOnDisk) {
+  const PcapFile original = sample_file();
+  const std::string path = ::testing::TempDir() + "/iots_roundtrip.pcap";
+  ASSERT_TRUE(write_pcap_file(path, original));
+  const PcapParseResult parsed = read_pcap_file(path);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.file.records.size(), original.records.size());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ReadsBigEndianVariant) {
+  // Hand-build a big-endian microsecond file with one empty record.
+  ByteWriter w;
+  w.u32be(0xa1b2c3d4);  // written BE => reader sees the BE-magic byte order
+  w.u16be(2);
+  w.u16be(4);
+  w.u32be(0);
+  w.u32be(0);
+  w.u32be(65535);
+  w.u32be(1);       // linktype
+  w.u32be(10);      // ts_sec
+  w.u32be(500000);  // ts_usec
+  w.u32be(0);       // incl_len
+  w.u32be(0);       // orig_len
+  const PcapParseResult parsed = parse_pcap(w.data());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_EQ(parsed.file.records.size(), 1u);
+  EXPECT_EQ(parsed.file.records[0].timestamp_us, 10'500'000ULL);
+}
+
+TEST(Pcap, ReadsNanosecondVariant) {
+  ByteWriter w;
+  w.u32le(0xa1b23c4d);
+  w.u16le(2);
+  w.u16le(4);
+  w.u32le(0);
+  w.u32le(0);
+  w.u32le(65535);
+  w.u32le(1);
+  w.u32le(3);          // ts_sec
+  w.u32le(999'000'000);  // ts_nsec -> 999000 us
+  w.u32le(0);
+  w.u32le(0);
+  const PcapParseResult parsed = parse_pcap(w.data());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.file.records[0].timestamp_us, 3'999'000ULL);
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  const std::uint8_t junk[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const PcapParseResult parsed = parse_pcap(junk);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("magic"), std::string::npos);
+}
+
+TEST(Pcap, TruncatedRecordKeepsEarlierRecords) {
+  const auto image = serialize_pcap(sample_file());
+  const std::span<const std::uint8_t> cut(image.data(), image.size() - 7);
+  const PcapParseResult parsed = parse_pcap(cut);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.file.records.size(), 4u);  // all but the clipped last
+}
+
+TEST(Pcap, RejectsImplausibleRecordLength) {
+  ByteWriter w;
+  w.u32le(0xa1b2c3d4);
+  w.u16le(2);
+  w.u16le(4);
+  w.u32le(0);
+  w.u32le(0);
+  w.u32le(65535);
+  w.u32le(1);
+  w.u32le(0);
+  w.u32le(0);
+  w.u32le(0x7fffffff);  // absurd incl_len
+  w.u32le(0);
+  const PcapParseResult parsed = parse_pcap(w.data());
+  EXPECT_FALSE(parsed.ok);
+}
+
+TEST(Pcap, MissingFileReportsError) {
+  const PcapParseResult parsed = read_pcap_file("/nonexistent/nope.pcap");
+  EXPECT_FALSE(parsed.ok);
+}
+
+TEST(Pcap, EmptyFileParsesToZeroRecords) {
+  PcapFile empty;
+  const auto image = serialize_pcap(empty);
+  const PcapParseResult parsed = parse_pcap(image);
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_TRUE(parsed.file.records.empty());
+}
+
+}  // namespace
+}  // namespace iotsentinel::net

@@ -1,0 +1,141 @@
+// Model-persistence round trips: tree, forest, bank and full identifier
+// must reload byte-for-byte behaviourally identical, and every loader
+// must reject corrupted input instead of crashing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/model_store.hpp"
+#include "ml/random_forest.hpp"
+#include "simnet/corpus.hpp"
+
+namespace iotsentinel {
+namespace {
+
+ml::Dataset blob_data(std::uint64_t seed) {
+  ml::Dataset d(4);
+  ml::Rng rng(seed);
+  for (int i = 0; i < 60; ++i) {
+    float row0[4];
+    float row1[4];
+    for (int f = 0; f < 4; ++f) {
+      row0[f] = static_cast<float>(rng.uniform(0.0, 1.0));
+      row1[f] = static_cast<float>(rng.uniform(2.0, 3.0));
+    }
+    d.add(row0, 0);
+    d.add(row1, 1);
+  }
+  return d;
+}
+
+TEST(Persistence, ForestRoundTripPredictsIdentically) {
+  const ml::Dataset d = blob_data(1);
+  ml::RandomForest forest;
+  forest.train(d, {.num_trees = 12, .seed = 9});
+
+  net::ByteWriter w;
+  forest.save(w);
+  net::ByteReader r(w.data());
+  auto loaded = ml::RandomForest::load(r);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(loaded->tree_count(), forest.tree_count());
+  EXPECT_EQ(loaded->num_classes(), forest.num_classes());
+
+  ml::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    float probe[4];
+    for (auto& x : probe) x = static_cast<float>(rng.uniform(-1.0, 4.0));
+    EXPECT_DOUBLE_EQ(loaded->positive_score(probe),
+                     forest.positive_score(probe));
+  }
+  // Importances survive too.
+  const auto a = forest.feature_importances();
+  const auto b = loaded->feature_importances();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t f = 0; f < a.size(); ++f) EXPECT_NEAR(a[f], b[f], 1e-6);
+}
+
+TEST(Persistence, ForestLoadRejectsCorruption) {
+  const ml::Dataset d = blob_data(2);
+  ml::RandomForest forest;
+  forest.train(d, {.num_trees = 4, .seed = 9});
+  net::ByteWriter w;
+  forest.save(w);
+  auto blob = w.take();
+
+  // Bad magic.
+  auto bad = blob;
+  bad[0] = 'X';
+  net::ByteReader r1(bad);
+  EXPECT_FALSE(ml::RandomForest::load(r1).has_value());
+
+  // Truncations at every prefix of the first 200 bytes.
+  for (std::size_t cut = 0; cut < std::min<std::size_t>(blob.size(), 200);
+       cut += 7) {
+    net::ByteReader r(std::span<const std::uint8_t>(blob.data(), cut));
+    EXPECT_FALSE(ml::RandomForest::load(r).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Persistence, IdentifierRoundTripIdentifiesIdentically) {
+  const auto corpus = sim::generate_corpus_for(
+      {"Aria", "HueBridge", "EdimaxCam", "SmarterCoffee", "iKettle2"}, 12,
+      71);
+  core::IdentifierConfig config;
+  config.bank.accept_threshold = core::kPaperCalibratedAcceptThreshold;
+  core::DeviceIdentifier identifier(config);
+  identifier.train(corpus.type_names, corpus.by_type);
+
+  const auto blob = core::serialize_identifier(identifier);
+  auto loaded = core::deserialize_identifier(blob);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_types(), identifier.num_types());
+
+  // Fresh probes of every type must give identical results through both.
+  const auto probes = sim::generate_corpus_for(
+      {"Aria", "HueBridge", "EdimaxCam", "SmarterCoffee", "iKettle2"}, 3,
+      72);
+  for (const auto& runs : probes.by_type) {
+    for (const auto& f : runs) {
+      const auto a = identifier.identify(f);
+      const auto b = loaded->identify(f);
+      EXPECT_EQ(a.type_index, b.type_index);
+      EXPECT_EQ(a.candidates, b.candidates);
+      EXPECT_EQ(a.is_new_type, b.is_new_type);
+      EXPECT_EQ(a.used_discrimination, b.used_discrimination);
+    }
+  }
+}
+
+TEST(Persistence, DeserializeRejectsTrailingGarbage) {
+  const auto corpus = sim::generate_corpus_for({"Aria", "HueBridge"}, 6, 73);
+  core::DeviceIdentifier identifier;
+  identifier.train(corpus.type_names, corpus.by_type);
+  auto blob = core::serialize_identifier(identifier);
+  blob.push_back(0xff);
+  EXPECT_FALSE(core::deserialize_identifier(blob).has_value());
+}
+
+TEST(Persistence, FileRoundTrip) {
+  const auto corpus = sim::generate_corpus_for({"Aria", "MAXGateway"}, 8, 74);
+  core::DeviceIdentifier identifier;
+  identifier.train(corpus.type_names, corpus.by_type);
+
+  const std::string path = ::testing::TempDir() + "/iots_model.bin";
+  ASSERT_TRUE(core::save_identifier_file(path, identifier));
+  auto loaded = core::load_identifier_file(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_types(), 2u);
+  EXPECT_EQ(loaded->bank().type_name(0), "Aria");
+  EXPECT_EQ(loaded->references(0).size(), identifier.references(0).size());
+}
+
+TEST(Persistence, MissingFileIsNullopt) {
+  EXPECT_FALSE(core::load_identifier_file("/nonexistent/model.bin")
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace iotsentinel

@@ -1,0 +1,140 @@
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/rng.hpp"
+
+namespace iotsentinel::ml {
+namespace {
+
+/// Two gaussian-ish blobs in 4-D, classes 0/1.
+Dataset blobs(std::size_t per_class, std::uint64_t seed) {
+  Dataset d(4);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    float row0[4];
+    float row1[4];
+    for (int f = 0; f < 4; ++f) {
+      row0[f] = static_cast<float>(rng.uniform(0.0, 1.0));
+      row1[f] = static_cast<float>(rng.uniform(2.0, 3.0));
+    }
+    d.add(row0, 0);
+    d.add(row1, 1);
+  }
+  return d;
+}
+
+TEST(RandomForest, SeparatesBlobs) {
+  const Dataset d = blobs(50, 1);
+  RandomForest forest;
+  forest.train(d, {.num_trees = 20, .seed = 5});
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(forest.predict(d.row(i)), d.label(i));
+  }
+  const float far0[] = {-1.0f, -1.0f, -1.0f, -1.0f};
+  const float far1[] = {4.0f, 4.0f, 4.0f, 4.0f};
+  EXPECT_EQ(forest.predict(far0), 0);
+  EXPECT_EQ(forest.predict(far1), 1);
+}
+
+TEST(RandomForest, PositiveScoreIsCalibratedAtExtremes) {
+  const Dataset d = blobs(50, 2);
+  RandomForest forest;
+  forest.train(d, {.num_trees = 20, .seed = 6});
+  const float clearly1[] = {2.5f, 2.5f, 2.5f, 2.5f};
+  const float clearly0[] = {0.5f, 0.5f, 0.5f, 0.5f};
+  EXPECT_GT(forest.positive_score(clearly1), 0.9);
+  EXPECT_LT(forest.positive_score(clearly0), 0.1);
+}
+
+TEST(RandomForest, ProbaIsDistribution) {
+  const Dataset d = blobs(30, 3);
+  RandomForest forest;
+  forest.train(d, {.num_trees = 10, .seed = 7});
+  const float probe[] = {1.5f, 1.5f, 1.5f, 1.5f};  // between the blobs
+  const auto proba = forest.predict_proba(probe);
+  ASSERT_EQ(proba.size(), 2u);
+  double sum = 0.0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(RandomForest, DeterministicForSameSeed) {
+  const Dataset d = blobs(30, 4);
+  RandomForest a;
+  RandomForest b;
+  a.train(d, {.num_trees = 15, .seed = 11});
+  b.train(d, {.num_trees = 15, .seed = 11});
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    float probe[4];
+    for (auto& x : probe) x = static_cast<float>(rng.uniform(-1.0, 4.0));
+    EXPECT_DOUBLE_EQ(a.positive_score(probe), b.positive_score(probe));
+  }
+}
+
+TEST(RandomForest, DifferentSeedsGiveDifferentForests) {
+  const Dataset d = blobs(30, 5);
+  RandomForest a;
+  RandomForest b;
+  a.train(d, {.num_trees = 15, .seed = 1});
+  b.train(d, {.num_trees = 15, .seed = 2});
+  const float probe[] = {1.5f, 1.4f, 1.6f, 1.5f};
+  // Near the boundary the vote fractions almost surely differ.
+  EXPECT_NE(a.positive_score(probe), b.positive_score(probe));
+}
+
+TEST(RandomForest, TrainOnSubsetIgnoresOtherRows) {
+  Dataset d = blobs(20, 6);
+  // Poison rows outside the subset with flipped labels.
+  const float poison[] = {0.5f, 0.5f, 0.5f, 0.5f};
+  for (int i = 0; i < 20; ++i) d.add(poison, 1);
+  std::vector<std::size_t> clean;
+  for (std::size_t i = 0; i < 40; ++i) clean.push_back(i);
+  RandomForest forest;
+  forest.train(d, clean, {.num_trees = 20, .seed = 8});
+  EXPECT_LT(forest.positive_score(poison), 0.5);
+}
+
+TEST(RandomForest, TreeCountMatchesConfig) {
+  const Dataset d = blobs(10, 7);
+  RandomForest forest;
+  forest.train(d, {.num_trees = 7, .seed = 3});
+  EXPECT_EQ(forest.tree_count(), 7u);
+}
+
+TEST(RandomForest, EmptyTrainingIsHarmless) {
+  Dataset d(3);
+  RandomForest forest;
+  forest.train(d, {.num_trees = 5, .seed = 1});
+  EXPECT_FALSE(forest.trained());
+  const float probe[] = {0.0f, 0.0f, 0.0f};
+  EXPECT_EQ(forest.positive_score(probe), 0.0);
+}
+
+// Property sweep over forest sizes: accuracy on held-out blob data should
+// be high for any reasonable tree count.
+class ForestSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ForestSizeTest, GeneralizesToHeldOut) {
+  const Dataset train = blobs(40, 10);
+  const Dataset test = blobs(20, 20);
+  RandomForest forest;
+  forest.train(train, {.num_trees = GetParam(), .seed = 4});
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (forest.predict(test.row(i)) == test.label(i)) ++correct;
+  }
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(test.size()),
+            0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ForestSizeTest,
+                         ::testing::Values(1, 5, 10, 30, 60));
+
+}  // namespace
+}  // namespace iotsentinel::ml

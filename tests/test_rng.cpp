@@ -1,0 +1,108 @@
+#include "ml/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace iotsentinel::ml {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedCoversSmallRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.bounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(17);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(Rng, SampleClampsKToN) {
+  Rng rng(19);
+  EXPECT_EQ(rng.sample_without_replacement(5, 10).size(), 5u);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(23);
+  Rng childA = parent.fork();
+  Rng childB = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (childA.next_u64() == childB.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace iotsentinel::ml

@@ -1,0 +1,78 @@
+#include "core/security_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simnet/corpus.hpp"
+
+namespace iotsentinel::core {
+namespace {
+
+/// Builds a service trained on a few types with one vulnerable device.
+IoTSecurityService make_service(std::uint64_t seed = 21) {
+  // Broad enough a bank that foreign device-types are reliably rejected.
+  const auto corpus = sim::generate_corpus_for(
+      {"Aria", "EdimaxCam", "HueBridge", "MAXGateway", "Withings",
+       "WeMoLink", "EdnetCam", "Lightify"},
+      12, seed);
+  DeviceIdentifier identifier;
+  identifier.train(corpus.type_names, corpus.by_type);
+
+  VulnerabilityDb db;
+  for (const char* clean : {"Aria", "HueBridge", "MAXGateway", "Withings",
+                            "WeMoLink", "EdnetCam", "Lightify"}) {
+    db.mark_assessed(clean);
+  }
+  db.add("EdimaxCam",
+         {.id = "CVE-2016-EDIMAX-11", .cvss = 9.0, .summary = "hardcoded"});
+
+  IoTSecurityService service(std::move(identifier), std::move(db));
+  service.register_endpoints(
+      "EdimaxCam", {net::Ipv4Address::of(104, 22, 7, 70)});
+  return service;
+}
+
+fp::Fingerprint probe_of(const std::string& type, std::uint64_t seed) {
+  return sim::generate_corpus_for({type}, 1, seed).by_type[0][0];
+}
+
+TEST(IoTSecurityService, CleanDeviceGetsTrusted) {
+  const auto service = make_service();
+  const ServiceVerdict verdict = service.assess(probe_of("Aria", 1001));
+  EXPECT_TRUE(verdict.is_known);
+  EXPECT_EQ(verdict.device_type, "Aria");
+  EXPECT_EQ(verdict.level, sdn::IsolationLevel::kTrusted);
+  EXPECT_TRUE(verdict.permitted_endpoints.empty());
+}
+
+TEST(IoTSecurityService, VulnerableDeviceGetsRestrictedWithEndpoints) {
+  const auto service = make_service();
+  const ServiceVerdict verdict = service.assess(probe_of("EdimaxCam", 1002));
+  EXPECT_TRUE(verdict.is_known);
+  EXPECT_EQ(verdict.device_type, "EdimaxCam");
+  EXPECT_EQ(verdict.level, sdn::IsolationLevel::kRestricted);
+  ASSERT_EQ(verdict.permitted_endpoints.size(), 1u);
+  EXPECT_EQ(verdict.permitted_endpoints[0],
+            net::Ipv4Address::of(104, 22, 7, 70));
+}
+
+TEST(IoTSecurityService, UnknownDeviceTypeGetsStrict) {
+  const auto service = make_service();
+  // A platform the identifier was never trained on.
+  const ServiceVerdict verdict =
+      service.assess(probe_of("TP-LinkPlugHS110", 1003));
+  EXPECT_FALSE(verdict.is_known);
+  EXPECT_TRUE(verdict.device_type.empty());
+  EXPECT_EQ(verdict.level, sdn::IsolationLevel::kStrict);
+  EXPECT_TRUE(verdict.identification.is_new_type);
+}
+
+TEST(IoTSecurityService, VerdictCarriesIdentificationTrace) {
+  const auto service = make_service();
+  const ServiceVerdict verdict = service.assess(probe_of("HueBridge", 1004));
+  ASSERT_TRUE(verdict.identification.type_index.has_value());
+  EXPECT_EQ(verdict.identification.type_name, "HueBridge");
+  EXPECT_FALSE(verdict.identification.candidates.empty());
+}
+
+}  // namespace
+}  // namespace iotsentinel::core

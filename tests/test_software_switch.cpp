@@ -1,0 +1,119 @@
+#include "sdn/software_switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+#include "net/parser.hpp"
+#include "net/protocols.hpp"
+
+namespace iotsentinel::sdn {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+const MacAddress kA = MacAddress::of(0x02, 0xa, 0, 0, 0, 1);
+const MacAddress kB = MacAddress::of(0x02, 0xb, 0, 0, 0, 2);
+const Ipv4Address kIpA = Ipv4Address::of(192, 168, 0, 10);
+const Ipv4Address kIpB = Ipv4Address::of(192, 168, 0, 20);
+
+net::ParsedPacket udp_packet(std::uint16_t dport) {
+  const auto udp = net::build_udp_payload(50000, dport, {});
+  const auto frame =
+      net::build_ipv4(kA, kB, kIpA, kIpB, net::ipproto::kUdp, udp);
+  return net::parse_ethernet_frame(frame, 0);
+}
+
+TEST(SoftwareSwitch, FirstPacketSlowPathThenFastPath) {
+  Controller controller;
+  controller.apply_rule({.device = kA, .level = IsolationLevel::kTrusted}, 0);
+  controller.apply_rule({.device = kB, .level = IsolationLevel::kTrusted}, 0);
+  SoftwareSwitch sw(controller);
+
+  const auto pkt = udp_packet(8000);
+  const auto first = sw.process(pkt, 1);
+  EXPECT_EQ(first.path, SwitchPath::kSlowPath);
+  EXPECT_EQ(first.action, FlowAction::kForward);
+
+  const auto second = sw.process(pkt, 2);
+  EXPECT_EQ(second.path, SwitchPath::kFastPath);
+  EXPECT_EQ(second.action, FlowAction::kForward);
+
+  EXPECT_EQ(sw.slow_path_packets(), 1u);
+  EXPECT_EQ(sw.fast_path_packets(), 1u);
+  EXPECT_EQ(controller.packet_ins(), 1u);
+  EXPECT_EQ(sw.table().size(), 1u);
+}
+
+TEST(SoftwareSwitch, DropsAreCachedInFlowTableToo) {
+  Controller controller;
+  controller.apply_rule({.device = kA, .level = IsolationLevel::kStrict}, 0);
+  SoftwareSwitch sw(controller);
+
+  const auto udp = net::build_udp_payload(50000, 443, {});
+  const auto frame = net::build_ipv4(kA, kB, kIpA,
+                                     Ipv4Address::of(8, 8, 8, 8),
+                                     net::ipproto::kUdp, udp);
+  const auto pkt = net::parse_ethernet_frame(frame, 0);
+
+  EXPECT_EQ(sw.process(pkt, 1).action, FlowAction::kDrop);
+  const auto second = sw.process(pkt, 2);
+  EXPECT_EQ(second.action, FlowAction::kDrop);
+  EXPECT_EQ(second.path, SwitchPath::kFastPath);
+}
+
+TEST(SoftwareSwitch, DifferentFlowsEachTakeOneSlowPath) {
+  Controller controller;
+  controller.apply_rule({.device = kA, .level = IsolationLevel::kTrusted}, 0);
+  controller.apply_rule({.device = kB, .level = IsolationLevel::kTrusted}, 0);
+  SoftwareSwitch sw(controller);
+
+  sw.process(udp_packet(1000), 1);
+  sw.process(udp_packet(2000), 2);
+  sw.process(udp_packet(1000), 3);
+  EXPECT_EQ(sw.slow_path_packets(), 2u);
+  EXPECT_EQ(sw.fast_path_packets(), 1u);
+  EXPECT_EQ(sw.table().size(), 2u);
+}
+
+TEST(SoftwareSwitch, FlushDeviceForcesReevaluation) {
+  Controller controller;
+  controller.apply_rule({.device = kA, .level = IsolationLevel::kTrusted}, 0);
+  controller.apply_rule({.device = kB, .level = IsolationLevel::kTrusted}, 0);
+  SoftwareSwitch sw(controller);
+
+  const auto pkt = udp_packet(8000);
+  sw.process(pkt, 1);
+  EXPECT_EQ(sw.table().size(), 1u);
+
+  // The device is re-classified as strict; its cached flows must go.
+  controller.apply_rule({.device = kA, .level = IsolationLevel::kStrict}, 2);
+  EXPECT_EQ(sw.flush_device(kA), 1u);
+  EXPECT_EQ(sw.table().size(), 0u);
+
+  // Local same-overlay traffic is still fine (kB has no trusted peer now),
+  // but kA -> Internet is dropped on the fresh slow-path evaluation.
+  const auto udp = net::build_udp_payload(50000, 443, {});
+  const auto inet = net::parse_ethernet_frame(
+      net::build_ipv4(kA, kB, kIpA, Ipv4Address::of(8, 8, 8, 8),
+                      net::ipproto::kUdp, udp),
+      3);
+  EXPECT_EQ(sw.process(inet, 3).action, FlowAction::kDrop);
+}
+
+TEST(SoftwareSwitch, ExpireFlowsPrunesIdleEntries) {
+  Controller controller(
+      {.flow_idle_timeout_us = 1000, .filtering_enabled = true});
+  controller.apply_rule({.device = kA, .level = IsolationLevel::kTrusted}, 0);
+  controller.apply_rule({.device = kB, .level = IsolationLevel::kTrusted}, 0);
+  SoftwareSwitch sw(controller);
+  sw.process(udp_packet(8000), 1);
+  EXPECT_EQ(sw.expire_flows(500), 0u);
+  EXPECT_EQ(sw.expire_flows(5000), 1u);
+  // Next packet of the flow goes through the controller again.
+  sw.process(udp_packet(8000), 6000);
+  EXPECT_EQ(sw.slow_path_packets(), 2u);
+}
+
+}  // namespace
+}  // namespace iotsentinel::sdn

@@ -1,0 +1,129 @@
+// Standby/operation-traffic extension tests (paper Sect. VIII-A).
+#include <gtest/gtest.h>
+
+#include "core/identifier.hpp"
+#include "fingerprint/extractor.hpp"
+#include "simnet/corpus.hpp"
+#include "simnet/traffic_generator.hpp"
+
+namespace iotsentinel::sim {
+namespace {
+
+TEST(Standby, EveryProfileHasAStandbyCycle) {
+  for (const auto& p : device_catalog()) {
+    EXPECT_FALSE(p.standby_steps.empty()) << p.name;
+  }
+}
+
+TEST(Standby, IdenticalPlatformsHaveIdenticalStandbyCycles) {
+  auto steps_equal = [](const DeviceProfile& a, const DeviceProfile& b) {
+    if (a.standby_steps.size() != b.standby_steps.size()) return false;
+    for (std::size_t i = 0; i < a.standby_steps.size(); ++i) {
+      const auto& x = a.standby_steps[i];
+      const auto& y = b.standby_steps[i];
+      if (x.kind != y.kind || x.host != y.host || x.remote != y.remote) {
+        return false;
+      }
+    }
+    return true;
+  };
+  EXPECT_TRUE(steps_equal(*find_profile("SmarterCoffee"),
+                          *find_profile("iKettle2")));
+  EXPECT_TRUE(steps_equal(*find_profile("D-LinkWaterSensor"),
+                          *find_profile("D-LinkSiren")));
+}
+
+TEST(Standby, GeneratesCyclesSeparatedByQuietPeriods) {
+  const auto* profile = find_profile("HueBridge");
+  TrafficGenerator gen;
+  ml::Rng rng(5);
+  const auto frames = gen.generate_standby(
+      *profile, TrafficGenerator::mint_mac(*profile, 1),
+      net::Ipv4Address::of(192, 168, 0, 9), 3, rng, 60'000'000);
+  ASSERT_GT(frames.size(), 6u);
+  // At least two inter-cycle gaps of >= 30 s must exist.
+  int long_gaps = 0;
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    if (frames[i].timestamp_us - frames[i - 1].timestamp_us >= 30'000'000) {
+      ++long_gaps;
+    }
+  }
+  EXPECT_GE(long_gaps, 2);
+}
+
+TEST(Standby, DeterministicPerSeed) {
+  const auto* profile = find_profile("WeMoSwitch");
+  TrafficGenerator gen;
+  const auto mac = TrafficGenerator::mint_mac(*profile, 2);
+  ml::Rng a(9);
+  ml::Rng b(9);
+  const auto fa = gen.generate_standby(*profile, mac,
+                                       net::Ipv4Address::of(192, 168, 0, 9),
+                                       2, a);
+  const auto fb = gen.generate_standby(*profile, mac,
+                                       net::Ipv4Address::of(192, 168, 0, 9),
+                                       2, b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].frame, fb[i].frame);
+  }
+}
+
+TEST(Standby, NoJoinPreambleInStandbyTraffic) {
+  // Operational traffic must not contain EAPoL or DHCP-discover bursts.
+  const auto* profile = find_profile("Withings");
+  TrafficGenerator gen;
+  ml::Rng rng(11);
+  const auto packets = parse_frames(gen.generate_standby(
+      *profile, TrafficGenerator::mint_mac(*profile, 3),
+      net::Ipv4Address::of(192, 168, 0, 9), 2, rng));
+  for (const auto& pkt : packets) {
+    EXPECT_FALSE(pkt.is_eapol);
+    EXPECT_FALSE(pkt.app.dhcp);
+  }
+}
+
+TEST(Standby, CorpusShape) {
+  const auto corpus = generate_standby_corpus(3, 99, 2);
+  EXPECT_EQ(corpus.num_types(), 27u);
+  EXPECT_EQ(corpus.total(), 27u * 3u);
+  for (const auto& runs : corpus.by_type) {
+    for (const auto& f : runs) {
+      EXPECT_GE(f.size(), 1u);
+    }
+  }
+}
+
+TEST(Standby, DistinctTypesIdentifiableFromStandbyTraffic) {
+  // The Sect. VIII-A hypothesis, on a small distinct-type subset: train on
+  // standby windows, identify held-out standby windows.
+  const auto corpus = generate_standby_corpus(14, 1234, 3);
+  const std::vector<std::string> picks = {"HueBridge", "Aria", "MAXGateway",
+                                          "EdnetCam", "Lightify"};
+  std::vector<std::string> names;
+  std::vector<std::vector<fp::Fingerprint>> train(picks.size());
+  std::vector<std::vector<fp::Fingerprint>> test(picks.size());
+  for (std::size_t p = 0; p < picks.size(); ++p) {
+    names.push_back(picks[p]);
+    const auto idx = *profile_index(picks[p]);
+    const auto& runs = corpus.by_type[idx];
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      (r < 10 ? train : test)[p].push_back(runs[r]);
+    }
+  }
+  core::DeviceIdentifier identifier;
+  identifier.train(names, train);
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < picks.size(); ++p) {
+    for (const auto& f : test[p]) {
+      ++total;
+      const auto result = identifier.identify(f);
+      if (result.type_index && *result.type_index == p) ++correct;
+    }
+  }
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(total), 0.8);
+}
+
+}  // namespace
+}  // namespace iotsentinel::sim
