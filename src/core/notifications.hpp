@@ -35,12 +35,12 @@ std::string to_string(NotificationReason reason);
 
 /// One pending notification.
 struct UserNotification {
-  net::MacAddress device;
+  net::MacAddress device{};
   /// Identified device-type ("" when unknown) — the paper's "helps her to
   /// identify the device in question".
-  std::string device_type;
+  std::string device_type{};
   NotificationReason reason = NotificationReason::kUnknownDeviceQuarantined;
-  std::string message;
+  std::string message{};
   std::uint64_t raised_at_us = 0;
   bool acknowledged = false;
 };

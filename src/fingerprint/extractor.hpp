@@ -40,7 +40,7 @@ struct ExtractorConfig {
   std::size_t min_packets = 4;
   /// MACs to ignore entirely (the gateway's own interfaces, known
   /// infrastructure).
-  std::unordered_set<net::MacAddress> ignored_macs;
+  std::unordered_set<net::MacAddress> ignored_macs{};
 };
 
 /// A completed setup capture for one device.

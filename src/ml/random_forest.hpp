@@ -21,7 +21,7 @@ struct ForestConfig {
   /// Number of trees.
   std::size_t num_trees = 30;
   /// Per-tree config; `max_features == 0` selects sqrt(d) automatically.
-  TreeConfig tree;
+  TreeConfig tree{};
   /// Fraction of the training set drawn (with replacement) per tree.
   double bootstrap_fraction = 1.0;
   /// Base RNG seed; tree t uses an independent stream forked from it.

@@ -34,14 +34,14 @@ enum class FilterDirection {
 struct TrafficFilter {
   FilterDirection direction = FilterDirection::kBoth;
   /// IP protocol to match (6 = TCP, 17 = UDP); wildcard when unset.
-  std::optional<std::uint8_t> ip_proto;
+  std::optional<std::uint8_t> ip_proto{};
   /// Destination port of the packet; wildcard when unset.
-  std::optional<std::uint16_t> dst_port;
+  std::optional<std::uint16_t> dst_port{};
   /// Verdict when the filter matches (true = drop, false = allow —
   /// an explicit allow overrides later drops, enabling allow-lists).
   bool drop = true;
   /// Human-readable tag for diagnostics ("block-telnet").
-  std::string label;
+  std::string label{};
 
   /// Does this filter apply to `pkt`? `from_device` says whether the
   /// packet was sent by the rule's device (vs addressed to it).
@@ -51,13 +51,13 @@ struct TrafficFilter {
 
 /// One device's enforcement rule.
 struct EnforcementRule {
-  net::MacAddress device;
+  net::MacAddress device{};
   IsolationLevel level = IsolationLevel::kStrict;
   /// Remote endpoints a Restricted device may contact.
-  std::unordered_set<net::Ipv4Address> permitted_ips;
+  std::unordered_set<net::Ipv4Address> permitted_ips{};
   /// Flow-level filters evaluated before the overlay/whitelist policy;
   /// the first matching filter decides.
-  std::vector<TrafficFilter> flow_filters;
+  std::vector<TrafficFilter> flow_filters{};
   /// Installation time (for cache aging / eviction of departed devices).
   std::uint64_t installed_at_us = 0;
 

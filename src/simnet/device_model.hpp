@@ -59,11 +59,11 @@ enum class StepKind {
 struct SetupStep {
   StepKind kind = StepKind::kDhcpExchange;
   /// Hostname / SNI / mDNS service / SSDP target, as the kind requires.
-  std::string host;
+  std::string host{};
   /// HTTP path for kHttpCloudCheck.
   std::string path = "/";
   /// Remote endpoint for cloud/NTP/ping steps.
-  net::Ipv4Address remote;
+  net::Ipv4Address remote{};
   /// TCP port for kTcpConnect.
   std::uint16_t port = 0;
   /// Base number of times the step's packets are emitted.
@@ -79,17 +79,17 @@ struct SetupStep {
 /// A device-type's complete behavioural profile.
 struct DeviceProfile {
   /// Table-II identifier, e.g. "D-LinkSiren".
-  std::string name;
+  std::string name{};
   /// Table-II model string, e.g. "D-Link Siren DCH-S220".
-  std::string model;
+  std::string model{};
   /// Script executed when the device is introduced to the network.
-  std::vector<SetupStep> steps;
+  std::vector<SetupStep> steps{};
   /// One standby/operation cycle (heartbeats, cloud keepalives, periodic
   /// NTP, service re-announcements). Used by the legacy-installation
   /// extension (paper Sect. VIII-A): fingerprinting devices that are
   /// already connected from their operational traffic. Populated by the
   /// catalog, derived from the device's own services and cloud endpoints.
-  std::vector<SetupStep> standby_steps;
+  std::vector<SetupStep> standby_steps{};
   /// True when the device has a communication channel the gateway cannot
   /// control (Bluetooth, LTE, proprietary RF) — triggers the paper's
   /// user-notification mitigation when the device is also vulnerable.
@@ -100,7 +100,7 @@ struct DeviceProfile {
   /// DHCP hostname (option 12) the device announces; empty = none. Real
   /// devices commonly send a model-specific name, which the gateway's
   /// device inventory surfaces to the user.
-  std::string dhcp_hostname;
+  std::string dhcp_hostname{};
   /// Probability that any emitted packet is immediately retransmitted
   /// (exercises the consecutive-duplicate removal of Eq. (1)).
   double retransmit_prob = 0.05;
