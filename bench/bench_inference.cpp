@@ -1,0 +1,156 @@
+// Forest-inference microbenchmarks: legacy (training-side, per-call
+// heap-allocating) prediction vs the CompiledForest serving engine, at
+// every granularity of the identification hot path — one tree, one
+// binary per-type forest, the full 27-type classifier bank, and a
+// batched bank sweep. The before/after pairs feed BENCH_inference.json.
+//
+// Run from the release preset:
+//   cmake --preset release && cmake --build --preset release -j
+//   ./build-release/bench/bench_inference
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "ml/compiled_forest.hpp"
+
+namespace {
+
+using namespace iotsentinel;
+
+/// Shared trained state: the paper-shaped bank (27 types x 30 trees)
+/// plus one probe fingerprint per type.
+struct InferenceFixtureState {
+  sim::FingerprintCorpus corpus;
+  core::ClassifierBank bank{[] {
+    core::BankConfig config;
+    config.accept_threshold = core::kPaperCalibratedAcceptThreshold;
+    return config;
+  }()};
+  std::vector<fp::FixedFingerprint> probes;  // one per type
+  ml::CompiledForest compiled_tree;          // first tree of type 0
+
+  InferenceFixtureState() : corpus(bench::paper_corpus()) {
+    std::vector<std::vector<fp::FixedFingerprint>> fixed;
+    for (std::size_t t = 0; t < corpus.num_types(); ++t) {
+      auto& runs = fixed.emplace_back();
+      const auto& pool = corpus.by_type[t];
+      // Hold out the last run as the probe; train on the rest.
+      for (std::size_t i = 0; i + 1 < pool.size(); ++i) {
+        runs.push_back(pool[i].to_fixed());
+      }
+      probes.push_back(pool.back().to_fixed());
+    }
+    bank.train(corpus.type_names, fixed);
+    compiled_tree = ml::CompiledForest::compile(bank.forest(0).tree(0));
+  }
+};
+
+InferenceFixtureState& state() {
+  static InferenceFixtureState s;
+  return s;
+}
+
+/// One tree, legacy path: predict_proba heap-allocates its histogram and
+/// walks nodes whose leaf counts live in scattered per-node vectors.
+void BM_SingleTreeLegacy(benchmark::State& bm) {
+  auto& s = state();
+  const auto& tree = s.bank.forest(0).tree(0);
+  std::size_t i = 0;
+  for (auto _ : bm) {
+    const auto proba = tree.predict_proba(s.probes[i % s.probes.size()]);
+    benchmark::DoNotOptimize(proba.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_SingleTreeLegacy);
+
+/// One tree, compiled: flat node array + shared leaf pool, caller buffer.
+void BM_SingleTreeCompiled(benchmark::State& bm) {
+  auto& s = state();
+  std::vector<double> out(static_cast<std::size_t>(s.compiled_tree.num_classes()));
+  std::size_t i = 0;
+  for (auto _ : bm) {
+    s.compiled_tree.predict_proba_into(s.probes[i % s.probes.size()], out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_SingleTreeCompiled);
+
+/// One binary forest (30 trees), legacy positive_score: 30 tree-level
+/// histogram allocations + the forest-level sum vector per call.
+void BM_SingleForestLegacy(benchmark::State& bm) {
+  auto& s = state();
+  const auto& forest = s.bank.forest(0);
+  std::size_t i = 0;
+  for (auto _ : bm) {
+    const double score = forest.positive_score(s.probes[i % s.probes.size()]);
+    benchmark::DoNotOptimize(score);
+    ++i;
+  }
+}
+BENCHMARK(BM_SingleForestLegacy);
+
+/// One binary forest, compiled: zero allocations, no scratch at all.
+void BM_SingleForestCompiled(benchmark::State& bm) {
+  auto& s = state();
+  const auto& engine = s.bank.compiled(0);
+  std::size_t i = 0;
+  for (auto _ : bm) {
+    const double score = engine.positive_score(s.probes[i % s.probes.size()]);
+    benchmark::DoNotOptimize(score);
+    ++i;
+  }
+}
+BENCHMARK(BM_SingleForestCompiled);
+
+/// Full bank (27 types x 30 trees), pre-compilation serving path: exactly
+/// what ClassifierBank::scores did before this engine existed (~810
+/// heap-allocated histograms per call).
+void BM_FullBankLegacy(benchmark::State& bm) {
+  auto& s = state();
+  std::size_t i = 0;
+  for (auto _ : bm) {
+    std::vector<double> out(s.bank.num_types(), 0.0);
+    for (std::size_t t = 0; t < s.bank.num_types(); ++t) {
+      out[t] = s.bank.forest(t).positive_score(s.probes[i % s.probes.size()]);
+    }
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+  bm.counters["types"] = static_cast<double>(s.bank.num_types());
+}
+BENCHMARK(BM_FullBankLegacy)->Unit(benchmark::kMicrosecond);
+
+/// Full bank through the compiled engines and the reused caller buffer —
+/// the production ClassifierBank::scores_into path.
+void BM_FullBankCompiled(benchmark::State& bm) {
+  auto& s = state();
+  std::vector<double> out(s.bank.num_types());
+  std::size_t i = 0;
+  for (auto _ : bm) {
+    s.bank.scores_into(s.probes[i % s.probes.size()], out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+  bm.counters["types"] = static_cast<double>(s.bank.num_types());
+}
+BENCHMARK(BM_FullBankCompiled)->Unit(benchmark::kMicrosecond);
+
+/// Batched bank scoring (type-major sweep): per-fingerprint cost when
+/// many onboarding devices are classified together.
+void BM_BankBatchCompiled(benchmark::State& bm) {
+  auto& s = state();
+  std::vector<double> out(s.probes.size() * s.bank.num_types());
+  for (auto _ : bm) {
+    s.bank.score_batch(s.probes, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  bm.SetItemsProcessed(static_cast<std::int64_t>(bm.iterations()) *
+                       static_cast<std::int64_t>(s.probes.size()));
+  bm.counters["batch"] = static_cast<double>(s.probes.size());
+}
+BENCHMARK(BM_BankBatchCompiled)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

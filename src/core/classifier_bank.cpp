@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 
 #include "ml/rng.hpp"
 
@@ -47,6 +48,7 @@ void ClassifierBank::train(
     fc.seed = sample_rng.next_u64();
     forests_[t].train(data, fc);
   }
+  compile_all();
 }
 
 std::size_t ClassifierBank::add_type(
@@ -68,32 +70,69 @@ std::size_t ClassifierBank::add_type(
   ml::ForestConfig fc = config_.forest;
   fc.seed = rng.next_u64();
   forests_[index].train(data, fc);
+  compile_one(index);
   return index;
+}
+
+void ClassifierBank::compile_one(std::size_t t) {
+  if (compiled_.size() < forests_.size()) compiled_.resize(forests_.size());
+  compiled_[t] = forests_[t].compile();
+}
+
+void ClassifierBank::compile_all() {
+  compiled_.resize(forests_.size());
+  for (std::size_t t = 0; t < forests_.size(); ++t) {
+    compiled_[t] = forests_[t].compile();
+  }
 }
 
 std::vector<double> ClassifierBank::scores(
     const fp::FixedFingerprint& fingerprint) const {
-  std::vector<double> out(forests_.size(), 0.0);
-  for (std::size_t t = 0; t < forests_.size(); ++t) {
-    out[t] = forests_[t].positive_score(fingerprint);
-  }
+  std::vector<double> out(compiled_.size(), 0.0);
+  scores_into(fingerprint, out);
   return out;
+}
+
+void ClassifierBank::scores_into(const fp::FixedFingerprint& fingerprint,
+                                 std::span<double> out) const {
+  assert(out.size() == compiled_.size());
+  for (std::size_t t = 0; t < compiled_.size(); ++t) {
+    out[t] = compiled_[t].positive_score(fingerprint);
+  }
+}
+
+void ClassifierBank::score_batch(std::span<const fp::FixedFingerprint> batch,
+                                 std::span<double> out) const {
+  const std::size_t types = compiled_.size();
+  assert(out.size() == batch.size() * types);
+  for (std::size_t t = 0; t < types; ++t) {
+    const ml::CompiledForest& engine = compiled_[t];
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out[i * types + t] = engine.positive_score(batch[i]);
+    }
+  }
 }
 
 std::vector<std::size_t> ClassifierBank::accepted(
     const fp::FixedFingerprint& fingerprint) const {
   std::vector<std::size_t> out;
-  for (std::size_t t = 0; t < forests_.size(); ++t) {
-    if (forests_[t].positive_score(fingerprint) >= config_.accept_threshold) {
+  accepted_into(fingerprint, out);
+  return out;
+}
+
+void ClassifierBank::accepted_into(const fp::FixedFingerprint& fingerprint,
+                                   std::vector<std::size_t>& out) const {
+  out.clear();
+  for (std::size_t t = 0; t < compiled_.size(); ++t) {
+    if (compiled_[t].positive_score(fingerprint) >= config_.accept_threshold) {
       out.push_back(t);
     }
   }
-  return out;
 }
 
 double ClassifierBank::score_one(std::size_t type_index,
                                  const fp::FixedFingerprint& f) const {
-  return forests_[type_index].positive_score(f);
+  return compiled_[type_index].positive_score(f);
 }
 
 namespace {
@@ -157,6 +196,9 @@ std::optional<ClassifierBank> ClassifierBank::load(net::ByteReader& r) {
     bank.names_.push_back(std::move(*name));
     bank.forests_.push_back(std::move(*forest));
   }
+  // Loaded forests serve through the same compiled engines as freshly
+  // trained ones.
+  bank.compile_all();
   return bank;
 }
 

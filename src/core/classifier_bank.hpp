@@ -9,12 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include <optional>
 
 #include "fingerprint/fingerprint.hpp"
+#include "ml/compiled_forest.hpp"
 #include "ml/random_forest.hpp"
 #include "net/bytes.hpp"
 
@@ -73,9 +75,27 @@ class ClassifierBank {
   [[nodiscard]] std::vector<double> scores(
       const fp::FixedFingerprint& fingerprint) const;
 
+  /// Allocation-free variant of `scores`: writes into `out`, whose size
+  /// must equal `num_types()`. This is the serving hot path — it runs
+  /// entirely on the compiled forests.
+  void scores_into(const fp::FixedFingerprint& fingerprint,
+                   std::span<double> out) const;
+
+  /// Batched scoring: `out` is row-major `batch.size() x num_types()`
+  /// (`out[i * num_types() + t]` = classifier t's score of `batch[i]`).
+  /// Iterates type-major so one compiled forest stays hot in cache while
+  /// it scans the whole batch.
+  void score_batch(std::span<const fp::FixedFingerprint> batch,
+                   std::span<double> out) const;
+
   /// Indices of the types whose classifier accepts the fingerprint.
   [[nodiscard]] std::vector<std::size_t> accepted(
       const fp::FixedFingerprint& fingerprint) const;
+
+  /// Reusable-buffer variant of `accepted`: clears `out` then appends.
+  /// Allocation-free once the caller's buffer capacity has warmed up.
+  void accepted_into(const fp::FixedFingerprint& fingerprint,
+                     std::vector<std::size_t>& out) const;
 
   /// Score of a single classifier (timing benches isolate one step).
   [[nodiscard]] double score_one(std::size_t type_index,
@@ -85,6 +105,12 @@ class ClassifierBank {
   /// introspection tooling).
   [[nodiscard]] const ml::RandomForest& forest(std::size_t i) const {
     return forests_[i];
+  }
+
+  /// The compiled serving engine of a type's forest (kept in sync by
+  /// train / add_type / load).
+  [[nodiscard]] const ml::CompiledForest& compiled(std::size_t i) const {
+    return compiled_[i];
   }
 
   [[nodiscard]] std::size_t num_types() const { return forests_.size(); }
@@ -103,9 +129,16 @@ class ClassifierBank {
   static std::optional<ClassifierBank> load(net::ByteReader& r);
 
  private:
+  /// Rebuilds compiled_[t] from forests_[t].
+  void compile_one(std::size_t t);
+  void compile_all();
+
   BankConfig config_;
   std::vector<std::string> names_;
   std::vector<ml::RandomForest> forests_;
+  /// compiled_[t] mirrors forests_[t]; every scoring call serves from
+  /// these flat engines, never from the training-side trees.
+  std::vector<ml::CompiledForest> compiled_;
 };
 
 }  // namespace iotsentinel::core

@@ -8,13 +8,31 @@
 
 namespace iotsentinel::core {
 
+// Built with plain appends: `"lit" + std::string` temporaries trip a
+// g++-12 -O3 -Wrestrict false positive (GCC PR 105651) under -Werror.
 std::string TrackedDevice::summary() const {
   std::string out = mac.to_string();
-  if (ip) out += " " + ip->to_string();
-  if (!hostname.empty()) out += " \"" + hostname + "\"";
-  if (!device_type.empty()) out += " [" + device_type + "]";
-  if (level) out += " (" + sdn::to_string(*level) + ")";
-  out += " pkts=" + std::to_string(packets);
+  if (ip) {
+    out += ' ';
+    out += ip->to_string();
+  }
+  if (!hostname.empty()) {
+    out += " \"";
+    out += hostname;
+    out += '"';
+  }
+  if (!device_type.empty()) {
+    out += " [";
+    out += device_type;
+    out += ']';
+  }
+  if (level) {
+    out += " (";
+    out += sdn::to_string(*level);
+    out += ')';
+  }
+  out += " pkts=";
+  out += std::to_string(packets);
   return out;
 }
 

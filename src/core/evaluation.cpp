@@ -28,6 +28,9 @@ CvOutcome cross_validate(
   std::uint64_t total_distance_computations = 0;
 
   ml::Rng rng(config.seed);
+  // One result reused across every identification: candidate/type-name
+  // buffers keep their capacity instead of reallocating per test row.
+  IdentificationResult result;
   for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
     const auto folds = ml::stratified_k_fold(labels, config.folds, rng);
     for (const auto& fold : folds) {
@@ -47,7 +50,7 @@ CvOutcome cross_validate(
 
       for (std::size_t idx : fold.test) {
         const auto actual = static_cast<std::size_t>(labels[idx]);
-        const IdentificationResult result = identifier.identify(*samples[idx]);
+        identifier.identify_into(*samples[idx], result);
         ++tested;
         if (result.used_discrimination) {
           ++needed_discrimination;

@@ -42,6 +42,11 @@ std::vector<std::size_t> DeviceIdentifier::classify(
   return bank_.accepted(fixed);
 }
 
+void DeviceIdentifier::classify_into(const fp::FixedFingerprint& fixed,
+                                     std::vector<std::size_t>& out) const {
+  bank_.accepted_into(fixed, out);
+}
+
 std::size_t DeviceIdentifier::discriminate(
     const fp::Fingerprint& f, const std::vector<std::size_t>& candidates,
     std::size_t* distance_computations) const {
@@ -66,16 +71,31 @@ std::size_t DeviceIdentifier::discriminate(
 IdentificationResult DeviceIdentifier::identify(
     const fp::Fingerprint& f) const {
   IdentificationResult result;
-  result.candidates = classify(f.to_fixed(config_.fixed_prefix));
+  identify_into(f, result);
+  return result;
+}
+
+void DeviceIdentifier::identify_into(const fp::Fingerprint& f,
+                                     IdentificationResult& result) const {
+  // Reset by whole-struct assignment so fields added to
+  // IdentificationResult later cannot leak between reused results; the
+  // candidates and type_name buffers keep their capacity.
+  std::vector<std::size_t> candidates = std::move(result.candidates);
+  std::string type_name = std::move(result.type_name);
+  type_name.clear();
+  result = IdentificationResult{};
+  result.candidates = std::move(candidates);
+  result.type_name = std::move(type_name);
+  classify_into(f.to_fixed(config_.fixed_prefix), result.candidates);
 
   if (result.candidates.empty()) {
     result.is_new_type = true;
-    return result;
+    return;
   }
   if (result.candidates.size() == 1) {
     result.type_index = result.candidates.front();
     result.type_name = bank_.type_name(*result.type_index);
-    return result;
+    return;
   }
 
   result.used_discrimination = true;
@@ -89,7 +109,6 @@ IdentificationResult DeviceIdentifier::identify(
   result.dissimilarity = score;
   result.type_index = winner;
   result.type_name = bank_.type_name(winner);
-  return result;
 }
 
 namespace {

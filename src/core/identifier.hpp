@@ -66,9 +66,19 @@ class DeviceIdentifier {
   /// Full two-stage identification of a captured fingerprint.
   [[nodiscard]] IdentificationResult identify(const fp::Fingerprint& f) const;
 
+  /// Identification into a caller-owned result: resets every field and
+  /// reuses `out.candidates`' capacity, so callers looping over many
+  /// fingerprints (cross-validation, batch onboarding) avoid the
+  /// per-result vector churn. Scoring runs on the compiled forests.
+  void identify_into(const fp::Fingerprint& f, IdentificationResult& out) const;
+
   /// Stage 1 only (exposed for the Table-IV timing bench).
   [[nodiscard]] std::vector<std::size_t> classify(
       const fp::FixedFingerprint& fixed) const;
+
+  /// Reusable-buffer variant of `classify` (clears `out` then appends).
+  void classify_into(const fp::FixedFingerprint& fixed,
+                     std::vector<std::size_t>& out) const;
 
   /// Stage 2 only: picks the best of `candidates` for `f` by dissimilarity.
   /// `distance_computations`, when non-null, receives the comparison count.

@@ -9,7 +9,7 @@ void IoTSecurityService::register_endpoints(
 
 ServiceVerdict IoTSecurityService::assess(const fp::Fingerprint& f) const {
   ServiceVerdict verdict;
-  verdict.identification = identifier_.identify(f);
+  identifier_.identify_into(f, verdict.identification);
 
   if (verdict.identification.type_index) {
     verdict.device_type = verdict.identification.type_name;

@@ -47,6 +47,11 @@ void SetupCaptureExtractor::observe(const net::ParsedPacket& pkt) {
   ActiveDevice& dev = it->second;
   dev.capture.end_us = pkt.timestamp_us;
   ++dev.capture.raw_packet_count;
+  // The device just became (or stays) timeout-eligible; fold its deadline
+  // into the early-out bound. min() keeps the bound conservative.
+  if (dev.capture.raw_packet_count >= config_.min_packets) {
+    earliest_deadline_us_ = std::min(earliest_deadline_us_, deadline_of(dev));
+  }
   dev.capture.fingerprint.append(dev.features.extract(pkt));
   if (dev.capture.raw_packet_count >= config_.max_packets) complete(mac);
 }
@@ -56,21 +61,36 @@ void SetupCaptureExtractor::advance_time(std::uint64_t now_us) {
 }
 
 void SetupCaptureExtractor::check_timeouts(std::uint64_t now_us) {
-  std::vector<net::MacAddress> expired;
+  // Hot path: nothing can have expired yet, skip the scan entirely.
+  if (now_us < earliest_deadline_us_) return;
+
+  // Borrow the scratch buffer for this sweep (moved out so a completion
+  // callback that re-enters the extractor cannot invalidate our
+  // iteration); its capacity is handed back afterwards.
+  std::vector<net::MacAddress> expired = std::move(expired_scratch_);
+  expired.clear();
+  std::uint64_t next_deadline = kNoDeadline;
   for (const auto& [mac, dev] : active_) {
-    if (dev.capture.raw_packet_count >= config_.min_packets &&
-        now_us > dev.last_packet_us &&
-        now_us - dev.last_packet_us >= config_.idle_timeout_us) {
+    if (dev.capture.raw_packet_count < config_.min_packets) continue;
+    const std::uint64_t deadline = deadline_of(dev);
+    if (now_us >= deadline) {
       expired.push_back(mac);
+    } else {
+      next_deadline = std::min(next_deadline, deadline);
     }
   }
+  earliest_deadline_us_ = next_deadline;
   for (const auto& mac : expired) complete(mac);
+  expired_scratch_ = std::move(expired);
 }
 
 void SetupCaptureExtractor::flush_all() {
   std::vector<net::MacAddress> macs;
   macs.reserve(active_.size());
   for (const auto& [mac, dev] : active_) macs.push_back(mac);
+  // Reset the bound *before* completing: a completion callback may
+  // re-enter observe() with a new device, whose deadline must survive.
+  earliest_deadline_us_ = kNoDeadline;
   for (const auto& mac : macs) complete(mac);
 }
 

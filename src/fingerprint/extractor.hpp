@@ -8,6 +8,7 @@
 // setup procedure has ended.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -93,14 +94,31 @@ class SetupCaptureExtractor {
     std::size_t gap_count = 0;
   };
 
+  /// Sentinel: no active device can currently expire.
+  static constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+
   void complete(const net::MacAddress& mac);
   void check_timeouts(std::uint64_t now_us);
+  /// Idle-expiry instant of a timeout-eligible device (strictly after its
+  /// last packet, even with a zero idle timeout).
+  [[nodiscard]] std::uint64_t deadline_of(const ActiveDevice& dev) const {
+    return dev.last_packet_us + std::max<std::uint64_t>(config_.idle_timeout_us, 1);
+  }
 
   ExtractorConfig config_;
   CompletionCallback callback_;
   std::unordered_map<net::MacAddress, ActiveDevice> active_;
   std::unordered_set<net::MacAddress> fingerprinted_;
   std::vector<DeviceCapture> completed_;
+  /// Conservative lower bound on the earliest idle-expiry among active
+  /// timeout-eligible devices: check_timeouts early-outs on every packet
+  /// before this instant instead of scanning all active devices. Later
+  /// packets only push a device's real deadline further out, so the bound
+  /// can be stale-early (extra scan) but never stale-late (missed expiry).
+  std::uint64_t earliest_deadline_us_ = kNoDeadline;
+  /// Reused by check_timeouts so the expiry sweep allocates nothing after
+  /// warm-up.
+  std::vector<net::MacAddress> expired_scratch_;
 };
 
 /// One-shot extraction: builds a single device's fingerprint from an

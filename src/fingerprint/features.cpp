@@ -72,9 +72,14 @@ FeatureVector PacketFeatureExtractor::extract(const net::ParsedPacket& pkt) {
   set(FeatureIndex::kRawData, pkt.has_payload ? 1 : 0);
 
   if (pkt.dst_ip) {
-    auto [it, inserted] = dst_counter_.try_emplace(
-        *pkt.dst_ip, static_cast<std::uint32_t>(dst_counter_.size() + 1));
-    set(FeatureIndex::kDstIpCounter, it->second);
+    if (!has_last_dst_ || !(*pkt.dst_ip == last_dst_)) {
+      auto [it, inserted] = dst_counter_.try_emplace(
+          *pkt.dst_ip, static_cast<std::uint32_t>(dst_counter_.size() + 1));
+      last_dst_ = it->first;
+      last_dst_counter_ = it->second;
+      has_last_dst_ = true;
+    }
+    set(FeatureIndex::kDstIpCounter, last_dst_counter_);
   } else {
     set(FeatureIndex::kDstIpCounter, 0);
   }

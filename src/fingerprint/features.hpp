@@ -91,10 +91,19 @@ class PacketFeatureExtractor {
   }
 
   /// Resets the destination-IP counter (new capture, same device).
-  void reset() { dst_counter_.clear(); }
+  void reset() {
+    dst_counter_.clear();
+    has_last_dst_ = false;
+    last_dst_counter_ = 0;
+  }
 
  private:
   std::unordered_map<net::IpAddress, std::uint32_t> dst_counter_;
+  /// Memo of the most recent destination lookup: setup dialogues talk to
+  /// the same peer in bursts, so the common case skips the hash probe.
+  net::IpAddress last_dst_;
+  std::uint32_t last_dst_counter_ = 0;
+  bool has_last_dst_ = false;
 };
 
 }  // namespace iotsentinel::fp

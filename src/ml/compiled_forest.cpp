@@ -1,0 +1,112 @@
+#include "ml/compiled_forest.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ml/random_forest.hpp"
+
+namespace iotsentinel::ml {
+
+void CompiledForest::append_tree(const DecisionTree& tree) {
+  const std::size_t base = nodes_.size();
+  roots_.push_back(static_cast<std::uint32_t>(base));
+
+  if (!tree.trained()) {
+    // Degenerate member: behaves like a single all-zero leaf, matching
+    // DecisionTree::predict_proba on an empty tree.
+    Node leaf;
+    leaf.left = static_cast<std::int32_t>(leaf_probs_.size());
+    leaf_probs_.insert(leaf_probs_.end(),
+                       static_cast<std::size_t>(num_classes_), 0.0);
+    nodes_.push_back(leaf);
+    return;
+  }
+
+  for (const DecisionTree::Node& src : tree.nodes_) {
+    Node dst;
+    if (src.left >= 0) {
+      dst.feature = src.feature;
+      dst.threshold = src.threshold;
+      dst.left = static_cast<std::int32_t>(base) + src.left;
+      dst.right = static_cast<std::int32_t>(base) + src.right;
+    } else {
+      dst.left = static_cast<std::int32_t>(leaf_probs_.size());
+      // Pre-normalize exactly as DecisionTree::predict_proba does: the
+      // same double division, zeros for an empty histogram.
+      double total = 0.0;
+      for (std::uint32_t c : src.counts) total += c;
+      const std::size_t classes = static_cast<std::size_t>(num_classes_);
+      for (std::size_t c = 0; c < classes; ++c) {
+        const double count =
+            c < src.counts.size() ? static_cast<double>(src.counts[c]) : 0.0;
+        leaf_probs_.push_back(total == 0.0 ? 0.0 : count / total);
+      }
+    }
+    nodes_.push_back(dst);
+  }
+}
+
+CompiledForest CompiledForest::compile(const RandomForest& forest) {
+  CompiledForest out;
+  out.num_classes_ = forest.num_classes();
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    out.append_tree(forest.tree(t));
+  }
+  return out;
+}
+
+CompiledForest CompiledForest::compile(const DecisionTree& tree) {
+  CompiledForest out;
+  out.num_classes_ = tree.num_classes();
+  out.append_tree(tree);
+  return out;
+}
+
+void CompiledForest::predict_proba_into(std::span<const float> features,
+                                        std::span<double> out) const {
+  assert(out.size() == static_cast<std::size_t>(num_classes_));
+  std::fill(out.begin(), out.end(), 0.0);
+  if (roots_.empty()) return;
+  for (std::uint32_t root : roots_) {
+    const std::size_t base = leaf_offset(features, root);
+    for (std::size_t c = 0; c < out.size(); ++c) out[c] += leaf_probs_[base + c];
+  }
+  const double count = static_cast<double>(roots_.size());
+  for (double& v : out) v /= count;
+}
+
+int CompiledForest::predict(std::span<const float> features) const {
+  if (num_classes_ <= 0) return 0;
+  constexpr std::size_t kStackClasses = 32;
+  double stack_buf[kStackClasses];
+  std::vector<double> heap_buf;
+  std::span<double> proba;
+  if (static_cast<std::size_t>(num_classes_) <= kStackClasses) {
+    proba = std::span<double>(stack_buf, static_cast<std::size_t>(num_classes_));
+  } else {
+    heap_buf.resize(static_cast<std::size_t>(num_classes_));
+    proba = heap_buf;
+  }
+  predict_proba_into(features, proba);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
+                          proba.begin());
+}
+
+double CompiledForest::positive_score(std::span<const float> features) const {
+  if (roots_.empty() || num_classes_ < 2) return 0.0;
+  double sum = 0.0;
+  for (std::uint32_t root : roots_) {
+    sum += leaf_probs_[leaf_offset(features, root) + 1];
+  }
+  return sum / static_cast<double>(roots_.size());
+}
+
+void CompiledForest::score_batch(std::span<const std::vector<float>> batch,
+                                 std::span<double> out) const {
+  assert(out.size() == batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    out[i] = positive_score(batch[i]);
+  }
+}
+
+}  // namespace iotsentinel::ml

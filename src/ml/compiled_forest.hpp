@@ -1,0 +1,106 @@
+// Allocation-free compiled inference engine for trained forests.
+//
+// `compile()` is a post-training pass that flattens every DecisionTree
+// into one contiguous node array (split feature / threshold / child
+// offsets packed in 16 bytes per node, all trees back to back) plus a
+// single shared pool of *pre-normalized* leaf class probabilities
+// indexed by leaf id. Prediction then reduces to chasing offsets through
+// two flat arrays: no per-node vectors, no per-call histograms, zero
+// heap allocations.
+//
+// The engine is numerically bit-identical to the training-side
+// RandomForest/DecisionTree prediction paths: leaf probabilities are
+// stored as the same doubles `counts[c] / total` that
+// DecisionTree::predict_proba computes, and accumulation/division order
+// across trees matches RandomForest::predict_proba exactly. The
+// equivalence suite (tests/test_compiled_forest.cpp) asserts this with
+// exact floating-point comparison.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iotsentinel::ml {
+
+class DecisionTree;
+class RandomForest;
+
+/// A forest flattened for serving. Cheap to copy/move; rebuild with
+/// `compile()` whenever the source forest is retrained or reloaded.
+class CompiledForest {
+ public:
+  CompiledForest() = default;
+
+  /// Flattens a trained forest. An untrained forest compiles to an empty
+  /// engine whose predictions match the untrained RandomForest (zeros).
+  static CompiledForest compile(const RandomForest& forest);
+
+  /// Flattens a single tree (a one-member forest); the single-tree bench
+  /// and equivalence tests use this directly.
+  static CompiledForest compile(const DecisionTree& tree);
+
+  /// Mean of the member trees' leaf distributions, written into `out`
+  /// (`out.size()` must equal `num_classes()`). Allocation-free.
+  void predict_proba_into(std::span<const float> features,
+                          std::span<double> out) const;
+
+  /// Majority-vote class (first index on ties, like RandomForest).
+  [[nodiscard]] int predict(std::span<const float> features) const;
+
+  /// Probability of class 1 — the accept score of the paper's binary
+  /// per-device-type classifiers. Needs no scratch buffer at all.
+  [[nodiscard]] double positive_score(std::span<const float> features) const;
+
+  /// Batched binary scoring: `out[i] = positive_score(batch[i])`.
+  /// `out.size()` must equal `batch.size()`. (FixedFingerprint is an
+  /// alias for std::vector<float>, so fingerprint batches pass through
+  /// unchanged.)
+  void score_batch(std::span<const std::vector<float>> batch,
+                   std::span<double> out) const;
+
+  [[nodiscard]] std::size_t tree_count() const { return roots_.size(); }
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+  [[nodiscard]] bool empty() const { return roots_.empty(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    /// Split feature for internal nodes; -1 marks a leaf.
+    std::int32_t feature = -1;
+    float threshold = 0.0f;
+    /// Internal: absolute child offsets into `nodes_`.
+    /// Leaf: `left` is the offset of this leaf's distribution in
+    /// `leaf_probs_` (`right` unused).
+    std::int32_t left = 0;
+    std::int32_t right = 0;
+  };
+  static_assert(sizeof(Node) == 16);
+
+  /// Walks one tree; returns the reached leaf's `leaf_probs_` offset.
+  [[nodiscard]] std::size_t leaf_offset(std::span<const float> features,
+                                        std::uint32_t root) const {
+    std::size_t n = root;
+    while (nodes_[n].feature >= 0) {
+      const Node& node = nodes_[n];
+      n = static_cast<std::size_t>(
+          features[static_cast<std::size_t>(node.feature)] < node.threshold
+              ? node.left
+              : node.right);
+    }
+    return static_cast<std::size_t>(nodes_[n].left);
+  }
+
+  void append_tree(const DecisionTree& tree);
+
+  /// All trees' nodes, contiguous; tree t starts at `roots_[t]`.
+  std::vector<Node> nodes_;
+  /// Shared pool of pre-normalized leaf distributions, `num_classes_`
+  /// doubles per leaf.
+  std::vector<double> leaf_probs_;
+  std::vector<std::uint32_t> roots_;
+  int num_classes_ = 0;
+};
+
+}  // namespace iotsentinel::ml

@@ -66,6 +66,9 @@ class DecisionTree {
   static std::optional<DecisionTree> load(net::ByteReader& r);
 
  private:
+  // The compilation pass flattens nodes_ into its SoA serving layout.
+  friend class CompiledForest;
+
   struct Node {
     // Internal node: feature/threshold valid, left/right >= 0.
     // Leaf: left == -1; `counts` holds the class histogram.

@@ -12,6 +12,7 @@
 
 #include <optional>
 
+#include "ml/compiled_forest.hpp"
 #include "ml/decision_tree.hpp"
 
 namespace iotsentinel::ml {
@@ -52,6 +53,13 @@ class RandomForest {
   /// Mean gini feature importance across the member trees (normalized to
   /// sum to 1 when any tree split at all).
   [[nodiscard]] std::vector<double> feature_importances() const;
+
+  /// Flattens the trained forest into the allocation-free serving engine.
+  /// Predictions are bit-identical to the methods above; re-run after any
+  /// retrain or load.
+  [[nodiscard]] CompiledForest compile() const {
+    return CompiledForest::compile(*this);
+  }
 
   [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
   [[nodiscard]] int num_classes() const { return num_classes_; }

@@ -1,0 +1,283 @@
+// Equivalence suite for the compiled-forest inference engine: every
+// prediction of CompiledForest must be *bit-identical* to the
+// training-side RandomForest / DecisionTree paths (the serving rewire in
+// ClassifierBank silently swapped engines, so exactness is what keeps
+// accept thresholds, ties and persisted models behaving the same).
+#include "ml/compiled_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <numeric>
+
+#include "core/classifier_bank.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/rng.hpp"
+#include "net/bytes.hpp"
+#include "simnet/corpus.hpp"
+
+/// Binary-wide allocation counter so the no-allocation guarantee of the
+/// serving path is asserted, not assumed.
+namespace {
+std::atomic<std::size_t> g_heap_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  ++g_heap_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace iotsentinel::ml {
+namespace {
+
+/// Random dense dataset: uniform floats in [0, 4), labels in [0, classes).
+Dataset random_dataset(std::size_t rows, std::size_t features, int classes,
+                       std::uint64_t seed) {
+  Dataset data(features);
+  Rng rng(seed);
+  std::vector<float> row(features);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (auto& v : row) v = static_cast<float>(rng.uniform(0.0, 4.0));
+    // Make labels loosely feature-correlated so trees actually split.
+    const int label = (row[0] + row[1] > 4.0f)
+                          ? static_cast<int>(rng.index(static_cast<std::size_t>(classes)))
+                          : static_cast<int>(i % static_cast<std::size_t>(classes));
+    data.add(row, label);
+  }
+  return data;
+}
+
+std::vector<std::vector<float>> random_probes(std::size_t count,
+                                              std::size_t features,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> probes(count, std::vector<float>(features));
+  for (auto& p : probes) {
+    for (auto& v : p) v = static_cast<float>(rng.uniform(0.0, 4.0));
+  }
+  return probes;
+}
+
+/// Exact (bitwise) comparison of reference vs compiled on one input.
+void expect_exact_match(const RandomForest& forest, const CompiledForest& fast,
+                        std::span<const float> x) {
+  const auto reference = forest.predict_proba(x);
+  ASSERT_EQ(reference.size(), static_cast<std::size_t>(fast.num_classes()));
+  std::vector<double> compiled(reference.size());
+  fast.predict_proba_into(x, compiled);
+  for (std::size_t c = 0; c < reference.size(); ++c) {
+    EXPECT_EQ(reference[c], compiled[c]) << "class " << c;
+  }
+  EXPECT_EQ(forest.predict(x), fast.predict(x));
+  EXPECT_EQ(forest.positive_score(x), fast.positive_score(x));
+}
+
+TEST(CompiledForest, MatchesForestAcrossDepthsAndClassCounts) {
+  struct Case {
+    int classes;
+    std::size_t max_depth;
+    std::size_t num_trees;
+  };
+  const Case cases[] = {
+      {2, 0, 30}, {2, 3, 7}, {2, 1, 1}, {3, 0, 15}, {4, 2, 10}, {5, 4, 9},
+  };
+  for (const auto& c : cases) {
+    const Dataset data =
+        random_dataset(120, 12, c.classes, 1000 + static_cast<std::uint64_t>(c.classes));
+    ForestConfig config;
+    config.num_trees = c.num_trees;
+    config.tree.max_depth = c.max_depth;
+    config.seed = 7 * c.num_trees + 1;
+    RandomForest forest;
+    forest.train(data, config);
+    const CompiledForest fast = forest.compile();
+    EXPECT_EQ(fast.tree_count(), forest.tree_count());
+    EXPECT_EQ(fast.num_classes(), forest.num_classes());
+
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      expect_exact_match(forest, fast, data.row(i));
+    }
+    for (const auto& probe : random_probes(50, 12, 99 + c.num_trees)) {
+      expect_exact_match(forest, fast, probe);
+    }
+  }
+}
+
+TEST(CompiledForest, DegenerateSingleLeafTrees) {
+  // All rows share one label: every tree is a single pure leaf.
+  Dataset pure(6);
+  Rng rng(5);
+  std::vector<float> row(6);
+  for (int i = 0; i < 40; ++i) {
+    for (auto& v : row) v = static_cast<float>(rng.uniform(0.0, 1.0));
+    pure.add(row, 0);
+  }
+  RandomForest forest;
+  forest.train(pure, ForestConfig{.num_trees = 5});
+  const CompiledForest fast = forest.compile();
+  for (const auto& probe : random_probes(10, 6, 11)) {
+    expect_exact_match(forest, fast, probe);
+  }
+
+  // Constant features with mixed labels: no split improves impurity, so
+  // trees collapse to a single mixed leaf.
+  Dataset constant(4);
+  const std::vector<float> same(4, 1.5f);
+  for (int i = 0; i < 30; ++i) constant.add(same, i % 2);
+  RandomForest mixed;
+  mixed.train(constant, ForestConfig{.num_trees = 8});
+  const CompiledForest mixed_fast = mixed.compile();
+  for (const auto& probe : random_probes(10, 4, 13)) {
+    expect_exact_match(mixed, mixed_fast, probe);
+  }
+  EXPECT_EQ(mixed_fast.node_count(), 8u);  // one leaf per tree
+}
+
+TEST(CompiledForest, MatchesSingleDecisionTreeExactly) {
+  const Dataset data = random_dataset(90, 8, 3, 321);
+  std::vector<std::size_t> all(data.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  Rng rng(17);
+  DecisionTree tree;
+  tree.train(data, all, data.num_classes(), TreeConfig{}, rng);
+
+  const CompiledForest fast = CompiledForest::compile(tree);
+  ASSERT_EQ(fast.tree_count(), 1u);
+  std::vector<double> compiled(static_cast<std::size_t>(tree.num_classes()));
+  for (const auto& probe : random_probes(60, 8, 22)) {
+    const auto reference = tree.predict_proba(probe);
+    fast.predict_proba_into(probe, compiled);
+    for (std::size_t c = 0; c < reference.size(); ++c) {
+      EXPECT_EQ(reference[c], compiled[c]);
+    }
+    EXPECT_EQ(tree.predict(probe), fast.predict(probe));
+  }
+}
+
+TEST(CompiledForest, SaveLoadCompileRoundTrip) {
+  const Dataset data = random_dataset(100, 10, 2, 777);
+  RandomForest forest;
+  forest.train(data, ForestConfig{.num_trees = 12, .seed = 3});
+
+  net::ByteWriter w;
+  forest.save(w);
+  net::ByteReader r(w.data());
+  const auto loaded = RandomForest::load(r);
+  ASSERT_TRUE(loaded.has_value());
+
+  const CompiledForest original = forest.compile();
+  const CompiledForest reloaded = loaded->compile();
+  EXPECT_EQ(original.node_count(), reloaded.node_count());
+  for (const auto& probe : random_probes(40, 10, 31)) {
+    EXPECT_EQ(original.positive_score(probe), reloaded.positive_score(probe));
+    EXPECT_EQ(forest.positive_score(probe), reloaded.positive_score(probe));
+    EXPECT_EQ(loaded->predict(probe), reloaded.predict(probe));
+  }
+}
+
+TEST(CompiledForest, UntrainedForestPredictsZeros) {
+  const RandomForest forest;
+  const CompiledForest fast = forest.compile();
+  EXPECT_TRUE(fast.empty());
+  const std::vector<float> probe(16, 0.5f);
+  EXPECT_EQ(fast.positive_score(probe), 0.0);
+  EXPECT_EQ(fast.predict(probe), forest.predict(probe));
+}
+
+TEST(CompiledForest, BatchMatchesScalarScores) {
+  const Dataset data = random_dataset(80, 9, 2, 4242);
+  RandomForest forest;
+  forest.train(data, ForestConfig{.num_trees = 10});
+  const CompiledForest fast = forest.compile();
+
+  const auto batch = random_probes(33, 9, 55);
+  std::vector<double> out(batch.size());
+  fast.score_batch(batch, out);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(out[i], forest.positive_score(batch[i]));
+  }
+}
+
+// The bank-level serving paths must all agree with each other and with
+// the pre-compilation semantics (per-forest positive_score).
+TEST(CompiledForest, ClassifierBankServesIdenticalScores) {
+  const auto corpus = sim::generate_corpus_for(
+      {"Aria", "HueBridge", "MAXGateway", "WeMoLink"}, 10, 321);
+  std::vector<std::vector<fp::FixedFingerprint>> fixed;
+  for (const auto& runs : corpus.by_type) {
+    auto& out = fixed.emplace_back();
+    for (const auto& f : runs) out.push_back(f.to_fixed());
+  }
+  core::ClassifierBank bank;
+  bank.train(corpus.type_names, fixed);
+
+  std::vector<double> into(bank.num_types());
+  std::vector<std::size_t> accepted_buf;
+  std::vector<fp::FixedFingerprint> batch;
+  for (const auto& runs : fixed) batch.push_back(runs.front());
+  std::vector<double> batch_out(batch.size() * bank.num_types());
+  bank.score_batch(batch, batch_out);
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& probe = batch[i];
+    const auto reference = bank.scores(probe);
+    bank.scores_into(probe, into);
+    for (std::size_t t = 0; t < bank.num_types(); ++t) {
+      // The uncompiled forest remains the ground truth.
+      EXPECT_EQ(reference[t], bank.forest(t).positive_score(probe));
+      EXPECT_EQ(reference[t], into[t]);
+      EXPECT_EQ(reference[t], bank.score_one(t, probe));
+      EXPECT_EQ(reference[t], batch_out[i * bank.num_types() + t]);
+    }
+    bank.accepted_into(probe, accepted_buf);
+    EXPECT_EQ(bank.accepted(probe), accepted_buf);
+  }
+
+  // After warm-up the serving path must be allocation-free: positive
+  // scores, scores_into, accepted_into and score_batch all run on the
+  // flat compiled arrays and caller-owned buffers.
+  bank.scores_into(batch[0], into);
+  bank.accepted_into(batch[0], accepted_buf);
+  bank.score_batch(batch, batch_out);
+  volatile double benchmark_sink = 0.0;
+  const std::size_t allocations_before = g_heap_allocations.load();
+  for (int round = 0; round < 50; ++round) {
+    for (const auto& probe : batch) {
+      bank.scores_into(probe, into);
+      bank.accepted_into(probe, accepted_buf);
+      for (std::size_t t = 0; t < bank.num_types(); ++t) {
+        benchmark_sink = benchmark_sink + bank.score_one(t, probe);
+      }
+    }
+    bank.score_batch(batch, batch_out);
+  }
+  EXPECT_EQ(g_heap_allocations.load(), allocations_before)
+      << "serving path allocated on the heap after warm-up";
+
+  // Persistence keeps the compiled engine in sync: a loaded bank serves
+  // the same scores as the bank that saved it.
+  net::ByteWriter w;
+  bank.save(w);
+  net::ByteReader r(w.data());
+  const auto loaded = core::ClassifierBank::load(r);
+  ASSERT_TRUE(loaded.has_value());
+  for (const auto& probe : batch) {
+    const auto a = bank.scores(probe);
+    const auto b = loaded->scores(probe);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t) EXPECT_EQ(a[t], b[t]);
+  }
+}
+
+}  // namespace
+}  // namespace iotsentinel::ml
