@@ -1,0 +1,130 @@
+// Gateway packet-throughput benchmark: the serial SecurityGateway vs the
+// ShardedGateway pipeline at 1/2/4/8 worker shards, replaying the same
+// multi-device onboarding trace (many devices of the 27 catalog types
+// joining in staggered waves). Wall-clock (UseRealTime) is the honest
+// metric for a threaded pipeline; items/s is frames through the gateway.
+// Reference numbers live in BENCH_gateway.json.
+//
+// Note: the speedup of the sharded pipeline is bounded by the physical
+// core count — on a single-core container the 1-shard run measures pure
+// pipeline overhead, not parallelism.
+//
+// Run from the release preset:
+//   cmake --preset release && cmake --build --preset release -j
+//   ./build-release/bench/bench_gateway
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/gateway_pool.hpp"
+#include "core/security_gateway.hpp"
+#include "core/vulnerability_db.hpp"
+#include "simnet/device_catalog.hpp"
+#include "simnet/traffic_generator.hpp"
+
+namespace {
+
+using namespace iotsentinel;
+
+/// Devices onboarding in the replayed trace (catalog types, round-robin).
+constexpr std::uint32_t kNumDevices = 768;
+
+core::IoTSecurityService make_service(const sim::FingerprintCorpus& corpus) {
+  core::DeviceIdentifier identifier(bench::paper_identifier_config());
+  identifier.train(corpus.type_names, corpus.by_type);
+  return core::IoTSecurityService(std::move(identifier),
+                                  core::VulnerabilityDb::with_sample_data());
+}
+
+/// One mixed capture: kNumDevices setup dialogues in staggered onboarding
+/// waves, merged into a single timestamp-ordered frame stream.
+std::vector<sim::TimedFrame> make_trace() {
+  const auto& catalog = sim::device_catalog();
+  std::vector<sim::TimedFrame> trace;
+  for (std::uint32_t d = 0; d < kNumDevices; ++d) {
+    const sim::DeviceProfile& profile = catalog[d % catalog.size()];
+    sim::GeneratorConfig config;
+    config.start_time_us = (d % 16) * 500'000;  // 16 overlapping waves
+    sim::TrafficGenerator gen(config);
+    ml::Rng rng(9000 + d);
+    const auto mac = sim::TrafficGenerator::mint_mac(profile, 1000 + d);
+    const auto ip = net::Ipv4Address::of(
+        192, 168, static_cast<std::uint8_t>(1 + d / 200),
+        static_cast<std::uint8_t>(2 + d % 200));
+    for (auto& tf : gen.generate(profile, mac, ip, rng)) {
+      trace.push_back(std::move(tf));
+    }
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const sim::TimedFrame& a, const sim::TimedFrame& b) {
+                     return a.timestamp_us < b.timestamp_us;
+                   });
+  return trace;
+}
+
+/// Shared trained state (built once; training the 27-type bank dominates
+/// startup, not measurement).
+struct GatewayFixtureState {
+  sim::FingerprintCorpus corpus = bench::paper_corpus();
+  core::IoTSecurityService service = make_service(corpus);
+  std::vector<sim::TimedFrame> trace = make_trace();
+};
+
+GatewayFixtureState& state() {
+  static GatewayFixtureState s;
+  return s;
+}
+
+/// Baseline: the serial gateway, one frame at a time through one
+/// extractor, one classifier, one data plane.
+void BM_GatewaySerial(benchmark::State& bm) {
+  auto& s = state();
+  std::size_t events = 0;
+  for (auto _ : bm) {
+    core::SecurityGateway gw(s.service);
+    for (const auto& tf : s.trace) gw.on_frame(tf.frame, tf.timestamp_us);
+    gw.finish_pending_captures();
+    events = gw.events().size();
+    benchmark::DoNotOptimize(events);
+  }
+  bm.SetItemsProcessed(static_cast<std::int64_t>(bm.iterations()) *
+                       static_cast<std::int64_t>(s.trace.size()));
+  bm.counters["devices"] = static_cast<double>(events);
+}
+BENCHMARK(BM_GatewaySerial)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The sharded pipeline end to end: submit every frame (zero-copy ingest),
+/// then finish() — the measured span covers ingest, all shard work,
+/// batched classification and the full drain.
+void BM_GatewaySharded(benchmark::State& bm) {
+  auto& s = state();
+  const auto shards = static_cast<std::size_t>(bm.range(0));
+  std::size_t events = 0;
+  for (auto _ : bm) {
+    core::ShardedGatewayConfig config;
+    config.num_shards = shards;
+    core::ShardedGateway gw(s.service, config);
+    for (const auto& tf : s.trace) gw.submit(tf.frame, tf.timestamp_us);
+    gw.finish();
+    events = gw.events().size();
+    benchmark::DoNotOptimize(events);
+  }
+  bm.SetItemsProcessed(static_cast<std::int64_t>(bm.iterations()) *
+                       static_cast<std::int64_t>(s.trace.size()));
+  bm.counters["devices"] = static_cast<double>(events);
+  bm.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_GatewaySharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

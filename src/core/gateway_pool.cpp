@@ -1,0 +1,227 @@
+#include "core/gateway_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "net/parser.hpp"
+
+namespace iotsentinel::core {
+namespace {
+
+/// Idle backoff shared by the ingest (ring-full), worker (nothing to do)
+/// and classifier (verdict-ring-full) spin sites: stay polite immediately
+/// (these loops always make progress through another thread), and back
+/// off to a real sleep when the peer has been quiet for a while — on
+/// oversubscribed machines a pure yield storm starves the thread that
+/// would unblock us.
+class Backoff {
+ public:
+  void wait() {
+    if (++idle_polls_ < kYieldPolls) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  void reset() { idle_polls_ = 0; }
+
+ private:
+  static constexpr std::size_t kYieldPolls = 256;
+  std::size_t idle_polls_ = 0;
+};
+
+/// Source MAC straight from the raw Ethernet header (bytes 6..11). The
+/// threshold matches parse_ethernet_frame's 14-byte minimum: any frame
+/// the parser would reject (leaving src_mac zero) routes deterministically
+/// to the zero-MAC shard, keeping routing and parsed-MAC views identical.
+net::MacAddress src_mac_of_frame(std::span<const std::uint8_t> frame) {
+  if (frame.size() < 14) return net::MacAddress{};
+  return net::MacAddress({frame[6], frame[7], frame[8], frame[9], frame[10],
+                          frame[11]});
+}
+
+}  // namespace
+
+ShardedGateway::ShardedGateway(const IoTSecurityService& service,
+                               ShardedGatewayConfig config)
+    : service_(service), config_(config), controller_(config.controller) {
+  config_.num_shards = std::max<std::size_t>(config_.num_shards, 1);
+  config_.classify_batch_max =
+      std::max<std::size_t>(config_.classify_batch_max, 1);
+
+  shards_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.ring_capacity,
+                                              config_.extractor, controller_));
+    Shard& shard = *shards_.back();
+    // Completion callback runs on the shard's worker thread.
+    shard.extractor.on_capture_complete([this](const fp::DeviceCapture& c) {
+      // Deep-copy the fingerprint before taking the lock: the submission
+      // mutex is contended by every worker and the classifier, and must
+      // not be held across a heap-allocating copy.
+      PendingCapture pending{c.mac, c.fingerprint, c.end_us};
+      {
+        std::lock_guard<std::mutex> lock(submission_mu_);
+        submissions_.push_back(std::move(pending));
+      }
+      submission_cv_.notify_one();
+    });
+  }
+  for (auto& shard : shards_) {
+    shard->thread =
+        std::thread([this, &s = *shard] { worker_loop(s); });
+  }
+  classifier_thread_ = std::thread([this] { classifier_loop(); });
+}
+
+ShardedGateway::~ShardedGateway() { finish(); }
+
+void ShardedGateway::submit(std::span<const std::uint8_t> frame,
+                            std::uint64_t timestamp_us) {
+  assert(!finished_);
+  Shard& shard = *shards_[shard_of(src_mac_of_frame(frame))];
+  FrameRef ref{timestamp_us, frame.data(),
+               static_cast<std::uint32_t>(frame.size())};
+  Backoff backoff;
+  while (!shard.frames.try_push(std::move(ref))) backoff.wait();
+}
+
+void ShardedGateway::finish() {
+  if (finished_) return;
+  finished_ = true;
+  ingest_done_.store(true, std::memory_order_release);
+  submission_cv_.notify_all();
+  classifier_thread_.join();
+  for (auto& shard : shards_) shard->thread.join();
+}
+
+std::vector<GatewayEvent> ShardedGateway::events() const {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  return events_;
+}
+
+void ShardedGateway::process_frame(Shard& shard, const FrameRef& frame) {
+  const std::span<const std::uint8_t> bytes(frame.data, frame.size);
+  const net::ParsedPacket pkt =
+      net::parse_ethernet_frame(bytes, frame.timestamp_us);
+  shard.tracker.observe(pkt, bytes);
+  shard.extractor.observe(pkt);
+  shard.data_plane.process(pkt, frame.timestamp_us);
+  ++shard.packets;
+  if (config_.record_frame_log) {
+    shard.frame_log.push_back({frame.timestamp_us, pkt.src_mac});
+  }
+}
+
+bool ShardedGateway::drain_verdicts(Shard& shard) {
+  bool did_work = false;
+  VerdictMsg msg;
+  while (shard.verdicts.try_pop(msg)) {
+    shard.tracker.mark_identified(msg.mac, msg.device_type, msg.level);
+    // Flows admitted under the provisional (no-rule) policy must be
+    // re-evaluated under the device's real isolation level.
+    shard.data_plane.flush_device(msg.mac);
+    did_work = true;
+  }
+  return did_work;
+}
+
+void ShardedGateway::worker_loop(Shard& shard) {
+  Backoff backoff;
+  bool flushed = false;
+  FrameRef frame;
+  for (;;) {
+    bool did_work = drain_verdicts(shard);
+    // One frame per iteration so verdict messages are interleaved
+    // promptly and the classifier's push never waits long.
+    if (shard.frames.try_pop(frame)) {
+      process_frame(shard, frame);
+      did_work = true;
+    }
+    if (did_work) {
+      backoff.reset();
+      continue;
+    }
+
+    if (ingest_done_.load(std::memory_order_acquire)) {
+      if (!flushed) {
+        // The empty-ring check above may have raced with the last
+        // submits; the acquire on ingest_done_ makes them visible now,
+        // so one more drain is definitive.
+        while (shard.frames.try_pop(frame)) process_frame(shard, frame);
+        shard.extractor.flush_all();
+        flushed = true;
+        {
+          std::lock_guard<std::mutex> lock(submission_mu_);
+          ++flushed_workers_;
+        }
+        submission_cv_.notify_all();
+        continue;
+      }
+      if (classifier_done_.load(std::memory_order_acquire)) {
+        // Same pattern: drain verdicts that raced with the flag.
+        drain_verdicts(shard);
+        return;
+      }
+    }
+    backoff.wait();
+  }
+}
+
+void ShardedGateway::apply_verdict(const PendingCapture& capture,
+                                   const ServiceVerdict& verdict) {
+  // Single controller lock (inside apply_rule): the rule is globally
+  // visible to every shard's packet-in path from here on.
+  controller_.apply_rule(rule_for_verdict(verdict, capture.mac, capture.end_us),
+                         capture.end_us);
+
+  // Shard-local effects go back to the owning worker, which is the only
+  // thread allowed to touch that shard's tracker and flow table.
+  Shard& owner = *shards_[shard_of(capture.mac)];
+  VerdictMsg msg{capture.mac, verdict.device_type, verdict.level};
+  Backoff backoff;
+  while (!owner.verdicts.try_push(std::move(msg))) backoff.wait();
+
+  const GatewayEvent event =
+      event_for_verdict(verdict, capture.mac, capture.end_us);
+  {
+    std::lock_guard<std::mutex> lock(events_mu_);
+    events_.push_back(event);
+  }
+  if (observer_) observer_(event);
+}
+
+void ShardedGateway::classifier_loop() {
+  std::vector<PendingCapture> batch;
+  std::vector<const fp::Fingerprint*> fingerprints;
+  std::vector<ServiceVerdict> verdicts;  // buffers reused across batches
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(submission_mu_);
+      submission_cv_.wait(lock, [this] {
+        return !submissions_.empty() || flushed_workers_ == shards_.size();
+      });
+      while (!submissions_.empty() &&
+             batch.size() < config_.classify_batch_max) {
+        batch.push_back(std::move(submissions_.front()));
+        submissions_.pop_front();
+      }
+      if (batch.empty() && flushed_workers_ == shards_.size()) break;
+    }
+    if (batch.empty()) continue;
+
+    fingerprints.clear();
+    for (const PendingCapture& capture : batch) {
+      fingerprints.push_back(&capture.fingerprint);
+    }
+    service_.assess_batch(fingerprints, verdicts);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      apply_verdict(batch[i], verdicts[i]);
+    }
+  }
+  classifier_done_.store(true, std::memory_order_release);
+}
+
+}  // namespace iotsentinel::core

@@ -1,0 +1,229 @@
+// Sharded multi-threaded Security Gateway pipeline.
+//
+// The serial SecurityGateway pushes one interleaved packet stream through
+// one extractor and one classifier — fine for a lab capture, not for a
+// gateway onboarding many devices at once. ShardedGateway parallelizes the
+// per-packet work while keeping every piece of mutable state single-writer:
+//
+//   ingest thread ──SpscRing──▶ worker shard 0 (extractor+tracker+switch)
+//       │ hash(src MAC) % N ──▶ worker shard 1          │ completed
+//       └──────────────────────▶ ...                     ▼ fingerprints
+//                            submission queue ──▶ classifier thread
+//                                                   │ score_batch /
+//                                                   │ identify_batch
+//                          controller (locked) ◀────┤ rule install
+//                 worker shard (via SpscRing) ◀─────┘ verdict message
+//
+//   * Frames are routed by hash(source MAC) % num_shards, so all packets
+//     of one device land on one shard in submission order — fingerprint
+//     extraction sees exactly the per-device subsequence it would see in
+//     the serial gateway, and no extractor/tracker/flow-table state is
+//     ever shared between threads.
+//   * Completed fingerprints drain into a small mutex+condvar submission
+//     queue; a dedicated classifier thread scores them in batches through
+//     the bank's type-major score_batch sweep, installs the enforcement
+//     rule under the controller's single lock, and fires GatewayEvents.
+//   * Shard-local post-verdict effects (inventory update, flushing flows
+//     admitted under the provisional policy) are routed *back* to the
+//     owning worker through a second SPSC ring, preserving the
+//     single-writer discipline.
+//
+// Verdict/event sets are identical to the serial gateway on the same
+// trace (asserted by tests/test_gateway_pool.cpp); only event order and
+// data-plane timing differ.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/device_tracker.hpp"
+#include "core/security_gateway.hpp"
+#include "core/security_service.hpp"
+#include "core/spsc_ring.hpp"
+#include "fingerprint/extractor.hpp"
+#include "sdn/controller.hpp"
+#include "sdn/software_switch.hpp"
+
+namespace iotsentinel::core {
+
+/// Sharded pipeline configuration.
+struct ShardedGatewayConfig {
+  /// Worker shards; each owns a private extractor + tracker + data plane.
+  std::size_t num_shards = 4;
+  /// Per-shard frame ring capacity (rounded up to a power of two);
+  /// `submit` applies backpressure when the owning shard's ring is full.
+  std::size_t ring_capacity = 4096;
+  /// Max fingerprints the classifier thread scores per batch.
+  std::size_t classify_batch_max = 32;
+  /// Records (timestamp, src MAC) of every frame in per-shard processing
+  /// order — test/diagnostic aid, leave off in production.
+  bool record_frame_log = false;
+  fp::ExtractorConfig extractor;
+  sdn::ControllerConfig controller;
+};
+
+/// The multi-threaded gateway runtime. Construction spawns the worker and
+/// classifier threads; `finish()` (or the destructor) drains and joins.
+class ShardedGateway {
+ public:
+  /// `service` outlives the gateway. Threads start immediately.
+  explicit ShardedGateway(const IoTSecurityService& service,
+                          ShardedGatewayConfig config = {});
+  ~ShardedGateway();
+
+  ShardedGateway(const ShardedGateway&) = delete;
+  ShardedGateway& operator=(const ShardedGateway&) = delete;
+
+  /// Observer invoked (on the classifier thread) after each
+  /// identification + enforcement install. Set before the first `submit`.
+  void on_device_identified(std::function<void(const GatewayEvent&)> cb) {
+    observer_ = std::move(cb);
+  }
+
+  /// Enqueues one raw frame at capture time `timestamp_us` onto its
+  /// owning shard's ring. Zero-copy: the frame bytes must stay valid
+  /// until `finish()` returns (replay buffers and capture rings satisfy
+  /// this naturally). Single ingest thread only; blocks briefly when the
+  /// shard's ring is full (backpressure). Must not be called after
+  /// `finish()`.
+  void submit(std::span<const std::uint8_t> frame, std::uint64_t timestamp_us);
+
+  /// Drains the pipeline: workers force-complete in-progress captures
+  /// (the serial gateway's `finish_pending_captures`), the classifier
+  /// scores every straggler, all verdicts are applied, and every thread
+  /// is joined. Idempotent. After it returns the gateway is quiescent and
+  /// all accessors below are safe.
+  void finish();
+
+  /// Shard a device's frames are routed to.
+  [[nodiscard]] std::size_t shard_of(const net::MacAddress& mac) const {
+    return std::hash<net::MacAddress>{}(mac) % shards_.size();
+  }
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+  /// Identification events so far (copy — safe to call while running).
+  [[nodiscard]] std::vector<GatewayEvent> events() const;
+
+  /// The shared enforcement controller (its mutating entry points are
+  /// internally locked).
+  [[nodiscard]] sdn::Controller& controller() { return controller_; }
+  [[nodiscard]] const sdn::Controller& controller() const {
+    return controller_;
+  }
+
+  // --- post-finish() inspection ----------------------------------------
+  /// One shard's passive device inventory.
+  [[nodiscard]] const DeviceTracker& shard_inventory(std::size_t shard) const {
+    return shards_[shard]->tracker;
+  }
+  /// One shard's data plane.
+  [[nodiscard]] const sdn::SoftwareSwitch& shard_data_plane(
+      std::size_t shard) const {
+    return shards_[shard]->data_plane;
+  }
+  /// Frames a shard processed.
+  [[nodiscard]] std::uint64_t shard_packets(std::size_t shard) const {
+    return shards_[shard]->packets;
+  }
+
+  /// One processed frame, in shard processing order (recorded only when
+  /// `record_frame_log` is set).
+  struct FrameLogEntry {
+    std::uint64_t timestamp_us = 0;
+    net::MacAddress src;
+
+    friend bool operator==(const FrameLogEntry&,
+                           const FrameLogEntry&) = default;
+  };
+  [[nodiscard]] const std::vector<FrameLogEntry>& frame_log(
+      std::size_t shard) const {
+    return shards_[shard]->frame_log;
+  }
+
+ private:
+  /// A frame in flight between the ingest thread and a worker. Borrowed
+  /// bytes — see `submit`'s lifetime contract.
+  struct FrameRef {
+    std::uint64_t timestamp_us = 0;
+    const std::uint8_t* data = nullptr;
+    std::uint32_t size = 0;
+  };
+
+  /// Post-verdict message routed from the classifier thread back to the
+  /// device's owning shard.
+  struct VerdictMsg {
+    net::MacAddress mac;
+    std::string device_type;
+    sdn::IsolationLevel level = sdn::IsolationLevel::kStrict;
+  };
+
+  /// A completed capture awaiting classification.
+  struct PendingCapture {
+    net::MacAddress mac;
+    fp::Fingerprint fingerprint;
+    std::uint64_t end_us = 0;
+  };
+
+  struct Shard {
+    Shard(std::size_t ring_capacity, const fp::ExtractorConfig& extractor_cfg,
+          sdn::Controller& controller)
+        : frames(ring_capacity),
+          verdicts(kVerdictRingCapacity),
+          extractor(extractor_cfg),
+          data_plane(controller) {}
+
+    SpscRing<FrameRef> frames;     // ingest -> worker
+    SpscRing<VerdictMsg> verdicts; // classifier -> worker
+    fp::SetupCaptureExtractor extractor;
+    DeviceTracker tracker;
+    sdn::SoftwareSwitch data_plane;
+    std::uint64_t packets = 0;
+    std::vector<FrameLogEntry> frame_log;
+    std::thread thread;
+  };
+
+  static constexpr std::size_t kVerdictRingCapacity = 256;
+
+  void worker_loop(Shard& shard);
+  void classifier_loop();
+  void process_frame(Shard& shard, const FrameRef& frame);
+  bool drain_verdicts(Shard& shard);
+  void apply_verdict(const PendingCapture& capture,
+                     const ServiceVerdict& verdict);
+
+  const IoTSecurityService& service_;
+  ShardedGatewayConfig config_;
+  sdn::Controller controller_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Submission queue: workers (producers) -> classifier (consumer).
+  std::mutex submission_mu_;
+  std::condition_variable submission_cv_;
+  std::deque<PendingCapture> submissions_;   // guarded by submission_mu_
+  std::size_t flushed_workers_ = 0;          // guarded by submission_mu_
+
+  /// Set by finish(): no more frames will be submitted.
+  std::atomic<bool> ingest_done_{false};
+  /// Set by the classifier after its last verdict was pushed.
+  std::atomic<bool> classifier_done_{false};
+  /// Owner-thread flag making finish() idempotent.
+  bool finished_ = false;
+
+  mutable std::mutex events_mu_;
+  std::vector<GatewayEvent> events_;         // guarded by events_mu_
+  std::function<void(const GatewayEvent&)> observer_;
+
+  std::thread classifier_thread_;
+};
+
+}  // namespace iotsentinel::core

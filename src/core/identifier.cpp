@@ -75,19 +75,58 @@ IdentificationResult DeviceIdentifier::identify(
   return result;
 }
 
-void DeviceIdentifier::identify_into(const fp::Fingerprint& f,
-                                     IdentificationResult& result) const {
+void DeviceIdentifier::reset_result(IdentificationResult& result) {
   // Reset by whole-struct assignment so fields added to
   // IdentificationResult later cannot leak between reused results; the
   // candidates and type_name buffers keep their capacity.
   std::vector<std::size_t> candidates = std::move(result.candidates);
   std::string type_name = std::move(result.type_name);
+  candidates.clear();
   type_name.clear();
   result = IdentificationResult{};
   result.candidates = std::move(candidates);
   result.type_name = std::move(type_name);
-  classify_into(f.to_fixed(config_.fixed_prefix), result.candidates);
+}
 
+void DeviceIdentifier::identify_into(const fp::Fingerprint& f,
+                                     IdentificationResult& result) const {
+  reset_result(result);
+  classify_into(f.to_fixed(config_.fixed_prefix), result.candidates);
+  finish_identification(f, result);
+}
+
+void DeviceIdentifier::identify_batch(
+    std::span<const fp::Fingerprint* const> fs,
+    std::vector<IdentificationResult>& out) const {
+  out.resize(fs.size());
+  if (fs.empty()) return;
+
+  // Stage 1, batched: derive every F' and sweep the bank type-major so a
+  // single compiled forest scans the whole batch before the next one is
+  // touched. Scores (and therefore accept sets) are bit-identical to the
+  // per-fingerprint scores_into path.
+  std::vector<fp::FixedFingerprint> fixed;
+  fixed.reserve(fs.size());
+  for (const fp::Fingerprint* f : fs) {
+    fixed.push_back(f->to_fixed(config_.fixed_prefix));
+  }
+  const std::size_t types = bank_.num_types();
+  std::vector<double> scores(fs.size() * types);
+  bank_.score_batch(fixed, scores);
+
+  const double threshold = bank_.config().accept_threshold;
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    IdentificationResult& result = out[i];
+    reset_result(result);
+    for (std::size_t t = 0; t < types; ++t) {
+      if (scores[i * types + t] >= threshold) result.candidates.push_back(t);
+    }
+    finish_identification(*fs[i], result);
+  }
+}
+
+void DeviceIdentifier::finish_identification(const fp::Fingerprint& f,
+                                             IdentificationResult& result) const {
   if (result.candidates.empty()) {
     result.is_new_type = true;
     return;

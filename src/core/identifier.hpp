@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,15 @@ class DeviceIdentifier {
   /// per-result vector churn. Scoring runs on the compiled forests.
   void identify_into(const fp::Fingerprint& f, IdentificationResult& out) const;
 
+  /// Batched two-stage identification. Stage 1 scores the whole batch
+  /// through the bank's type-major `score_batch` sweep (one compiled
+  /// forest stays hot in cache across all fingerprints); stage 2 then
+  /// runs per fingerprint. Results are field-for-field identical to
+  /// calling `identify_into` on each element. `out` is resized to
+  /// `fs.size()`, reusing existing elements' buffers.
+  void identify_batch(std::span<const fp::Fingerprint* const> fs,
+                      std::vector<IdentificationResult>& out) const;
+
   /// Stage 1 only (exposed for the Table-IV timing bench).
   [[nodiscard]] std::vector<std::size_t> classify(
       const fp::FixedFingerprint& fixed) const;
@@ -101,6 +111,14 @@ class DeviceIdentifier {
   static std::optional<DeviceIdentifier> load(net::ByteReader& r);
 
  private:
+  /// Clears every field of `result` while keeping its buffers' capacity.
+  static void reset_result(IdentificationResult& result);
+
+  /// Shared stage-1 tail + stage 2: consumes `result.candidates` (already
+  /// populated) and fills the verdict fields.
+  void finish_identification(const fp::Fingerprint& f,
+                             IdentificationResult& result) const;
+
   IdentifierConfig config_;
   ClassifierBank bank_;
   /// references_[t] = up to `references_per_type` stored F of type t.

@@ -15,18 +15,28 @@ std::string to_string(NotificationReason reason) {
 }
 
 bool NotificationCenter::notify(UserNotification notification) {
-  for (const auto& existing : log_) {
-    if (!existing.acknowledged && existing.device == notification.device &&
-        existing.reason == notification.reason) {
-      return false;  // already pending
+  // Copy for the callback taken under the lock: handing out a reference
+  // into the ledger would race with a concurrent acknowledge() flipping
+  // the entry's flag while the callback reads it.
+  UserNotification recorded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& existing : log_) {
+      if (!existing.acknowledged && existing.device == notification.device &&
+          existing.reason == notification.reason) {
+        return false;  // already pending
+      }
     }
+    log_.push_back(std::move(notification));
+    recorded = log_.back();
   }
-  log_.push_back(std::move(notification));
-  if (callback_) callback_(log_.back());
+  // Outside the lock: the callback may inspect or re-enter the center.
+  if (callback_) callback_(recorded);
   return true;
 }
 
 std::size_t NotificationCenter::acknowledge(const net::MacAddress& device) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t count = 0;
   for (auto& notification : log_) {
     if (!notification.acknowledged && notification.device == device) {
@@ -37,10 +47,11 @@ std::size_t NotificationCenter::acknowledge(const net::MacAddress& device) {
   return count;
 }
 
-std::vector<const UserNotification*> NotificationCenter::pending() const {
-  std::vector<const UserNotification*> out;
+std::vector<UserNotification> NotificationCenter::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<UserNotification> out;
   for (const auto& notification : log_) {
-    if (!notification.acknowledged) out.push_back(&notification);
+    if (!notification.acknowledged) out.push_back(notification);
   }
   return out;
 }

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,14 @@ struct UserNotification {
 };
 
 /// Append-only notification ledger with acknowledgement tracking.
+///
+/// Thread safety: `notify`, `acknowledge` and `pending` serialize on an
+/// internal mutex so gateway worker/classifier threads can raise
+/// notifications concurrently. `pending` returns snapshot copies and the
+/// callback receives a copy taken under the lock, so neither can race
+/// with a concurrent `acknowledge` flipping an entry's flag. The callback
+/// itself runs outside the lock (it may re-enter the center);
+/// `on_notify` and `history` are setup/quiescent-time accessors.
 class NotificationCenter {
  public:
   using Callback = std::function<void(const UserNotification&)>;
@@ -63,17 +73,20 @@ class NotificationCenter {
   /// acknowledged.
   std::size_t acknowledge(const net::MacAddress& device);
 
-  /// Outstanding (unacknowledged) notifications.
-  [[nodiscard]] std::vector<const UserNotification*> pending() const;
+  /// Outstanding (unacknowledged) notifications — a snapshot taken under
+  /// the lock (copies, so concurrent acknowledgements cannot race with
+  /// the caller reading them).
+  [[nodiscard]] std::vector<UserNotification> pending() const;
 
   /// Full history, acknowledged included.
-  [[nodiscard]] const std::vector<UserNotification>& history() const {
+  [[nodiscard]] const std::deque<UserNotification>& history() const {
     return log_;
   }
 
  private:
   Callback callback_;
-  std::vector<UserNotification> log_;
+  mutable std::mutex mu_;
+  std::deque<UserNotification> log_;  // guarded by mu_ (append-only)
 };
 
 }  // namespace iotsentinel::core

@@ -4,6 +4,31 @@
 
 namespace iotsentinel::core {
 
+sdn::EnforcementRule rule_for_verdict(const ServiceVerdict& verdict,
+                                      const net::MacAddress& device,
+                                      std::uint64_t now_us) {
+  sdn::EnforcementRule rule;
+  rule.device = device;
+  rule.level = verdict.level;
+  for (const auto& ip : verdict.permitted_endpoints) {
+    rule.permitted_ips.insert(ip);
+  }
+  rule.installed_at_us = now_us;
+  return rule;
+}
+
+GatewayEvent event_for_verdict(const ServiceVerdict& verdict,
+                               const net::MacAddress& device,
+                               std::uint64_t at_us) {
+  GatewayEvent event;
+  event.device = device;
+  event.device_type = verdict.device_type;
+  event.level = verdict.level;
+  event.is_new_type = verdict.identification.is_new_type;
+  event.at_us = at_us;
+  return event;
+}
+
 SecurityGateway::SecurityGateway(const IoTSecurityService& service,
                                  GatewayConfig config)
     : service_(service),
@@ -36,27 +61,15 @@ void SecurityGateway::handle_capture(const fp::DeviceCapture& capture) {
   // enforcement rule for this device.
   const ServiceVerdict verdict = service_.assess(capture.fingerprint);
 
-  sdn::EnforcementRule rule;
-  rule.device = capture.mac;
-  rule.level = verdict.level;
-  for (const auto& ip : verdict.permitted_endpoints) {
-    rule.permitted_ips.insert(ip);
-  }
-  rule.installed_at_us = last_ts_us_;
-  controller_.apply_rule(std::move(rule), last_ts_us_);
+  controller_.apply_rule(rule_for_verdict(verdict, capture.mac, last_ts_us_),
+                         last_ts_us_);
   // Flows admitted under the provisional (no-rule) policy must be
   // re-evaluated under the device's real isolation level.
   switch_.flush_device(capture.mac);
 
   tracker_.mark_identified(capture.mac, verdict.device_type, verdict.level);
 
-  GatewayEvent event;
-  event.device = capture.mac;
-  event.device_type = verdict.device_type;
-  event.level = verdict.level;
-  event.is_new_type = verdict.identification.is_new_type;
-  event.at_us = last_ts_us_;
-  events_.push_back(event);
+  events_.push_back(event_for_verdict(verdict, capture.mac, last_ts_us_));
   if (observer_) observer_(events_.back());
 }
 

@@ -38,6 +38,20 @@ struct GatewayConfig {
   sdn::ControllerConfig controller;
 };
 
+/// Translates an IoTSSP verdict into the enforcement rule to install for
+/// `device`. Shared tail of the serial gateway's capture handler and the
+/// sharded pipeline's classifier thread: both paths must derive identical
+/// rules from identical verdicts.
+[[nodiscard]] sdn::EnforcementRule rule_for_verdict(
+    const ServiceVerdict& verdict, const net::MacAddress& device,
+    std::uint64_t now_us);
+
+/// Builds the observer/UI event for one identification (same sharing
+/// contract as `rule_for_verdict`).
+[[nodiscard]] GatewayEvent event_for_verdict(const ServiceVerdict& verdict,
+                                             const net::MacAddress& device,
+                                             std::uint64_t at_us);
+
 /// The gateway runtime.
 class SecurityGateway {
  public:

@@ -7,10 +7,19 @@ void IoTSecurityService::register_endpoints(
   endpoints_[device_type] = std::move(endpoints);
 }
 
-ServiceVerdict IoTSecurityService::assess(const fp::Fingerprint& f) const {
-  ServiceVerdict verdict;
-  identifier_.identify_into(f, verdict.identification);
+namespace {
 
+/// Clears a verdict's non-identification fields, keeping buffer capacity.
+void reset_verdict(ServiceVerdict& verdict) {
+  verdict.device_type.clear();
+  verdict.is_known = false;
+  verdict.level = sdn::IsolationLevel::kStrict;
+  verdict.permitted_endpoints.clear();
+}
+
+}  // namespace
+
+void IoTSecurityService::finish_verdict(ServiceVerdict& verdict) const {
   if (verdict.identification.type_index) {
     verdict.device_type = verdict.identification.type_name;
     verdict.is_known = true;
@@ -24,7 +33,38 @@ ServiceVerdict IoTSecurityService::assess(const fp::Fingerprint& f) const {
     auto it = endpoints_.find(verdict.device_type);
     if (it != endpoints_.end()) verdict.permitted_endpoints = it->second;
   }
+}
+
+ServiceVerdict IoTSecurityService::assess(const fp::Fingerprint& f) const {
+  ServiceVerdict verdict;
+  assess_into(f, verdict);
   return verdict;
+}
+
+void IoTSecurityService::assess_into(const fp::Fingerprint& f,
+                                     ServiceVerdict& out) const {
+  reset_verdict(out);
+  identifier_.identify_into(f, out.identification);
+  finish_verdict(out);
+}
+
+void IoTSecurityService::assess_batch(
+    std::span<const fp::Fingerprint* const> fingerprints,
+    std::vector<ServiceVerdict>& out) const {
+  out.resize(fingerprints.size());
+
+  // Lend the verdicts' identification results to the batched identifier
+  // so their candidate/name buffers are reused, then take them back.
+  std::vector<IdentificationResult> identifications(fingerprints.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    identifications[i] = std::move(out[i].identification);
+  }
+  identifier_.identify_batch(fingerprints, identifications);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    reset_verdict(out[i]);
+    out[i].identification = std::move(identifications[i]);
+    finish_verdict(out[i]);
+  }
 }
 
 }  // namespace iotsentinel::core

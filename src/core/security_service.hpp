@@ -8,6 +8,7 @@
 // paper's privacy design.
 #pragma once
 
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -43,7 +44,25 @@ class IoTSecurityService {
                           std::vector<net::Ipv4Address> endpoints);
 
   /// The paper's request path: fingerprint in, isolation level out.
+  ///
+  /// Thread safety: `assess`, `assess_into` and `assess_batch` are pure
+  /// reads of state frozen at construction/registration time, so any
+  /// number of threads may call them concurrently — the sharded gateway's
+  /// classifier thread relies on this. `register_endpoints` is a setup-time
+  /// mutation and must not race with assessments.
   [[nodiscard]] ServiceVerdict assess(const fp::Fingerprint& f) const;
+
+  /// Reusable-buffer variant of `assess`: resets every field of `out`
+  /// while keeping its buffers' capacity.
+  void assess_into(const fp::Fingerprint& f, ServiceVerdict& out) const;
+
+  /// Batched request path (one IoTSSP round for many completing devices):
+  /// stage-1 classification runs through the bank's type-major
+  /// `score_batch` sweep via `DeviceIdentifier::identify_batch`. Verdicts
+  /// are field-for-field identical to per-fingerprint `assess` calls.
+  /// `out` is resized to `fingerprints.size()`, reusing element buffers.
+  void assess_batch(std::span<const fp::Fingerprint* const> fingerprints,
+                    std::vector<ServiceVerdict>& out) const;
 
   [[nodiscard]] const DeviceIdentifier& identifier() const {
     return identifier_;
@@ -51,6 +70,10 @@ class IoTSecurityService {
   [[nodiscard]] const VulnerabilityDb& vulnerability_db() const { return db_; }
 
  private:
+  /// Shared verdict tail: maps an already-filled `identification` to
+  /// type/level/endpoints (used by both the single and batched paths).
+  void finish_verdict(ServiceVerdict& verdict) const;
+
   DeviceIdentifier identifier_;
   VulnerabilityDb db_;
   std::unordered_map<std::string, std::vector<net::Ipv4Address>> endpoints_;

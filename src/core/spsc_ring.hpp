@@ -1,0 +1,101 @@
+// Single-producer / single-consumer lock-free ring buffer.
+//
+// The sharded gateway's backbone: the ingest thread routes frames into one
+// ring per worker shard (producer = ingest, consumer = worker), and the
+// classifier thread routes verdict messages back the same way (producer =
+// classifier, consumer = worker). One writer and one reader per ring is a
+// hard contract — it is what lets push and pop run with two atomic
+// operations each and no locks.
+//
+// Implementation notes (classic Lamport queue, Vyukov-style index caches):
+//   * head_ is the consumer cursor, tail_ the producer cursor; both grow
+//     monotonically and are reduced modulo the power-of-two capacity only
+//     when indexing, so full (tail - head == capacity) and empty
+//     (tail == head) need no wasted slot.
+//   * The producer caches its last-seen head_ (and the consumer its
+//     last-seen tail_) so the opposite cursor's cache line is touched only
+//     when the cached view says the ring might be full/empty.
+//   * Slot handoff is synchronized by the release store of the advancing
+//     cursor paired with the acquire load on the other side; slots
+//     themselves need no atomicity.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace iotsentinel::core {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(std::size_t min_capacity)
+      : slots_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
+        mask_(slots_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Moves `value` into the ring and returns true; returns
+  /// false (leaving `value` untouched) when the ring is full.
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side, copying overload.
+  bool try_push(const T& value) {
+    T copy(value);
+    return try_push(std::move(copy));
+  }
+
+  /// Consumer side. Moves the oldest element into `out` and returns true;
+  /// returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot emptiness check, callable from either side.
+  [[nodiscard]] bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot element count, callable from either side.
+  [[nodiscard]] std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  /// Separate the cursors (and each side's cache of the opposite cursor)
+  /// onto their own cache lines so producer and consumer do not false-share.
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::vector<T> slots_;
+  std::size_t mask_;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // producer cursor
+  alignas(kCacheLine) std::size_t head_cache_ = 0;  // producer's view of head_
+  alignas(kCacheLine) std::size_t tail_cache_ = 0;  // consumer's view of tail_
+};
+
+}  // namespace iotsentinel::core

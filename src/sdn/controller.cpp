@@ -10,16 +10,19 @@ bool is_internet_destination(net::Ipv4Address ip) {
 Controller::Controller(ControllerConfig config) : config_(config) {}
 
 void Controller::apply_rule(EnforcementRule rule, std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
   rules_.set_now(now_us);
   rules_.install(std::move(rule));
 }
 
 void Controller::remove_device(const net::MacAddress& device) {
+  std::lock_guard<std::mutex> lock(mu_);
   rules_.remove(device);
 }
 
 std::optional<IsolationLevel> Controller::level_of(
     const net::MacAddress& device) {
+  std::lock_guard<std::mutex> lock(mu_);
   const EnforcementRule* rule = rules_.lookup(device);
   if (!rule) return std::nullopt;
   return rule->level;
@@ -102,6 +105,7 @@ FlowAction Controller::decide(const net::ParsedPacket& pkt,
 
 PacketInDecision Controller::packet_in(const net::ParsedPacket& pkt,
                                        std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++packet_ins_;
   rules_.set_now(now_us);
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -45,6 +46,13 @@ struct ControllerConfig {
 };
 
 /// The enforcement controller.
+///
+/// Thread safety: `apply_rule`, `remove_device`, `packet_in` and
+/// `level_of` serialize on an internal mutex, so shard workers raising
+/// packet-ins and the sharded gateway's classifier thread installing rules
+/// can share one controller — the "single controller lock" of the sharded
+/// pipeline. The `rules()` accessors hand out the cache unguarded and are
+/// for single-threaded tooling (benches, migration helpers) only.
 class Controller {
  public:
   explicit Controller(ControllerConfig config = {});
@@ -65,8 +73,14 @@ class Controller {
 
   [[nodiscard]] RuleCache& rules() { return rules_; }
   [[nodiscard]] const RuleCache& rules() const { return rules_; }
-  [[nodiscard]] std::uint64_t packet_ins() const { return packet_ins_; }
-  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t packet_ins() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return packet_ins_;
+  }
+  [[nodiscard]] std::uint64_t drops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return drops_;
+  }
 
  private:
   /// Core policy: may src talk to dst in this packet?
@@ -74,6 +88,9 @@ class Controller {
                     bool* installable);
 
   ControllerConfig config_;
+  /// Serializes rule installs against packet-in decisions (see class
+  /// comment). Also covers the counters below.
+  mutable std::mutex mu_;
   RuleCache rules_;
   std::uint64_t packet_ins_ = 0;
   std::uint64_t drops_ = 0;

@@ -70,7 +70,7 @@ TEST(LegacyMigration, CleanDeviceWithoutWpsStaysUntrustedAndPromptsUser) {
   EXPECT_TRUE(out.issued_psk.empty());
   EXPECT_FALSE(h.migrator.psk_of(device.mac).has_value());
   ASSERT_EQ(h.notifications.pending().size(), 1u);
-  EXPECT_EQ(h.notifications.pending()[0]->reason,
+  EXPECT_EQ(h.notifications.pending()[0].reason,
             NotificationReason::kManualReauthRequired);
 }
 
@@ -100,8 +100,8 @@ TEST(LegacyMigration, VulnerableWithUncontrolledChannelFlagsRemoval) {
   const MigrationOutcome out = h.migrator.migrate(device, 100);
   EXPECT_TRUE(out.flagged_for_removal);
   bool saw_removal = false;
-  for (const auto* n : h.notifications.pending()) {
-    saw_removal |= n->reason == NotificationReason::kRemoveDevice;
+  for (const auto& n : h.notifications.pending()) {
+    saw_removal |= n.reason == NotificationReason::kRemoveDevice;
   }
   EXPECT_TRUE(saw_removal);
 }

@@ -20,8 +20,8 @@ TEST(NotificationCenter, RecordsAndListsPending) {
   NotificationCenter center;
   EXPECT_TRUE(center.notify(removal(kDevA)));
   ASSERT_EQ(center.pending().size(), 1u);
-  EXPECT_EQ(center.pending()[0]->device, kDevA);
-  EXPECT_EQ(center.pending()[0]->reason, NotificationReason::kRemoveDevice);
+  EXPECT_EQ(center.pending()[0].device, kDevA);
+  EXPECT_EQ(center.pending()[0].reason, NotificationReason::kRemoveDevice);
 }
 
 TEST(NotificationCenter, SuppressesDuplicatePendingPairs) {
@@ -43,7 +43,7 @@ TEST(NotificationCenter, AcknowledgeClearsAndAllowsReraising) {
   center.notify(removal(kDevB));
   EXPECT_EQ(center.acknowledge(kDevA), 1u);
   EXPECT_EQ(center.pending().size(), 1u);
-  EXPECT_EQ(center.pending()[0]->device, kDevB);
+  EXPECT_EQ(center.pending()[0].device, kDevB);
   // After acknowledgement the same (device, reason) may be raised again.
   EXPECT_TRUE(center.notify(removal(kDevA)));
   // History keeps everything.
