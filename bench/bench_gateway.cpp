@@ -1,9 +1,19 @@
-// Gateway packet-throughput benchmark: the serial SecurityGateway vs the
-// ShardedGateway pipeline at 1/2/4/8 worker shards, replaying the same
-// multi-device onboarding trace (many devices of the 27 catalog types
-// joining in staggered waves). Wall-clock (UseRealTime) is the honest
-// metric for a threaded pipeline; items/s is frames through the gateway.
-// Reference numbers live in BENCH_gateway.json.
+// Gateway packet-throughput benchmark, two workloads:
+//
+//   * Onboarding: the serial SecurityGateway vs the ShardedGateway
+//     pipeline at 1/2/4/8 worker shards, replaying the same multi-device
+//     onboarding trace (many devices of the 27 catalog types joining in
+//     staggered waves). Setup dialogues are slow-path heavy (ARP/DHCP/
+//     multicast never leave the controller), so this measures the
+//     fingerprinting + classification pipeline, not the flow table.
+//   * Steady state: identified devices exchanging sustained traffic over
+//     established flows — the data-plane-bound workload where per-packet
+//     flow-table lookup dominates and the two-tier hashed table earns its
+//     keep (each flow pays one priority scan, then tier-1 hits).
+//
+// Wall-clock (UseRealTime) is the honest metric for a threaded pipeline;
+// items/s is frames through the gateway. Reference numbers live in
+// BENCH_gateway.json.
 //
 // Note: the speedup of the sharded pipeline is bounded by the physical
 // core count — on a single-core container the 1-shard run measures pure
@@ -22,6 +32,8 @@
 #include "core/gateway_pool.hpp"
 #include "core/security_gateway.hpp"
 #include "core/vulnerability_db.hpp"
+#include "net/builder.hpp"
+#include "net/protocols.hpp"
 #include "simnet/device_catalog.hpp"
 #include "simnet/traffic_generator.hpp"
 
@@ -65,12 +77,69 @@ std::vector<sim::TimedFrame> make_trace() {
   return trace;
 }
 
+/// Steady-state workload shape: identified devices, a few long-lived
+/// flows each, sustained packets per flow. ~1500 installed micro-flows in
+/// the serial gateway's table, ~60k timed frames.
+constexpr std::uint32_t kSteadyDevices = 512;
+constexpr std::uint32_t kSteadyFlowsPerDevice = 3;
+constexpr std::uint32_t kSteadyPacketsPerFlow = 40;
+
+net::MacAddress steady_mac(std::uint32_t d) {
+  return net::MacAddress::of(0x02, 0x77, 0,
+                             static_cast<std::uint8_t>(d >> 8),
+                             static_cast<std::uint8_t>(d), 1);
+}
+
+/// Round-robin interleaved UDP traffic over established device flows: all
+/// flows stay concurrently live, as behind a real gateway under load.
+std::vector<sim::TimedFrame> make_steady_trace() {
+  std::vector<sim::TimedFrame> trace;
+  trace.reserve(static_cast<std::size_t>(kSteadyDevices) *
+                kSteadyFlowsPerDevice * kSteadyPacketsPerFlow);
+  const net::MacAddress gw_mac = net::MacAddress::of(2, 0, 0, 0, 0, 1);
+  std::uint64_t ts = 1'000'000;
+  for (std::uint32_t p = 0; p < kSteadyPacketsPerFlow; ++p) {
+    for (std::uint32_t d = 0; d < kSteadyDevices; ++d) {
+      const auto src_ip = net::Ipv4Address::of(
+          192, 168, static_cast<std::uint8_t>(1 + d / 200),
+          static_cast<std::uint8_t>(2 + d % 200));
+      for (std::uint32_t f = 0; f < kSteadyFlowsPerDevice; ++f) {
+        // Whitelist-friendly remote endpoint per (device, flow).
+        const auto dst_ip = net::Ipv4Address::of(
+            104, 20, static_cast<std::uint8_t>(d), static_cast<std::uint8_t>(f));
+        sim::TimedFrame tf;
+        tf.timestamp_us = ts;
+        tf.frame = net::build_ipv4(
+            steady_mac(d), gw_mac, src_ip, dst_ip, net::ipproto::kUdp,
+            net::build_udp_payload(
+                static_cast<std::uint16_t>(50000 + f),
+                static_cast<std::uint16_t>(443 + f), {}));
+        trace.push_back(std::move(tf));
+        ts += 50;
+      }
+    }
+  }
+  return trace;
+}
+
+/// Marks every steady-state device Trusted so its flows are forwarded and
+/// installed (bypasses identification: this workload measures the data
+/// plane, not the classifier).
+template <typename Gateway>
+void install_steady_rules(Gateway& gw) {
+  for (std::uint32_t d = 0; d < kSteadyDevices; ++d) {
+    gw.controller().apply_rule(
+        {.device = steady_mac(d), .level = sdn::IsolationLevel::kTrusted}, 0);
+  }
+}
+
 /// Shared trained state (built once; training the 27-type bank dominates
 /// startup, not measurement).
 struct GatewayFixtureState {
   sim::FingerprintCorpus corpus = bench::paper_corpus();
   core::IoTSecurityService service = make_service(corpus);
   std::vector<sim::TimedFrame> trace = make_trace();
+  std::vector<sim::TimedFrame> steady_trace = make_steady_trace();
 };
 
 GatewayFixtureState& state() {
@@ -122,6 +191,50 @@ BENCHMARK(BM_GatewaySharded)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Steady state through the serial gateway: every flow's first packet
+/// takes the slow path and installs a micro-flow; the remaining traffic is
+/// pure fast path, i.e. per-packet flow-table lookup over ~1.5k installed
+/// flows.
+void BM_GatewaySteadySerial(benchmark::State& bm) {
+  auto& s = state();
+  std::uint64_t fast = 0;
+  for (auto _ : bm) {
+    core::SecurityGateway gw(s.service);
+    install_steady_rules(gw);
+    for (const auto& tf : s.steady_trace) gw.on_frame(tf.frame, tf.timestamp_us);
+    fast = gw.data_plane().fast_path_packets();
+    benchmark::DoNotOptimize(fast);
+  }
+  bm.SetItemsProcessed(static_cast<std::int64_t>(bm.iterations()) *
+                       static_cast<std::int64_t>(s.steady_trace.size()));
+  bm.counters["fast_path"] = static_cast<double>(fast);
+  bm.counters["flows"] =
+      static_cast<double>(kSteadyDevices) * kSteadyFlowsPerDevice;
+}
+BENCHMARK(BM_GatewaySteadySerial)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Steady state through the sharded pipeline: per-shard tables hold 1/N of
+/// the flows; lookups additionally run concurrently when cores allow.
+void BM_GatewaySteadySharded(benchmark::State& bm) {
+  auto& s = state();
+  const auto shards = static_cast<std::size_t>(bm.range(0));
+  for (auto _ : bm) {
+    core::ShardedGatewayConfig config;
+    config.num_shards = shards;
+    core::ShardedGateway gw(s.service, config);
+    install_steady_rules(gw);
+    for (const auto& tf : s.steady_trace) gw.submit(tf.frame, tf.timestamp_us);
+    gw.finish();
+  }
+  bm.SetItemsProcessed(static_cast<std::int64_t>(bm.iterations()) *
+                       static_cast<std::int64_t>(s.steady_trace.size()));
+  bm.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_GatewaySteadySharded)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -147,12 +147,20 @@ int main() {
     now += 1000;
   }
 
-  std::printf("\ndata plane: %llu fast-path / %llu slow-path packets, "
-              "%zu flow entries, %llu controller drops\n",
+  std::printf("\n--- device inventory ---\n");
+  gateway.inventory().for_each([](const core::TrackedDevice& device) {
+    std::printf("  %s\n", device.summary().c_str());
+  });
+
+  std::printf("\ndata plane: %llu fast-path / %llu slow-path packets "
+              "(%llu tier-1 cache hits), %zu flow entries, "
+              "%llu controller drops\n",
               static_cast<unsigned long long>(
                   gateway.data_plane().fast_path_packets()),
               static_cast<unsigned long long>(
                   gateway.data_plane().slow_path_packets()),
+              static_cast<unsigned long long>(
+                  gateway.data_plane().table().tier1_hits()),
               gateway.data_plane().table().size(),
               static_cast<unsigned long long>(gateway.controller().drops()));
   return 0;

@@ -110,13 +110,20 @@ std::vector<const TrackedDevice*> DeviceTracker::all() const {
 std::vector<net::MacAddress> DeviceTracker::idle_devices(
     std::uint64_t now_us, std::uint64_t idle_us) const {
   std::vector<net::MacAddress> out;
+  idle_devices_into(now_us, idle_us, out);
+  return out;
+}
+
+void DeviceTracker::idle_devices_into(std::uint64_t now_us,
+                                      std::uint64_t idle_us,
+                                      std::vector<net::MacAddress>& out) const {
+  out.clear();
   for (const auto& [mac, device] : devices_) {
     if (now_us > device.last_seen_us &&
         now_us - device.last_seen_us >= idle_us) {
       out.push_back(mac);
     }
   }
-  return out;
 }
 
 }  // namespace iotsentinel::core

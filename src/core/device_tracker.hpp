@@ -68,12 +68,27 @@ class DeviceTracker {
   [[nodiscard]] std::size_t size() const { return devices_.size(); }
 
   /// All devices, most recently seen first.
+  ///
+  /// Allocates and sorts on every call — UI/reporting only. Hot paths use
+  /// `for_each` (no allocation, unspecified order) or the caller-buffer
+  /// `idle_devices_into` instead.
   [[nodiscard]] std::vector<const TrackedDevice*> all() const;
+
+  /// Visits every device without allocating, in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [mac, device] : devices_) fn(device);
+  }
 
   /// Devices silent since `now_us - idle_us` (candidates for rule-cache
   /// cleanup / departure handling).
   [[nodiscard]] std::vector<net::MacAddress> idle_devices(
       std::uint64_t now_us, std::uint64_t idle_us) const;
+
+  /// Caller-buffer variant of `idle_devices` for periodic gateway sweeps:
+  /// clears `out` and refills it, reusing its capacity across calls.
+  void idle_devices_into(std::uint64_t now_us, std::uint64_t idle_us,
+                         std::vector<net::MacAddress>& out) const;
 
  private:
   std::unordered_map<net::MacAddress, TrackedDevice> devices_;

@@ -54,6 +54,22 @@ void SecurityGateway::advance_time(std::uint64_t now_us) {
   switch_.expire_flows(now_us);
 }
 
+std::size_t SecurityGateway::expire_departed(std::uint64_t now_us,
+                                             std::uint64_t idle_us) {
+  tracker_.idle_devices_into(now_us, idle_us, departed_scratch_);
+  for (const net::MacAddress& mac : departed_scratch_) {
+    controller_.remove_device(mac);
+    switch_.flush_device(mac);
+    // Discard any half-open capture and the fingerprinted marker too: a
+    // departed device that rejoins must be fingerprinted and identified
+    // afresh, not stay provisional forever (or worse, have a stale
+    // capture resurrect its rule after departure).
+    extractor_.forget(mac);
+    tracker_.forget(mac);
+  }
+  return departed_scratch_.size();
+}
+
 void SecurityGateway::finish_pending_captures() { extractor_.flush_all(); }
 
 void SecurityGateway::handle_capture(const fp::DeviceCapture& capture) {

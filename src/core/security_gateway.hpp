@@ -72,6 +72,13 @@ class SecurityGateway {
   /// Advances time without traffic (flushes idle setup captures).
   void advance_time(std::uint64_t now_us);
 
+  /// Departure sweep: forgets every device silent for `idle_us`, removing
+  /// its enforcement rule and flushing its installed flows (the flow
+  /// table's cookie index makes the flush O(flows of that device)).
+  /// Returns the number of devices swept. Call periodically alongside
+  /// `advance_time`; the candidate buffer is reused across calls.
+  std::size_t expire_departed(std::uint64_t now_us, std::uint64_t idle_us);
+
   /// Completes all in-progress captures (e.g. at shutdown).
   void finish_pending_captures();
 
@@ -94,6 +101,8 @@ class SecurityGateway {
   sdn::SoftwareSwitch switch_;
   std::function<void(const GatewayEvent&)> observer_;
   std::vector<GatewayEvent> events_;
+  /// Scratch for expire_departed (capacity reused across sweeps).
+  std::vector<net::MacAddress> departed_scratch_;
   std::uint64_t last_ts_us_ = 0;
 };
 

@@ -94,6 +94,15 @@ void SetupCaptureExtractor::flush_all() {
   for (const auto& mac : macs) complete(mac);
 }
 
+bool SetupCaptureExtractor::forget(const net::MacAddress& mac) {
+  const bool was_active = active_.erase(mac) > 0;
+  const bool was_fingerprinted = fingerprinted_.erase(mac) > 0;
+  // earliest_deadline_us_ may now be stale-early (the removed device could
+  // have owned the bound); that only costs an extra scan, never a missed
+  // expiry — see the member comment.
+  return was_active || was_fingerprinted;
+}
+
 void SetupCaptureExtractor::complete(const net::MacAddress& mac) {
   auto it = active_.find(mac);
   if (it == active_.end()) return;

@@ -77,6 +77,12 @@ class SetupCaptureExtractor {
   /// Force-completes every in-progress capture (end of the monitoring run).
   void flush_all();
 
+  /// Drops all state for a departed device: an in-progress capture is
+  /// discarded (no completion fires) and the already-fingerprinted marker
+  /// is cleared, so the device is fingerprinted afresh if it rejoins.
+  /// Returns true when the device was known in either role.
+  bool forget(const net::MacAddress& mac);
+
   /// Devices currently in their setup phase.
   [[nodiscard]] std::size_t active_devices() const { return active_.size(); }
 

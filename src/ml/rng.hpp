@@ -10,20 +10,21 @@
 #include <numeric>
 #include <vector>
 
+#include "net/hash_mix.hpp"
+
 namespace iotsentinel::ml {
 
 /// xoshiro256** PRNG (Blackman & Vigna), seeded via SplitMix64.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed'1071'5e47'11e1ULL) {
-    // SplitMix64 expansion of the seed into the four state words.
+    // SplitMix64 expansion of the seed into the four state words
+    // (bit-identical to the historical inline mixer: seeded streams and
+    // every generated corpus stay reproducible).
     std::uint64_t x = seed;
     for (auto& word : s_) {
       x += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      word = z ^ (z >> 31);
+      word = net::mix64(x);
     }
   }
 

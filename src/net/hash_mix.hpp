@@ -1,0 +1,20 @@
+// Shared 64-bit hash finalizer.
+//
+// One definition of the SplitMix64 finalizer for every site that needs a
+// cheap, well-distributed 64-bit mix (MAC-address hashing, flow-table
+// micro-flow keys, PRNG seeding) — the constants must stay in lock-step
+// across those sites, so they live here once.
+#pragma once
+
+#include <cstdint>
+
+namespace iotsentinel::net {
+
+/// SplitMix64 finalizer (Steele/Lea/Flood constants).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace iotsentinel::net

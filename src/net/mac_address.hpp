@@ -13,6 +13,8 @@
 #include <string>
 #include <string_view>
 
+#include "net/hash_mix.hpp"
+
 namespace iotsentinel::net {
 
 /// A 48-bit MAC address. Trivially copyable, totally ordered, hashable.
@@ -81,9 +83,7 @@ struct std::hash<iotsentinel::net::MacAddress> {
   std::size_t operator()(const iotsentinel::net::MacAddress& m) const noexcept {
     // SplitMix64 finalizer over the packed 48-bit value: cheap and well
     // distributed for use in unordered_map rule caches.
-    std::uint64_t x = m.to_u64() + 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return static_cast<std::size_t>(x ^ (x >> 31));
+    return static_cast<std::size_t>(
+        iotsentinel::net::mix64(m.to_u64() + 0x9e3779b97f4a7c15ULL));
   }
 };

@@ -2,12 +2,45 @@
 
 #include <algorithm>
 
+#include "net/hash_mix.hpp"
+
 namespace iotsentinel::sdn {
 namespace {
 
 std::optional<net::Ipv4Address> packet_v4(const std::optional<net::IpAddress>& ip) {
   if (ip && ip->is_v4()) return ip->v4();
   return std::nullopt;
+}
+
+// MicroFlowKey presence/proto flags (w0 bits 48..53).
+constexpr std::uint64_t kFlagTcp = 1u << 0;
+constexpr std::uint64_t kFlagUdp = 1u << 1;
+constexpr std::uint64_t kFlagSrcIp = 1u << 2;
+constexpr std::uint64_t kFlagDstIp = 1u << 3;
+constexpr std::uint64_t kFlagSrcPort = 1u << 4;
+constexpr std::uint64_t kFlagDstPort = 1u << 5;
+
+/// The unique tier-1 key an entry pins, when it pins one: every field
+/// exact, TCP or UDP. Such an entry can only ever win for packets with
+/// exactly this key, so installing it invalidates one tier-1 slot instead
+/// of sweeping the cache. The controller's micro-flow installs for TCP/UDP
+/// traffic — the overwhelmingly common install — all qualify.
+std::optional<MicroFlowKey> exact_key_of(const FlowMatch& match) {
+  if (!match.src_mac || !match.dst_mac || !match.src_ip || !match.dst_ip ||
+      !match.ip_proto || !match.src_port || !match.dst_port) {
+    return std::nullopt;
+  }
+  if (*match.ip_proto != 6 && *match.ip_proto != 17) return std::nullopt;
+  MicroFlowKey key;
+  std::uint64_t flags = kFlagSrcIp | kFlagDstIp | kFlagSrcPort | kFlagDstPort;
+  flags |= (*match.ip_proto == 6) ? kFlagTcp : kFlagUdp;
+  key.w0 = match.src_mac->to_u64() | (flags << 48);
+  key.w1 = match.dst_mac->to_u64() |
+           (static_cast<std::uint64_t>(*match.src_port) << 48);
+  key.w2 = static_cast<std::uint64_t>(match.src_ip->value()) |
+           (static_cast<std::uint64_t>(match.dst_ip->value()) << 32);
+  key.w3 = *match.dst_port;
+  return key;
 }
 
 }  // namespace
@@ -65,13 +98,370 @@ std::string FlowMatch::to_string() const {
   return out;
 }
 
+MicroFlowKey MicroFlowKey::of_packet(const net::ParsedPacket& pkt) {
+  MicroFlowKey key;
+  std::uint64_t flags = 0;
+  if (pkt.is_tcp) flags |= kFlagTcp;
+  if (pkt.is_udp) flags |= kFlagUdp;
+  if (const auto v4 = packet_v4(pkt.src_ip)) {
+    flags |= kFlagSrcIp;
+    key.w2 |= static_cast<std::uint64_t>(v4->value());
+  }
+  if (const auto v4 = packet_v4(pkt.dst_ip)) {
+    flags |= kFlagDstIp;
+    key.w2 |= static_cast<std::uint64_t>(v4->value()) << 32;
+  }
+  if (pkt.src_port) {
+    flags |= kFlagSrcPort;
+    key.w1 |= static_cast<std::uint64_t>(*pkt.src_port) << 48;
+  }
+  if (pkt.dst_port) {
+    flags |= kFlagDstPort;
+    key.w3 = *pkt.dst_port;
+  }
+  key.w0 = pkt.src_mac.to_u64() | (flags << 48);
+  key.w1 |= pkt.dst_mac.to_u64();
+  return key;
+}
+
+bool MicroFlowKey::covered_by(const FlowMatch& match) const {
+  const std::uint64_t flags = w0 >> 48;
+  if (match.src_mac && match.src_mac->to_u64() != (w0 & 0xffffffffffffULL)) {
+    return false;
+  }
+  if (match.dst_mac && match.dst_mac->to_u64() != (w1 & 0xffffffffffffULL)) {
+    return false;
+  }
+  if (match.src_ip && (!(flags & kFlagSrcIp) ||
+                       match.src_ip->value() !=
+                           static_cast<std::uint32_t>(w2 & 0xffffffffULL))) {
+    return false;
+  }
+  if (match.dst_ip &&
+      (!(flags & kFlagDstIp) ||
+       match.dst_ip->value() != static_cast<std::uint32_t>(w2 >> 32))) {
+    return false;
+  }
+  if (match.ip_proto) {
+    const bool want_tcp = *match.ip_proto == 6;
+    const bool want_udp = *match.ip_proto == 17;
+    if (want_tcp && !(flags & kFlagTcp)) return false;
+    if (want_udp && !(flags & kFlagUdp)) return false;
+    if (!want_tcp && !want_udp) return false;
+  }
+  if (match.src_port &&
+      (!(flags & kFlagSrcPort) ||
+       *match.src_port != static_cast<std::uint16_t>(w1 >> 48))) {
+    return false;
+  }
+  if (match.dst_port && (!(flags & kFlagDstPort) ||
+                         *match.dst_port != static_cast<std::uint16_t>(w3))) {
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t MicroFlowKey::hash() const {
+  std::uint64_t h = net::mix64(w0 + 0x9e3779b97f4a7c15ULL);
+  h = net::mix64(h ^ w1);
+  h = net::mix64(h ^ w2);
+  return net::mix64(h ^ w3);
+}
+
+// --- FlowTable internals ----------------------------------------------------
+
+std::uint32_t FlowTable::alloc_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void FlowTable::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.entry = FlowEntry{};  // free the match's heap state eagerly
+  s.id = 0;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+}
+
+void FlowTable::remove_entry(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  const auto it = by_cookie_.find(s.entry.cookie);
+  if (it != by_cookie_.end()) {
+    auto& refs = it->second;
+    for (auto ref = refs.begin(); ref != refs.end(); ++ref) {
+      if (ref->first == slot && ref->second == s.id) {
+        refs.erase(ref);
+        break;
+      }
+    }
+    if (refs.empty()) by_cookie_.erase(it);
+  }
+  release_slot(slot);
+}
+
+void FlowTable::compact_order() {
+  // Freed slots have id 0; no install can interleave inside a removal
+  // batch, so "freed" cannot be confused with "reused".
+  std::erase_if(order_,
+                [this](std::uint32_t idx) { return slots_[idx].id == 0; });
+}
+
+void FlowTable::heap_push(Deadline d) {
+  heap_.push_back(d);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const Deadline& a, const Deadline& b) {
+                   return a.at_us > b.at_us;
+                 });
+}
+
+FlowTable::Deadline FlowTable::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [](const Deadline& a, const Deadline& b) {
+                  return a.at_us > b.at_us;
+                });
+  const Deadline d = heap_.back();
+  heap_.pop_back();
+  return d;
+}
+
+FlowTable::Bucket* FlowTable::tier1_find(const MicroFlowKey& key) {
+  if (buckets_.empty()) return nullptr;
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t i = key.hash() & mask;
+  for (;;) {
+    Bucket& b = buckets_[i];
+    if (b.state == 0) return nullptr;
+    if (b.state == 1 && b.key == key) return &b;
+    i = (i + 1) & mask;
+  }
+}
+
+void FlowTable::tier1_grow() {
+  // Double while under 50% live load, capped at kTier1MaxBuckets; a grow
+  // triggered by tombstone buildup rehashes at the same capacity (purge).
+  // Stale slots (backing entry gone) are dropped during the rehash for
+  // free.
+  std::size_t cap = buckets_.empty() ? 64 : buckets_.size();
+  while ((t1_live_ + 1) * 2 > cap && cap < kTier1MaxBuckets) cap *= 2;
+  std::vector<Bucket> old = std::move(buckets_);
+  buckets_.assign(cap, Bucket{});
+  t1_live_ = 0;
+  t1_tombstones_ = 0;
+  const std::size_t mask = cap - 1;
+  for (const Bucket& b : old) {
+    if (b.state != 1) continue;
+    if (slots_[b.slot].id != b.entry_id) continue;  // stale
+    std::size_t i = b.key.hash() & mask;
+    while (buckets_[i].state != 0) i = (i + 1) & mask;
+    buckets_[i] = b;
+    ++t1_live_;
+  }
+  // At the cap with the live set still too dense (high tuple cardinality,
+  // e.g. spoofed traffic matching a permanent wildcard): flush the cache.
+  // Tier 1 is only a memo of tier-2 scans, so the cost is one re-scan per
+  // live flow, and memory stays bounded no matter the traffic.
+  if ((t1_live_ + 1) * 2 > cap) {
+    std::fill(buckets_.begin(), buckets_.end(), Bucket{});
+    t1_live_ = 0;
+  }
+}
+
+void FlowTable::tier1_insert(const MicroFlowKey& key, std::uint32_t slot,
+                             std::uint64_t id) {
+  if (buckets_.empty() ||
+      (t1_live_ + t1_tombstones_ + 1) * 4 > buckets_.size() * 3) {
+    tier1_grow();
+  }
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t i = key.hash() & mask;
+  Bucket* tombstone = nullptr;
+  for (;;) {
+    Bucket& b = buckets_[i];
+    if (b.state == 1 && b.key == key) {
+      b.slot = slot;
+      b.entry_id = id;
+      return;
+    }
+    if (b.state == 2 && !tombstone) tombstone = &b;
+    if (b.state == 0) {
+      Bucket& dst = tombstone ? *tombstone : b;
+      if (dst.state == 2) --t1_tombstones_;
+      dst = Bucket{key, id, slot, 1};
+      ++t1_live_;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void FlowTable::tier1_erase(Bucket& bucket) {
+  bucket.state = 2;
+  bucket.entry_id = 0;
+  --t1_live_;
+  ++t1_tombstones_;
+}
+
+void FlowTable::tier1_evict_covered(const FlowMatch& match,
+                                    std::uint16_t priority) {
+  if (t1_live_ == 0) return;
+  for (Bucket& b : buckets_) {
+    if (b.state != 1) continue;
+    const Slot& winner = slots_[b.slot];
+    if (winner.id != b.entry_id) {
+      tier1_erase(b);  // stale anyway — reclaim while we are here
+      continue;
+    }
+    // The new wildcard outranks the cached winner only with strictly
+    // higher priority: on a tie the older (cached) entry keeps winning.
+    if (winner.entry.priority < priority && b.key.covered_by(match)) {
+      tier1_erase(b);
+    }
+  }
+}
+
+// --- FlowTable public API ---------------------------------------------------
+
 std::uint64_t FlowTable::install(FlowEntry entry, std::uint64_t now_us) {
   entry.installed_us = now_us;
   entry.last_matched_us = now_us;
   const std::uint64_t id = next_id_++;
+  const std::uint16_t priority = entry.priority;
+  const std::uint64_t timeout_us = entry.idle_timeout_us;
+  const std::uint64_t cookie = entry.cookie;
+
+  const std::uint32_t slot = alloc_slot();
+  slots_[slot].entry = std::move(entry);
+  slots_[slot].id = id;
+  ++live_;
+
+  // Tier-2 position: after every entry with priority >= ours, so equal
+  // priorities keep insertion order and earlier rules win ties (OpenFlow
+  // leaves ties undefined; we pin them for determinism — both tiers).
+  const auto pos = std::partition_point(
+      order_.begin(), order_.end(), [&](std::uint32_t idx) {
+        return slots_[idx].entry.priority >= priority;
+      });
+  order_.insert(pos, slot);
+
+  if (timeout_us != 0) heap_push({now_us + timeout_us, id, slot});
+  by_cookie_[cookie].emplace_back(slot, id);
+
+  // Tier-1 coherence: an exact entry can only change the verdict of its
+  // own tuple; anything wilder evicts every cached winner it outranks.
+  const FlowMatch& match = slots_[slot].entry.match;
+  if (const auto key = exact_key_of(match)) {
+    if (Bucket* b = tier1_find(*key)) tier1_erase(*b);
+  } else {
+    tier1_evict_covered(match, priority);
+  }
+  return id;
+}
+
+std::optional<FlowAction> FlowTable::process(const net::ParsedPacket& pkt,
+                                             std::uint64_t now_us) {
+  const MicroFlowKey key = MicroFlowKey::of_packet(pkt);
+
+  // Tier 1: one probe, allocation-free.
+  if (Bucket* b = tier1_find(key)) {
+    Slot& s = slots_[b->slot];
+    if (s.id == b->entry_id) {
+      ++s.entry.packets;
+      s.entry.bytes += pkt.wire_size;
+      s.entry.last_matched_us = now_us;
+      ++matched_;
+      ++tier1_hits_;
+      return s.entry.action;
+    }
+    tier1_erase(*b);  // backing entry expired or was removed
+  }
+
+  // Tier 2: the priority-ordered scan, paid once per micro-flow.
+  ++tier2_scans_;
+  for (const std::uint32_t idx : order_) {
+    Slot& s = slots_[idx];
+    if (s.entry.match.matches(pkt)) {
+      ++s.entry.packets;
+      s.entry.bytes += pkt.wire_size;
+      s.entry.last_matched_us = now_us;
+      ++matched_;
+      tier1_insert(key, idx, s.id);
+      return s.entry.action;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+std::size_t FlowTable::expire(std::uint64_t now_us) {
+  std::size_t removed = 0;
+  while (!heap_.empty() && heap_.front().at_us <= now_us) {
+    const Deadline d = heap_pop();
+    const Slot& s = slots_[d.slot];
+    if (s.id != d.id) continue;  // entry already removed; stale record
+    const std::uint64_t deadline =
+        s.entry.last_matched_us + s.entry.idle_timeout_us;
+    if (deadline > now_us) {
+      // Matched since the record was queued — re-arm at the new deadline.
+      heap_push({deadline, d.id, d.slot});
+      continue;
+    }
+    remove_entry(d.slot);
+    ++removed;
+  }
+  if (removed > 0) compact_order();
+  return removed;
+}
+
+std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
+  const auto it = by_cookie_.find(cookie);
+  if (it == by_cookie_.end()) return 0;
+  const auto victims = std::move(it->second);
+  by_cookie_.erase(it);
+  std::size_t removed = 0;
+  for (const auto& [slot, id] : victims) {
+    if (slots_[slot].id != id) continue;  // index is maintained eagerly
+    release_slot(slot);
+    ++removed;
+  }
+  if (removed > 0) compact_order();
+  return removed;
+}
+
+std::vector<FlowEntry> FlowTable::entries() const {
+  std::vector<FlowEntry> out;
+  out.reserve(order_.size());
+  for (const std::uint32_t idx : order_) out.push_back(slots_[idx].entry);
+  return out;
+}
+
+std::size_t FlowTable::memory_bytes() const {
+  std::size_t bytes = sizeof(FlowTable);
+  bytes += slots_.capacity() * sizeof(Slot);
+  bytes += order_.capacity() * sizeof(std::uint32_t);
+  bytes += buckets_.capacity() * sizeof(Bucket);
+  bytes += heap_.capacity() * sizeof(Deadline);
+  bytes += by_cookie_.bucket_count() * sizeof(void*);
+  for (const auto& [cookie, refs] : by_cookie_) {
+    bytes += sizeof(cookie) + sizeof(refs) + 2 * sizeof(void*);  // map node
+    bytes += refs.capacity() * sizeof(refs[0]);
+  }
+  return bytes;
+}
+
+// --- LinearFlowTable (reference implementation, unchanged semantics) --------
+
+std::uint64_t LinearFlowTable::install(FlowEntry entry, std::uint64_t now_us) {
+  entry.installed_us = now_us;
+  entry.last_matched_us = now_us;
+  const std::uint64_t id = next_id_++;
   // Insert keeping descending priority; equal priorities keep insertion
-  // order so earlier rules win ties (OpenFlow leaves ties undefined; we
-  // pin them for determinism).
+  // order so earlier rules win ties.
   auto pos = std::find_if(entries_.begin(), entries_.end(),
                           [&](const FlowEntry& e) {
                             return e.priority < entry.priority;
@@ -80,8 +470,8 @@ std::uint64_t FlowTable::install(FlowEntry entry, std::uint64_t now_us) {
   return id;
 }
 
-std::optional<FlowAction> FlowTable::process(const net::ParsedPacket& pkt,
-                                             std::uint64_t now_us) {
+std::optional<FlowAction> LinearFlowTable::process(const net::ParsedPacket& pkt,
+                                                   std::uint64_t now_us) {
   for (auto& entry : entries_) {
     if (entry.match.matches(pkt)) {
       ++entry.packets;
@@ -95,7 +485,7 @@ std::optional<FlowAction> FlowTable::process(const net::ParsedPacket& pkt,
   return std::nullopt;
 }
 
-std::size_t FlowTable::expire(std::uint64_t now_us) {
+std::size_t LinearFlowTable::expire(std::uint64_t now_us) {
   const std::size_t before = entries_.size();
   std::erase_if(entries_, [now_us](const FlowEntry& e) {
     return e.idle_timeout_us != 0 &&
@@ -104,7 +494,7 @@ std::size_t FlowTable::expire(std::uint64_t now_us) {
   return before - entries_.size();
 }
 
-std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
+std::size_t LinearFlowTable::remove_by_cookie(std::uint64_t cookie) {
   const std::size_t before = entries_.size();
   std::erase_if(entries_,
                 [cookie](const FlowEntry& e) { return e.cookie == cookie; });

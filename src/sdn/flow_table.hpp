@@ -5,11 +5,54 @@
 // controller installs one micro-flow entry per admitted/blocked flow so
 // subsequent packets of the flow are switched without a controller
 // round-trip.
+//
+// Two-tier lookup structure
+// -------------------------
+// `FlowTable` keeps the observable semantics of a single priority-ordered
+// OpenFlow table (highest priority wins; equal priorities are broken by
+// insertion order, older entry first — in BOTH tiers, locked in by
+// regression tests) but serves the per-packet hot path from a hash table:
+//
+//   tier 1  exact-match micro-flow cache: an open-addressed flat hash
+//           table keyed by the packet's canonical 7-tuple (the same tuple
+//           `FlowMatch::micro_flow` pins). Each slot caches the winning
+//           entry of a previous tier-2 scan for that exact tuple, so the
+//           common case — another packet of an already-seen flow — is one
+//           hash probe, allocation-free, regardless of table size.
+//   tier 2  the classic priority-ordered wildcard list, consulted only on
+//           a tier-1 miss; the winner is inserted back into tier 1 so each
+//           flow pays the linear scan once.
+//
+// Tier-1 slots remember the backing entry's stable id; entry removal
+// (idle expiry, cookie flush) invalidates them lazily — a stale slot is
+// detected by id mismatch on the next probe and falls through to tier 2.
+// Installing a higher-priority wildcard eagerly evicts the cached winners
+// it covers, so a cached verdict can never mask a newer rule.
+//
+// Tier 1 is a bounded cache: the bucket array never exceeds
+// kTier1MaxBuckets (~1.5 MB). When a same-capacity purge of stale slots
+// cannot make room — e.g. a spoofing device spraying random-tuple packets
+// that all match one permanent wildcard — the cache is flushed wholesale
+// and live flows simply re-scan once, so adversarial tuple cardinality
+// cannot grow gateway memory or make wildcard-install eviction sweeps
+// unbounded.
+//
+// Expiry is driven by a lazy min-heap of idle deadlines instead of a
+// full-table scan: entries re-validate on pop (a refreshed entry is pushed
+// back with its new deadline), permanent entries (idle_timeout_us == 0)
+// never enter the heap. `remove_by_cookie` — device departure, quarantine,
+// provisional-flow flush — resolves the victim set through a cookie→ids
+// index instead of scanning the table.
+//
+// `LinearFlowTable` preserves the original O(n)-everything implementation
+// verbatim; it is the reference oracle for the differential trace test and
+// the baseline of the BENCH_flowtable.json ablation.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/ip_address.hpp"
@@ -61,7 +104,31 @@ struct FlowEntry {
   std::uint64_t cookie = 0;
 };
 
-/// Priority-ordered flow table.
+/// Canonical 7-tuple of one packet, packed for hashing: the tier-1 key.
+///
+/// Two packets with equal keys are indistinguishable to every possible
+/// `FlowMatch` (matches() inspects exactly the fields encoded here,
+/// including their presence), so caching one scan result per key is sound.
+struct MicroFlowKey {
+  std::uint64_t w0 = 0;  // src MAC (48) | presence/proto flags (6) << 48
+  std::uint64_t w1 = 0;  // dst MAC (48) | src port (16) << 48
+  std::uint64_t w2 = 0;  // src IPv4 | dst IPv4 << 32
+  std::uint64_t w3 = 0;  // dst port (16)
+
+  /// Builds the key of a parsed packet.
+  static MicroFlowKey of_packet(const net::ParsedPacket& pkt);
+
+  /// Would `match` cover every packet with this key? (Mirrors
+  /// FlowMatch::matches against the encoded tuple; used to evict covered
+  /// tier-1 slots when a wildcard is installed above them.)
+  [[nodiscard]] bool covered_by(const FlowMatch& match) const;
+
+  [[nodiscard]] std::uint64_t hash() const;
+
+  friend bool operator==(const MicroFlowKey&, const MicroFlowKey&) = default;
+};
+
+/// Priority-ordered flow table with the two-tier hashed lookup path.
 class FlowTable {
  public:
   /// Installs an entry; returns its stable id.
@@ -76,6 +143,108 @@ class FlowTable {
   std::size_t expire(std::uint64_t now_us);
 
   /// Removes all entries with the given cookie. Returns number removed.
+  std::size_t remove_by_cookie(std::uint64_t cookie);
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+  /// Snapshot of the live entries in tier-2 scan order (descending
+  /// priority, insertion order within a priority).
+  [[nodiscard]] std::vector<FlowEntry> entries() const;
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t matched_packets() const { return matched_; }
+
+  /// Estimated resident bytes (entry pool + tier-1 buckets + tier-2 order
+  /// + deadline heap + cookie index), mirroring RuleCache::memory_bytes()
+  /// for the Fig. 6c switch-side accounting.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  // --- introspection (tests / benches) ----------------------------------
+  /// Packets served by the tier-1 exact-match cache.
+  [[nodiscard]] std::uint64_t tier1_hits() const { return tier1_hits_; }
+  /// Packets that fell through to the tier-2 linear scan.
+  [[nodiscard]] std::uint64_t tier2_scans() const { return tier2_scans_; }
+  /// Live tier-1 slots.
+  [[nodiscard]] std::size_t tier1_size() const { return t1_live_; }
+  /// Pending deadline-heap records (permanent entries never appear).
+  [[nodiscard]] std::size_t deadline_heap_size() const { return heap_.size(); }
+
+  /// Hard cap on tier-1 buckets (48 B each): bounds cache memory and the
+  /// wildcard-install eviction sweep independent of traffic.
+  static constexpr std::size_t kTier1MaxBuckets = 1u << 15;
+
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// Pool slot; `id == 0` marks a free slot (ids are never reused, so a
+  /// stale tier-1/heap/cookie reference is detected by id mismatch).
+  struct Slot {
+    FlowEntry entry;
+    std::uint64_t id = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  /// Open-addressed tier-1 bucket (linear probing, tombstones).
+  struct Bucket {
+    MicroFlowKey key;
+    std::uint64_t entry_id = 0;
+    std::uint32_t slot = 0;
+    std::uint8_t state = 0;  // 0 empty, 1 full, 2 tombstone
+  };
+
+  /// Lazy idle-deadline record; re-validated against the slot on pop.
+  struct Deadline {
+    std::uint64_t at_us = 0;
+    std::uint64_t id = 0;
+    std::uint32_t slot = 0;
+  };
+
+  std::uint32_t alloc_slot();
+  void release_slot(std::uint32_t slot);
+  /// Removes one live entry from the pool + cookie index (the caller
+  /// compacts `order_` afterwards; tier-1/heap invalidate lazily by id).
+  void remove_entry(std::uint32_t slot);
+  /// Drops order_ references to freed slots after a removal batch.
+  void compact_order();
+  void heap_push(Deadline d);
+  Deadline heap_pop();
+
+  Bucket* tier1_find(const MicroFlowKey& key);
+  void tier1_insert(const MicroFlowKey& key, std::uint32_t slot,
+                    std::uint64_t id);
+  void tier1_erase(Bucket& bucket);
+  void tier1_grow();
+  /// Evicts cached winners a freshly installed wildcard now outranks.
+  void tier1_evict_covered(const FlowMatch& match, std::uint16_t priority);
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;
+  /// Tier-2 scan order: live slot indexes, descending priority, insertion
+  /// order within equal priorities.
+  std::vector<std::uint32_t> order_;
+  std::vector<Bucket> buckets_;  // power-of-two capacity; empty until first use
+  std::size_t t1_live_ = 0;
+  std::size_t t1_tombstones_ = 0;
+  std::vector<Deadline> heap_;  // min-heap on at_us
+  /// cookie -> (slot, id) of live entries installed under it.
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<std::uint32_t, std::uint64_t>>>
+      by_cookie_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t misses_ = 0;
+  std::uint64_t matched_ = 0;
+  std::uint64_t tier1_hits_ = 0;
+  std::uint64_t tier2_scans_ = 0;
+};
+
+/// The original single-tier implementation: linear scan per packet, O(n)
+/// expire and remove_by_cookie. Reference oracle for the differential
+/// trace test and baseline for the BENCH_flowtable.json ablation.
+class LinearFlowTable {
+ public:
+  std::uint64_t install(FlowEntry entry, std::uint64_t now_us);
+  std::optional<FlowAction> process(const net::ParsedPacket& pkt,
+                                    std::uint64_t now_us);
+  std::size_t expire(std::uint64_t now_us);
   std::size_t remove_by_cookie(std::uint64_t cookie);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }

@@ -3,9 +3,12 @@
 // Packets are first matched against the local flow table (fast path); a
 // table miss raises a packet-in to the attached controller, whose decision
 // is applied and whose returned flow entry, if any, is installed so the
-// rest of the flow stays on the fast path. Per-path counters feed the
-// latency model of the network simulator (controller round-trips cost
-// more than fast-path switching).
+// rest of the flow stays on the fast path. The flow table itself is
+// two-tier (see flow_table.hpp): after one priority scan a flow's packets
+// are served from an exact-match micro-flow hash table, so the fast path
+// stays O(1) as the installed-flow population grows. Per-path counters
+// feed the latency model of the network simulator (controller round-trips
+// cost more than fast-path switching).
 #pragma once
 
 #include <cstdint>
@@ -50,6 +53,12 @@ class SoftwareSwitch {
   [[nodiscard]] const FlowTable& table() const { return table_; }
   [[nodiscard]] std::uint64_t fast_path_packets() const { return fast_; }
   [[nodiscard]] std::uint64_t slow_path_packets() const { return slow_; }
+
+  /// Switch-side state bytes (the two-tier flow table with its tier-1
+  /// cache, deadline heap and cookie index) — Fig. 6c accounting.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return table_.memory_bytes();
+  }
 
  private:
   Controller& controller_;

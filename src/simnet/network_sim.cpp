@@ -164,8 +164,12 @@ double NetworkSim::memory_mb(std::size_t rule_count, bool calibrated) const {
     return memory_.base_mb + memory_.floodlight_bytes_per_rule *
                                  static_cast<double>(rule_count) / 1e6;
   }
+  // Raw accounting covers both gateway-side stores: the controller's
+  // enforcement-rule cache and the switch's two-tier flow table.
   return memory_.base_mb +
-         static_cast<double>(controller_->rules().memory_bytes()) / 1e6;
+         static_cast<double>(controller_->rules().memory_bytes() +
+                             switch_->memory_bytes()) /
+             1e6;
 }
 
 NetworkSim make_paper_testbed(bool filtering, std::uint64_t seed) {

@@ -122,6 +122,48 @@ TEST(DeviceTracker, AllSortsByRecency) {
   EXPECT_EQ(all[1]->mac, a);
 }
 
+TEST(DeviceTracker, ForEachVisitsEveryDeviceWithoutAllocating) {
+  DeviceTracker tracker;
+  const auto a = net::MacAddress::of(0x02, 1, 0, 0, 0, 1);
+  const auto b = net::MacAddress::of(0x02, 1, 0, 0, 0, 2);
+  feed(tracker, net::build_gratuitous_arp(a, kDevIp), 1000);
+  feed(tracker, net::build_gratuitous_arp(b, kDevIp), 2000);
+
+  std::size_t visited = 0;
+  std::uint64_t packet_total = 0;
+  bool saw_a = false;
+  bool saw_b = false;
+  tracker.for_each([&](const TrackedDevice& device) {
+    ++visited;
+    packet_total += device.packets;
+    saw_a = saw_a || device.mac == a;
+    saw_b = saw_b || device.mac == b;
+  });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_EQ(packet_total, 2u);
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(DeviceTracker, IdleDevicesIntoReusesTheCallerBuffer) {
+  DeviceTracker tracker;
+  const auto a = net::MacAddress::of(0x02, 1, 0, 0, 0, 1);
+  const auto b = net::MacAddress::of(0x02, 1, 0, 0, 0, 2);
+  feed(tracker, net::build_gratuitous_arp(a, kDevIp), 1'000'000);
+  feed(tracker, net::build_gratuitous_arp(b, kDevIp), 50'000'000);
+
+  std::vector<net::MacAddress> scratch;
+  tracker.idle_devices_into(60'000'000, 30'000'000, scratch);
+  ASSERT_EQ(scratch.size(), 1u);
+  EXPECT_EQ(scratch[0], a);
+
+  // The buffer is cleared and refilled, never appended to.
+  tracker.idle_devices_into(120'000'000, 30'000'000, scratch);
+  EXPECT_EQ(scratch.size(), 2u);
+  tracker.idle_devices_into(60'000'000, 59'500'000, scratch);
+  EXPECT_TRUE(scratch.empty());
+}
+
 TEST(DeviceTracker, WorksWithoutFrameBytes) {
   DeviceTracker tracker;
   const auto pkt = net::parse_ethernet_frame(

@@ -46,6 +46,39 @@ TEST(Extractor, CompletesOnIdleTimeout) {
   EXPECT_GE(ex.completed()[0].fingerprint.size(), 2u);
 }
 
+TEST(Extractor, ForgetClearsFingerprintedMarkerAndActiveCapture) {
+  SetupCaptureExtractor ex({.idle_timeout_us = 1'000'000, .min_packets = 2});
+  // Complete a capture for A: further A packets are skipped.
+  for (int i = 0; i < 4; ++i) {
+    ex.observe(packet_from(kDevA, kIpA, 1000u * static_cast<std::uint64_t>(i + 1),
+                           static_cast<std::uint16_t>(50000 + i), i));
+  }
+  ex.advance_time(10'000'000);
+  ASSERT_EQ(ex.completed().size(), 1u);
+  ex.observe(packet_from(kDevA, kIpA, 11'000'000, 51000, 1));
+  EXPECT_EQ(ex.active_devices(), 0u);  // already fingerprinted: ignored
+
+  // After forget (device departed), A is fingerprinted afresh on rejoin.
+  EXPECT_TRUE(ex.forget(kDevA));
+  EXPECT_FALSE(ex.forget(kDevA));  // nothing left to forget
+  for (int i = 0; i < 4; ++i) {
+    ex.observe(packet_from(kDevA, kIpA,
+                           20'000'000 + 1000u * static_cast<std::uint64_t>(i),
+                           static_cast<std::uint16_t>(52000 + i), i));
+  }
+  EXPECT_EQ(ex.active_devices(), 1u);
+  ex.advance_time(40'000'000);
+  EXPECT_EQ(ex.completed().size(), 2u);
+
+  // Forgetting a device mid-capture discards it without completing.
+  ex.observe(packet_from(kDevB, kIpB, 41'000'000, 53000, 0));
+  EXPECT_EQ(ex.active_devices(), 1u);
+  EXPECT_TRUE(ex.forget(kDevB));
+  EXPECT_EQ(ex.active_devices(), 0u);
+  ex.flush_all();
+  EXPECT_EQ(ex.completed().size(), 2u);  // B never completed
+}
+
 TEST(Extractor, DemultiplexesConcurrentDevices) {
   SetupCaptureExtractor ex({.idle_timeout_us = 1'000'000, .min_packets = 2});
   for (int i = 0; i < 4; ++i) {

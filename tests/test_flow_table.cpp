@@ -153,5 +153,292 @@ TEST(FlowTable, RemoveByCookie) {
   EXPECT_EQ(table.remove_by_cookie(7), 0u);
 }
 
+// --- tie-break and two-tier semantics ---------------------------------------
+
+// Locks in the tie rule for the hashed rewrite: equal priorities resolve
+// by insertion order (older entry wins) in the tier-2 scan, in the tier-1
+// cached verdict, and again after the winner is removed.
+TEST(FlowTable, EqualPriorityTieIsStableAcrossTiersAndRemoval) {
+  FlowTable table;
+  FlowEntry first;
+  first.match.dst_port = 53;
+  first.action = FlowAction::kForward;
+  first.priority = 5;
+  first.cookie = 1;
+  table.install(first, 0);
+  FlowEntry second;
+  second.match.dst_port = 53;
+  second.action = FlowAction::kDrop;
+  second.priority = 5;
+  second.cookie = 2;
+  table.install(second, 0);
+  FlowEntry lower;
+  lower.action = FlowAction::kDrop;
+  lower.priority = 1;
+  lower.cookie = 3;
+  table.install(lower, 0);
+
+  const auto pkt = udp_packet(40000, 53);
+  EXPECT_EQ(table.process(pkt, 1), FlowAction::kForward);  // tier-2 scan
+  EXPECT_EQ(table.process(pkt, 2), FlowAction::kForward);  // tier-1 hit
+  EXPECT_EQ(table.tier1_hits(), 1u);
+
+  // Snapshot order mirrors the scan order: priority desc, then insertion.
+  const auto snapshot = table.entries();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].cookie, 1u);
+  EXPECT_EQ(snapshot[1].cookie, 2u);
+  EXPECT_EQ(snapshot[2].cookie, 3u);
+
+  // Removing the older winner promotes the next same-priority entry.
+  EXPECT_EQ(table.remove_by_cookie(1), 1u);
+  EXPECT_EQ(table.process(pkt, 3), FlowAction::kDrop);
+  EXPECT_EQ(table.process(pkt, 4), FlowAction::kDrop);
+}
+
+TEST(FlowTable, Tier1ServesRepeatPacketsWithoutRescan) {
+  FlowTable table;
+  FlowEntry entry;
+  entry.match.dst_port = 53;
+  entry.action = FlowAction::kForward;
+  table.install(entry, 0);
+
+  const auto pkt = udp_packet(40000, 53);
+  EXPECT_EQ(table.process(pkt, 1), FlowAction::kForward);
+  EXPECT_EQ(table.tier2_scans(), 1u);
+  EXPECT_EQ(table.tier1_hits(), 0u);
+  for (std::uint64_t t = 2; t < 10; ++t) {
+    EXPECT_EQ(table.process(pkt, t), FlowAction::kForward);
+  }
+  EXPECT_EQ(table.tier2_scans(), 1u);  // scanned exactly once
+  EXPECT_EQ(table.tier1_hits(), 8u);
+  EXPECT_EQ(table.matched_packets(), 9u);
+  const auto snapshot = table.entries();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].packets, 9u);  // tier-1 hits update the entry
+  EXPECT_EQ(snapshot[0].last_matched_us, 9u);
+}
+
+TEST(FlowTable, Tier1InvalidatedWhenBackingWildcardRemoved) {
+  FlowTable table;
+  FlowEntry wildcard;
+  wildcard.match.dst_port = 53;
+  wildcard.action = FlowAction::kForward;
+  wildcard.cookie = 42;
+  table.install(wildcard, 0);
+
+  const auto pkt = udp_packet(40000, 53);
+  EXPECT_EQ(table.process(pkt, 1), FlowAction::kForward);
+  EXPECT_EQ(table.process(pkt, 2), FlowAction::kForward);  // cached
+  EXPECT_EQ(table.remove_by_cookie(42), 1u);
+  // The cached tier-1 verdict must not outlive its backing entry.
+  EXPECT_FALSE(table.process(pkt, 3).has_value());
+  EXPECT_EQ(table.misses(), 1u);
+}
+
+TEST(FlowTable, WildcardInstallEvictsCoveredCachedWinners) {
+  FlowTable table;
+  FlowEntry allow;
+  allow.match.dst_port = 53;
+  allow.action = FlowAction::kForward;
+  allow.priority = 10;
+  table.install(allow, 0);
+
+  const auto pkt = udp_packet(40000, 53);
+  EXPECT_EQ(table.process(pkt, 1), FlowAction::kForward);
+  EXPECT_EQ(table.process(pkt, 2), FlowAction::kForward);  // cached
+
+  // A higher-priority drop-all must take effect immediately, even for
+  // tuples whose verdict tier 1 already cached.
+  FlowEntry deny;
+  deny.action = FlowAction::kDrop;
+  deny.priority = 100;
+  table.install(deny, 3);
+  EXPECT_EQ(table.process(pkt, 4), FlowAction::kDrop);
+
+  // An equal-priority late-comer must NOT steal cached verdicts (older
+  // entry wins ties), and a lower-priority one must not either.
+  FlowEntry tie;
+  tie.action = FlowAction::kForward;
+  tie.priority = 100;
+  table.install(tie, 5);
+  EXPECT_EQ(table.process(pkt, 6), FlowAction::kDrop);
+}
+
+TEST(FlowTable, ExactInstallInvalidatesOnlyItsOwnTuple) {
+  FlowTable table;
+  FlowEntry allow_dns;
+  allow_dns.match.dst_port = 53;
+  allow_dns.action = FlowAction::kForward;
+  allow_dns.priority = 1;
+  table.install(allow_dns, 0);
+
+  const auto pkt_a = udp_packet(40000, 53);
+  const auto pkt_b = udp_packet(40001, 53);
+  EXPECT_EQ(table.process(pkt_a, 1), FlowAction::kForward);
+  EXPECT_EQ(table.process(pkt_b, 2), FlowAction::kForward);
+  EXPECT_EQ(table.tier2_scans(), 2u);
+
+  // Exact micro-flow drop for tuple A at higher priority: A flips, B's
+  // cached verdict stays valid (no rescan).
+  FlowEntry exact;
+  exact.match = FlowMatch::micro_flow(pkt_a);
+  exact.action = FlowAction::kDrop;
+  exact.priority = 50;
+  table.install(exact, 3);
+  EXPECT_EQ(table.process(pkt_a, 4), FlowAction::kDrop);
+  EXPECT_EQ(table.process(pkt_b, 5), FlowAction::kForward);
+  EXPECT_EQ(table.tier2_scans(), 3u);  // only A rescanned
+}
+
+// --- expiry / removal edge cases --------------------------------------------
+
+TEST(FlowTable, PermanentEntriesNeverEnterTheDeadlineHeap) {
+  FlowTable table;
+  FlowEntry permanent;
+  permanent.action = FlowAction::kForward;
+  permanent.idle_timeout_us = 0;
+  table.install(permanent, 0);
+  EXPECT_EQ(table.deadline_heap_size(), 0u);
+
+  FlowEntry timed;
+  timed.action = FlowAction::kForward;
+  timed.idle_timeout_us = 1000;
+  table.install(timed, 0);
+  EXPECT_EQ(table.deadline_heap_size(), 1u);
+
+  // Arbitrarily far future: only the timed entry ever expires.
+  EXPECT_EQ(table.expire(1'000'000'000'000ull), 1u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.deadline_heap_size(), 0u);
+  EXPECT_EQ(table.expire(2'000'000'000'000ull), 0u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, RemoveByCookieRacingPendingHeapDeadline) {
+  FlowTable table;
+  FlowEntry entry;
+  entry.action = FlowAction::kForward;
+  entry.idle_timeout_us = 1000;
+  entry.cookie = 9;
+  table.install(entry, 0);
+  EXPECT_EQ(table.deadline_heap_size(), 1u);
+
+  // Cookie removal first; the stale heap record must be discarded on pop,
+  // not double-removed or crash on the recycled slot.
+  EXPECT_EQ(table.remove_by_cookie(9), 1u);
+  EXPECT_EQ(table.expire(5000), 0u);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.deadline_heap_size(), 0u);
+
+  // The recycled slot gets a fresh identity: a new entry with its own
+  // deadline is unaffected by the old record's history.
+  FlowEntry fresh;
+  fresh.action = FlowAction::kDrop;
+  fresh.idle_timeout_us = 500;
+  fresh.cookie = 9;
+  table.install(fresh, 6000);
+  EXPECT_EQ(table.expire(6400), 0u);
+  EXPECT_EQ(table.expire(6500), 1u);
+}
+
+TEST(FlowTable, ReinstallIdenticalMicroFlowAfterExpiry) {
+  FlowTable table;
+  const auto pkt = udp_packet(50000, 443);
+
+  FlowEntry entry;
+  entry.match = FlowMatch::micro_flow(pkt);
+  entry.action = FlowAction::kForward;
+  entry.idle_timeout_us = 1000;
+  table.install(entry, 0);
+  EXPECT_EQ(table.process(pkt, 10), FlowAction::kForward);  // caches in tier 1
+  EXPECT_EQ(table.expire(5000), 1u);
+  EXPECT_FALSE(table.process(pkt, 5001).has_value());
+
+  // Same micro-flow re-installed (the controller does this on the next
+  // packet-in): served again, with fresh per-entry statistics.
+  FlowEntry again;
+  again.match = FlowMatch::micro_flow(pkt);
+  again.action = FlowAction::kForward;
+  again.idle_timeout_us = 1000;
+  table.install(again, 6000);
+  EXPECT_EQ(table.process(pkt, 6010), FlowAction::kForward);
+  EXPECT_EQ(table.process(pkt, 6020), FlowAction::kForward);
+  const auto snapshot = table.entries();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].packets, 2u);
+  EXPECT_EQ(snapshot[0].installed_us, 6000u);
+}
+
+TEST(FlowTable, MatchViaTier1RefreshesIdleTimer) {
+  FlowTable table;
+  FlowEntry entry;
+  entry.match.dst_port = 53;
+  entry.action = FlowAction::kForward;
+  entry.idle_timeout_us = 1000;
+  table.install(entry, 0);
+
+  const auto pkt = udp_packet(40000, 53);
+  EXPECT_EQ(table.process(pkt, 100), FlowAction::kForward);  // tier-2
+  EXPECT_EQ(table.process(pkt, 900), FlowAction::kForward);  // tier-1
+  EXPECT_EQ(table.expire(1500), 0u);  // refreshed at 900 via tier 1
+  EXPECT_EQ(table.expire(1900), 1u);
+}
+
+// Adversarial tuple cardinality: one spoofing device spraying random
+// ports through a permanent wildcard must not grow the tier-1 cache (and
+// thus gateway memory) without bound — the cache flushes at its cap.
+TEST(FlowTable, Tier1CacheIsBoundedUnderTupleSpray) {
+  FlowTable table;
+  FlowEntry allow_all;
+  allow_all.action = FlowAction::kForward;
+  allow_all.priority = 1;
+  table.install(allow_all, 0);
+
+  net::ParsedPacket pkt = udp_packet(1, 2);
+  const std::size_t distinct_tuples = FlowTable::kTier1MaxBuckets + 20'000;
+  for (std::size_t i = 0; i < distinct_tuples; ++i) {
+    pkt.src_port = static_cast<std::uint16_t>(i);
+    pkt.dst_port = static_cast<std::uint16_t>(i >> 16 << 1);
+    pkt.src_ip = net::IpAddress(net::Ipv4Address(
+        0x0a000000u + static_cast<std::uint32_t>(i)));
+    EXPECT_EQ(table.process(pkt, i), FlowAction::kForward);
+  }
+  EXPECT_EQ(table.matched_packets(), distinct_tuples);
+  // Live cache never exceeds half the bucket cap; memory stays small.
+  EXPECT_LE(table.tier1_size(), FlowTable::kTier1MaxBuckets / 2);
+  EXPECT_LT(table.memory_bytes(), 8u * 1024 * 1024);
+
+  // The cache still works after flushes: a repeated tuple hits tier 1.
+  pkt.src_port = 7;
+  pkt.dst_port = 9;
+  table.process(pkt, distinct_tuples + 1);
+  const auto hits_before = table.tier1_hits();
+  table.process(pkt, distinct_tuples + 2);
+  EXPECT_EQ(table.tier1_hits(), hits_before + 1);
+}
+
+TEST(FlowTable, MemoryBytesAccountsForAllStructures) {
+  FlowTable table;
+  const std::size_t empty = table.memory_bytes();
+  EXPECT_GE(empty, sizeof(FlowTable));
+
+  for (int i = 0; i < 256; ++i) {
+    FlowEntry entry;
+    entry.match.dst_port = static_cast<std::uint16_t>(1000 + i);
+    entry.action = FlowAction::kForward;
+    entry.idle_timeout_us = 1000;
+    entry.cookie = static_cast<std::uint64_t>(i);
+    table.install(entry, 0);
+  }
+  // Populate tier 1 too.
+  for (int i = 0; i < 256; ++i) {
+    table.process(udp_packet(40000, static_cast<std::uint16_t>(1000 + i)), 1);
+  }
+  const std::size_t populated = table.memory_bytes();
+  // Entry pool + order + heap + cookie index + tier-1 buckets all count.
+  EXPECT_GT(populated, empty + 256 * sizeof(FlowEntry));
+}
+
 }  // namespace
 }  // namespace iotsentinel::sdn

@@ -136,6 +136,53 @@ TEST(SecurityGateway, ObserverCallbackFires) {
   EXPECT_EQ(seen[0], "HueBridge");
 }
 
+TEST(SecurityGateway, ExpireDepartedSweepsRuleFlowsAndInventory) {
+  const auto service = make_service();
+  SecurityGateway gw(service);
+  const auto mac = net::MacAddress::of(0x20, 0xbb, 0xc0, 0, 3, 3);
+  const auto ip = net::Ipv4Address::of(192, 168, 0, 70);
+  replay_setup(gw, "Aria", mac, ip, 108);
+  ASSERT_EQ(gw.controller().level_of(mac), sdn::IsolationLevel::kTrusted);
+  ASSERT_NE(gw.inventory().find(mac), nullptr);
+
+  // Post-identification traffic installs flows under the device's cookie.
+  const auto now = gw.events()[0].at_us + 1000;
+  gw.on_frame(
+      net::build_tcp_syn(mac, net::MacAddress::of(2, 0, 0, 0, 0, 1), ip,
+                         net::Ipv4Address::of(8, 8, 8, 8), 50000, 443, 1),
+      now);
+  EXPECT_GE(gw.data_plane().table().size(), 1u);
+
+  // Still active: a sweep with a generous idle window removes nothing.
+  EXPECT_EQ(gw.expire_departed(now + 1000, 60'000'000'000ull), 0u);
+  EXPECT_NE(gw.inventory().find(mac), nullptr);
+
+  // Long silence: the departure sweep drops the rule, the installed flows
+  // (via the flow table's cookie index) and the inventory record.
+  EXPECT_EQ(gw.expire_departed(now + 600'000'000'000ull, 60'000'000ull), 1u);
+  EXPECT_EQ(gw.controller().level_of(mac), std::nullopt);
+  EXPECT_EQ(gw.inventory().find(mac), nullptr);
+  EXPECT_EQ(gw.data_plane().table().size(), 0u);
+
+  // Rejoin after departure: the extractor state was swept too, so the
+  // device is fingerprinted and identified afresh — not stuck provisional.
+  const auto* profile = sim::find_profile("Aria");
+  ASSERT_NE(profile, nullptr);
+  sim::GeneratorConfig rejoin_cfg;
+  rejoin_cfg.start_time_us = now + 700'000'000'000ull;
+  sim::TrafficGenerator gen(rejoin_cfg);
+  ml::Rng rng(109);
+  std::uint64_t last_ts = 0;
+  for (const auto& tf : gen.generate(*profile, mac, ip, rng)) {
+    gw.on_frame(tf.frame, tf.timestamp_us);
+    last_ts = tf.timestamp_us;
+  }
+  gw.advance_time(last_ts + 120'000'000);
+  ASSERT_EQ(gw.events().size(), 2u);
+  EXPECT_EQ(gw.events()[1].device, mac);
+  EXPECT_EQ(gw.controller().level_of(mac), sdn::IsolationLevel::kTrusted);
+}
+
 TEST(SecurityGateway, FinishPendingCapturesFlushes) {
   const auto service = make_service();
   SecurityGateway gw(service);
