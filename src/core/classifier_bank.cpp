@@ -153,30 +153,66 @@ std::optional<std::string> read_string(net::ByteReader& r) {
 }  // namespace
 
 void ClassifierBank::save(net::ByteWriter& w) const {
-  w.bytes(std::string("IBK1"));
+  w.bytes(std::string("IBK2"));
+  const std::size_t length_at = w.size();
+  w.u32be(0);  // payload length, patched below
+  const std::size_t payload_at = w.size();
   w.u32be(static_cast<std::uint32_t>(config_.forest.num_trees));
-  w.u32be(std::bit_cast<std::uint32_t>(
-      static_cast<float>(config_.negative_ratio)));
-  w.u32be(std::bit_cast<std::uint32_t>(
-      static_cast<float>(config_.accept_threshold)));
+  w.f32be(static_cast<float>(config_.negative_ratio));
+  w.f32be(static_cast<float>(config_.accept_threshold));
   w.u64be(config_.seed);
   w.u32be(static_cast<std::uint32_t>(names_.size()));
   for (std::size_t t = 0; t < names_.size(); ++t) {
     write_string(w, names_[t]);
     forests_[t].save(w);
   }
+  w.patch_u32be(length_at, static_cast<std::uint32_t>(w.size() - payload_at));
 }
 
 std::optional<ClassifierBank> ClassifierBank::load(net::ByteReader& r) {
-  auto magic = r.bytes(4);
-  if (!magic || (*magic)[0] != 'I' || (*magic)[1] != 'B' ||
-      (*magic)[2] != 'K' || (*magic)[3] != '1') {
+  if (!r.read_tag("IBK2")) return std::nullopt;
+  auto length = r.u32be();
+  if (!length) return std::nullopt;
+  auto payload = r.slice(*length);
+  if (!payload) return std::nullopt;
+  BankConfig config;
+  auto num_trees = payload->u32be();
+  auto neg_ratio = payload->f32be();
+  auto threshold = payload->f32be();
+  auto seed = payload->u64be();
+  auto count = payload->u32be();
+  if (!num_trees || !neg_ratio || !threshold || !seed || !count ||
+      *count > 1'000'000) {
     return std::nullopt;
   }
+  config.forest.num_trees = *num_trees;
+  config.negative_ratio = *neg_ratio;
+  config.accept_threshold = *threshold;
+  config.seed = *seed;
+  ClassifierBank bank(config);
+  for (std::uint32_t t = 0; t < *count; ++t) {
+    auto name = read_string(*payload);
+    if (!name) return std::nullopt;
+    auto forest = ml::RandomForest::load(*payload);
+    if (!forest) return std::nullopt;
+    bank.names_.push_back(std::move(*name));
+    bank.forests_.push_back(std::move(*forest));
+  }
+  // Payload bytes after the last type record (appended by newer writers)
+  // are skipped by construction: `payload` is a slice of the frame.
+  //
+  // Loaded forests serve through the same compiled engines as freshly
+  // trained ones.
+  bank.compile_all();
+  return bank;
+}
+
+std::optional<ClassifierBank> ClassifierBank::load_v0(net::ByteReader& r) {
+  if (!r.read_tag("IBK1")) return std::nullopt;
   BankConfig config;
   auto num_trees = r.u32be();
-  auto neg_ratio = r.u32be();
-  auto threshold = r.u32be();
+  auto neg_ratio = r.f32be();
+  auto threshold = r.f32be();
   auto seed = r.u64be();
   auto count = r.u32be();
   if (!num_trees || !neg_ratio || !threshold || !seed || !count ||
@@ -184,20 +220,18 @@ std::optional<ClassifierBank> ClassifierBank::load(net::ByteReader& r) {
     return std::nullopt;
   }
   config.forest.num_trees = *num_trees;
-  config.negative_ratio = std::bit_cast<float>(*neg_ratio);
-  config.accept_threshold = std::bit_cast<float>(*threshold);
+  config.negative_ratio = *neg_ratio;
+  config.accept_threshold = *threshold;
   config.seed = *seed;
   ClassifierBank bank(config);
   for (std::uint32_t t = 0; t < *count; ++t) {
     auto name = read_string(r);
     if (!name) return std::nullopt;
-    auto forest = ml::RandomForest::load(r);
+    auto forest = ml::RandomForest::load_v0(r);
     if (!forest) return std::nullopt;
     bank.names_.push_back(std::move(*name));
     bank.forests_.push_back(std::move(*forest));
   }
-  // Loaded forests serve through the same compiled engines as freshly
-  // trained ones.
   bank.compile_all();
   return bank;
 }

@@ -122,11 +122,23 @@ class ClassifierBank {
   }
   [[nodiscard]] const BankConfig& config() const { return config_; }
 
-  /// Serializes the trained bank (config + names + forests, "IBK1" tag).
+  /// Serializes the trained bank (config + names + framed forests) as a
+  /// framed "IBK2" record: tag + 32-bit payload length + payload
+  /// (docs/FORMAT.md). Never fails.
   void save(net::ByteWriter& w) const;
 
-  /// Reads a bank back; nullopt on malformed input.
+  /// Reads a framed "IBK2" record back and recompiles the serving
+  /// engines. Payload bytes after the last type record are skipped
+  /// (forward compatibility with appending writers). Returns nullopt on
+  /// wrong tag (cursor unmoved), truncated frame or malformed payload;
+  /// never throws or crashes on arbitrary input. Bit-flip integrity is
+  /// the IOTS1 container's job, not this parser's.
   static std::optional<ClassifierBank> load(net::ByteReader& r);
+
+  /// Reads the legacy unframed "IBK1" layout (v0 blobs, kept loadable
+  /// for migration). Same error contract as `load`, but on failure the
+  /// cursor position is unspecified.
+  static std::optional<ClassifierBank> load_v0(net::ByteReader& r);
 
  private:
   /// Rebuilds compiled_[t] from forests_[t].

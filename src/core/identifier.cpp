@@ -150,86 +150,18 @@ void DeviceIdentifier::finish_identification(const fp::Fingerprint& f,
   result.type_name = bank_.type_name(winner);
 }
 
-namespace {
-
-void write_fingerprint(net::ByteWriter& w, const fp::Fingerprint& f) {
-  w.u32be(static_cast<std::uint32_t>(f.size()));
-  for (const auto& packet : f.packets()) {
-    for (std::uint32_t value : packet) w.u32be(value);
-  }
-}
-
-std::optional<fp::Fingerprint> read_fingerprint(net::ByteReader& r) {
-  auto n = r.u32be();
-  if (!n || *n > 100'000) return std::nullopt;
-  fp::Fingerprint f;
-  for (std::uint32_t i = 0; i < *n; ++i) {
-    fp::FeatureVector v{};
-    for (auto& value : v) {
-      auto read = r.u32be();
-      if (!read) return std::nullopt;
-      value = *read;
-    }
-    f.append(v);
-  }
-  // Columns were stored post-dedup; append() must not have dropped any.
-  if (f.size() != *n) return std::nullopt;
-  return f;
-}
-
-}  // namespace
-
-void DeviceIdentifier::save(net::ByteWriter& w) const {
-  w.bytes(std::string("IID1"));
-  w.u32be(static_cast<std::uint32_t>(config_.references_per_type));
-  w.u32be(static_cast<std::uint32_t>(config_.fixed_prefix));
-  w.u64be(config_.seed);
-  bank_.save(w);
-  w.u32be(static_cast<std::uint32_t>(references_.size()));
-  for (const auto& refs : references_) {
-    w.u32be(static_cast<std::uint32_t>(refs.size()));
-    for (const auto& f : refs) write_fingerprint(w, f);
-  }
-}
-
-std::optional<DeviceIdentifier> DeviceIdentifier::load(net::ByteReader& r) {
-  auto magic = r.bytes(4);
-  if (!magic || (*magic)[0] != 'I' || (*magic)[1] != 'I' ||
-      (*magic)[2] != 'D' || (*magic)[3] != '1') {
+std::optional<DeviceIdentifier> DeviceIdentifier::from_parts(
+    const IdentifierConfig& config, ClassifierBank bank,
+    std::vector<std::vector<fp::Fingerprint>> references) {
+  if (references.size() != bank.num_types()) return std::nullopt;
+  if (config.fixed_prefix == 0 || config.fixed_prefix > 1024) {
     return std::nullopt;
   }
-  auto refs_per_type = r.u32be();
-  auto fixed_prefix = r.u32be();
-  auto seed = r.u64be();
-  if (!refs_per_type || !fixed_prefix || !seed || *fixed_prefix == 0 ||
-      *fixed_prefix > 1024) {
-    return std::nullopt;
-  }
-  auto bank = ClassifierBank::load(r);
-  if (!bank) return std::nullopt;
-
-  IdentifierConfig config;
-  config.references_per_type = *refs_per_type;
-  config.fixed_prefix = *fixed_prefix;
-  config.seed = *seed;
-  config.bank = bank->config();
-  DeviceIdentifier identifier(config);
-  identifier.bank_ = std::move(*bank);
-
-  auto type_count = r.u32be();
-  if (!type_count || *type_count != identifier.bank_.num_types()) {
-    return std::nullopt;
-  }
-  identifier.references_.resize(*type_count);
-  for (std::uint32_t t = 0; t < *type_count; ++t) {
-    auto ref_count = r.u32be();
-    if (!ref_count || *ref_count > 10'000) return std::nullopt;
-    for (std::uint32_t i = 0; i < *ref_count; ++i) {
-      auto f = read_fingerprint(r);
-      if (!f) return std::nullopt;
-      identifier.references_[t].push_back(std::move(*f));
-    }
-  }
+  IdentifierConfig resolved = config;
+  resolved.bank = bank.config();
+  DeviceIdentifier identifier(resolved);
+  identifier.bank_ = std::move(bank);
+  identifier.references_ = std::move(references);
   return identifier;
 }
 

@@ -97,18 +97,23 @@ class DeviceIdentifier {
       std::size_t* distance_computations = nullptr) const;
 
   [[nodiscard]] const ClassifierBank& bank() const { return bank_; }
+  [[nodiscard]] const IdentifierConfig& config() const { return config_; }
   [[nodiscard]] std::size_t num_types() const { return bank_.num_types(); }
   [[nodiscard]] const std::vector<fp::Fingerprint>& references(
       std::size_t type_index) const {
     return references_[type_index];
   }
 
-  /// Serializes the trained identifier (bank + stage-2 references,
-  /// "IID1" tag) — the artifact an IoTSSP ships to replicas.
-  void save(net::ByteWriter& w) const;
-
-  /// Reads an identifier back; nullopt on malformed input.
-  static std::optional<DeviceIdentifier> load(net::ByteReader& r);
+  /// Reassembles a trained identifier from its persisted parts — the
+  /// inverse of reading `config()`, `bank()` and `references(t)`. This
+  /// is the loader hook of the model store (core/model_store.hpp), which
+  /// persists the three parts as separate sections of the IOTS1
+  /// container. Returns nullopt when the parts are inconsistent:
+  /// `references.size() != bank.num_types()`, or a `fixed_prefix` of 0
+  /// or over 1024 packets.
+  static std::optional<DeviceIdentifier> from_parts(
+      const IdentifierConfig& config, ClassifierBank bank,
+      std::vector<std::vector<fp::Fingerprint>> references);
 
  private:
   /// Clears every field of `result` while keeping its buffers' capacity.

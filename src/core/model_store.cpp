@@ -1,47 +1,539 @@
 #include "core/model_store.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <memory>
 
+#include "net/bytes.hpp"
+#include "net/crc32.hpp"
+
 namespace iotsentinel::core {
+
+namespace {
+
+using Kind = LoadError::Kind;
+
+// IOTS1 envelope geometry (docs/FORMAT.md is the normative spec).
+// The magic follows the PNG recipe: a high-bit byte first (kills
+// 7-bit-ASCII transports), the format name, then CR LF (kills newline
+// translation).
+constexpr std::uint8_t kMagic[8] = {0x89, 'I', 'O', 'T', 'S', '1', '\r', '\n'};
+constexpr std::uint16_t kFormatVersion = 1;
+constexpr std::size_t kHeaderSize = 16;   // magic + version + flags + count
+constexpr std::size_t kTocEntrySize = 24; // tag + offset + length + crc32c
+constexpr std::size_t kTrailerSize = 16;  // "IOTE" + file length + crc32c
+constexpr std::size_t kMaxSections = 1024;
+
+constexpr char kSectionMeta[] = "META";
+constexpr char kSectionBank[] = "BANK";
+constexpr char kSectionRefs[] = "REFS";
+
+// ---- fixed-offset big-endian reads (all callers pre-check bounds) ----
+
+std::uint16_t be16(std::span<const std::uint8_t> d, std::size_t at) {
+  return static_cast<std::uint16_t>((d[at] << 8) | d[at + 1]);
+}
+
+std::uint32_t be32(std::span<const std::uint8_t> d, std::size_t at) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) v = (v << 8) | d[at + i];
+  return v;
+}
+
+std::uint64_t be64(std::span<const std::uint8_t> d, std::size_t at) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | d[at + i];
+  return v;
+}
+
+// ---- fingerprint records (shared by the REFS section and legacy blobs) --
+
+void write_fingerprint(net::ByteWriter& w, const fp::Fingerprint& f) {
+  w.u32be(static_cast<std::uint32_t>(f.size()));
+  for (const auto& packet : f.packets()) {
+    for (std::uint32_t value : packet) w.u32be(value);
+  }
+}
+
+std::optional<fp::Fingerprint> read_fingerprint(net::ByteReader& r) {
+  auto n = r.u32be();
+  if (!n || *n > 100'000) return std::nullopt;
+  fp::Fingerprint f;
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    fp::FeatureVector v{};
+    for (auto& value : v) {
+      auto read = r.u32be();
+      if (!read) return std::nullopt;
+      value = *read;
+    }
+    f.append(v);
+  }
+  // Columns were stored post-dedup; append() must not have dropped any.
+  if (f.size() != *n) return std::nullopt;
+  return f;
+}
+
+/// Reads the per-type reference-fingerprint lists (the REFS section
+/// payload; the legacy blob embeds the same shape inline). Shared by
+/// both loaders so the bounds and record shape cannot diverge. Nullopt
+/// on malformation or when the stored type count differs from
+/// `expected_types` (the bank's).
+std::optional<std::vector<std::vector<fp::Fingerprint>>> read_references(
+    net::ByteReader& r, std::size_t expected_types) {
+  auto type_count = r.u32be();
+  if (!type_count || *type_count != expected_types) return std::nullopt;
+  std::vector<std::vector<fp::Fingerprint>> references(*type_count);
+  for (std::uint32_t t = 0; t < *type_count; ++t) {
+    auto ref_count = r.u32be();
+    if (!ref_count || *ref_count > 10'000) return std::nullopt;
+    for (std::uint32_t i = 0; i < *ref_count; ++i) {
+      auto f = read_fingerprint(r);
+      if (!f) return std::nullopt;
+      references[t].push_back(std::move(*f));
+    }
+  }
+  return references;
+}
+
+// ---- section payload writers (append straight into the container) ----
+
+void write_meta(net::ByteWriter& w, const DeviceIdentifier& identifier) {
+  const IdentifierConfig& config = identifier.config();
+  w.u32be(static_cast<std::uint32_t>(config.references_per_type));
+  w.u32be(static_cast<std::uint32_t>(config.fixed_prefix));
+  w.u64be(config.seed);
+  w.u32be(static_cast<std::uint32_t>(config.bank.forest.num_trees));
+  w.f32be(static_cast<float>(config.bank.negative_ratio));
+  w.f32be(static_cast<float>(config.bank.accept_threshold));
+  w.u64be(config.bank.seed);
+}
+
+void write_refs(net::ByteWriter& w, const DeviceIdentifier& identifier) {
+  w.u32be(static_cast<std::uint32_t>(identifier.num_types()));
+  for (std::size_t t = 0; t < identifier.num_types(); ++t) {
+    const auto& refs = identifier.references(t);
+    w.u32be(static_cast<std::uint32_t>(refs.size()));
+    for (const auto& f : refs) write_fingerprint(w, f);
+  }
+}
+
+// Section tags become LoadError::section verbatim; a tag that was never
+// printable would make the diagnostics unreadable, so sanitize defensively
+// (reachable only for unknown sections written by other producers — our
+// own tags are ASCII and TOC bytes are checksum-verified before this).
+std::string tag_name(std::span<const std::uint8_t> d, std::size_t at) {
+  std::string tag(4, '?');
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (d[at + i] >= 0x20 && d[at + i] < 0x7f)
+      tag[i] = static_cast<char>(d[at + i]);
+  }
+  return tag;
+}
+
+// ---- loaders ----
+
+/// Legacy v0 blobs: bare "IID1" record, no envelope, no checksums.
+LoadResult load_legacy(std::span<const std::uint8_t> blob) {
+  net::ByteReader r(blob);
+  const auto fail = [&](Kind kind) {
+    return LoadResult(LoadError{kind, "IID1", r.position()});
+  };
+  if (!r.read_tag("IID1")) {
+    return LoadResult(LoadError{Kind::kBadMagic, "envelope", 0});
+  }
+  auto refs_per_type = r.u32be();
+  auto fixed_prefix = r.u32be();
+  auto seed = r.u64be();
+  if (!refs_per_type || !fixed_prefix || !seed || *fixed_prefix == 0 ||
+      *fixed_prefix > 1024) {
+    return fail(Kind::kSectionParse);
+  }
+  auto bank = ClassifierBank::load_v0(r);
+  if (!bank) return fail(Kind::kSectionParse);
+
+  auto references = read_references(r, bank->num_types());
+  if (!references) return fail(Kind::kSectionParse);
+  if (!r.empty()) return fail(Kind::kTrailingData);
+
+  IdentifierConfig config;
+  config.references_per_type = *refs_per_type;
+  config.fixed_prefix = *fixed_prefix;
+  config.seed = *seed;
+  auto identifier = DeviceIdentifier::from_parts(config, std::move(*bank),
+                                                 std::move(*references));
+  if (!identifier) return fail(Kind::kSectionParse);
+  return LoadResult(std::move(*identifier));
+}
+
+struct TocEntry {
+  std::array<std::uint8_t, 4> raw_tag{};  // dedup/lookup compare these
+  std::string tag;                        // sanitized, for diagnostics
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+/// IOTS1 container. Verification order is part of the design:
+///   1. envelope sanity (magic, version),
+///   2. trailer structure (tag + recorded file length) — catches every
+///      truncation up front,
+///   3. TOC checksum, then TOC bounds,
+///   4. per-section checksums — a corrupt payload is reported against
+///      the section that holds it,
+///   5. whole-file checksum — catches what the section CRCs cannot see
+///      (the trailer's own bytes, inter-section gaps),
+///   6. only then any structural parse of section payloads.
+/// A corrupt or truncated artifact is therefore rejected by arithmetic
+/// on checksums before a single payload byte is interpreted.
+LoadResult load_iots1(std::span<const std::uint8_t> blob) {
+  const auto fail = [](Kind kind, std::string section, std::size_t offset) {
+    return LoadResult(LoadError{kind, std::move(section), offset});
+  };
+  if (blob.size() < kHeaderSize + 4 + kTrailerSize) {
+    return fail(Kind::kTruncated, "envelope", blob.size());
+  }
+  if (!std::equal(std::begin(kMagic), std::end(kMagic), blob.begin())) {
+    return fail(Kind::kBadMagic, "envelope", 0);
+  }
+  if (be16(blob, 8) != kFormatVersion) {
+    return fail(Kind::kUnsupportedVersion, "envelope", 8);
+  }
+  // Flag bits (offset 10) are reserved-ignored for forward compatibility;
+  // their bytes are still covered by the TOC checksum below.
+  const std::uint32_t section_count = be32(blob, 12);
+  if (section_count > kMaxSections) {
+    return fail(Kind::kMalformedToc, "toc", 12);
+  }
+  const std::size_t toc_size = kHeaderSize + section_count * kTocEntrySize + 4;
+  if (toc_size + kTrailerSize > blob.size()) {
+    return fail(Kind::kTruncated, "toc", blob.size());
+  }
+
+  // Trailer structure: a truncated file has lost its trailer, so the tag
+  // or the recorded total length no longer lines up with the byte count
+  // we actually got.
+  const std::size_t trailer_at = blob.size() - kTrailerSize;
+  if (!(blob[trailer_at] == 'I' && blob[trailer_at + 1] == 'O' &&
+        blob[trailer_at + 2] == 'T' && blob[trailer_at + 3] == 'E')) {
+    return fail(Kind::kTruncated, "trailer", trailer_at);
+  }
+  if (be64(blob, trailer_at + 4) != blob.size()) {
+    return fail(Kind::kTruncated, "trailer", trailer_at + 4);
+  }
+
+  // TOC checksum (covers the header, so reserved-field corruption is
+  // caught here even though the fields are semantically ignored).
+  if (net::crc32c(blob.subspan(0, toc_size - 4)) != be32(blob, toc_size - 4)) {
+    return fail(Kind::kChecksumMismatch, "toc", toc_size - 4);
+  }
+
+  // TOC bounds + per-section checksums.
+  std::vector<TocEntry> entries;
+  entries.reserve(section_count);
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::size_t at = kHeaderSize + i * kTocEntrySize;
+    TocEntry entry;
+    for (std::size_t j = 0; j < 4; ++j) entry.raw_tag[j] = blob[at + j];
+    entry.tag = tag_name(blob, at);
+    const std::uint64_t offset = be64(blob, at + 4);
+    const std::uint64_t length = be64(blob, at + 12);
+    if (offset < toc_size || offset + length < offset ||
+        offset + length > trailer_at) {
+      return fail(Kind::kMalformedToc, entry.tag, at);
+    }
+    entry.offset = static_cast<std::size_t>(offset);
+    entry.length = static_cast<std::size_t>(length);
+    for (const TocEntry& seen : entries) {
+      // Compare the raw tag bytes: sanitized names may collide for
+      // distinct (if exotic) future tags, and a valid file must load.
+      if (seen.raw_tag == entry.raw_tag) {
+        return fail(Kind::kMalformedToc, entry.tag, at);
+      }
+    }
+    if (net::crc32c(blob.subspan(entry.offset, entry.length)) !=
+        be32(blob, at + 20)) {
+      return fail(Kind::kChecksumMismatch, entry.tag, entry.offset);
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  // Whole-file checksum: everything up to the stored CRC itself.
+  if (net::crc32c(blob.subspan(0, blob.size() - 4)) !=
+      be32(blob, blob.size() - 4)) {
+    return fail(Kind::kChecksumMismatch, "trailer", blob.size() - 4);
+  }
+
+  const auto find = [&](const char* tag) -> const TocEntry* {
+    for (const TocEntry& entry : entries) {
+      if (std::equal(entry.raw_tag.begin(), entry.raw_tag.end(), tag)) {
+        return &entry;
+      }
+    }
+    return nullptr;
+  };
+  const TocEntry* meta = find(kSectionMeta);
+  const TocEntry* bank_entry = find(kSectionBank);
+  const TocEntry* refs_entry = find(kSectionRefs);
+  if (!meta) return fail(Kind::kMissingSection, kSectionMeta, 0);
+  if (!bank_entry) return fail(Kind::kMissingSection, kSectionBank, 0);
+  if (!refs_entry) return fail(Kind::kMissingSection, kSectionRefs, 0);
+  // Unknown sections (future writers) were checksum-verified above and
+  // are otherwise skipped.
+
+  // META — fields appended by newer writers land after the known prefix
+  // and are ignored.
+  net::ByteReader m(blob.subspan(meta->offset, meta->length));
+  const auto meta_fail = [&](const net::ByteReader& r) {
+    return fail(Kind::kSectionParse, kSectionMeta, meta->offset + r.position());
+  };
+  auto refs_per_type = m.u32be();
+  auto fixed_prefix = m.u32be();
+  auto seed = m.u64be();
+  auto num_trees = m.u32be();
+  auto negative_ratio = m.f32be();
+  auto accept_threshold = m.f32be();
+  auto bank_seed = m.u64be();
+  if (!refs_per_type || !fixed_prefix || !seed || !num_trees ||
+      !negative_ratio || !accept_threshold || !bank_seed ||
+      *fixed_prefix == 0 || *fixed_prefix > 1024) {
+    return meta_fail(m);
+  }
+
+  // BANK
+  net::ByteReader b(blob.subspan(bank_entry->offset, bank_entry->length));
+  auto bank = ClassifierBank::load(b);
+  if (!bank) {
+    return fail(Kind::kSectionParse, kSectionBank,
+                bank_entry->offset + b.position());
+  }
+  // META duplicates the bank configuration so the artifact's metadata is
+  // readable without parsing BANK; the two sources must agree (bit-exact
+  // for the floats — both were written from the same values), otherwise
+  // the artifact is internally inconsistent.
+  const BankConfig& bank_config = bank->config();
+  if (*num_trees != bank_config.forest.num_trees ||
+      std::bit_cast<std::uint32_t>(*negative_ratio) !=
+          std::bit_cast<std::uint32_t>(
+              static_cast<float>(bank_config.negative_ratio)) ||
+      std::bit_cast<std::uint32_t>(*accept_threshold) !=
+          std::bit_cast<std::uint32_t>(
+              static_cast<float>(bank_config.accept_threshold)) ||
+      *bank_seed != bank_config.seed) {
+    return fail(Kind::kSectionParse, kSectionMeta, meta->offset);
+  }
+
+  // REFS
+  net::ByteReader r(blob.subspan(refs_entry->offset, refs_entry->length));
+  auto references = read_references(r, bank->num_types());
+  if (!references) {
+    return fail(Kind::kSectionParse, kSectionRefs,
+                refs_entry->offset + r.position());
+  }
+
+  IdentifierConfig config;
+  config.references_per_type = *refs_per_type;
+  config.fixed_prefix = *fixed_prefix;
+  config.seed = *seed;
+  // config.bank comes from the bank itself (from_parts resolves it);
+  // META's copy was cross-checked against it above.
+  auto identifier = DeviceIdentifier::from_parts(config, std::move(*bank),
+                                                 std::move(*references));
+  if (!identifier) return meta_fail(m);
+  return LoadResult(std::move(*identifier));
+}
+
+}  // namespace
+
+const char* to_string(LoadError::Kind kind) {
+  switch (kind) {
+    case Kind::kNone: return "none";
+    case Kind::kIoError: return "io-error";
+    case Kind::kBadMagic: return "bad-magic";
+    case Kind::kUnsupportedVersion: return "unsupported-version";
+    case Kind::kTruncated: return "truncated";
+    case Kind::kChecksumMismatch: return "checksum-mismatch";
+    case Kind::kMalformedToc: return "malformed-toc";
+    case Kind::kMissingSection: return "missing-section";
+    case Kind::kSectionParse: return "section-parse";
+    case Kind::kTrailingData: return "trailing-data";
+  }
+  return "unknown";
+}
+
+std::string describe(const LoadError& error) {
+  if (error.kind == Kind::kNone) return "ok";
+  return std::string(to_string(error.kind)) + " in section " + error.section +
+         " at offset " + std::to_string(error.offset);
+}
 
 std::vector<std::uint8_t> serialize_identifier(
     const DeviceIdentifier& identifier) {
-  net::ByteWriter w;
-  identifier.save(w);
+  // Sections are appended straight into the output buffer — no
+  // per-section staging vectors, so peak memory stays ~1x the artifact
+  // even for multi-megabyte banks. The TOC's offset/length/CRC fields
+  // are zero-filled first and patched once the payload extents are
+  // known; the checksums are computed over subspans of the buffer.
+  constexpr const char* kTags[] = {kSectionMeta, kSectionBank, kSectionRefs};
+  constexpr std::size_t kSectionCount = 3;
+  const std::size_t toc_size = kHeaderSize + kSectionCount * kTocEntrySize + 4;
+
+  // Reserved upfront: the envelope skeleton plus headroom. (Also keeps
+  // g++-12's -Wstringop-overflow from mis-analyzing the first fixed-size
+  // insert into a freshly allocated buffer.)
+  net::ByteWriter w(toc_size + kTrailerSize + 4096);
+  w.bytes(std::span<const std::uint8_t>(kMagic));
+  w.u16be(kFormatVersion);
+  w.u16be(0);  // flags (reserved)
+  w.u32be(static_cast<std::uint32_t>(kSectionCount));
+  std::size_t entry_at[kSectionCount];
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    entry_at[i] = w.size();
+    w.bytes(std::string(kTags[i]));
+    w.u64be(0);  // offset, patched below
+    w.u64be(0);  // length, patched below
+    w.u32be(0);  // payload CRC32C, patched below
+  }
+  w.u32be(0);  // TOC checksum, patched below
+
+  std::size_t offsets[kSectionCount];
+  std::size_t lengths[kSectionCount];
+  offsets[0] = w.size();
+  write_meta(w, identifier);
+  lengths[0] = w.size() - offsets[0];
+  offsets[1] = w.size();
+  identifier.bank().save(w);
+  lengths[1] = w.size() - offsets[1];
+  offsets[2] = w.size();
+  write_refs(w, identifier);
+  lengths[2] = w.size() - offsets[2];
+
+  const auto patch_u64be = [&w](std::size_t at, std::uint64_t v) {
+    w.patch_u32be(at, static_cast<std::uint32_t>(v >> 32));
+    w.patch_u32be(at + 4, static_cast<std::uint32_t>(v & 0xffffffff));
+  };
+  const std::span<const std::uint8_t> written(w.data());
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    patch_u64be(entry_at[i] + 4, offsets[i]);
+    patch_u64be(entry_at[i] + 12, lengths[i]);
+    w.patch_u32be(entry_at[i] + 20,
+                  net::crc32c(written.subspan(offsets[i], lengths[i])));
+  }
+  // After the entries are final: TOC checksum over header + entries.
+  w.patch_u32be(toc_size - 4, net::crc32c(written.subspan(0, toc_size - 4)));
+
+  w.bytes(std::string("IOTE"));
+  w.u64be(w.size() + 12);          // total file size including the trailer
+  w.u32be(net::crc32c(w.data()));  // whole-file checksum
   return w.take();
+}
+
+LoadResult load_identifier(std::span<const std::uint8_t> blob) {
+  if (blob.size() >= 4 && blob[0] == 'I' && blob[1] == 'I' &&
+      blob[2] == 'D' && blob[3] == '1') {
+    return load_legacy(blob);
+  }
+  return load_iots1(blob);
 }
 
 std::optional<DeviceIdentifier> deserialize_identifier(
     std::span<const std::uint8_t> blob) {
-  net::ByteReader r(blob);
-  auto identifier = DeviceIdentifier::load(r);
-  if (!identifier) return std::nullopt;
-  if (!r.empty()) return std::nullopt;  // trailing garbage
-  return identifier;
+  auto result = load_identifier(blob);
+  if (!result) return std::nullopt;
+  return result.take();
 }
 
 bool save_identifier_file(const std::string& path,
                           const DeviceIdentifier& identifier) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
-      std::fopen(path.c_str(), "wb"), &std::fclose);
-  if (!f) return false;
   const auto blob = serialize_identifier(identifier);
-  return std::fwrite(blob.data(), 1, blob.size(), f.get()) == blob.size();
+  // Unique temp name: concurrent savers to the same destination must not
+  // interleave writes into a shared temp file and publish a torn blob.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0 && errno == EEXIST) {
+    // Leftover from a crashed earlier process that had our pid; reclaim.
+    ::unlink(tmp.c_str());
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  }
+  if (fd < 0) return false;
+  const auto abort_write = [&] {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  };
+  // Re-saving over an existing artifact must not loosen its permissions:
+  // an operator's 0600 model file stays 0600 after migration/retraining.
+  struct stat existing {};
+  if (::stat(path.c_str(), &existing) == 0 &&
+      ::fchmod(fd, existing.st_mode & 07777) != 0) {
+    return abort_write();
+  }
+  std::size_t written = 0;
+  while (written < blob.size()) {
+    const ssize_t n =
+        ::write(fd, blob.data() + written, blob.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return abort_write();
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // Data must be durable before the rename publishes it, or a crash
+  // could leave a fully-renamed file with unwritten tails.
+  if (::fsync(fd) != 0) return abort_write();
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Open the parent directory BEFORE the rename: every failure up to and
+  // including this point leaves the destination untouched.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd < 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::close(dirfd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // fsync the parent directory so the rename itself survives a crash.
+  // This is the one failure mode that returns false with the destination
+  // already replaced (see the header contract): the new artifact is live
+  // and internally complete, but its directory entry may not survive a
+  // power cut — callers retry by simply saving again.
+  const bool dir_synced = ::fsync(dirfd) == 0;
+  ::close(dirfd);
+  return dir_synced;
 }
 
-std::optional<DeviceIdentifier> load_identifier_file(
-    const std::string& path) {
+LoadResult load_identifier_file(const std::string& path) {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
       std::fopen(path.c_str(), "rb"), &std::fclose);
-  if (!f) return std::nullopt;
+  if (!f) return LoadResult(LoadError{Kind::kIoError, "file", 0});
   std::vector<std::uint8_t> blob;
   std::uint8_t buf[65536];
   std::size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
     blob.insert(blob.end(), buf, buf + n);
   }
-  return deserialize_identifier(blob);
+  if (std::ferror(f.get())) {
+    return LoadResult(LoadError{Kind::kIoError, "file", blob.size()});
+  }
+  return load_identifier(blob);
 }
 
 }  // namespace iotsentinel::core

@@ -2,30 +2,135 @@
 //
 // The IoTSSP trains its per-type classifiers offline from lab captures
 // (Sect. III-B); deployments then load the trained artifact. This module
-// provides the on-disk container: a single binary blob holding the
-// classifier bank and the stage-2 reference fingerprints.
+// provides the on-disk container: the versioned, corruption-safe IOTS1
+// envelope (magic, format version, section table-of-contents, CRC32C per
+// section plus a whole-file trailer checksum) wrapping three sections —
+// training metadata, the classifier bank, and the stage-2 reference
+// fingerprints. docs/FORMAT.md is the normative byte-level spec.
+//
+// Loaders also accept the legacy v0 blobs ("IID1"-tagged, no envelope)
+// written before this format existed, so deployed gateways migrate by
+// simply re-saving.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/identifier.hpp"
 
 namespace iotsentinel::core {
 
-/// Serializes a trained identifier to a byte blob.
+/// Why a load was rejected, and where. Every rejection path names the
+/// container structure it failed in (`section`) and the absolute byte
+/// offset of the failure, so an operator staring at a bad artifact knows
+/// whether the file was truncated, bit-flipped, or written by an
+/// incompatible version — instead of a bare nullopt.
+struct LoadError {
+  enum class Kind {
+    kNone,                ///< No error (the load succeeded).
+    kIoError,             ///< File could not be opened or read.
+    kBadMagic,            ///< Neither an IOTS1 container nor a legacy blob.
+    kUnsupportedVersion,  ///< IOTS1 envelope from an incompatible version.
+    kTruncated,           ///< File shorter than its structures claim.
+    kChecksumMismatch,    ///< A CRC32C check failed: corrupt bytes.
+    kMalformedToc,        ///< Section table entries are inconsistent.
+    kMissingSection,      ///< A required section is absent.
+    kSectionParse,        ///< A section's payload failed structural parse.
+    kTrailingData,        ///< Bytes remain after a legacy blob's end.
+  };
+
+  Kind kind = Kind::kNone;
+  /// The failing structure: "envelope", "toc", "trailer", a 4-character
+  /// section tag ("META", "BANK", "REFS", …), "IID1" for legacy-blob
+  /// parse failures, or "file" for I/O errors. Never empty when
+  /// `kind != kNone`.
+  std::string section;
+  /// Absolute byte offset of the failing structure (0 when unknowable,
+  /// e.g. I/O errors).
+  std::size_t offset = 0;
+};
+
+/// Stable name of an error kind ("checksum-mismatch", …); never null.
+[[nodiscard]] const char* to_string(LoadError::Kind kind);
+
+/// One-line human-readable rendering of an error, e.g.
+/// "checksum-mismatch in section BANK at offset 132".
+[[nodiscard]] std::string describe(const LoadError& error);
+
+/// Result of loading an identifier: either the identifier or a typed
+/// error. Mimics std::optional (has_value / bool / * / ->) so callers
+/// that only care about success read naturally, while diagnostics-aware
+/// callers inspect `error()`.
+class LoadResult {
+ public:
+  /*implicit*/ LoadResult(DeviceIdentifier identifier)
+      : identifier_(std::move(identifier)) {}
+  /*implicit*/ LoadResult(LoadError error) : error_(std::move(error)) {}
+
+  [[nodiscard]] bool has_value() const { return identifier_.has_value(); }
+  [[nodiscard]] explicit operator bool() const { return has_value(); }
+  [[nodiscard]] DeviceIdentifier& operator*() { return *identifier_; }
+  [[nodiscard]] const DeviceIdentifier& operator*() const {
+    return *identifier_;
+  }
+  [[nodiscard]] DeviceIdentifier* operator->() { return &*identifier_; }
+  [[nodiscard]] const DeviceIdentifier* operator->() const {
+    return &*identifier_;
+  }
+  /// The rejection reason; `kind == kNone` iff the load succeeded.
+  [[nodiscard]] const LoadError& error() const { return error_; }
+  /// Moves the identifier out (valid only after a successful load).
+  [[nodiscard]] DeviceIdentifier take() { return std::move(*identifier_); }
+
+ private:
+  std::optional<DeviceIdentifier> identifier_;
+  LoadError error_;
+};
+
+/// Serializes a trained identifier into an IOTS1 container (format
+/// version 1, docs/FORMAT.md). Deterministic: the same identifier always
+/// produces the same bytes. Never fails.
 std::vector<std::uint8_t> serialize_identifier(
     const DeviceIdentifier& identifier);
 
-/// Parses a blob produced by `serialize_identifier`; nullopt on garbage.
+/// Parses an IOTS1 container or a legacy v0 blob.
+///
+/// Error contract: never throws and never crashes, whatever `blob`
+/// holds; on rejection the returned error names the failing structure
+/// (see LoadError). Integrity guarantee for IOTS1 input: any truncation
+/// and any single-byte corruption is detected by the envelope checksums
+/// before a section parse runs (exercised exhaustively by
+/// tests/test_model_store_corruption.cpp). Legacy v0 blobs predate the
+/// checksums and get structural validation only.
+[[nodiscard]] LoadResult load_identifier(std::span<const std::uint8_t> blob);
+
+/// Compatibility wrapper around `load_identifier` for callers without
+/// error-reporting needs; nullopt on any rejection.
 std::optional<DeviceIdentifier> deserialize_identifier(
     std::span<const std::uint8_t> blob);
 
-/// Writes the identifier to `path`; false on I/O error.
+/// Writes the identifier to `path` crash-safely: the container is
+/// written to a uniquely named temp file next to `path` (concurrent
+/// savers cannot interleave), fsync'd, atomically renamed over `path`,
+/// and the parent directory is fsync'd — a crash or power cut at any
+/// point leaves either the old file or the new one, never a torn
+/// mixture. Returns false on any I/O failure, with the temp file
+/// unlinked and the destination untouched — except the final
+/// directory-fsync failing, where false is returned but the destination
+/// already holds the complete new artifact (its directory entry just
+/// isn't yet guaranteed durable; re-save to retry). Note: if `path` is
+/// a symlink, the rename replaces the link itself with a regular file
+/// (it does not write through to the link's target) — pass the resolved
+/// path when a link must keep pointing at shared storage.
 bool save_identifier_file(const std::string& path,
                           const DeviceIdentifier& identifier);
 
-/// Loads an identifier from `path`; nullopt on I/O error or bad content.
-std::optional<DeviceIdentifier> load_identifier_file(const std::string& path);
+/// Loads an identifier (IOTS1 or legacy v0) from `path`. Unreadable
+/// files yield `kIoError`; everything else follows `load_identifier`'s
+/// error contract.
+[[nodiscard]] LoadResult load_identifier_file(const std::string& path);
 
 }  // namespace iotsentinel::core

@@ -219,8 +219,11 @@ std::optional<DecisionTree> DecisionTree::load(net::ByteReader& r) {
   DecisionTree tree;
   auto num_classes = r.u32be();
   auto num_importances = r.u32be();
-  if (!num_classes || !num_importances ||
-      *num_importances > 1'000'000) {
+  // num_classes bounds every leaf histogram the compiled engine
+  // materializes; an absurd value in a crafted blob must not translate
+  // into a giant allocation downstream.
+  if (!num_classes || !num_importances || *num_classes == 0 ||
+      *num_classes > 4096 || *num_importances > 1'000'000) {
     return std::nullopt;
   }
   tree.num_classes_ = static_cast<int>(*num_classes);
@@ -241,7 +244,7 @@ std::optional<DecisionTree> DecisionTree::load(net::ByteReader& r) {
     auto right = r.u32be();
     auto counts = r.u32be();
     if (!feature || !threshold || !left || !right || !counts ||
-        *counts > 1'000'000) {
+        *counts > 4096) {
       return std::nullopt;
     }
     node.feature = static_cast<int>(*feature);
@@ -254,11 +257,22 @@ std::optional<DecisionTree> DecisionTree::load(net::ByteReader& r) {
       if (!value) return std::nullopt;
       node.counts.push_back(*value);
     }
-    // Structural sanity: children must point forward within the vector.
-    if (node.left >= 0 &&
-        (node.left <= static_cast<int>(i) || node.right <= static_cast<int>(i) ||
-         static_cast<std::uint32_t>(node.left) >= *node_count ||
-         static_cast<std::uint32_t>(node.right) >= *node_count)) {
+    // Structural sanity — serving trusts all of this unchecked, so it is
+    // load-time-or-never. Internal nodes: children must point forward
+    // within the vector and the split feature must index into the
+    // feature vector (whose dimension the importances array records).
+    // Leaves: the class histogram must hold exactly num_classes entries
+    // (prediction reads counts[c] for every class); internal nodes
+    // store none.
+    if (node.left >= 0) {
+      if (node.left <= static_cast<int>(i) ||
+          node.right <= static_cast<int>(i) ||
+          static_cast<std::uint32_t>(node.left) >= *node_count ||
+          static_cast<std::uint32_t>(node.right) >= *node_count ||
+          *feature >= *num_importances || !node.counts.empty()) {
+        return std::nullopt;
+      }
+    } else if (node.counts.size() != *num_classes) {
       return std::nullopt;
     }
     tree.nodes_.push_back(std::move(node));

@@ -79,29 +79,63 @@ double RandomForest::positive_score(std::span<const float> features) const {
 }
 
 void RandomForest::save(net::ByteWriter& w) const {
-  w.bytes(std::string("IRF1"));
+  w.bytes(std::string("IRF2"));
+  const std::size_t length_at = w.size();
+  w.u32be(0);  // payload length, patched below
+  const std::size_t payload_at = w.size();
   w.u32be(static_cast<std::uint32_t>(num_classes_));
   w.u32be(static_cast<std::uint32_t>(trees_.size()));
   for (const auto& tree : trees_) tree.save(w);
+  w.patch_u32be(length_at, static_cast<std::uint32_t>(w.size() - payload_at));
 }
 
 std::optional<RandomForest> RandomForest::load(net::ByteReader& r) {
-  auto magic = r.bytes(4);
-  if (!magic || (*magic)[0] != 'I' || (*magic)[1] != 'R' ||
-      (*magic)[2] != 'F' || (*magic)[3] != '1') {
+  if (!r.read_tag("IRF2")) return std::nullopt;
+  auto length = r.u32be();
+  if (!length) return std::nullopt;
+  auto payload = r.slice(*length);
+  if (!payload) return std::nullopt;
+  RandomForest forest;
+  auto num_classes = payload->u32be();
+  auto tree_count = payload->u32be();
+  // num_classes sizes per-leaf probability rows in the compiled engine;
+  // cap it so a crafted blob cannot demand a giant allocation, and
+  // require every member tree to agree with the forest (training
+  // guarantees it; serving assumes it).
+  if (!num_classes || !tree_count || *num_classes > 4096 ||
+      *tree_count > 100'000) {
     return std::nullopt;
   }
+  forest.num_classes_ = static_cast<int>(*num_classes);
+  forest.trees_.reserve(*tree_count);
+  for (std::uint32_t i = 0; i < *tree_count; ++i) {
+    auto tree = DecisionTree::load(*payload);
+    if (!tree || tree->num_classes() != forest.num_classes_) {
+      return std::nullopt;
+    }
+    forest.trees_.push_back(std::move(*tree));
+  }
+  // Bytes a newer writer appended after the trees are skipped: `payload`
+  // is a slice, so the caller's reader already sits past this record.
+  return forest;
+}
+
+std::optional<RandomForest> RandomForest::load_v0(net::ByteReader& r) {
+  if (!r.read_tag("IRF1")) return std::nullopt;
   RandomForest forest;
   auto num_classes = r.u32be();
   auto tree_count = r.u32be();
-  if (!num_classes || !tree_count || *tree_count > 100'000) {
+  if (!num_classes || !tree_count || *num_classes > 4096 ||
+      *tree_count > 100'000) {
     return std::nullopt;
   }
   forest.num_classes_ = static_cast<int>(*num_classes);
   forest.trees_.reserve(*tree_count);
   for (std::uint32_t i = 0; i < *tree_count; ++i) {
     auto tree = DecisionTree::load(r);
-    if (!tree) return std::nullopt;
+    if (!tree || tree->num_classes() != forest.num_classes_) {
+      return std::nullopt;
+    }
     forest.trees_.push_back(std::move(*tree));
   }
   return forest;

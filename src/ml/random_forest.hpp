@@ -68,11 +68,31 @@ class RandomForest {
     return trees_[i];
   }
 
-  /// Serializes the trained forest ("IRF1" tagged section).
+  /// Serializes the trained forest as a framed record: "IRF2" tag +
+  /// 32-bit payload length + payload (docs/FORMAT.md). The frame lets a
+  /// reader that does not understand the payload skip the whole record.
+  /// Never fails.
   void save(net::ByteWriter& w) const;
 
-  /// Reads a forest back; nullopt on malformed input.
+  /// Reads a framed "IRF2" record back. Payload bytes after the last
+  /// tree (fields appended by newer writers) are skipped, so appending
+  /// is a compatible format evolution.
+  ///
+  /// Error contract: returns nullopt on a wrong tag (cursor unmoved), a
+  /// truncated frame, or a malformed payload; never throws or crashes on
+  /// arbitrary input. On success the cursor sits exactly past the
+  /// record; on payload errors it sits past the frame's claimed extent.
+  /// Integrity checking is the container's job — a bit flip that yields
+  /// a structurally valid tree is NOT detected here (the IOTS1 envelope
+  /// CRCs reject it before this parser ever runs).
   static std::optional<RandomForest> load(net::ByteReader& r);
+
+  /// Reads the legacy unframed "IRF1" layout written before the IOTS1
+  /// container existed (v0 blobs, kept loadable for migration). Same
+  /// error contract as `load`, except that on payload errors the cursor
+  /// position is unspecified (the legacy format has no length prefix to
+  /// resynchronize on).
+  static std::optional<RandomForest> load_v0(net::ByteReader& r);
 
  private:
   std::vector<DecisionTree> trees_;

@@ -7,18 +7,25 @@
 // ByteWriter that appends to a growable buffer.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace iotsentinel::net {
 
 /// Immutable cursor over a byte span. All multi-byte reads are big-endian
-/// (network byte order). Every accessor is bounds-checked and returns
-/// std::nullopt on truncation; the cursor does not advance on failure.
+/// (network byte order) unless suffixed `le`.
+///
+/// Error contract: every accessor is bounds-checked. On truncation it
+/// returns std::nullopt (or false for `skip`/`read_tag`) and the cursor
+/// does NOT advance, so a failed read can be reported against the exact
+/// offset where the input ran out (`position()`). No accessor throws and
+/// none invokes undefined behaviour, whatever the input bytes.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -81,12 +88,48 @@ class ByteReader {
     return v;
   }
 
+  /// Reads an IEEE-754 binary32 stored big-endian (bit pattern, not a
+  /// textual encoding; NaN payloads round-trip).
+  std::optional<float> f32be() {
+    auto bits = u32be();
+    if (!bits) return std::nullopt;
+    return std::bit_cast<float>(*bits);
+  }
+
   /// Returns a view of the next n bytes and advances past them.
   std::optional<std::span<const std::uint8_t>> bytes(std::size_t n) {
     if (remaining() < n) return std::nullopt;
     auto view = data_.subspan(pos_, n);
     pos_ += n;
     return view;
+  }
+
+  /// Consumes a 4-byte ASCII tag iff it matches `expected` exactly.
+  /// Returns false — without advancing — on truncation or mismatch, so a
+  /// caller can probe for one of several record types at the same offset.
+  /// `expected.size()` must be 4.
+  bool read_tag(std::string_view expected) {
+    if (expected.size() != 4 || remaining() < 4) return false;
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (data_[pos_ + i] != static_cast<std::uint8_t>(expected[i]))
+        return false;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  /// Splits off a sub-reader over the next n bytes and advances past
+  /// them. This is the bounds-hardening primitive for length-prefixed
+  /// records: whatever a malformed length claims, the sub-reader can
+  /// never read outside its slice, and the parent resumes exactly at the
+  /// record boundary (unparsed trailing bytes inside the slice are
+  /// skipped — the forward-compatibility hook for fields appended by
+  /// newer writers). Nullopt (parent unmoved) when fewer than n bytes
+  /// remain.
+  std::optional<ByteReader> slice(std::size_t n) {
+    auto view = bytes(n);
+    if (!view) return std::nullopt;
+    return ByteReader(*view);
   }
 
   /// Advances the cursor by n bytes. Returns false (without moving) on
@@ -109,6 +152,11 @@ class ByteReader {
 
 /// Append-only builder for wire-format messages. Multi-byte writes are
 /// big-endian unless suffixed `le`.
+///
+/// Error contract: writes never fail (the buffer grows as needed; memory
+/// exhaustion surfaces as std::bad_alloc like any vector). The `patch_*`
+/// helpers are the only bounds-checked entry points — they throw
+/// std::out_of_range when the patched field was never written.
 class ByteWriter {
  public:
   ByteWriter() = default;
@@ -130,6 +178,10 @@ class ByteWriter {
     for (int shift = 24; shift >= 0; shift -= 8)
       buf_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
   }
+
+  /// Writes an IEEE-754 binary32 big-endian (bit pattern; inverse of
+  /// `ByteReader::f32be`).
+  void f32be(float v) { u32be(std::bit_cast<std::uint32_t>(v)); }
 
   void u16le(std::uint16_t v) {
     buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
@@ -159,6 +211,16 @@ class ByteWriter {
   void patch_u16be(std::size_t offset, std::uint16_t v) {
     buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
     buf_.at(offset + 1) = static_cast<std::uint8_t>(v & 0xff);
+  }
+
+  /// Overwrites a previously written 32-bit big-endian field in place
+  /// (length prefixes of framed records whose payload size is only known
+  /// after the payload is written).
+  void patch_u32be(std::size_t offset, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.at(offset + static_cast<std::size_t>(i)) =
+          static_cast<std::uint8_t>((v >> (24 - 8 * i)) & 0xff);
+    }
   }
 
   [[nodiscard]] std::size_t size() const { return buf_.size(); }

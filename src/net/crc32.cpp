@@ -1,0 +1,53 @@
+#include "net/crc32.hpp"
+
+#include <array>
+
+namespace iotsentinel::net {
+
+namespace {
+
+// Reflected CRC32C polynomial (bit-reversed 0x1EDC6F41).
+constexpr std::uint32_t kPolynomial = 0x82f63b78u;
+
+// Four 256-entry tables (slicing-by-4): table[0] is the classic
+// byte-at-a-time table, table[k][b] extends a byte k positions deeper so
+// the hot loop folds four input bytes per 32-bit register update.
+constexpr std::array<std::array<std::uint32_t, 256>, 4> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 4> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    tables[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    for (std::size_t k = 1; k < 4; ++k) {
+      tables[k][i] = (tables[k - 1][i] >> 8) ^ tables[0][tables[k - 1][i] & 0xff];
+    }
+  }
+  return tables;
+}
+
+constexpr auto kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  std::size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    crc ^= static_cast<std::uint32_t>(data[i]) |
+           (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+           (static_cast<std::uint32_t>(data[i + 2]) << 16) |
+           (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    crc = kTables[3][crc & 0xff] ^ kTables[2][(crc >> 8) & 0xff] ^
+          kTables[1][(crc >> 16) & 0xff] ^ kTables[0][crc >> 24];
+  }
+  for (; i < data.size(); ++i) {
+    crc = (crc >> 8) ^ kTables[0][(crc ^ data[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace iotsentinel::net

@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) over byte ranges.
+//
+// This is the integrity primitive of the IOTS1 model container
+// (docs/FORMAT.md): every section payload and the whole file carry a
+// CRC32C so that truncated or bit-flipped artifacts are rejected before
+// any structural parse runs. CRC32C detects all single-burst errors up
+// to 32 bits — in particular every single-byte corruption.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace iotsentinel::net {
+
+/// CRC32C of `data`. `seed` is a previous return value, allowing a large
+/// range to be checksummed in chunks:
+///   crc32c(whole) == crc32c(tail, crc32c(head)).
+/// The empty range returns `seed` unchanged (0 for the default seed).
+/// Never fails; any byte sequence has a well-defined checksum.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                                   std::uint32_t seed = 0);
+
+}  // namespace iotsentinel::net

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+
 namespace iotsentinel::net {
 namespace {
 
@@ -99,6 +102,53 @@ TEST(InternetChecksum, ValidatedMessageSumsToZero) {
   msg[10] = static_cast<std::uint8_t>(csum >> 8);
   msg[11] = static_cast<std::uint8_t>(csum & 0xff);
   EXPECT_EQ(internet_checksum(msg), 0);
+}
+
+TEST(ByteReader, ReadTagConsumesOnlyOnExactMatch) {
+  const std::uint8_t data[] = {'I', 'R', 'F', '2', 0x01};
+  ByteReader r(data);
+  EXPECT_FALSE(r.read_tag("IRF1"));
+  EXPECT_EQ(r.position(), 0u);  // mismatch leaves the cursor for a re-probe
+  EXPECT_TRUE(r.read_tag("IRF2"));
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_FALSE(r.read_tag("IRF2"));  // only one byte left: truncation
+  EXPECT_EQ(r.position(), 4u);
+}
+
+TEST(ByteReader, SliceBoundsSubReaderToItsRecord) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03, 0x04, 0x05};
+  ByteReader r(data);
+  auto sub = r.slice(3);
+  ASSERT_TRUE(sub.has_value());
+  // The parent already sits past the record, however much of the slice
+  // the sub-reader consumes.
+  EXPECT_EQ(r.position(), 3u);
+  EXPECT_EQ(sub->u16be(), 0x0102);
+  EXPECT_FALSE(sub->u16be().has_value());  // only 1 byte left in the slice
+  EXPECT_EQ(sub->u8(), 0x03);
+  EXPECT_FALSE(r.slice(3).has_value());  // 2 bytes remain in the parent
+  EXPECT_EQ(r.position(), 3u);
+}
+
+TEST(ByteReader, F32beRoundTripsBitPatterns) {
+  ByteWriter w;
+  w.f32be(1.5f);
+  w.f32be(-0.0f);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.f32be(), 1.5f);
+  auto neg_zero = r.f32be();
+  ASSERT_TRUE(neg_zero.has_value());
+  EXPECT_TRUE(std::signbit(*neg_zero));  // the bit pattern survives
+}
+
+TEST(ByteWriter, PatchU32beRewritesLengthPrefix) {
+  ByteWriter w;
+  w.u32be(0);
+  w.bytes(std::string("payload"));
+  w.patch_u32be(0, static_cast<std::uint32_t>(w.size() - 4));
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u32be(), 7u);
+  EXPECT_THROW(w.patch_u32be(w.size() - 2, 1), std::out_of_range);
 }
 
 }  // namespace

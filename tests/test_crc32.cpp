@@ -1,0 +1,68 @@
+// CRC32C against published test vectors (RFC 3720 appendix B.4) plus the
+// properties the IOTS1 container leans on: chunked computation and
+// guaranteed detection of single-byte corruption.
+#include "net/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "ml/rng.hpp"
+
+namespace iotsentinel::net {
+namespace {
+
+std::uint32_t crc_of(std::string_view s) {
+  return crc32c(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+TEST(Crc32c, KnownVectors) {
+  EXPECT_EQ(crc_of(""), 0x00000000u);
+  EXPECT_EQ(crc_of("a"), 0xc1d04330u);
+  EXPECT_EQ(crc_of("123456789"), 0xe3069283u);
+
+  const std::vector<std::uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(crc32c(zeros), 0x8a9136aau);
+  const std::vector<std::uint8_t> ones(32, 0xff);
+  EXPECT_EQ(crc32c(ones), 0x62a8ab43u);
+  std::vector<std::uint8_t> ascending(32);
+  for (std::size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<std::uint8_t>(i);
+  }
+  EXPECT_EQ(crc32c(ascending), 0x46dd794eu);
+}
+
+TEST(Crc32c, ChunkedComputationMatchesOneShot) {
+  std::vector<std::uint8_t> data(1027);  // odd size exercises the tail loop
+  ml::Rng rng(5);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+  }
+  const std::uint32_t whole = crc32c(data);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                            std::size_t{512}, data.size()}) {
+    const std::uint32_t head =
+        crc32c(std::span(data).subspan(0, split));
+    EXPECT_EQ(crc32c(std::span(data).subspan(split), head), whole)
+        << "split=" << split;
+  }
+}
+
+TEST(Crc32c, DetectsEverySingleByteCorruption) {
+  std::vector<std::uint8_t> data(257);
+  ml::Rng rng(6);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+  }
+  const std::uint32_t good = crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0xff;
+    EXPECT_NE(crc32c(data), good) << "flip at " << i;
+    data[i] ^= 0xff;
+  }
+}
+
+}  // namespace
+}  // namespace iotsentinel::net

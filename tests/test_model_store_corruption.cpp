@@ -1,0 +1,131 @@
+// Exhaustive corruption harness for the IOTS1 model container
+// (docs/FORMAT.md): starting from a real trained artifact, EVERY
+// single-byte flip and EVERY truncation length must be rejected with a
+// typed LoadError that names the failing structure — no crash, no
+// false-accept. The suite runs in the tier-1 ctest pass and, unfiltered,
+// under the `sanitize` preset, so "no crash" is backed by ASan + UBSan.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/model_store.hpp"
+#include "simnet/corpus.hpp"
+
+namespace iotsentinel {
+namespace {
+
+/// One small real artifact shared by the whole suite: trained forests,
+/// reference fingerprints, everything the production path serializes —
+/// just scaled down so the exhaustive sweeps stay fast under sanitizers.
+class ModelStoreCorruption : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto corpus =
+        sim::generate_corpus_for({"Aria", "HueBridge", "EdimaxCam"}, 4, 91);
+    core::IdentifierConfig config;
+    config.bank.forest.num_trees = 2;
+    config.references_per_type = 2;
+    core::DeviceIdentifier identifier(config);
+    identifier.train(corpus.type_names, corpus.by_type);
+    blob_ = new std::vector<std::uint8_t>(
+        core::serialize_identifier(identifier));
+  }
+
+  static void TearDownTestSuite() {
+    delete blob_;
+    blob_ = nullptr;
+  }
+
+  static const std::vector<std::uint8_t>& blob() { return *blob_; }
+
+ private:
+  static const std::vector<std::uint8_t>* blob_;
+};
+
+const std::vector<std::uint8_t>* ModelStoreCorruption::blob_ = nullptr;
+
+TEST_F(ModelStoreCorruption, PristineArtifactLoads) {
+  auto result = core::load_identifier(blob());
+  ASSERT_TRUE(result.has_value()) << core::describe(result.error());
+  EXPECT_EQ(result->num_types(), 3u);
+  EXPECT_EQ(result.error().kind, core::LoadError::Kind::kNone);
+}
+
+TEST_F(ModelStoreCorruption, EverySingleByteFlipIsRejectedAndNamed) {
+  std::vector<std::uint8_t> mutated = blob();
+  for (std::size_t i = 0; i < mutated.size(); ++i) {
+    mutated[i] ^= 0xff;
+    const auto result = core::load_identifier(mutated);
+    ASSERT_FALSE(result.has_value())
+        << "byte flip at offset " << i << " was accepted";
+    ASSERT_NE(result.error().kind, core::LoadError::Kind::kNone)
+        << "offset " << i;
+    ASSERT_FALSE(result.error().section.empty())
+        << "flip at offset " << i << " produced an unnamed failure";
+    mutated[i] ^= 0xff;
+  }
+  // The buffer must be pristine again — otherwise the sweep above tested
+  // double corruption.
+  EXPECT_TRUE(core::load_identifier(mutated).has_value());
+}
+
+TEST_F(ModelStoreCorruption, EveryTruncationLengthIsRejectedAndNamed) {
+  const auto& full = blob();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const auto result = core::load_identifier(
+        std::span<const std::uint8_t>(full.data(), len));
+    ASSERT_FALSE(result.has_value())
+        << "truncation to " << len << " bytes was accepted";
+    ASSERT_FALSE(result.error().section.empty())
+        << "truncation to " << len << " produced an unnamed failure";
+  }
+}
+
+TEST_F(ModelStoreCorruption, PayloadFlipsNameTheirSection) {
+  // The three v1 sections start right after the TOC (header 16 bytes,
+  // 3 entries x 24, TOC checksum 4) and appear in META/BANK/REFS order;
+  // a flip inside a payload must blame that payload's section, not just
+  // the file at large.
+  std::vector<std::uint8_t> mutated = blob();
+  const std::size_t payload_start = 16 + 3 * 24 + 4;
+  mutated[payload_start] ^= 0xff;  // first META byte
+  auto result = core::load_identifier(mutated);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, core::LoadError::Kind::kChecksumMismatch);
+  EXPECT_EQ(result.error().section, "META");
+  EXPECT_EQ(result.error().offset, payload_start);
+}
+
+TEST_F(ModelStoreCorruption, TruncationReportsTruncated) {
+  const auto& full = blob();
+  const auto result = core::load_identifier(
+      std::span<const std::uint8_t>(full.data(), full.size() - 1));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, core::LoadError::Kind::kTruncated);
+  EXPECT_EQ(result.error().section, "trailer");
+}
+
+TEST_F(ModelStoreCorruption, FutureFormatVersionIsRejectedTyped) {
+  std::vector<std::uint8_t> mutated = blob();
+  mutated[9] = 2;  // format version u16 at offset 8 -> version 2
+  const auto result = core::load_identifier(mutated);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind,
+            core::LoadError::Kind::kUnsupportedVersion);
+  EXPECT_EQ(result.error().section, "envelope");
+  EXPECT_EQ(result.error().offset, 8u);
+}
+
+TEST_F(ModelStoreCorruption, DescribeNamesKindSectionAndOffset) {
+  std::vector<std::uint8_t> mutated = blob();
+  mutated[0] ^= 0xff;
+  const auto result = core::load_identifier(mutated);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(core::describe(result.error()),
+            "bad-magic in section envelope at offset 0");
+}
+
+}  // namespace
+}  // namespace iotsentinel

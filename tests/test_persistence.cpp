@@ -1,16 +1,46 @@
 // Model-persistence round trips: tree, forest, bank and full identifier
-// must reload byte-for-byte behaviourally identical, and every loader
-// must reject corrupted input instead of crashing.
+// must reload byte-for-byte behaviourally identical, every loader must
+// reject corrupted input instead of crashing, and the committed golden
+// legacy blob pins the v0 migration path. The exhaustive corruption
+// sweeps live in test_model_store_corruption.cpp.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #include "core/model_store.hpp"
 #include "ml/random_forest.hpp"
+#include "net/crc32.hpp"
 #include "simnet/corpus.hpp"
 
 namespace iotsentinel {
 namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Identical identification behaviour on fresh probes of every type.
+void expect_equivalent(const core::DeviceIdentifier& a,
+                       const core::DeviceIdentifier& b,
+                       const std::vector<std::string>& type_names,
+                       std::uint64_t probe_seed) {
+  ASSERT_EQ(a.num_types(), b.num_types());
+  const auto probes = sim::generate_corpus_for(type_names, 3, probe_seed);
+  for (const auto& runs : probes.by_type) {
+    for (const auto& f : runs) {
+      const auto ra = a.identify(f);
+      const auto rb = b.identify(f);
+      EXPECT_EQ(ra.type_index, rb.type_index);
+      EXPECT_EQ(ra.candidates, rb.candidates);
+      EXPECT_EQ(ra.is_new_type, rb.is_new_type);
+      EXPECT_EQ(ra.used_discrimination, rb.used_discrimination);
+    }
+  }
+}
 
 ml::Dataset blob_data(std::uint64_t seed) {
   ml::Dataset d(4);
@@ -133,8 +163,335 @@ TEST(Persistence, FileRoundTrip) {
 }
 
 TEST(Persistence, MissingFileIsNullopt) {
-  EXPECT_FALSE(core::load_identifier_file("/nonexistent/model.bin")
-                   .has_value());
+  const auto result = core::load_identifier_file("/nonexistent/model.bin");
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, core::LoadError::Kind::kIoError);
+  EXPECT_EQ(result.error().section, "file");
+}
+
+TEST(Persistence, SaveLeavesNoTempFileAndReplacesAtomically) {
+  const auto corpus = sim::generate_corpus_for({"Aria"}, 6, 75);
+  core::DeviceIdentifier identifier;
+  identifier.train(corpus.type_names, corpus.by_type);
+
+  const std::string dir = ::testing::TempDir() + "/iots_atomic_dir";
+  std::filesystem::create_directory(dir);
+  const std::string path = dir + "/model.iots";
+  const auto only_the_artifact = [&] {
+    std::vector<std::string> names;
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      names.push_back(e.path().filename().string());
+    }
+    return names == std::vector<std::string>{"model.iots"};
+  };
+  ASSERT_TRUE(core::save_identifier_file(path, identifier));
+  EXPECT_TRUE(only_the_artifact())
+      << "temp files must not survive a successful save";
+  // Overwriting an existing artifact goes through the same tmp+rename.
+  ASSERT_TRUE(core::save_identifier_file(path, identifier));
+  EXPECT_TRUE(only_the_artifact());
+  auto loaded = core::load_identifier_file(path);
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(loaded.has_value()) << core::describe(loaded.error());
+  EXPECT_EQ(loaded->num_types(), 1u);
+}
+
+TEST(Persistence, SaveToUnwritableDirectoryFailsCleanly) {
+  const auto corpus = sim::generate_corpus_for({"Aria"}, 4, 76);
+  core::DeviceIdentifier identifier;
+  identifier.train(corpus.type_names, corpus.by_type);
+  EXPECT_FALSE(
+      core::save_identifier_file("/nonexistent/dir/model.bin", identifier));
+}
+
+TEST(Persistence, SavePreservesStricterPermissionsOfExistingArtifact) {
+  const auto corpus = sim::generate_corpus_for({"Aria"}, 4, 79);
+  core::DeviceIdentifier identifier;
+  identifier.train(corpus.type_names, corpus.by_type);
+
+  const std::string path = ::testing::TempDir() + "/iots_mode.bin";
+  ASSERT_TRUE(core::save_identifier_file(path, identifier));
+  std::filesystem::permissions(path, std::filesystem::perms::owner_read |
+                                         std::filesystem::perms::owner_write);
+  ASSERT_TRUE(core::save_identifier_file(path, identifier));
+  const auto mode = std::filesystem::status(path).permissions();
+  std::remove(path.c_str());
+  EXPECT_EQ(mode, std::filesystem::perms::owner_read |
+                      std::filesystem::perms::owner_write)
+      << "re-save must not loosen an operator-tightened artifact mode";
+}
+
+// ---- crafted-blob hardening: structural bounds beyond the checksums ----
+
+TEST(Persistence, ForestLoadRejectsAbsurdClassCount) {
+  // Checksums only catch *accidental* corruption; a crafted record with
+  // a huge num_classes must fail structural validation, not allocate.
+  net::ByteWriter w;
+  w.bytes(std::string("IRF2"));
+  w.u32be(8);           // payload length
+  w.u32be(0x7fffffff);  // num_classes
+  w.u32be(0);           // tree_count
+  net::ByteReader r(w.data());
+  EXPECT_FALSE(ml::RandomForest::load(r).has_value());
+}
+
+TEST(Persistence, TreeLoadRejectsOutOfRangeSplitFeature) {
+  // An internal node whose split feature exceeds the feature dimension
+  // (recorded by the importances array) would read out of bounds at
+  // serve time; the loader must reject it.
+  const auto craft = [](std::uint32_t feature) {
+    net::ByteWriter w;
+    w.u32be(2);  // num_classes
+    w.u32be(2);  // num_importances == feature dimension
+    w.f32be(0.5f);
+    w.f32be(0.5f);
+    w.u32be(3);  // node_count: one split, two leaves
+    w.u32be(feature);
+    w.f32be(1.0f);
+    w.u32be(1);  // left
+    w.u32be(2);  // right
+    w.u32be(0);  // counts: internal nodes store no histogram
+    for (int leaf = 0; leaf < 2; ++leaf) {
+      w.u32be(0xffffffff);  // feature (unused in leaves)
+      w.f32be(0.0f);
+      w.u32be(0xffffffff);  // left = -1
+      w.u32be(0xffffffff);  // right = -1
+      w.u32be(2);           // counts
+      w.u32be(leaf == 0 ? 3u : 0u);
+      w.u32be(leaf == 0 ? 0u : 3u);
+    }
+    return w.take();
+  };
+  const auto good = craft(1);
+  net::ByteReader rg(good);
+  EXPECT_TRUE(ml::DecisionTree::load(rg).has_value());
+  const auto bad = craft(2);  // == feature dimension: out of range
+  net::ByteReader rb(bad);
+  EXPECT_FALSE(ml::DecisionTree::load(rb).has_value());
+}
+
+// ---- golden legacy fixture: the committed v0 blob stays loadable ----
+
+TEST(Persistence, GoldenLegacyV0FixtureMigratesBitIdentically) {
+  const auto fixture =
+      read_file(std::string(IOTSENTINEL_TEST_DATA_DIR) + "/model_v0_legacy.bin");
+  ASSERT_FALSE(fixture.empty()) << "fixture missing from tests/data";
+  ASSERT_EQ(fixture[0], 'I');  // legacy blobs are bare "IID1" records
+
+  auto legacy = core::load_identifier(fixture);
+  ASSERT_TRUE(legacy.has_value()) << core::describe(legacy.error());
+  EXPECT_EQ(legacy->num_types(), 2u);
+  EXPECT_EQ(legacy->bank().type_name(0), "Aria");
+  EXPECT_EQ(legacy->bank().type_name(1), "HueBridge");
+  EXPECT_EQ(legacy->config().references_per_type, 2u);
+  EXPECT_EQ(legacy->references(0).size(), 2u);
+
+  // Migration is one re-save: serialize to IOTS1, reload, and require the
+  // reload to re-serialize bit-identically — the loader lost nothing.
+  const auto migrated = core::serialize_identifier(*legacy);
+  auto reloaded = core::load_identifier(migrated);
+  ASSERT_TRUE(reloaded.has_value()) << core::describe(reloaded.error());
+  EXPECT_EQ(core::serialize_identifier(*reloaded), migrated);
+  expect_equivalent(*legacy, *reloaded, {"Aria", "HueBridge"}, 42);
+}
+
+TEST(Persistence, LegacyBlobWithTrailingBytesIsTypedTrailingData) {
+  auto fixture =
+      read_file(std::string(IOTSENTINEL_TEST_DATA_DIR) + "/model_v0_legacy.bin");
+  ASSERT_FALSE(fixture.empty());
+  fixture.push_back(0x00);
+  const auto result = core::load_identifier(fixture);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, core::LoadError::Kind::kTrailingData);
+  EXPECT_EQ(result.error().section, "IID1");
+}
+
+// ---- forward compatibility ----
+
+/// Rebuilds an IOTS1 container with one extra (unknown to this reader)
+/// section appended, recomputing the TOC, its checksum and the trailer —
+/// the blob a future writer with an additional section would produce.
+std::vector<std::uint8_t> with_extra_section(
+    const std::vector<std::uint8_t>& blob, const std::string& tag,
+    const std::vector<std::uint8_t>& extra) {
+  const std::span<const std::uint8_t> bytes(blob);
+  net::ByteReader r(bytes);
+  EXPECT_TRUE(r.skip(12));
+  const std::uint32_t count = r.u32be().value();
+  const std::size_t old_toc_size = 16 + count * 24 + 4;
+  const std::size_t payloads_begin = old_toc_size;
+  const std::size_t payloads_end = blob.size() - 16;  // trailer is 16 bytes
+  const std::size_t shift = 24;  // one more TOC entry
+
+  net::ByteWriter w;
+  w.bytes(bytes.subspan(0, 12));  // magic + version + flags
+  w.u32be(count + 1);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t at = 16 + i * 24;
+    w.bytes(bytes.subspan(at, 4));  // tag
+    net::ByteReader entry(bytes.subspan(at + 4, 8));
+    w.u64be(entry.u64be().value() + shift);
+    w.bytes(bytes.subspan(at + 12, 12));  // length + crc
+  }
+  w.bytes(tag);
+  w.u64be(payloads_end + shift);  // appended after the existing payloads
+  w.u64be(extra.size());
+  w.u32be(net::crc32c(extra));
+  w.u32be(net::crc32c(w.data()));  // TOC checksum
+  w.bytes(bytes.subspan(payloads_begin, payloads_end - payloads_begin));
+  w.bytes(extra);
+  w.bytes(std::string("IOTE"));
+  w.u64be(w.size() + 12);
+  w.u32be(net::crc32c(w.data()));
+  return w.take();
+}
+
+TEST(Persistence, UnknownSectionsAreVerifiedThenSkipped) {
+  const auto corpus = sim::generate_corpus_for({"Aria", "HueBridge"}, 6, 77);
+  core::DeviceIdentifier identifier;
+  identifier.train(corpus.type_names, corpus.by_type);
+  const auto blob = core::serialize_identifier(identifier);
+
+  const std::vector<std::uint8_t> extra = {1, 2, 3, 4, 5};
+  auto future = with_extra_section(blob, "XTRA", extra);
+  auto loaded = core::load_identifier(future);
+  ASSERT_TRUE(loaded.has_value()) << core::describe(loaded.error());
+  expect_equivalent(identifier, *loaded, {"Aria", "HueBridge"}, 43);
+
+  // Skippable does not mean unchecked: a corrupt unknown section is
+  // still named by its own tag.
+  auto corrupt = future;
+  corrupt[future.size() - 16 - 2] ^= 0xff;  // inside XTRA's payload
+  const auto rejected = core::load_identifier(corrupt);
+  ASSERT_FALSE(rejected.has_value());
+  EXPECT_EQ(rejected.error().kind, core::LoadError::Kind::kChecksumMismatch);
+  EXPECT_EQ(rejected.error().section, "XTRA");
+}
+
+TEST(Persistence, FramedForestSkipsBytesAppendedByNewerWriters) {
+  const ml::Dataset d = blob_data(3);
+  ml::RandomForest forest;
+  forest.train(d, {.num_trees = 4, .seed = 11});
+  net::ByteWriter w;
+  forest.save(w);
+  const auto record = w.data();
+
+  // A future writer appends a field after the trees and grows the length
+  // prefix; this reader must parse the trees and skip the rest.
+  net::ByteWriter future;
+  net::ByteReader r(record);
+  EXPECT_TRUE(r.read_tag("IRF2"));
+  const std::uint32_t length = r.u32be().value();
+  future.bytes(std::string("IRF2"));
+  future.u32be(length + 8);
+  future.bytes(r.peek_rest());
+  future.pad(8, 0xab);
+  future.bytes(std::string("NEXT"));  // a following record
+
+  net::ByteReader fr(future.data());
+  auto loaded = ml::RandomForest::load(fr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->tree_count(), forest.tree_count());
+  EXPECT_TRUE(fr.read_tag("NEXT"))
+      << "reader must resynchronize at the frame boundary";
+}
+
+/// Recomputes every checksum (per-section, TOC, whole-file) of an IOTS1
+/// blob in place — lets a test alter payload semantics and prove the
+/// loader's *structural* validation, not just its CRCs.
+void refresh_checksums(std::vector<std::uint8_t>& blob) {
+  const auto patch32 = [&](std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      blob[at + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((v >> (24 - 8 * i)) & 0xff);
+    }
+  };
+  net::ByteReader header(blob);
+  EXPECT_TRUE(header.skip(12));
+  const std::uint32_t count = header.u32be().value();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t at = 16 + i * 24;
+    net::ByteReader entry(std::span<const std::uint8_t>(blob).subspan(at + 4));
+    const auto offset = entry.u64be().value();
+    const auto length = entry.u64be().value();
+    patch32(at + 20, net::crc32c(std::span<const std::uint8_t>(blob).subspan(
+                         offset, length)));
+  }
+  const std::size_t toc_crc_at = 16 + count * 24;
+  patch32(toc_crc_at, net::crc32c(std::span<const std::uint8_t>(blob).subspan(
+                          0, toc_crc_at)));
+  patch32(blob.size() - 4,
+          net::crc32c(std::span<const std::uint8_t>(blob).subspan(
+              0, blob.size() - 4)));
+}
+
+TEST(Persistence, MetaBankConfigDivergenceIsRejected) {
+  const auto corpus = sim::generate_corpus_for({"Aria"}, 6, 78);
+  core::DeviceIdentifier identifier;
+  identifier.train(corpus.type_names, corpus.by_type);
+  auto blob = core::serialize_identifier(identifier);
+
+  // META starts right after the TOC (3 sections); its num_trees field is
+  // 16 bytes in. Bump it and make every checksum valid again — only the
+  // META/BANK cross-check can reject this artifact now.
+  const std::size_t meta_num_trees_at = (16 + 3 * 24 + 4) + 16;
+  blob[meta_num_trees_at + 3] ^= 0x01;
+  refresh_checksums(blob);
+  const auto result = core::load_identifier(blob);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, core::LoadError::Kind::kSectionParse);
+  EXPECT_EQ(result.error().section, "META");
+
+  // Sanity: refresh_checksums alone keeps a pristine blob loadable.
+  blob[meta_num_trees_at + 3] ^= 0x01;
+  refresh_checksums(blob);
+  EXPECT_TRUE(core::load_identifier(blob).has_value());
+}
+
+// ---- the documented tiny artifact (docs/FORMAT.md worked example) ----
+
+/// The exact bytes of the docs/FORMAT.md worked example: an untrained
+/// identifier with default configuration. The doc's hex dump must stay
+/// in lockstep with this constant.
+constexpr const char* kFormatDocHex =
+    "89 49 4f 54 53 31 0d 0a 00 01 00 00 00 00 00 03\n"
+    "4d 45 54 41 00 00 00 00 00 00 00 5c 00 00 00 00\n"
+    "00 00 00 24 27 3e ba a1 42 41 4e 4b 00 00 00 00\n"
+    "00 00 00 80 00 00 00 00 00 00 00 20 0c 37 b2 24\n"
+    "52 45 46 53 00 00 00 00 00 00 00 a0 00 00 00 00\n"
+    "00 00 00 04 48 67 4b c7 9f 20 ff c5 00 00 00 05\n"
+    "00 00 00 0c 00 00 00 00 00 00 00 17 00 00 00 1e\n"
+    "41 20 00 00 3f 00 00 00 00 00 00 00 00 00 00 11\n"
+    "49 42 4b 32 00 00 00 18 00 00 00 1e 41 20 00 00\n"
+    "3f 00 00 00 00 00 00 00 00 00 00 11 00 00 00 00\n"
+    "00 00 00 00 49 4f 54 45 00 00 00 00 00 00 00 b4\n"
+    "4c b4 ba 8b\n";
+
+TEST(Persistence, Iots1TinyArtifactMatchesDocumentedHexDump) {
+  const core::DeviceIdentifier identifier;  // default config, no types
+  const auto blob = core::serialize_identifier(identifier);
+
+  const char* expected_hex = kFormatDocHex;
+  std::vector<std::uint8_t> expected;
+  for (const char* p = expected_hex; p[0] && p[1];) {
+    if (p[0] == ' ' || p[0] == '\n') {
+      ++p;
+      continue;
+    }
+    auto nibble = [](char c) {
+      return static_cast<std::uint8_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+    };
+    expected.push_back(
+        static_cast<std::uint8_t>((nibble(p[0]) << 4) | nibble(p[1])));
+    p += 2;
+  }
+  EXPECT_EQ(blob, expected)
+      << "serialize_identifier bytes diverged from the docs/FORMAT.md "
+         "worked example — update the spec and this constant together";
+
+  auto loaded = core::load_identifier(blob);
+  ASSERT_TRUE(loaded.has_value()) << core::describe(loaded.error());
+  EXPECT_EQ(loaded->num_types(), 0u);
 }
 
 }  // namespace

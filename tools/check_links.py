@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Markdown link checker for intra-repo links.
+
+Scans the given markdown files (or the repo's default doc set) for
+inline links/images and verifies that every relative target exists on
+disk. External links (http/https/mailto) are not fetched. Exits
+non-zero listing every dead link, so CI fails when docs rot.
+
+Usage: tools/check_links.py [file-or-dir ...]
+"""
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TARGETS = ["README.md", "ROADMAP.md", "docs"]
+
+# Inline links/images: [text](target) — after code has been stripped.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+
+
+def markdown_files(targets):
+    """Returns (files, errors): a missing or non-markdown explicit target
+    is an error — a renamed README must fail the gate, not hollow it out."""
+    files, errors = [], []
+    for target in targets:
+        path = (REPO_ROOT / target).resolve()
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix == ".md" and path.exists():
+            files.append(path)
+        else:
+            errors.append(target)
+    return files, errors
+
+
+def links_in(path):
+    """Yields (line_number, target) for every inline link outside code."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(INLINE_CODE_RE.sub("", line)):
+            yield lineno, match.group(1)
+
+
+def check_file(path):
+    dead = []
+    for lineno, target in links_in(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        # Intra-document anchors can't be resolved without rendering
+        # heading ids; only file existence is checked.
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            dead.append((lineno, target))
+        elif REPO_ROOT not in resolved.parents and resolved != REPO_ROOT:
+            dead.append((lineno, f"{target} (escapes the repository)"))
+    return dead
+
+
+def main():
+    targets = sys.argv[1:] or DEFAULT_TARGETS
+    files, errors = markdown_files(targets)
+    failures = 0
+    checked = 0
+    for target in errors:
+        print(f"MISSING TARGET {target}: not a markdown file or directory")
+        failures += 1
+    for md in files:
+        checked += 1
+        name = md.relative_to(REPO_ROOT) if md.is_relative_to(REPO_ROOT) else md
+        for lineno, target in check_file(md):
+            print(f"DEAD LINK {name}:{lineno}: {target}")
+            failures += 1
+    print(f"checked {checked} markdown file(s): "
+          f"{failures} problem(s)" if failures else
+          f"checked {checked} markdown file(s): all intra-repo links resolve")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
