@@ -41,8 +41,15 @@ namespace {
 
 using namespace iotsentinel;
 
-/// Devices onboarding in the replayed trace (catalog types, round-robin).
-constexpr std::uint32_t kNumDevices = 768;
+/// Setup dialogues per catalog type in the onboarding trace; the device
+/// count is derived from the loaded roster (kTypeMultiplier x number of
+/// types) instead of a magic total, so the workload tracks catalog edits.
+constexpr std::uint32_t kTypeMultiplier = 28;
+
+std::uint32_t num_trace_devices() {
+  return kTypeMultiplier *
+         static_cast<std::uint32_t>(sim::device_catalog().size());
+}
 
 core::IoTSecurityService make_service(const sim::FingerprintCorpus& corpus) {
   core::DeviceIdentifier identifier(bench::paper_identifier_config());
@@ -51,12 +58,13 @@ core::IoTSecurityService make_service(const sim::FingerprintCorpus& corpus) {
                                   core::VulnerabilityDb::with_sample_data());
 }
 
-/// One mixed capture: kNumDevices setup dialogues in staggered onboarding
-/// waves, merged into a single timestamp-ordered frame stream.
+/// One mixed capture: setup dialogues for every catalog type in staggered
+/// onboarding waves, merged into a single timestamp-ordered frame stream.
 std::vector<sim::TimedFrame> make_trace() {
   const auto& catalog = sim::device_catalog();
   std::vector<sim::TimedFrame> trace;
-  for (std::uint32_t d = 0; d < kNumDevices; ++d) {
+  const std::uint32_t num_devices = num_trace_devices();
+  for (std::uint32_t d = 0; d < num_devices; ++d) {
     const sim::DeviceProfile& profile = catalog[d % catalog.size()];
     sim::GeneratorConfig config;
     config.start_time_us = (d % 16) * 500'000;  // 16 overlapping waves

@@ -1,0 +1,14 @@
+# Wraps a text file into a C++ source via a raw-string-literal template.
+# Usage:
+#   cmake -DEMBED_INPUT=<file> -DEMBED_TEMPLATE=<in> -DEMBED_OUTPUT=<cpp>
+#         -P embed_text.cmake
+# The template references the file content as @IOTSENTINEL_EMBED_TEXT@
+# inside a R"iotsentinel(...)iotsentinel" literal, so the input must not
+# contain the delimiter sequence `)iotsentinel"` (enforced here).
+file(READ "${EMBED_INPUT}" IOTSENTINEL_EMBED_TEXT)
+string(FIND "${IOTSENTINEL_EMBED_TEXT}" ")iotsentinel\"" _delim_pos)
+if(NOT _delim_pos EQUAL -1)
+  message(FATAL_ERROR
+    "${EMBED_INPUT} contains the raw-string delimiter ')iotsentinel\"'")
+endif()
+configure_file("${EMBED_TEMPLATE}" "${EMBED_OUTPUT}" @ONLY)

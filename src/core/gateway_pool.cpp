@@ -82,9 +82,55 @@ void ShardedGateway::submit(std::span<const std::uint8_t> frame,
   assert(!finished_);
   Shard& shard = *shards_[shard_of(src_mac_of_frame(frame))];
   FrameRef ref{timestamp_us, frame.data(),
-               static_cast<std::uint32_t>(frame.size())};
+               static_cast<std::uint32_t>(frame.size()), {}};
+  enqueue(shard, std::move(ref));
+}
+
+void ShardedGateway::submit_owned(net::Bytes frame,
+                                  std::uint64_t timestamp_us) {
+  assert(!finished_);
+  Shard& shard = *shards_[shard_of(src_mac_of_frame(frame))];
+  FrameRef ref;
+  ref.timestamp_us = timestamp_us;
+  ref.owned = std::move(frame);
+  ref.data = ref.owned.data();
+  ref.size = static_cast<std::uint32_t>(ref.owned.size());
+  enqueue(shard, std::move(ref));
+}
+
+void ShardedGateway::enqueue(Shard& shard, FrameRef ref) {
   Backoff backoff;
-  while (!shard.frames.try_push(std::move(ref))) backoff.wait();
+  bool stalled = false;
+  while (!shard.frames.try_push(std::move(ref))) {
+    stalled = true;
+    backoff.wait();
+  }
+  if (stalled) {
+    shard.submit_stalls.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Single ingest thread: a plain read-modify-write max is race-free.
+  const auto occupancy = static_cast<std::uint64_t>(shard.frames.size());
+  if (occupancy > shard.ring_high_water.load(std::memory_order_relaxed)) {
+    shard.ring_high_water.store(occupancy, std::memory_order_relaxed);
+  }
+}
+
+ShardedGateway::Stats ShardedGateway::stats() const {
+  Stats stats;
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.frames_processed = shard->packets.load(std::memory_order_relaxed);
+    s.submit_stalls = shard->submit_stalls.load(std::memory_order_relaxed);
+    s.ring_high_water = shard->ring_high_water.load(std::memory_order_relaxed);
+    s.ring_capacity = shard->frames.capacity();
+    s.flows_expired = shard->flows_expired.load(std::memory_order_relaxed);
+    stats.frames_processed += s.frames_processed;
+    stats.submit_stalls += s.submit_stalls;
+    stats.flows_expired += s.flows_expired;
+    stats.shards.push_back(s);
+  }
+  return stats;
 }
 
 void ShardedGateway::finish() {
@@ -108,7 +154,18 @@ void ShardedGateway::process_frame(Shard& shard, const FrameRef& frame) {
   shard.tracker.observe(pkt, bytes);
   shard.extractor.observe(pkt);
   shard.data_plane.process(pkt, frame.timestamp_us);
-  ++shard.packets;
+  shard.packets.fetch_add(1, std::memory_order_relaxed);
+  // The serial gateway expires idle flows on every frame; here a strided
+  // sweep keeps the amortised cost negligible while still bounding the
+  // table by the live-flow population on long streaming runs.
+  if (++shard.frames_since_expiry >= kExpiryStride) {
+    shard.frames_since_expiry = 0;
+    const std::size_t removed =
+        shard.data_plane.expire_flows(frame.timestamp_us);
+    if (removed > 0) {
+      shard.flows_expired.fetch_add(removed, std::memory_order_relaxed);
+    }
+  }
   if (config_.record_frame_log) {
     shard.frame_log.push_back({frame.timestamp_us, pkt.src_mac});
   }

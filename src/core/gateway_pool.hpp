@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "core/device_tracker.hpp"
+#include "net/builder.hpp"
 #include "core/security_gateway.hpp"
 #include "core/security_service.hpp"
 #include "core/spsc_ring.hpp"
@@ -97,6 +98,14 @@ class ShardedGateway {
   /// `finish()`.
   void submit(std::span<const std::uint8_t> frame, std::uint64_t timestamp_us);
 
+  /// Like `submit`, but takes ownership of the frame bytes: the buffer
+  /// rides the ring and is freed by the worker after processing. This is
+  /// the entry point for streaming sources (e.g. the fleet simulator)
+  /// that produce each frame once and keep no trace behind — memory in
+  /// flight is bounded by the ring capacities instead of the stream
+  /// length. Same single-ingest-thread and backpressure contract.
+  void submit_owned(net::Bytes frame, std::uint64_t timestamp_us);
+
   /// Drains the pipeline: workers force-complete in-progress captures
   /// (the serial gateway's `finish_pending_captures`), the classifier
   /// scores every straggler, all verdicts are applied, and every thread
@@ -110,6 +119,32 @@ class ShardedGateway {
   }
 
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+  /// Backpressure observability. All counters are monotonic and read
+  /// with relaxed atomics, so the snapshot is safe (and cheap) to take
+  /// while the pipeline is running — the numbers lag the hot paths by at
+  /// most a cache-coherency hop.
+  struct ShardStats {
+    /// Frames this shard's worker has fully processed.
+    std::uint64_t frames_processed = 0;
+    /// submit/submit_owned calls that found this shard's ring full and
+    /// had to spin (one count per stalled frame, however long the wait).
+    std::uint64_t submit_stalls = 0;
+    /// Highest frame-ring occupancy ever observed at submit time.
+    std::uint64_t ring_high_water = 0;
+    /// The ring's actual (power-of-two) capacity, for context.
+    std::uint64_t ring_capacity = 0;
+    /// Idle flow entries evicted by the worker's periodic expiry sweep.
+    std::uint64_t flows_expired = 0;
+  };
+  struct Stats {
+    std::vector<ShardStats> shards;
+    /// Sums over all shards, for quick dashboards.
+    std::uint64_t frames_processed = 0;
+    std::uint64_t submit_stalls = 0;
+    std::uint64_t flows_expired = 0;
+  };
+  [[nodiscard]] Stats stats() const;
 
   /// Identification events so far (copy — safe to call while running).
   [[nodiscard]] std::vector<GatewayEvent> events() const;
@@ -133,7 +168,7 @@ class ShardedGateway {
   }
   /// Frames a shard processed.
   [[nodiscard]] std::uint64_t shard_packets(std::size_t shard) const {
-    return shards_[shard]->packets;
+    return shards_[shard]->packets.load(std::memory_order_relaxed);
   }
 
   /// One processed frame, in shard processing order (recorded only when
@@ -151,12 +186,16 @@ class ShardedGateway {
   }
 
  private:
-  /// A frame in flight between the ingest thread and a worker. Borrowed
-  /// bytes — see `submit`'s lifetime contract.
+  /// A frame in flight between the ingest thread and a worker. Bytes are
+  /// either borrowed (`submit`'s lifetime contract, `owned` empty) or
+  /// carried by `owned` (`submit_owned`), in which case `data` points
+  /// into it — moving a vector never relocates its heap buffer, so the
+  /// pointer stays valid while the ref rides the ring.
   struct FrameRef {
     std::uint64_t timestamp_us = 0;
     const std::uint8_t* data = nullptr;
     std::uint32_t size = 0;
+    net::Bytes owned;
   };
 
   /// Post-verdict message routed from the classifier thread back to the
@@ -187,16 +226,27 @@ class ShardedGateway {
     fp::SetupCaptureExtractor extractor;
     DeviceTracker tracker;
     sdn::SoftwareSwitch data_plane;
-    std::uint64_t packets = 0;
+    /// Monotonic counters behind stats(). `packets` is bumped by the
+    /// worker; the stall/high-water pair only by the ingest thread.
+    std::atomic<std::uint64_t> packets{0};
+    std::atomic<std::uint64_t> submit_stalls{0};
+    std::atomic<std::uint64_t> ring_high_water{0};
+    std::atomic<std::uint64_t> flows_expired{0};
+    /// Worker-thread-only stride counter for the periodic expiry sweep.
+    std::uint64_t frames_since_expiry = 0;
     std::vector<FrameLogEntry> frame_log;
     std::thread thread;
   };
 
   static constexpr std::size_t kVerdictRingCapacity = 256;
+  /// Frames between a worker's idle-flow expiry sweeps.
+  static constexpr std::uint64_t kExpiryStride = 1024;
 
   void worker_loop(Shard& shard);
   void classifier_loop();
   void process_frame(Shard& shard, const FrameRef& frame);
+  /// Shared backpressure path of submit/submit_owned.
+  void enqueue(Shard& shard, FrameRef ref);
   bool drain_verdicts(Shard& shard);
   void apply_verdict(const PendingCapture& capture,
                      const ServiceVerdict& verdict);

@@ -1,5 +1,8 @@
 // Fingerprint corpus generation: the simulated counterpart of the paper's
-// dataset of 540 fingerprints (27 device-types x 20 setup captures).
+// dataset — one fingerprint per (roster type, setup capture) pair, i.e.
+// device_catalog().size() x runs_per_type. With the shipped Table II
+// roster and the paper's 20 captures per type that reproduces the
+// original 540-fingerprint corpus.
 #pragma once
 
 #include <cstdint>

@@ -1,640 +1,46 @@
 #include "simnet/device_catalog.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 
 namespace iotsentinel::sim {
+
+/// Defined by the generated roster_data.cpp (the embedded copy of
+/// config/roster_table2.roster).
+extern const char* const kDefaultRosterText;
+
 namespace {
 
-using net::Ipv4Address;
-
-// Stable fake cloud endpoints, one subnet per vendor. Addresses only need
-// to be non-RFC1918 so the enforcement layer treats them as Internet.
-constexpr Ipv4Address kFitbitCloud = Ipv4Address::of(104, 16, 1, 10);
-constexpr Ipv4Address kHomematicCloud = Ipv4Address::of(104, 17, 2, 20);
-constexpr Ipv4Address kWithingsCloud = Ipv4Address::of(104, 18, 3, 30);
-constexpr Ipv4Address kMaxCloud = Ipv4Address::of(104, 19, 4, 40);
-constexpr Ipv4Address kHueCloud = Ipv4Address::of(104, 20, 5, 50);
-constexpr Ipv4Address kEdnetCloud = Ipv4Address::of(104, 21, 6, 60);
-constexpr Ipv4Address kEdimaxCloud = Ipv4Address::of(104, 22, 7, 70);
-constexpr Ipv4Address kOsramCloud = Ipv4Address::of(104, 23, 8, 80);
-constexpr Ipv4Address kWemoCloud = Ipv4Address::of(104, 24, 9, 90);
-constexpr Ipv4Address kDlinkCloud = Ipv4Address::of(104, 25, 10, 100);
-constexpr Ipv4Address kTplinkCloud = Ipv4Address::of(104, 26, 11, 110);
-constexpr Ipv4Address kSmarterCloud = Ipv4Address::of(104, 27, 12, 120);
-constexpr Ipv4Address kPoolNtp = Ipv4Address::of(94, 130, 49, 186);
-
-/// Common WiFi join preamble: WPA2 handshake, DHCP, ARP announcement.
-std::vector<SetupStep> wifi_join() {
-  return {
-      {.kind = StepKind::kEapolHandshake, .gap_ms = 20},
-      {.kind = StepKind::kDhcpExchange, .repeat = 1, .repeat_jitter = 1,
-       .gap_ms = 120},
-      {.kind = StepKind::kArpAnnounce, .gap_ms = 60},
-      {.kind = StepKind::kArpGateway, .gap_ms = 40},
-  };
-}
-
-/// Ethernet join preamble: no EAPoL, straight to DHCP.
-std::vector<SetupStep> ethernet_join() {
-  return {
-      {.kind = StepKind::kDhcpExchange, .repeat = 1, .repeat_jitter = 1,
-       .gap_ms = 100},
-      {.kind = StepKind::kArpAnnounce, .gap_ms = 50},
-      {.kind = StepKind::kArpGateway, .gap_ms = 40},
-  };
-}
-
-void append(std::vector<SetupStep>& dst, std::vector<SetupStep> extra) {
-  for (auto& s : extra) dst.push_back(std::move(s));
-}
-
-/// The shared script of the confusable D-Link HNAP sensor platform
-/// (water sensor / siren / motion sensor — identical HW and FW).
-std::vector<SetupStep> dlink_sensor_platform() {
-  std::vector<SetupStep> steps = wifi_join();
-  append(steps, {
-      {.kind = StepKind::kIpv6RouterSolicit, .gap_ms = 30},
-      {.kind = StepKind::kMldReport, .gap_ms = 25},
-      {.kind = StepKind::kDnsQuery, .host = "mp-device.auto.mydlink.com",
-       .repeat = 1, .repeat_jitter = 1, .gap_ms = 90},
-      {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .repeat = 1,
-       .gap_ms = 70},
-      {.kind = StepKind::kSsdpNotify, .host = "dlink-hnap", .repeat = 2,
-       .repeat_jitter = 1, .gap_ms = 110},
-      {.kind = StepKind::kHttpsCloudCheck, .host = "mp-device.auto.mydlink.com",
-       .remote = kDlinkCloud, .gap_ms = 160},
-      {.kind = StepKind::kHttpCloudCheck, .host = "wpad.local",
-       .path = "/HNAP1/", .remote = kDlinkCloud, .skip_prob = 0.35,
-       .gap_ms = 120},
-  });
-  return steps;
-}
-
-/// The shared script of the TP-Link HS1xx smart-plug platform.
-std::vector<SetupStep> tplink_plug_platform() {
-  std::vector<SetupStep> steps = wifi_join();
-  append(steps, {
-      {.kind = StepKind::kDnsQuery, .host = "devs.tplinkcloud.com",
-       .repeat = 2, .gap_ms = 80},
-      {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .repeat = 2,
-       .repeat_jitter = 1, .gap_ms = 60},
-      {.kind = StepKind::kTcpConnect, .remote = kTplinkCloud, .port = 50443,
-       .gap_ms = 130},
-      {.kind = StepKind::kHttpsCloudCheck, .host = "devs.tplinkcloud.com",
-       .remote = kTplinkCloud, .gap_ms = 140},
-      {.kind = StepKind::kIcmpPing, .remote = kTplinkCloud, .skip_prob = 0.4,
-       .gap_ms = 90},
-  });
-  return steps;
-}
-
-/// The shared script of the Edimax SP-x101W smart-plug platform.
-std::vector<SetupStep> edimax_plug_platform() {
-  std::vector<SetupStep> steps = wifi_join();
-  append(steps, {
-      {.kind = StepKind::kDnsQuery, .host = "mycloud.edimax.com",
-       .repeat = 1, .repeat_jitter = 1, .gap_ms = 100},
-      {.kind = StepKind::kTcpConnect, .remote = kEdimaxCloud, .port = 8080,
-       .repeat = 2, .gap_ms = 90},
-      {.kind = StepKind::kHttpCloudCheck, .host = "mycloud.edimax.com",
-       .path = "/check", .remote = kEdimaxCloud, .gap_ms = 120},
-      {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .skip_prob = 0.3,
-       .gap_ms = 70},
-  });
-  return steps;
-}
-
-/// The shared script of the Smarter kitchen-appliance platform
-/// (SmarterCoffee and iKettle 2.0 run the same WiFi module/firmware).
-std::vector<SetupStep> smarter_platform() {
-  std::vector<SetupStep> steps = wifi_join();
-  append(steps, {
-      {.kind = StepKind::kMdnsAnnounce, .host = "_smarter._tcp.local",
-       .repeat = 2, .repeat_jitter = 1, .gap_ms = 90},
-      {.kind = StepKind::kDnsQuery, .host = "time.smarter.am", .gap_ms = 80},
-      {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .gap_ms = 60},
-      {.kind = StepKind::kTcpConnect, .remote = kSmarterCloud, .port = 2081,
-       .repeat = 2, .gap_ms = 110},
-  });
-  return steps;
-}
-
-/// Derives one standby/operation cycle from a profile's setup script:
-/// the device's cloud endpoints get periodic keepalives, announced
-/// services get re-announcements, NTP users re-sync, everyone ARPs its
-/// gateway occasionally. Derivation is deterministic, so identical
-/// platforms (the confusable families) stay identical in standby too.
-std::vector<SetupStep> derive_standby_steps(const DeviceProfile& p) {
-  std::vector<SetupStep> standby;
-  standby.push_back({.kind = StepKind::kArpGateway, .skip_prob = 0.5,
-                     .gap_ms = 200});
-  for (const auto& step : p.steps) {
-    switch (step.kind) {
-      case StepKind::kHttpsCloudCheck:
-        standby.push_back({.kind = StepKind::kHttpsCloudCheck,
-                           .host = step.host, .remote = step.remote,
-                           .gap_ms = 300});
-        break;
-      case StepKind::kHttpCloudCheck:
-        standby.push_back({.kind = StepKind::kHttpCloudCheck,
-                           .host = step.host, .path = "/keepalive",
-                           .remote = step.remote, .gap_ms = 300});
-        break;
-      case StepKind::kTcpConnect:
-        standby.push_back({.kind = StepKind::kTcpConnect, .remote = step.remote,
-                           .port = step.port, .gap_ms = 250});
-        break;
-      case StepKind::kMdnsAnnounce:
-        standby.push_back({.kind = StepKind::kMdnsAnnounce, .host = step.host,
-                           .skip_prob = 0.3, .gap_ms = 220});
-        break;
-      case StepKind::kSsdpNotify:
-        standby.push_back({.kind = StepKind::kSsdpNotify, .host = step.host,
-                           .skip_prob = 0.3, .gap_ms = 220});
-        break;
-      case StepKind::kNtpSync:
-        standby.push_back({.kind = StepKind::kNtpSync, .remote = step.remote,
-                           .skip_prob = 0.4, .gap_ms = 180});
-        break;
-      case StepKind::kDnsQuery:
-        // Operational DNS re-resolution of the same names (TTL expiry).
-        standby.push_back({.kind = StepKind::kDnsQuery, .host = step.host,
-                           .skip_prob = 0.5, .gap_ms = 150});
-        break;
-      default:
-        break;  // join-preamble steps do not recur during operation
+const Roster& built_in_roster() {
+  static const Roster roster = [] {
+    RosterResult result = parse_roster(kDefaultRosterText);
+    if (!result) {
+      // Unreachable for a tree that passes the roster golden test; a
+      // loud abort beats silently simulating an empty fleet.
+      std::fprintf(stderr, "fatal: embedded device roster is invalid: %s\n",
+                   describe(result.error()).c_str());
+      std::abort();
     }
-  }
-  return standby;
-}
-
-std::vector<DeviceProfile> build_catalog() {
-  std::vector<DeviceProfile> catalog;
-  catalog.reserve(27);
-
-  // --- Aria: Fitbit Aria WiFi scale -------------------------------------
-  {
-    DeviceProfile p{.name = "Aria", .model = "Fitbit Aria WiFi-enabled scale"};
-    p.steps = wifi_join();
-    append(p.steps, {
-        {.kind = StepKind::kDnsQuery, .host = "fitbit.com", .gap_ms = 70},
-        {.kind = StepKind::kDnsQuery, .host = "aria.fitbit.com",
-         .gap_ms = 50},
-        {.kind = StepKind::kHttpCloudCheck, .host = "aria.fitbit.com",
-         .path = "/scale/register", .remote = kFitbitCloud, .repeat = 2,
-         .gap_ms = 140},
-        {.kind = StepKind::kIcmpPing, .remote = kFitbitCloud,
-         .skip_prob = 0.2, .gap_ms = 80},
-    });
-    p.dhcp_params = {1, 3, 6};
-    p.retransmit_prob = 0.08;
-    p.oui = {0x20, 0xbb, 0xc0};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- HomeMaticPlug: connects through the Homematic hub ----------------
-  {
-    DeviceProfile p{.name = "HomeMaticPlug",
-                    .model = "Homematic pluggable switch HMIP-PS"};
-    // Proprietary RF device: what the gateway sees is the hub's relayed
-    // traffic burst — short, wired, no WiFi handshake.
-    p.steps = ethernet_join();
-    append(p.steps, {
-        {.kind = StepKind::kDnsQuery, .host = "lookup.homematic.com",
-         .gap_ms = 90},
-        {.kind = StepKind::kTcpConnect, .remote = kHomematicCloud,
-         .port = 2001, .repeat = 3, .gap_ms = 100},
-        {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .gap_ms = 60},
-    });
-    p.dhcp_params = {1, 3, 6, 15, 28};
-    p.intra_gap_ms = 12.0;
-    p.oui = {0x00, 0x1a, 0x22};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- Withings: WS-30 scale --------------------------------------------
-  {
-    DeviceProfile p{.name = "Withings",
-                    .model = "Withings Wireless Scale WS-30"};
-    p.steps = wifi_join();
-    append(p.steps, {
-        {.kind = StepKind::kDnsQuery, .host = "scalews.withings.net",
-         .repeat = 2, .gap_ms = 70},
-        {.kind = StepKind::kHttpCloudCheck, .host = "scalews.withings.net",
-         .path = "/cgi-bin/association", .remote = kWithingsCloud,
-         .gap_ms = 130},
-        {.kind = StepKind::kHttpsCloudCheck, .host = "scalews.withings.net",
-         .remote = kWithingsCloud, .gap_ms = 120},
-    });
-    p.dhcp_params = {1, 3, 6, 12, 15, 28, 42};
-    p.oui = {0x00, 0x24, 0xe4};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- MAXGateway: wired cube --------------------------------------------
-  {
-    DeviceProfile p{.name = "MAXGateway",
-                    .model = "MAX! Cube LAN Gateway"};
-    p.steps = ethernet_join();
-    append(p.steps, {
-        {.kind = StepKind::kArpGateway, .repeat = 2, .gap_ms = 30},
-        {.kind = StepKind::kDnsQuery, .host = "max.eq-3.de", .gap_ms = 80},
-        {.kind = StepKind::kTcpConnect, .remote = kMaxCloud, .port = 62910,
-         .repeat = 2, .gap_ms = 110},
-        {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .repeat = 2,
-         .gap_ms = 50},
-    });
-    p.dhcp_params = {1, 3, 6};
-    p.intra_gap_ms = 15.0;
-    p.oui = {0x00, 0x1a, 0x22};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- HueBridge: Ethernet hub with ZigBee radio -------------------------
-  {
-    DeviceProfile p{.name = "HueBridge",
-                    .model = "Philips Hue Bridge 3241312018"};
-    p.steps = ethernet_join();
-    append(p.steps, {
-        {.kind = StepKind::kIgmpJoin, .gap_ms = 40},
-        {.kind = StepKind::kSsdpNotify, .host = "hue-bridgeid", .repeat = 3,
-         .repeat_jitter = 1, .gap_ms = 90},
-        {.kind = StepKind::kMdnsAnnounce, .host = "_hue._tcp.local",
-         .repeat = 2, .gap_ms = 70},
-        {.kind = StepKind::kDnsQuery, .host = "www.meethue.com",
-         .gap_ms = 80},
-        {.kind = StepKind::kHttpsCloudCheck, .host = "ws.meethue.com",
-         .remote = kHueCloud, .gap_ms = 140},
-        {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .gap_ms = 60},
-    });
-    p.dhcp_params = {1, 3, 6, 15, 42, 119};
-    p.oui = {0x00, 0x17, 0x88};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- HueSwitch: ZigBee switch paired through the bridge ----------------
-  {
-    DeviceProfile p{.name = "HueSwitch",
-                    .model = "Philips Hue Light Switch PTM 215Z"};
-    // Visible as a short burst of bridge-relayed events: mDNS update +
-    // cloud sync, no join preamble of its own.
-    p.steps = {
-        {.kind = StepKind::kMdnsAnnounce, .host = "_hue._tcp.local",
-         .repeat = 1, .gap_ms = 60},
-        {.kind = StepKind::kHttpCloudCheck, .host = "ws.meethue.com",
-         .path = "/api/sensorjoin", .remote = kHueCloud, .repeat = 2,
-         .gap_ms = 120},
-        {.kind = StepKind::kHttpsCloudCheck, .host = "ws.meethue.com",
-         .remote = kHueCloud, .gap_ms = 100},
-    };
-    p.dhcp_params = {1, 3, 6, 15, 42, 119};
-    p.retransmit_prob = 0.03;
-    p.oui = {0x00, 0x17, 0x88};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- EdnetGateway -------------------------------------------------------
-  {
-    DeviceProfile p{.name = "EdnetGateway",
-                    .model = "Ednet.living Starter kit power Gateway"};
-    p.steps = wifi_join();
-    append(p.steps, {
-        {.kind = StepKind::kSsdpSearch, .host = "urn:schemas-upnp-org:device:basic:1",
-         .repeat = 3, .repeat_jitter = 1, .gap_ms = 70},
-        {.kind = StepKind::kDnsQuery, .host = "cloud.ednet-living.com",
-         .gap_ms = 90},
-        {.kind = StepKind::kTcpConnect, .remote = kEdnetCloud, .port = 10001,
-         .repeat = 2, .gap_ms = 100},
-    });
-    p.dhcp_params = {1, 3, 6, 15, 44, 46, 47};
-    p.oui = {0xac, 0xcf, 0x23};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- EdnetCam ------------------------------------------------------------
-  {
-    DeviceProfile p{.name = "EdnetCam",
-                    .model = "Ednet Wireless indoor IP camera Cube"};
-    p.steps = wifi_join();
-    append(p.steps, {
-        {.kind = StepKind::kIgmpJoin, .gap_ms = 35},
-        {.kind = StepKind::kSsdpNotify, .host = "ednet-cam", .repeat = 2,
-         .gap_ms = 80},
-        {.kind = StepKind::kDnsQuery, .host = "ipcam.ednet.com",
-         .repeat = 2, .gap_ms = 70},
-        {.kind = StepKind::kHttpCloudCheck, .host = "ipcam.ednet.com",
-         .path = "/checkupdate.cgi", .remote = kEdnetCloud, .gap_ms = 130},
-        {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .repeat = 3,
-         .gap_ms = 45},
-    });
-    p.dhcp_params = {1, 3, 6, 15, 44, 46, 47};
-    p.oui = {0xac, 0xcf, 0x23};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- EdimaxCam -----------------------------------------------------------
-  {
-    DeviceProfile p{.name = "EdimaxCam",
-                    .model = "Edimax IC-3115W HD WiFi Camera"};
-    p.steps = wifi_join();
-    append(p.steps, {
-        {.kind = StepKind::kIgmpJoin, .repeat = 2, .gap_ms = 40},
-        {.kind = StepKind::kSsdpNotify, .host = "edimax-ic3115", .repeat = 3,
-         .gap_ms = 75},
-        {.kind = StepKind::kDnsQuery, .host = "www.myedimax.com",
-         .gap_ms = 85},
-        {.kind = StepKind::kTcpConnect, .remote = kEdimaxCloud, .port = 9765,
-         .gap_ms = 95},
-        {.kind = StepKind::kHttpCloudCheck, .host = "www.myedimax.com",
-         .path = "/reg.cgi", .remote = kEdimaxCloud, .repeat = 2,
-         .gap_ms = 125},
-    });
-    p.dhcp_params = {1, 3, 6, 15, 28};
-    p.oui = {0x74, 0xda, 0x38};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- Lightify ------------------------------------------------------------
-  {
-    DeviceProfile p{.name = "Lightify", .model = "Osram Lightify Gateway"};
-    p.steps = wifi_join();
-    append(p.steps, {
-        {.kind = StepKind::kIpv6RouterSolicit, .gap_ms = 30},
-        {.kind = StepKind::kMldReport, .repeat = 2, .gap_ms = 30},
-        {.kind = StepKind::kDnsQuery, .host = "lightify.osram.com",
-         .repeat = 2, .gap_ms = 75},
-        {.kind = StepKind::kHttpsCloudCheck, .host = "lightify.osram.com",
-         .remote = kOsramCloud, .repeat = 2, .gap_ms = 150},
-        {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .gap_ms = 55},
-    });
-    p.dhcp_params = {1, 3, 6, 15, 33, 121, 249};
-    p.oui = {0x84, 0x18, 0x26};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- WeMo family: distinct purposes => distinguishable ------------------
-  {
-    DeviceProfile p{.name = "WeMoInsightSwitch",
-                    .model = "WeMo Insight Switch F7C029de"};
-    p.steps = wifi_join();
-    append(p.steps, {
-        {.kind = StepKind::kSsdpNotify, .host = "wemo-insight", .repeat = 3,
-         .repeat_jitter = 1, .gap_ms = 60},
-        {.kind = StepKind::kSsdpSearch, .host = "urn:Belkin:device:insight:1",
-         .repeat = 2, .gap_ms = 70},
-        {.kind = StepKind::kDnsQuery, .host = "api.xbcs.net", .gap_ms = 80},
-        {.kind = StepKind::kHttpsCloudCheck, .host = "api.xbcs.net",
-         .remote = kWemoCloud, .gap_ms = 140},
-        {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .repeat = 2,
-         .gap_ms = 50},
-    });
-    p.dhcp_params = {1, 3, 6, 15, 28, 42};
-    p.oui = {0xec, 0x1a, 0x59};
-    catalog.push_back(std::move(p));
-  }
-  {
-    DeviceProfile p{.name = "WeMoLink",
-                    .model = "WeMo Link Lighting Bridge F7C031vf"};
-    p.steps = wifi_join();
-    append(p.steps, {
-        {.kind = StepKind::kSsdpNotify, .host = "wemo-link-bridge",
-         .repeat = 4, .repeat_jitter = 1, .gap_ms = 55},
-        {.kind = StepKind::kMdnsAnnounce, .host = "_wemo._tcp.local",
-         .gap_ms = 65},
-        {.kind = StepKind::kDnsQuery, .host = "api.xbcs.net", .repeat = 2,
-         .gap_ms = 75},
-        {.kind = StepKind::kHttpCloudCheck, .host = "api.xbcs.net",
-         .path = "/bridge/setup", .remote = kWemoCloud, .gap_ms = 120},
-        {.kind = StepKind::kHttpsCloudCheck, .host = "api.xbcs.net",
-         .remote = kWemoCloud, .gap_ms = 110},
-    });
-    p.dhcp_params = {1, 3, 6, 15, 28, 42};
-    p.oui = {0xec, 0x1a, 0x59};
-    catalog.push_back(std::move(p));
-  }
-  {
-    DeviceProfile p{.name = "WeMoSwitch", .model = "WeMo Switch F7C027de"};
-    p.steps = wifi_join();
-    append(p.steps, {
-        {.kind = StepKind::kSsdpNotify, .host = "wemo-switch", .repeat = 3,
-         .gap_ms = 60},
-        {.kind = StepKind::kDnsQuery, .host = "prod.xbcs.net", .gap_ms = 80},
-        {.kind = StepKind::kHttpsCloudCheck, .host = "prod.xbcs.net",
-         .remote = kWemoCloud, .repeat = 2, .gap_ms = 130},
-        {.kind = StepKind::kIcmpPing, .remote = kWemoCloud, .skip_prob = 0.3,
-         .gap_ms = 70},
-    });
-    p.dhcp_params = {1, 3, 6, 15, 28, 42};
-    p.oui = {0x94, 0x10, 0x3e};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- D-Link non-sensor devices (distinguishable) -------------------------
-  {
-    DeviceProfile p{.name = "D-LinkHomeHub",
-                    .model = "D-Link Connected Home Hub DCH-G020"};
-    p.steps = ethernet_join();
-    append(p.steps, {
-        {.kind = StepKind::kIgmpJoin, .gap_ms = 35},
-        {.kind = StepKind::kSsdpNotify, .host = "dlink-hub", .repeat = 3,
-         .gap_ms = 70},
-        {.kind = StepKind::kSsdpSearch, .host = "urn:schemas-upnp-org:device:gateway:1",
-         .repeat = 2, .gap_ms = 60},
-        {.kind = StepKind::kDnsQuery, .host = "hub.auto.mydlink.com",
-         .repeat = 2, .gap_ms = 80},
-        {.kind = StepKind::kHttpsCloudCheck, .host = "hub.auto.mydlink.com",
-         .remote = kDlinkCloud, .gap_ms = 140},
-        {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .gap_ms = 55},
-    });
-    p.dhcp_params = {1, 3, 6, 15, 28, 33};
-    p.oui = {0xc4, 0x12, 0xf5};
-    catalog.push_back(std::move(p));
-  }
-  {
-    DeviceProfile p{.name = "D-LinkDoorSensor",
-                    .model = "D-Link Door & Window sensor (Z-Wave)"};
-    // Z-Wave device visible only as hub-relayed events.
-    p.steps = {
-        {.kind = StepKind::kHttpCloudCheck, .host = "hub.auto.mydlink.com",
-         .path = "/zwave/inclusion", .remote = kDlinkCloud, .repeat = 2,
-         .gap_ms = 130},
-        {.kind = StepKind::kDnsQuery, .host = "event.auto.mydlink.com",
-         .gap_ms = 70},
-        {.kind = StepKind::kHttpsCloudCheck, .host = "event.auto.mydlink.com",
-         .remote = kDlinkCloud, .gap_ms = 110},
-    };
-    p.dhcp_params = {1, 3, 6, 15, 28, 33};
-    p.retransmit_prob = 0.03;
-    p.oui = {0xc4, 0x12, 0xf5};
-    catalog.push_back(std::move(p));
-  }
-  {
-    DeviceProfile p{.name = "D-LinkDayCam",
-                    .model = "D-Link WiFi Day Camera DCS-930L"};
-    p.steps = wifi_join();
-    append(p.steps, {
-        {.kind = StepKind::kIgmpJoin, .repeat = 2, .gap_ms = 40},
-        {.kind = StepKind::kSsdpNotify, .host = "dcs-930l", .repeat = 2,
-         .gap_ms = 80},
-        {.kind = StepKind::kDnsQuery, .host = "signal.auto.mydlink.com",
-         .repeat = 2, .gap_ms = 75},
-        {.kind = StepKind::kHttpCloudCheck, .host = "signal.auto.mydlink.com",
-         .path = "/signin.html", .remote = kDlinkCloud, .repeat = 2,
-         .gap_ms = 120},
-        {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .repeat = 2,
-         .gap_ms = 50},
-    });
-    p.dhcp_params = {1, 3, 6, 15, 28, 33};
-    p.oui = {0xb0, 0xc5, 0x54};
-    catalog.push_back(std::move(p));
-  }
-  {
-    DeviceProfile p{.name = "D-LinkCam",
-                    .model = "D-Link HD IP Camera DCH-935L"};
-    p.steps = wifi_join();
-    append(p.steps, {
-        {.kind = StepKind::kIpv6RouterSolicit, .gap_ms = 30},
-        {.kind = StepKind::kMldReport, .gap_ms = 25},
-        {.kind = StepKind::kDnsQuery, .host = "cam.auto.mydlink.com",
-         .repeat = 2, .gap_ms = 70},
-        {.kind = StepKind::kHttpsCloudCheck, .host = "cam.auto.mydlink.com",
-         .remote = kDlinkCloud, .repeat = 2, .gap_ms = 140},
-        {.kind = StepKind::kSsdpNotify, .host = "dch-935l", .repeat = 2,
-         .gap_ms = 85},
-        {.kind = StepKind::kNtpSync, .remote = kPoolNtp, .gap_ms = 55},
-    });
-    p.dhcp_params = {1, 3, 6, 15, 28, 33};
-    p.oui = {0xb0, 0xc5, 0x54};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- The confusable D-Link sensor family (paper indices 1-4) ------------
-  {
-    // Index 1: same platform as the sensors, plug-specific extra step =>
-    // slightly more identifiable, as in Fig. 5 (accuracy ~0.6 vs ~0.45).
-    DeviceProfile p{.name = "D-LinkSwitch",
-                    .model = "D-Link Smart plug DSP-W215"};
-    p.steps = dlink_sensor_platform();
-    p.steps.push_back({.kind = StepKind::kNtpSync, .remote = kPoolNtp,
-                       .skip_prob = 0.5, .gap_ms = 65});
-    p.dhcp_params = {1, 3, 6, 15, 28, 33};
-    p.oui = {0xc0, 0xa0, 0xbb};
-    catalog.push_back(std::move(p));
-  }
-  {
-    DeviceProfile p{.name = "D-LinkWaterSensor",
-                    .model = "D-Link Water sensor DCH-S160"};
-    p.steps = dlink_sensor_platform();
-    p.dhcp_params = {1, 3, 6, 15, 28, 33};
-    p.oui = {0xc0, 0xa0, 0xbb};
-    catalog.push_back(std::move(p));
-  }
-  {
-    DeviceProfile p{.name = "D-LinkSiren", .model = "D-Link Siren DCH-S220"};
-    p.steps = dlink_sensor_platform();
-    p.dhcp_params = {1, 3, 6, 15, 28, 33};
-    p.oui = {0xc0, 0xa0, 0xbb};
-    catalog.push_back(std::move(p));
-  }
-  {
-    DeviceProfile p{.name = "D-LinkSensor",
-                    .model = "D-Link WiFi Motion sensor DCH-S150"};
-    p.steps = dlink_sensor_platform();
-    p.dhcp_params = {1, 3, 6, 15, 28, 33};
-    p.oui = {0xc0, 0xa0, 0xbb};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- TP-Link plug pair (indices 5-6): identical platform ----------------
-  {
-    DeviceProfile p{.name = "TP-LinkPlugHS110",
-                    .model = "TP-Link WiFi Smart plug HS110"};
-    p.steps = tplink_plug_platform();
-    p.dhcp_params = {1, 3, 6, 12, 15, 28, 40, 41, 42};
-    p.oui = {0x50, 0xc7, 0xbf};
-    catalog.push_back(std::move(p));
-  }
-  {
-    DeviceProfile p{.name = "TP-LinkPlugHS100",
-                    .model = "TP-Link WiFi Smart plug HS100"};
-    p.steps = tplink_plug_platform();
-    p.dhcp_params = {1, 3, 6, 12, 15, 28, 40, 41, 42};
-    p.oui = {0x50, 0xc7, 0xbf};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- Edimax plug pair (indices 7-8): identical platform -----------------
-  {
-    DeviceProfile p{.name = "EdimaxPlug1101W",
-                    .model = "Edimax SP-1101W Smart Plug Switch"};
-    p.steps = edimax_plug_platform();
-    p.dhcp_params = {1, 3, 6, 15, 28};
-    p.oui = {0x74, 0xda, 0x38};
-    catalog.push_back(std::move(p));
-  }
-  {
-    DeviceProfile p{.name = "EdimaxPlug2101W",
-                    .model = "Edimax SP-2101W Smart Plug Switch"};
-    p.steps = edimax_plug_platform();
-    p.dhcp_params = {1, 3, 6, 15, 28};
-    p.oui = {0x74, 0xda, 0x38};
-    catalog.push_back(std::move(p));
-  }
-
-  // --- Smarter pair (indices 9-10): identical platform --------------------
-  {
-    DeviceProfile p{.name = "SmarterCoffee",
-                    .model = "SmarterCoffee machine SMC10-EU"};
-    p.steps = smarter_platform();
-    p.dhcp_params = {1, 3, 6, 15};
-    p.oui = {0x5c, 0xcf, 0x7f};
-    catalog.push_back(std::move(p));
-  }
-  {
-    DeviceProfile p{.name = "iKettle2",
-                    .model = "Smarter iKettle 2.0 SMK20-EU"};
-    p.steps = smarter_platform();
-    p.dhcp_params = {1, 3, 6, 15};
-    p.oui = {0x5c, 0xcf, 0x7f};
-    catalog.push_back(std::move(p));
-  }
-
-  // Post-pass: model-specific DHCP hostnames (a representative subset —
-  // not every vendor sends option 12).
-  const std::pair<const char*, const char*> hostnames[] = {
-      {"HueBridge", "Philips-hue"},       {"EdimaxCam", "IC-3115W"},
-      {"WeMoSwitch", "wemo"},             {"Aria", "fitbit-aria"},
-      {"D-LinkCam", "DCH-935L"},          {"TP-LinkPlugHS110", "HS110"},
-      // Identical-platform siblings announce the same module hostname
-      // (paper Table III: the pairs are indistinguishable on the wire).
-      {"TP-LinkPlugHS100", "HS100"},      {"iKettle2", "smarter"},
-      {"SmarterCoffee", "smarter"},
-  };
-  for (auto& p : catalog) {
-    for (const auto& [name, host] : hostnames) {
-      if (p.name == name) p.dhcp_hostname = host;
-    }
-  }
-
-  // Post-pass: synthesize standby cycles and flag devices with radio
-  // channels the gateway cannot control (Table II "Other" column:
-  // Homematic proprietary RF, MAX! RF, ZigBee/Z-Wave radios on hubs).
-  for (auto& p : catalog) {
-    p.standby_steps = derive_standby_steps(p);
-    p.has_uncontrolled_channel =
-        p.name == "HomeMaticPlug" || p.name == "MAXGateway" ||
-        p.name == "EdnetGateway" || p.name == "HueBridge" ||
-        p.name == "HueSwitch" || p.name == "Lightify" ||
-        p.name == "WeMoLink" || p.name == "D-LinkHomeHub" ||
-        p.name == "D-LinkDoorSensor";
-  }
-  return catalog;
+    return result.take();
+  }();
+  return roster;
 }
 
 }  // namespace
 
+const Roster& device_roster() { return built_in_roster(); }
+
 const std::vector<DeviceProfile>& device_catalog() {
-  static const std::vector<DeviceProfile> catalog = build_catalog();
+  static const std::vector<DeviceProfile> catalog = [] {
+    const Roster& roster = device_roster();
+    std::vector<DeviceProfile> profiles;
+    profiles.reserve(roster.num_types());
+    for (const auto& entry : roster.entries) {
+      profiles.push_back(entry.profile);
+    }
+    return profiles;
+  }();
   return catalog;
 }
 

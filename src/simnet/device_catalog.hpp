@@ -1,9 +1,17 @@
-// The 27 evaluated device-types (paper Table II) as behavioural profiles.
+// The evaluated device-types (paper Table II) as behavioural profiles,
+// loaded from the shipped device roster.
+//
+// The catalog is no longer hardcoded: it is parsed from an embedded copy
+// of `config/roster_table2.roster` (see src/simnet/roster.hpp for the
+// format), so new device types are data, not code. A golden test pins
+// the shipped roster byte-for-byte against the legacy hardcoded catalog
+// (tests/data/catalog_golden.txt), so the corpus, every trained model
+// and every paper-reproduction bench keep their exact historical inputs.
 //
 // Family structure mirrors the paper's confusion analysis (Table III):
 //   * D-LinkWaterSensor / D-LinkSiren / D-LinkSensor (indices 2-4 in
 //     Fig. 5's numbering) share identical hardware and firmware -> they get
-//     byte-identical scripts here and remain mutually confusable.
+//     byte-identical scripts in the roster and remain mutually confusable.
 //   * D-LinkSwitch (1) is the same platform with a marginally different
 //     script (it is a plug, not a sensor), matching its slightly higher
 //     accuracy in Fig. 5.
@@ -19,11 +27,18 @@
 #include <vector>
 
 #include "simnet/device_model.hpp"
+#include "simnet/roster.hpp"
 
 namespace iotsentinel::sim {
 
-/// Returns the full catalog of 27 device-type profiles, in the order of
-/// the paper's Table II listing.
+/// The built-in roster (the embedded copy of config/roster_table2.roster),
+/// parsed once: per-type profiles plus fleet multiplicity and behaviour.
+/// The embedded text is validated at first use; it cannot fail for a
+/// release that passed the roster golden test.
+const Roster& device_roster();
+
+/// The device-type profiles of the built-in roster, in roster (= paper
+/// Table II) order. One entry per type regardless of fleet multiplicity.
 const std::vector<DeviceProfile>& device_catalog();
 
 /// Looks up a profile by Table-II identifier (e.g. "HueBridge").

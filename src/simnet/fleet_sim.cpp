@@ -1,0 +1,140 @@
+#include "simnet/fleet_sim.hpp"
+
+#include "net/hash_mix.hpp"
+
+namespace iotsentinel::sim {
+namespace {
+
+std::uint64_t to_us(double seconds) {
+  return static_cast<std::uint64_t>(seconds * 1e6);
+}
+
+}  // namespace
+
+std::size_t FleetSim::type_index_of(const Roster& roster,
+                                    std::uint32_t device_id) {
+  std::size_t slot = device_id % roster.total_devices();
+  for (std::size_t i = 0; i < roster.entries.size(); ++i) {
+    const std::size_t count = roster.entries[i].count;
+    if (slot < count) return i;
+    slot -= count;
+  }
+  return 0;  // unreachable for a non-empty roster
+}
+
+FleetSim::FleetSim(const Roster& roster, std::size_t num_devices,
+                   FleetConfig config)
+    : config_(config), num_devices_(num_devices) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  devices_.reserve(num_devices / config_.num_shards + 1);
+
+  for (std::uint64_t id = config_.shard; id < num_devices;
+       id += config_.num_shards) {
+    Device dev;
+    dev.id = static_cast<std::uint32_t>(id);
+    dev.entry = &roster.entries[type_index_of(roster, dev.id)];
+    // The device id doubles as the MAC instance (unique low 24 bits) and
+    // the 10/8 lease, so identity is a pure function of the id.
+    dev.mac = TrafficGenerator::mint_mac(dev.entry->profile, dev.id);
+    dev.ip = net::Ipv4Address::of(10, static_cast<std::uint8_t>(id >> 16),
+                                  static_cast<std::uint8_t>(id >> 8),
+                                  static_cast<std::uint8_t>(id));
+    // Private per-device RNG from (seed, id): no draw anywhere depends
+    // on another device, which is what makes sharding invariant.
+    dev.rng = ml::Rng(net::mix64(config_.seed ^ net::mix64(dev.id)));
+
+    // Fixed per-device draw order: join offset, then setup-stream seed.
+    std::uint64_t join = config_.generator.start_time_us;
+    if (config_.join_window_us > 0) {
+      join += dev.rng.index(config_.join_window_us);
+    }
+    GeneratorConfig g = config_.generator;
+    g.start_time_us = join;
+    dev.stream.emplace(g, dev.entry->profile, dev.mac, dev.ip,
+                       DeviceTraceStream::Mode::kSetup, 0, 0,
+                       dev.rng.next_u64());
+    dev.phase = Phase::kSetup;
+    devices_.push_back(std::move(dev));
+  }
+
+  active_ = devices_.size();
+  for (auto& dev : devices_) {
+    refill(dev);
+    if (dev.pending) heap_.push({dev.pending->timestamp_us, dev.id});
+  }
+}
+
+void FleetSim::retire(Device& dev) {
+  dev.stream.reset();
+  dev.pending.reset();
+  --active_;
+}
+
+void FleetSim::refill(Device& dev) {
+  for (;;) {
+    if (auto tf = dev.stream->next()) {
+      if (tf->timestamp_us > config_.sim_end_us) {
+        retire(dev);
+        return;
+      }
+      dev.pending = std::move(*tf);
+      return;
+    }
+    // Phase boundary: the stream ran dry at virtual time now_us().
+    const std::uint64_t t = dev.stream->now_us();
+    const FleetBehavior& fleet = dev.entry->fleet;
+    GeneratorConfig g = config_.generator;
+    if (dev.phase == Phase::kSetup) {
+      // Setup done -> operational period. Fixed draw order: cycle count
+      // in [1, 2*mean], then the standby stream's seed.
+      const std::size_t cycles =
+          1 + dev.rng.index(2 * static_cast<std::size_t>(fleet.standby_cycles));
+      g.start_time_us = t;
+      g.trailing_heartbeats = 0;
+      dev.stream.emplace(g, dev.entry->profile, dev.mac, dev.ip,
+                         DeviceTraceStream::Mode::kStandby, cycles,
+                         to_us(fleet.cycle_gap_s), dev.rng.next_u64());
+      dev.phase = Phase::kStandby;
+    } else {
+      // Depart; rejoin after downtime * (0.5 + u). Fixed draw order:
+      // downtime factor, then the rejoin setup stream's seed.
+      const std::uint64_t rejoin =
+          t + to_us(fleet.downtime_s * (0.5 + dev.rng.uniform()));
+      if (rejoin > config_.sim_end_us) {
+        retire(dev);
+        return;
+      }
+      g.start_time_us = rejoin;
+      dev.stream.emplace(g, dev.entry->profile, dev.mac, dev.ip,
+                         DeviceTraceStream::Mode::kSetup, 0, 0,
+                         dev.rng.next_u64());
+      dev.phase = Phase::kSetup;
+    }
+  }
+}
+
+std::optional<FleetEvent> FleetSim::next() {
+  if (heap_.empty()) return std::nullopt;
+  const HeapItem top = heap_.top();
+  heap_.pop();
+  Device& dev = devices_[(top.device_id - config_.shard) / config_.num_shards];
+  FleetEvent event{top.device_id, std::move(*dev.pending)};
+  dev.pending.reset();
+  refill(dev);
+  if (dev.pending) heap_.push({dev.pending->timestamp_us, dev.id});
+  ++emitted_;
+  return event;
+}
+
+std::size_t FleetSim::approx_memory_bytes() const {
+  std::size_t total = sizeof(*this);
+  total += devices_.capacity() * sizeof(Device);
+  total += heap_.size() * sizeof(HeapItem);
+  for (const auto& dev : devices_) {
+    if (dev.pending) total += dev.pending->frame.capacity();
+    if (dev.stream) total += dev.stream->buffered_bytes();
+  }
+  return total;
+}
+
+}  // namespace iotsentinel::sim

@@ -1,0 +1,704 @@
+#include "simnet/roster.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace iotsentinel::sim {
+namespace {
+
+/// Step kinds by their roster spelling, in StepKind declaration order.
+constexpr const char* kStepNames[] = {
+    "eapol",        // kEapolHandshake
+    "dhcp",         // kDhcpExchange
+    "arp-announce", // kArpAnnounce
+    "arp-gateway",  // kArpGateway
+    "ipv6-rs",      // kIpv6RouterSolicit
+    "mld",          // kMldReport
+    "igmp",         // kIgmpJoin
+    "dns",          // kDnsQuery
+    "ntp",          // kNtpSync
+    "mdns",         // kMdnsAnnounce
+    "ssdp-search",  // kSsdpSearch
+    "ssdp-notify",  // kSsdpNotify
+    "http",         // kHttpCloudCheck
+    "https",        // kHttpsCloudCheck
+    "tcp",          // kTcpConnect
+    "ping",         // kIcmpPing
+};
+
+const char* step_name(StepKind kind) {
+  return kStepNames[static_cast<std::size_t>(kind)];
+}
+
+std::optional<StepKind> step_kind_of(std::string_view name) {
+  for (std::size_t i = 0; i < std::size(kStepNames); ++i) {
+    if (name == kStepNames[i]) return static_cast<StepKind>(i);
+  }
+  return std::nullopt;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Pops the first whitespace-delimited token off `s`.
+std::string_view take_token(std::string_view& s) {
+  s = trim(s);
+  std::size_t end = 0;
+  while (end < s.size() && s[end] != ' ' && s[end] != '\t') ++end;
+  const std::string_view token = s.substr(0, end);
+  s.remove_prefix(end);
+  s = trim(s);
+  return token;
+}
+
+/// Shortest decimal notation that round-trips to the exact double.
+std::string fmt_double(double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string("nan");
+}
+
+bool parse_double(std::string_view text, double& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_ipv4(std::string_view text, net::Ipv4Address& out) {
+  std::uint32_t octets[4];
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != '.') return false;
+      ++pos;
+    }
+    const auto [ptr, ec] = std::from_chars(text.data() + pos,
+                                           text.data() + text.size(), octets[i]);
+    if (ec != std::errc{} || octets[i] > 255) return false;
+    pos = static_cast<std::size_t>(ptr - text.data());
+  }
+  if (pos != text.size()) return false;
+  out = net::Ipv4Address::of(
+      static_cast<std::uint8_t>(octets[0]), static_cast<std::uint8_t>(octets[1]),
+      static_cast<std::uint8_t>(octets[2]), static_cast<std::uint8_t>(octets[3]));
+  return true;
+}
+
+bool parse_hex_byte(std::string_view text, std::uint8_t& out) {
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 16);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || value > 255) {
+    return false;
+  }
+  out = static_cast<std::uint8_t>(value);
+  return true;
+}
+
+std::string fmt_oui(const std::array<std::uint8_t, 3>& oui) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x", oui[0], oui[1], oui[2]);
+  return buf;
+}
+
+std::string fmt_dhcp_params(const std::vector<std::uint8_t>& params) {
+  std::string out;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(params[i]);
+  }
+  return out;
+}
+
+/// Streams parse errors out of deeply nested helpers: the first error
+/// sticks, later assignments are ignored.
+class ErrorSink {
+ public:
+  void fail(RosterError::Kind kind, std::size_t line, std::string detail) {
+    if (error_.kind == RosterError::Kind::kNone) {
+      error_ = {kind, line, std::move(detail)};
+    }
+  }
+  [[nodiscard]] bool failed() const {
+    return error_.kind != RosterError::Kind::kNone;
+  }
+  [[nodiscard]] RosterError take() { return std::move(error_); }
+
+ private:
+  RosterError error_;
+};
+
+/// Bounded-domain numeric field parsers; every rejection names the field
+/// and the offending value.
+double parse_prob(std::string_view field, std::string_view value,
+                  std::size_t line, ErrorSink& err) {
+  double v = 0.0;
+  if (!parse_double(value, v)) {
+    err.fail(RosterError::Kind::kMalformedLine, line,
+             std::string(field) + " is not a number: '" + std::string(value) +
+                 "'");
+    return 0.0;
+  }
+  if (!(v >= 0.0 && v <= 1.0)) {
+    err.fail(RosterError::Kind::kOutOfRange, line,
+             std::string(field) + " must be within [0, 1], got " +
+                 std::string(value));
+    return 0.0;
+  }
+  return v;
+}
+
+double parse_positive(std::string_view field, std::string_view value,
+                      double max, std::size_t line, ErrorSink& err) {
+  double v = 0.0;
+  if (!parse_double(value, v)) {
+    err.fail(RosterError::Kind::kMalformedLine, line,
+             std::string(field) + " is not a number: '" + std::string(value) +
+                 "'");
+    return 1.0;
+  }
+  if (!(v > 0.0 && v <= max)) {
+    err.fail(RosterError::Kind::kOutOfRange, line,
+             std::string(field) + " must be within (0, " + fmt_double(max) +
+                 "], got " + std::string(value));
+    return 1.0;
+  }
+  return v;
+}
+
+std::uint64_t parse_uint(std::string_view field, std::string_view value,
+                         std::uint64_t min, std::uint64_t max, std::size_t line,
+                         ErrorSink& err) {
+  std::uint64_t v = 0;
+  if (!parse_u64(value, v)) {
+    err.fail(RosterError::Kind::kMalformedLine, line,
+             std::string(field) + " is not an unsigned integer: '" +
+                 std::string(value) + "'");
+    return min;
+  }
+  if (v < min || v > max) {
+    err.fail(RosterError::Kind::kOutOfRange, line,
+             std::string(field) + " must be within [" + std::to_string(min) +
+                 ", " + std::to_string(max) + "], got " + std::string(value));
+    return min;
+  }
+  return v;
+}
+
+/// `key=value` pairs for `step` and `fleet` directives.
+struct KeyValue {
+  std::string_view key;
+  std::string_view value;
+};
+
+bool split_key_value(std::string_view token, KeyValue& out) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0) return false;
+  out.key = token.substr(0, eq);
+  out.value = token.substr(eq + 1);
+  return true;
+}
+
+void parse_step_line(std::string_view rest, std::size_t line,
+                     DeviceProfile& profile, ErrorSink& err) {
+  const std::string_view kind_name = take_token(rest);
+  if (kind_name.empty()) {
+    err.fail(RosterError::Kind::kMalformedLine, line, "step without a kind");
+    return;
+  }
+  const auto kind = step_kind_of(kind_name);
+  if (!kind) {
+    err.fail(RosterError::Kind::kUnknownStepKind, line,
+             "unknown step kind '" + std::string(kind_name) + "'");
+    return;
+  }
+  SetupStep step;
+  step.kind = *kind;
+  while (!rest.empty() && !err.failed()) {
+    const std::string_view token = take_token(rest);
+    KeyValue kv;
+    if (!split_key_value(token, kv)) {
+      err.fail(RosterError::Kind::kMalformedLine, line,
+               "step attribute is not key=value: '" + std::string(token) + "'");
+      return;
+    }
+    if (kv.key == "host") {
+      step.host = std::string(kv.value);
+    } else if (kv.key == "path") {
+      step.path = std::string(kv.value);
+    } else if (kv.key == "remote") {
+      if (!parse_ipv4(kv.value, step.remote)) {
+        err.fail(RosterError::Kind::kMalformedLine, line,
+                 "remote is not an IPv4 address: '" + std::string(kv.value) +
+                     "'");
+      }
+    } else if (kv.key == "port") {
+      step.port = static_cast<std::uint16_t>(
+          parse_uint("port", kv.value, 0, 65535, line, err));
+    } else if (kv.key == "repeat") {
+      step.repeat = static_cast<int>(
+          parse_uint("repeat", kv.value, 1, 1000, line, err));
+    } else if (kv.key == "repeat-jitter") {
+      step.repeat_jitter = static_cast<int>(
+          parse_uint("repeat-jitter", kv.value, 0, 1000, line, err));
+    } else if (kv.key == "skip-prob") {
+      step.skip_prob = parse_prob("skip-prob", kv.value, line, err);
+    } else if (kv.key == "gap-ms") {
+      step.gap_ms = parse_positive("gap-ms", kv.value, 86'400'000.0, line, err);
+    } else {
+      err.fail(RosterError::Kind::kUnknownDirective, line,
+               "unknown step attribute '" + std::string(kv.key) + "'");
+    }
+  }
+  if (!err.failed()) profile.steps.push_back(std::move(step));
+}
+
+void parse_fleet_line(std::string_view rest, std::size_t line,
+                      FleetBehavior& fleet, ErrorSink& err) {
+  if (rest.empty()) {
+    err.fail(RosterError::Kind::kMalformedLine, line,
+             "fleet without attributes");
+    return;
+  }
+  while (!rest.empty() && !err.failed()) {
+    const std::string_view token = take_token(rest);
+    KeyValue kv;
+    if (!split_key_value(token, kv)) {
+      err.fail(RosterError::Kind::kMalformedLine, line,
+               "fleet attribute is not key=value: '" + std::string(token) +
+                   "'");
+      return;
+    }
+    if (kv.key == "cycles") {
+      fleet.standby_cycles = static_cast<std::uint32_t>(
+          parse_uint("cycles", kv.value, 1, 1000, line, err));
+    } else if (kv.key == "cycle-gap-s") {
+      fleet.cycle_gap_s =
+          parse_positive("cycle-gap-s", kv.value, 1'000'000.0, line, err);
+    } else if (kv.key == "downtime-s") {
+      fleet.downtime_s =
+          parse_positive("downtime-s", kv.value, 10'000'000.0, line, err);
+    } else {
+      err.fail(RosterError::Kind::kUnknownDirective, line,
+               "unknown fleet attribute '" + std::string(kv.key) + "'");
+    }
+  }
+}
+
+void parse_dhcp_params(std::string_view value, std::size_t line,
+                       DeviceProfile& profile, ErrorSink& err) {
+  std::vector<std::uint8_t> params;
+  while (!value.empty()) {
+    const std::size_t comma = value.find(',');
+    const std::string_view item = value.substr(0, comma);
+    params.push_back(static_cast<std::uint8_t>(
+        parse_uint("dhcp-params entry", item, 0, 255, line, err)));
+    if (err.failed()) return;
+    if (comma == std::string_view::npos) break;
+    value.remove_prefix(comma + 1);
+    if (value.empty()) {
+      err.fail(RosterError::Kind::kMalformedLine, line,
+               "dhcp-params has a trailing comma");
+      return;
+    }
+  }
+  if (params.empty()) {
+    err.fail(RosterError::Kind::kMalformedLine, line, "dhcp-params is empty");
+    return;
+  }
+  if (params.size() > 64) {
+    err.fail(RosterError::Kind::kOutOfRange, line,
+             "dhcp-params lists more than 64 options");
+    return;
+  }
+  profile.dhcp_params = std::move(params);
+}
+
+void parse_oui(std::string_view value, std::size_t line,
+               DeviceProfile& profile, ErrorSink& err) {
+  std::array<std::uint8_t, 3> oui{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (i > 0) {
+      if (pos >= value.size() || value[pos] != ':') {
+        err.fail(RosterError::Kind::kMalformedLine, line,
+                 "oui must be xx:xx:xx, got '" + std::string(value) + "'");
+        return;
+      }
+      ++pos;
+    }
+    const std::size_t len = std::min<std::size_t>(2, value.size() - pos);
+    if (len != 2 || !parse_hex_byte(value.substr(pos, 2), oui[i])) {
+      err.fail(RosterError::Kind::kMalformedLine, line,
+               "oui must be xx:xx:xx, got '" + std::string(value) + "'");
+      return;
+    }
+    pos += 2;
+  }
+  if (pos != value.size()) {
+    err.fail(RosterError::Kind::kMalformedLine, line,
+             "oui must be xx:xx:xx, got '" + std::string(value) + "'");
+    return;
+  }
+  profile.oui = oui;
+}
+
+/// Writes one step directive in roster syntax, defaults elided.
+void append_step(std::string& out, const SetupStep& step) {
+  out += "  step ";
+  out += step_name(step.kind);
+  if (!step.host.empty()) out += " host=" + step.host;
+  if (step.path != "/") out += " path=" + step.path;
+  if (step.remote.value() != 0) out += " remote=" + step.remote.to_string();
+  if (step.port != 0) out += " port=" + std::to_string(step.port);
+  if (step.repeat != 1) out += " repeat=" + std::to_string(step.repeat);
+  if (step.repeat_jitter != 0) {
+    out += " repeat-jitter=" + std::to_string(step.repeat_jitter);
+  }
+  if (step.skip_prob != 0.0) out += " skip-prob=" + fmt_double(step.skip_prob);
+  out += " gap-ms=" + fmt_double(step.gap_ms);
+  out += '\n';
+}
+
+/// Exhaustive step rendering for the canonical profile dump: every
+/// attribute, defaults included.
+void append_step_canonical(std::string& out, const SetupStep& step) {
+  out += "  step ";
+  out += step_name(step.kind);
+  out += " host=" + step.host;
+  out += " path=" + step.path;
+  out += " remote=" + step.remote.to_string();
+  out += " port=" + std::to_string(step.port);
+  out += " repeat=" + std::to_string(step.repeat);
+  out += " repeat-jitter=" + std::to_string(step.repeat_jitter);
+  out += " skip-prob=" + fmt_double(step.skip_prob);
+  out += " gap-ms=" + fmt_double(step.gap_ms);
+  out += '\n';
+}
+
+}  // namespace
+
+std::size_t Roster::total_devices() const {
+  std::size_t n = 0;
+  for (const auto& entry : entries) n += entry.count;
+  return n;
+}
+
+const RosterEntry* Roster::find(std::string_view name) const {
+  for (const auto& entry : entries) {
+    if (entry.profile.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const char* to_string(RosterError::Kind kind) {
+  switch (kind) {
+    case RosterError::Kind::kNone: return "none";
+    case RosterError::Kind::kIoError: return "io-error";
+    case RosterError::Kind::kBadHeader: return "bad-header";
+    case RosterError::Kind::kMalformedLine: return "malformed-line";
+    case RosterError::Kind::kUnknownDirective: return "unknown-directive";
+    case RosterError::Kind::kUnknownStepKind: return "unknown-step-kind";
+    case RosterError::Kind::kDuplicateType: return "duplicate-type";
+    case RosterError::Kind::kDuplicateField: return "duplicate-field";
+    case RosterError::Kind::kOutOfRange: return "out-of-range";
+    case RosterError::Kind::kMissingField: return "missing-field";
+    case RosterError::Kind::kUnterminatedType: return "unterminated-type";
+  }
+  return "unknown";
+}
+
+std::string describe(const RosterError& error) {
+  std::string out = to_string(error.kind);
+  if (error.line != 0) out += " at line " + std::to_string(error.line);
+  if (!error.detail.empty()) out += ": " + error.detail;
+  return out;
+}
+
+std::vector<SetupStep> derive_standby_steps(const DeviceProfile& p) {
+  std::vector<SetupStep> standby;
+  standby.push_back({.kind = StepKind::kArpGateway, .skip_prob = 0.5,
+                     .gap_ms = 200});
+  for (const auto& step : p.steps) {
+    switch (step.kind) {
+      case StepKind::kHttpsCloudCheck:
+        standby.push_back({.kind = StepKind::kHttpsCloudCheck,
+                           .host = step.host, .remote = step.remote,
+                           .gap_ms = 300});
+        break;
+      case StepKind::kHttpCloudCheck:
+        standby.push_back({.kind = StepKind::kHttpCloudCheck,
+                           .host = step.host, .path = "/keepalive",
+                           .remote = step.remote, .gap_ms = 300});
+        break;
+      case StepKind::kTcpConnect:
+        standby.push_back({.kind = StepKind::kTcpConnect, .remote = step.remote,
+                           .port = step.port, .gap_ms = 250});
+        break;
+      case StepKind::kMdnsAnnounce:
+        standby.push_back({.kind = StepKind::kMdnsAnnounce, .host = step.host,
+                           .skip_prob = 0.3, .gap_ms = 220});
+        break;
+      case StepKind::kSsdpNotify:
+        standby.push_back({.kind = StepKind::kSsdpNotify, .host = step.host,
+                           .skip_prob = 0.3, .gap_ms = 220});
+        break;
+      case StepKind::kNtpSync:
+        standby.push_back({.kind = StepKind::kNtpSync, .remote = step.remote,
+                           .skip_prob = 0.4, .gap_ms = 180});
+        break;
+      case StepKind::kDnsQuery:
+        // Operational DNS re-resolution of the same names (TTL expiry).
+        standby.push_back({.kind = StepKind::kDnsQuery, .host = step.host,
+                           .skip_prob = 0.5, .gap_ms = 150});
+        break;
+      default:
+        break;  // join-preamble steps do not recur during operation
+    }
+  }
+  return standby;
+}
+
+RosterResult parse_roster(std::string_view text) {
+  Roster roster;
+  ErrorSink err;
+  std::unordered_set<std::string> seen_names;
+  std::unordered_set<std::string> seen_fields;  // per open type block
+
+  bool saw_header = false;
+  bool in_type = false;
+  std::size_t type_line = 0;  // line the open block started on
+  RosterEntry entry;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size() && !err.failed()) {
+    if (pos == text.size() && line_no > 0) break;
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    ++line_no;
+    if (eol == std::string_view::npos && line.empty() && pos >= text.size()) {
+      break;
+    }
+
+    // Comments run from '#' to end of line.
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    std::string_view rest = line;
+    const std::string_view directive = take_token(rest);
+
+    if (!saw_header) {
+      if (directive != "roster" || rest != "v1") {
+        err.fail(RosterError::Kind::kBadHeader, line_no,
+                 "expected 'roster v1' as the first directive, got '" +
+                     std::string(line) + "'");
+        break;
+      }
+      saw_header = true;
+      continue;
+    }
+
+    if (directive == "type") {
+      if (in_type) {
+        err.fail(RosterError::Kind::kMalformedLine, line_no,
+                 "'type' inside an open type block (missing 'end'?)");
+        break;
+      }
+      if (rest.empty() || rest.find(' ') != std::string_view::npos) {
+        err.fail(RosterError::Kind::kMalformedLine, line_no,
+                 "type name must be one token, got '" + std::string(rest) +
+                     "'");
+        break;
+      }
+      if (!seen_names.insert(std::string(rest)).second) {
+        err.fail(RosterError::Kind::kDuplicateType, line_no,
+                 "type '" + std::string(rest) + "' already defined");
+        break;
+      }
+      in_type = true;
+      type_line = line_no;
+      entry = RosterEntry{};
+      entry.profile.name = std::string(rest);
+      seen_fields.clear();
+      continue;
+    }
+
+    if (!in_type) {
+      err.fail(RosterError::Kind::kMalformedLine, line_no,
+               "'" + std::string(directive) + "' outside a type block");
+      break;
+    }
+
+    if (directive == "end") {
+      if (!rest.empty()) {
+        err.fail(RosterError::Kind::kMalformedLine, line_no,
+                 "'end' takes no value");
+        break;
+      }
+      if (entry.profile.model.empty()) {
+        err.fail(RosterError::Kind::kMissingField, line_no,
+                 "type '" + entry.profile.name + "' has no model");
+        break;
+      }
+      if (entry.profile.steps.empty()) {
+        err.fail(RosterError::Kind::kMissingField, line_no,
+                 "type '" + entry.profile.name + "' has no steps");
+        break;
+      }
+      entry.profile.standby_steps = derive_standby_steps(entry.profile);
+      roster.entries.push_back(std::move(entry));
+      in_type = false;
+      continue;
+    }
+
+    // Scalar directives may appear once per block; `step` repeats.
+    if (directive != "step" &&
+        !seen_fields.insert(std::string(directive)).second) {
+      err.fail(RosterError::Kind::kDuplicateField, line_no,
+               "'" + std::string(directive) + "' repeated within type '" +
+                   entry.profile.name + "'");
+      break;
+    }
+
+    if (directive == "model") {
+      if (rest.empty()) {
+        err.fail(RosterError::Kind::kMalformedLine, line_no,
+                 "model must not be empty");
+        break;
+      }
+      entry.profile.model = std::string(rest);
+    } else if (directive == "oui") {
+      parse_oui(rest, line_no, entry.profile, err);
+    } else if (directive == "dhcp-params") {
+      parse_dhcp_params(rest, line_no, entry.profile, err);
+    } else if (directive == "dhcp-hostname") {
+      if (rest.empty() || rest.find(' ') != std::string_view::npos) {
+        err.fail(RosterError::Kind::kMalformedLine, line_no,
+                 "dhcp-hostname must be one token");
+        break;
+      }
+      entry.profile.dhcp_hostname = std::string(rest);
+    } else if (directive == "retransmit-prob") {
+      entry.profile.retransmit_prob =
+          parse_prob("retransmit-prob", rest, line_no, err);
+    } else if (directive == "intra-gap-ms") {
+      entry.profile.intra_gap_ms =
+          parse_positive("intra-gap-ms", rest, 1'000'000.0, line_no, err);
+    } else if (directive == "uncontrolled-channel") {
+      if (!rest.empty()) {
+        err.fail(RosterError::Kind::kMalformedLine, line_no,
+                 "uncontrolled-channel takes no value");
+        break;
+      }
+      entry.profile.has_uncontrolled_channel = true;
+    } else if (directive == "count") {
+      entry.count = static_cast<std::uint32_t>(
+          parse_uint("count", rest, 1, 1u << 24, line_no, err));
+    } else if (directive == "fleet") {
+      parse_fleet_line(rest, line_no, entry.fleet, err);
+    } else if (directive == "step") {
+      parse_step_line(rest, line_no, entry.profile, err);
+    } else {
+      err.fail(RosterError::Kind::kUnknownDirective, line_no,
+               "unknown directive '" + std::string(directive) + "'");
+    }
+  }
+
+  if (err.failed()) return err.take();
+  if (!saw_header) {
+    return RosterError{RosterError::Kind::kBadHeader, 0, "empty roster"};
+  }
+  if (in_type) {
+    return RosterError{RosterError::Kind::kUnterminatedType, type_line,
+                       "type '" + entry.profile.name +
+                           "' is missing its 'end' (truncated file?)"};
+  }
+  return roster;
+}
+
+RosterResult load_roster_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return RosterError{RosterError::Kind::kIoError, 0,
+                       "cannot open '" + path + "'"};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return RosterError{RosterError::Kind::kIoError, 0,
+                       "read failure on '" + path + "'"};
+  }
+  return parse_roster(buffer.str());
+}
+
+std::string format_roster(const Roster& roster) {
+  const RosterEntry defaults;
+  std::string out = "roster v1\n";
+  for (const auto& entry : roster.entries) {
+    const DeviceProfile& p = entry.profile;
+    out += "\ntype " + p.name + "\n";
+    out += "  model " + p.model + "\n";
+    out += "  oui " + fmt_oui(p.oui) + "\n";
+    out += "  dhcp-params " + fmt_dhcp_params(p.dhcp_params) + "\n";
+    if (!p.dhcp_hostname.empty()) {
+      out += "  dhcp-hostname " + p.dhcp_hostname + "\n";
+    }
+    out += "  retransmit-prob " + fmt_double(p.retransmit_prob) + "\n";
+    out += "  intra-gap-ms " + fmt_double(p.intra_gap_ms) + "\n";
+    if (p.has_uncontrolled_channel) out += "  uncontrolled-channel\n";
+    if (entry.count != 1) out += "  count " + std::to_string(entry.count) + "\n";
+    if (entry.fleet != defaults.fleet) {
+      out += "  fleet cycles=" + std::to_string(entry.fleet.standby_cycles) +
+             " cycle-gap-s=" + fmt_double(entry.fleet.cycle_gap_s) +
+             " downtime-s=" + fmt_double(entry.fleet.downtime_s) + "\n";
+    }
+    for (const auto& step : p.steps) append_step(out, step);
+    out += "end\n";
+  }
+  return out;
+}
+
+std::string canonical_profile_text(const DeviceProfile& p) {
+  std::string out = "profile " + p.name + "\n";
+  out += "model " + p.model + "\n";
+  out += "oui " + fmt_oui(p.oui) + "\n";
+  out += "dhcp-params " + fmt_dhcp_params(p.dhcp_params) + "\n";
+  out += "dhcp-hostname " + p.dhcp_hostname + "\n";
+  out += "retransmit-prob " + fmt_double(p.retransmit_prob) + "\n";
+  out += "intra-gap-ms " + fmt_double(p.intra_gap_ms) + "\n";
+  out += "uncontrolled-channel ";
+  out += p.has_uncontrolled_channel ? "true" : "false";
+  out += "\nsteps " + std::to_string(p.steps.size()) + "\n";
+  for (const auto& step : p.steps) append_step_canonical(out, step);
+  out += "standby-steps " + std::to_string(p.standby_steps.size()) + "\n";
+  for (const auto& step : p.standby_steps) append_step_canonical(out, step);
+  out += "end\n";
+  return out;
+}
+
+}  // namespace iotsentinel::sim

@@ -1,0 +1,151 @@
+// Config-driven device roster: the declarative replacement for the
+// hardcoded 27-type device catalog.
+//
+// A roster is a small dependency-free text file (see docs/ROSTER.md for
+// the normative format and a worked example) listing device types with
+// their full behavioural profile — setup-dialogue script, DHCP quirks,
+// timing knobs — plus fleet-level parameters the simulator needs that a
+// single setup capture does not: how many units of the type exist
+// (`count`) and how the device behaves over days of operation (standby
+// cycle cadence, downtime before a rejoin). New device types are data,
+// not code: editing the shipped `config/roster_table2.roster` is the
+// whole change.
+//
+// Parsing follows the model-store discipline (src/core/model_store.hpp):
+// every rejection carries a typed error kind, the 1-based line number of
+// the offending line and a human-readable detail, so a bad roster names
+// its problem instead of yielding a bare nullopt.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simnet/device_model.hpp"
+
+namespace iotsentinel::sim {
+
+/// How one device of a type behaves over operational time in the fleet
+/// simulator (join -> setup burst -> standby cycles -> depart -> rejoin).
+struct FleetBehavior {
+  /// Mean number of standby/operation cycles per operational period;
+  /// each device draws its actual count per period from [1, 2*mean].
+  std::uint32_t standby_cycles = 4;
+  /// Mean quiet gap between consecutive standby cycles, seconds.
+  double cycle_gap_s = 60.0;
+  /// Mean offline time between a departure and the rejoin, seconds.
+  double downtime_s = 900.0;
+
+  friend bool operator==(const FleetBehavior&, const FleetBehavior&) = default;
+};
+
+/// One roster line item: a device type plus its fleet multiplicity.
+struct RosterEntry {
+  DeviceProfile profile;
+  /// Units of this type in the simulated fleet (same-type multiplicity —
+  /// the paper's testbed had 31 devices covering 27 types).
+  std::uint32_t count = 1;
+  FleetBehavior fleet;
+};
+
+/// A parsed device roster.
+struct Roster {
+  std::vector<RosterEntry> entries;
+
+  [[nodiscard]] std::size_t num_types() const { return entries.size(); }
+  /// Sum of per-type counts: the physical fleet the roster describes.
+  [[nodiscard]] std::size_t total_devices() const;
+  /// Entry by type name; nullptr when unknown.
+  [[nodiscard]] const RosterEntry* find(std::string_view name) const;
+};
+
+/// Why a roster was rejected, and where.
+struct RosterError {
+  enum class Kind {
+    kNone,              ///< No error (the parse succeeded).
+    kIoError,           ///< File could not be opened or read.
+    kBadHeader,         ///< Missing or unsupported `roster v1` header.
+    kMalformedLine,     ///< A line does not scan as `directive value...`.
+    kUnknownDirective,  ///< Directive name not part of the format.
+    kUnknownStepKind,   ///< `step` with a kind the generator cannot emit.
+    kDuplicateType,     ///< Two `type` blocks share one name.
+    kDuplicateField,    ///< A scalar directive repeated within one block.
+    kOutOfRange,        ///< A value outside its documented domain.
+    kMissingField,      ///< A required directive absent at `end`.
+    kUnterminatedType,  ///< EOF inside a `type` block (truncated file).
+  };
+
+  Kind kind = Kind::kNone;
+  /// 1-based line number of the offending line (0 when the error is not
+  /// attributable to a line, e.g. I/O failures).
+  std::size_t line = 0;
+  /// Human-readable specifics, e.g. `skip-prob must be within [0, 1],
+  /// got 1.5`. Never empty when `kind != kNone`.
+  std::string detail;
+};
+
+/// Stable name of an error kind ("out-of-range", ...); never null.
+[[nodiscard]] const char* to_string(RosterError::Kind kind);
+
+/// One-line rendering, e.g. "out-of-range at line 12: skip-prob ...".
+[[nodiscard]] std::string describe(const RosterError& error);
+
+/// Result of parsing a roster: the roster or a typed error. Mimics
+/// std::optional (has_value / bool / * / ->) like core::LoadResult.
+class RosterResult {
+ public:
+  /*implicit*/ RosterResult(Roster roster) : roster_(std::move(roster)) {}
+  /*implicit*/ RosterResult(RosterError error) : error_(std::move(error)) {}
+
+  [[nodiscard]] bool has_value() const { return roster_.has_value(); }
+  [[nodiscard]] explicit operator bool() const { return has_value(); }
+  [[nodiscard]] Roster& operator*() { return *roster_; }
+  [[nodiscard]] const Roster& operator*() const { return *roster_; }
+  [[nodiscard]] Roster* operator->() { return &*roster_; }
+  [[nodiscard]] const Roster* operator->() const { return &*roster_; }
+  /// The rejection reason; `kind == kNone` iff the parse succeeded.
+  [[nodiscard]] const RosterError& error() const { return error_; }
+  /// Moves the roster out (valid only after a successful parse).
+  [[nodiscard]] Roster take() { return std::move(*roster_); }
+
+ private:
+  std::optional<Roster> roster_;
+  RosterError error_;
+};
+
+/// Parses roster text. Error contract: never throws and never crashes,
+/// whatever `text` holds; on rejection the error names the offending
+/// line. On success every profile is fully populated — standby steps are
+/// derived from the setup script exactly as the legacy hardcoded catalog
+/// derived them (see `derive_standby_steps`).
+[[nodiscard]] RosterResult parse_roster(std::string_view text);
+
+/// Reads and parses a roster file. I/O failures yield kIoError.
+[[nodiscard]] RosterResult load_roster_file(const std::string& path);
+
+/// Renders a roster in canonical form: defaults elided, one directive
+/// per line, deterministic field order. parse_roster(format_roster(r))
+/// reproduces `r` exactly (floats use shortest-round-trip notation).
+[[nodiscard]] std::string format_roster(const Roster& roster);
+
+/// Derives one standby/operation cycle from a profile's setup script:
+/// cloud endpoints get periodic keepalives, announced services get
+/// re-announcements, NTP users re-sync, everyone ARPs its gateway
+/// occasionally. Deterministic, so identical platforms (the paper's
+/// confusable families) stay identical in standby too. The parser calls
+/// this for every profile; it is exposed for tools and tests.
+[[nodiscard]] std::vector<SetupStep> derive_standby_steps(
+    const DeviceProfile& profile);
+
+/// Exhaustive, canonical text rendering of ONE profile: every field of
+/// the profile and of every step (setup and standby), defaults included,
+/// floats in shortest-round-trip notation. Two profiles are field-equal
+/// iff their canonical texts are byte-equal — this is the currency of
+/// the roster golden test (tests/data/catalog_golden.txt pins the legacy
+/// hardcoded catalog) and of tools/roster_dump.
+[[nodiscard]] std::string canonical_profile_text(const DeviceProfile& profile);
+
+}  // namespace iotsentinel::sim

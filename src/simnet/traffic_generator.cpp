@@ -13,26 +13,13 @@ std::uint64_t jitter_us(double mean_ms, ml::Rng& rng) {
   return static_cast<std::uint64_t>(mean_ms * factor * 1000.0);
 }
 
-}  // namespace
-
-TrafficGenerator::TrafficGenerator(GeneratorConfig config)
-    : config_(config) {}
-
-net::MacAddress TrafficGenerator::mint_mac(const DeviceProfile& profile,
-                                           std::uint32_t instance) {
-  return net::MacAddress::of(profile.oui[0], profile.oui[1], profile.oui[2],
-                             static_cast<std::uint8_t>(instance >> 16),
-                             static_cast<std::uint8_t>(instance >> 8),
-                             static_cast<std::uint8_t>(instance));
-}
-
-void TrafficGenerator::push(std::vector<TimedFrame>& out,
-                            std::uint64_t& now_us, net::Bytes frame,
-                            const DeviceProfile& profile, ml::Rng& rng) {
+/// Appends one frame, with an occasional immediate retransmission of the
+/// same frame (lossy WiFi during setup) — discarded later by Eq. (1)'s
+/// duplicate removal, but it exercises that code path and perturbs
+/// setup-phase duration.
+void push(std::vector<TimedFrame>& out, std::uint64_t& now_us,
+          net::Bytes frame, const DeviceProfile& profile, ml::Rng& rng) {
   out.push_back({now_us, frame});
-  // Occasional immediate retransmission of the same frame (lossy WiFi
-  // during setup) — discarded later by Eq. (1)'s duplicate removal, but it
-  // exercises that code path and perturbs setup-phase duration.
   if (rng.chance(profile.retransmit_prob)) {
     now_us += jitter_us(2.0, rng);
     out.push_back({now_us, std::move(frame)});
@@ -40,14 +27,15 @@ void TrafficGenerator::push(std::vector<TimedFrame>& out,
   now_us += jitter_us(profile.intra_gap_ms, rng);
 }
 
-void TrafficGenerator::emit_step(const DeviceProfile& profile,
-                                 const SetupStep& step,
-                                 const net::MacAddress& mac,
-                                 net::Ipv4Address ip, std::uint64_t& now_us,
-                                 ml::Rng& rng, std::vector<TimedFrame>& out) {
+/// Emits the packets of one step occurrence into `out`. The RNG draw
+/// order here is frozen: the catalog traffic golden test pins it.
+void emit_step(const GeneratorConfig& config, const DeviceProfile& profile,
+               const SetupStep& step, const net::MacAddress& mac,
+               net::Ipv4Address ip, std::uint64_t& now_us, ml::Rng& rng,
+               std::vector<TimedFrame>& out) {
   using namespace iotsentinel::net;
-  const MacAddress gw_mac = config_.gateway_mac;
-  const Ipv4Address gw_ip = config_.gateway_ip;
+  const MacAddress gw_mac = config.gateway_mac;
+  const Ipv4Address gw_ip = config.gateway_ip;
   // Ephemeral source port for this step's client sockets; class stays
   // "dynamic" but the value varies run to run like a real stack.
   const auto eph = static_cast<std::uint16_t>(49152 + rng.index(16384));
@@ -167,32 +155,174 @@ void TrafficGenerator::emit_step(const DeviceProfile& profile,
   }
 }
 
+}  // namespace
+
+DeviceTraceStream::DeviceTraceStream(const GeneratorConfig& config,
+                                     const DeviceProfile& profile,
+                                     const net::MacAddress& mac,
+                                     net::Ipv4Address ip, Mode mode,
+                                     std::size_t standby_cycles,
+                                     std::uint64_t cycle_gap_us, ml::Rng& rng)
+    : config_(config),
+      profile_(&profile),
+      mac_(mac),
+      ip_(ip),
+      mode_(mode),
+      cycles_left_(mode == Mode::kStandby ? standby_cycles : 0),
+      cycle_gap_us_(cycle_gap_us),
+      own_rng_(0),
+      rng_(&rng),
+      heartbeats_left_(mode == Mode::kSetup ? config.trailing_heartbeats : 0),
+      now_us_(config.start_time_us) {}
+
+DeviceTraceStream::DeviceTraceStream(const GeneratorConfig& config,
+                                     const DeviceProfile& profile,
+                                     const net::MacAddress& mac,
+                                     net::Ipv4Address ip, Mode mode,
+                                     std::size_t standby_cycles,
+                                     std::uint64_t cycle_gap_us,
+                                     std::uint64_t seed)
+    : DeviceTraceStream(config, profile, mac, ip, mode, standby_cycles,
+                        cycle_gap_us, own_rng_) {
+  own_rng_ = ml::Rng(seed);
+  rng_ = &own_rng_;
+}
+
+DeviceTraceStream::DeviceTraceStream(DeviceTraceStream&& other) noexcept
+    : config_(other.config_),
+      profile_(other.profile_),
+      mac_(other.mac_),
+      ip_(other.ip_),
+      mode_(other.mode_),
+      cycles_left_(other.cycles_left_),
+      cycle_gap_us_(other.cycle_gap_us_),
+      own_rng_(other.own_rng_),
+      rng_(other.rng_ == &other.own_rng_ ? &own_rng_ : other.rng_),
+      step_index_(other.step_index_),
+      step_started_(other.step_started_),
+      occurrences_left_(other.occurrences_left_),
+      heartbeats_left_(other.heartbeats_left_),
+      now_us_(other.now_us_),
+      pending_(std::move(other.pending_)),
+      pending_pos_(other.pending_pos_) {}
+
+DeviceTraceStream& DeviceTraceStream::operator=(
+    DeviceTraceStream&& other) noexcept {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  profile_ = other.profile_;
+  mac_ = other.mac_;
+  ip_ = other.ip_;
+  mode_ = other.mode_;
+  cycles_left_ = other.cycles_left_;
+  cycle_gap_us_ = other.cycle_gap_us_;
+  own_rng_ = other.own_rng_;
+  rng_ = other.rng_ == &other.own_rng_ ? &own_rng_ : other.rng_;
+  step_index_ = other.step_index_;
+  step_started_ = other.step_started_;
+  occurrences_left_ = other.occurrences_left_;
+  heartbeats_left_ = other.heartbeats_left_;
+  now_us_ = other.now_us_;
+  pending_ = std::move(other.pending_);
+  pending_pos_ = other.pending_pos_;
+  return *this;
+}
+
+const std::vector<SetupStep>& DeviceTraceStream::active_steps() const {
+  return mode_ == Mode::kSetup ? profile_->steps : profile_->standby_steps;
+}
+
+bool DeviceTraceStream::advance() {
+  ml::Rng& rng = *rng_;
+  for (;;) {
+    const bool in_cycle = mode_ == Mode::kSetup || cycles_left_ > 0;
+    const std::vector<SetupStep>& steps = active_steps();
+    if (in_cycle && step_index_ < steps.size()) {
+      const SetupStep& step = steps[step_index_];
+      if (!step_started_) {
+        // Step preamble, in the frozen draw order: skip check, leading
+        // gap jitter, occurrence-count jitter.
+        if (step.skip_prob > 0.0 && rng.chance(step.skip_prob)) {
+          ++step_index_;
+          continue;
+        }
+        now_us_ += jitter_us(step.gap_ms, rng);
+        int occurrences = step.repeat;
+        if (step.repeat_jitter > 0) {
+          occurrences += static_cast<int>(
+              rng.index(static_cast<std::size_t>(step.repeat_jitter) + 1));
+        }
+        occurrences_left_ = occurrences;
+        step_started_ = true;
+        if (occurrences_left_ <= 0) {
+          ++step_index_;
+          step_started_ = false;
+          continue;
+        }
+      }
+      emit_step(config_, *profile_, step, mac_, ip_, now_us_, rng, pending_);
+      if (--occurrences_left_ == 0) {
+        ++step_index_;
+        step_started_ = false;
+      }
+      return true;
+    }
+    if (mode_ == Mode::kStandby) {
+      if (cycles_left_ == 0) return false;
+      // Quiet period until the next operational cycle (drawn after the
+      // final cycle too, exactly like the historical batch loop).
+      now_us_ += cycle_gap_us_ / 2 + rng.index(cycle_gap_us_);
+      --cycles_left_;
+      step_index_ = 0;
+      step_started_ = false;
+      continue;
+    }
+    // Setup-mode tail: operational-phase heartbeats at a much lower
+    // rate; the extractor's rate-decrease detector must cut these off.
+    if (heartbeats_left_ > 0) {
+      now_us_ += config_.heartbeat_gap_us + jitter_us(500.0, rng);
+      pending_.push_back(
+          {now_us_, net::build_arp_request(mac_, ip_, config_.gateway_ip)});
+      --heartbeats_left_;
+      return true;
+    }
+    return false;
+  }
+}
+
+std::size_t DeviceTraceStream::buffered_bytes() const {
+  std::size_t total = pending_.capacity() * sizeof(TimedFrame);
+  for (const auto& tf : pending_) total += tf.frame.capacity();
+  return total;
+}
+
+std::optional<TimedFrame> DeviceTraceStream::next() {
+  while (pending_pos_ >= pending_.size()) {
+    pending_.clear();
+    pending_pos_ = 0;
+    if (!advance()) return std::nullopt;
+  }
+  return std::move(pending_[pending_pos_++]);
+}
+
+TrafficGenerator::TrafficGenerator(GeneratorConfig config)
+    : config_(config) {}
+
+net::MacAddress TrafficGenerator::mint_mac(const DeviceProfile& profile,
+                                           std::uint32_t instance) {
+  return net::MacAddress::of(profile.oui[0], profile.oui[1], profile.oui[2],
+                             static_cast<std::uint8_t>(instance >> 16),
+                             static_cast<std::uint8_t>(instance >> 8),
+                             static_cast<std::uint8_t>(instance));
+}
+
 std::vector<TimedFrame> TrafficGenerator::generate(
     const DeviceProfile& profile, const net::MacAddress& device_mac,
     net::Ipv4Address device_ip, ml::Rng& rng) {
+  DeviceTraceStream stream(config_, profile, device_mac, device_ip,
+                           DeviceTraceStream::Mode::kSetup, 0, 0, rng);
   std::vector<TimedFrame> out;
-  std::uint64_t now_us = config_.start_time_us;
-
-  for (const auto& step : profile.steps) {
-    if (step.skip_prob > 0.0 && rng.chance(step.skip_prob)) continue;
-    now_us += jitter_us(step.gap_ms, rng);
-    int occurrences = step.repeat;
-    if (step.repeat_jitter > 0) {
-      occurrences += static_cast<int>(
-          rng.index(static_cast<std::size_t>(step.repeat_jitter) + 1));
-    }
-    for (int i = 0; i < occurrences; ++i) {
-      emit_step(profile, step, device_mac, device_ip, now_us, rng, out);
-    }
-  }
-
-  // Optional operational-phase heartbeats at a much lower rate; the
-  // extractor's rate-decrease detector must cut these off.
-  for (std::size_t i = 0; i < config_.trailing_heartbeats; ++i) {
-    now_us += config_.heartbeat_gap_us + jitter_us(500.0, rng);
-    out.push_back({now_us, net::build_arp_request(device_mac, device_ip,
-                                                  config_.gateway_ip)});
-  }
+  while (auto tf = stream.next()) out.push_back(std::move(*tf));
   return out;
 }
 
@@ -200,24 +330,11 @@ std::vector<TimedFrame> TrafficGenerator::generate_standby(
     const DeviceProfile& profile, const net::MacAddress& device_mac,
     net::Ipv4Address device_ip, std::size_t cycles, ml::Rng& rng,
     std::uint64_t cycle_gap_us) {
+  DeviceTraceStream stream(config_, profile, device_mac, device_ip,
+                           DeviceTraceStream::Mode::kStandby, cycles,
+                           cycle_gap_us, rng);
   std::vector<TimedFrame> out;
-  std::uint64_t now_us = config_.start_time_us;
-  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
-    for (const auto& step : profile.standby_steps) {
-      if (step.skip_prob > 0.0 && rng.chance(step.skip_prob)) continue;
-      now_us += jitter_us(step.gap_ms, rng);
-      int occurrences = step.repeat;
-      if (step.repeat_jitter > 0) {
-        occurrences += static_cast<int>(
-            rng.index(static_cast<std::size_t>(step.repeat_jitter) + 1));
-      }
-      for (int i = 0; i < occurrences; ++i) {
-        emit_step(profile, step, device_mac, device_ip, now_us, rng, out);
-      }
-    }
-    // Quiet period until the next operational cycle.
-    now_us += cycle_gap_us / 2 + rng.index(cycle_gap_us);
-  }
+  while (auto tf = stream.next()) out.push_back(std::move(*tf));
   return out;
 }
 

@@ -4,9 +4,19 @@
 // All stochasticity (skips, repeat jitter, retransmissions, timing) comes
 // from the caller-provided Rng, so the same seed reproduces the same
 // capture byte for byte.
+//
+// The core is the resumable DeviceTraceStream: each next() yields the
+// following frame of a device's capture while holding only O(1) state,
+// which is what lets the fleet simulator merge hundreds of thousands of
+// concurrent devices without materialising any per-device trace. The
+// classic TrafficGenerator::generate* entry points are thin collect-to-
+// vector wrappers over a stream and consume the caller's Rng in exactly
+// the historical order — their output is pinned byte-for-byte by the
+// catalog traffic golden test.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "ml/rng.hpp"
@@ -39,6 +49,76 @@ struct GeneratorConfig {
   std::size_t trailing_heartbeats = 0;
   /// Gap between heartbeats, microseconds.
   std::uint64_t heartbeat_gap_us = 30'000'000;
+};
+
+/// Resumable generator for ONE device trace: setup capture (the profile's
+/// setup script plus optional trailing heartbeats) or a run of standby
+/// cycles. Pull-based: next() returns the following frame, or nullopt
+/// when the trace is finished. State is O(1) — only the frames of the
+/// current step occurrence are buffered — and the emission (frames,
+/// timestamps, RNG consumption) is bit-identical whether a trace is
+/// pulled one-shot, in chunks, or interleaved with other streams.
+class DeviceTraceStream {
+ public:
+  enum class Mode {
+    kSetup,    ///< profile.steps once, then config.trailing_heartbeats.
+    kStandby,  ///< `standby_cycles` runs of profile.standby_steps.
+  };
+
+  /// Borrows `rng`: the caller's generator drives every draw and must
+  /// outlive the stream. This is what the batch wrappers use, so legacy
+  /// seeds keep reproducing their historical captures.
+  DeviceTraceStream(const GeneratorConfig& config,
+                    const DeviceProfile& profile, const net::MacAddress& mac,
+                    net::Ipv4Address ip, Mode mode, std::size_t standby_cycles,
+                    std::uint64_t cycle_gap_us, ml::Rng& rng);
+
+  /// Owns its RNG, seeded with `seed`. Safe to move; this is what the
+  /// fleet simulator uses (one independent stream per device phase).
+  DeviceTraceStream(const GeneratorConfig& config,
+                    const DeviceProfile& profile, const net::MacAddress& mac,
+                    net::Ipv4Address ip, Mode mode, std::size_t standby_cycles,
+                    std::uint64_t cycle_gap_us, std::uint64_t seed);
+
+  DeviceTraceStream(DeviceTraceStream&& other) noexcept;
+  DeviceTraceStream& operator=(DeviceTraceStream&& other) noexcept;
+  DeviceTraceStream(const DeviceTraceStream&) = delete;
+  DeviceTraceStream& operator=(const DeviceTraceStream&) = delete;
+
+  /// The next frame of the trace, or nullopt when it is exhausted.
+  [[nodiscard]] std::optional<TimedFrame> next();
+
+  /// Virtual time of the most recently scheduled event (after exhaustion:
+  /// the end of the trace, including the final quiet period).
+  [[nodiscard]] std::uint64_t now_us() const { return now_us_; }
+
+  /// Dynamically-allocated bytes currently buffered (the frames of the
+  /// in-flight step occurrence) — the fleet simulator's memory estimate.
+  [[nodiscard]] std::size_t buffered_bytes() const;
+
+ private:
+  /// Runs the state machine until it emits >=1 frame into pending_
+  /// (returns true) or the trace ends (returns false).
+  bool advance();
+  [[nodiscard]] const std::vector<SetupStep>& active_steps() const;
+
+  GeneratorConfig config_;
+  const DeviceProfile* profile_;
+  net::MacAddress mac_;
+  net::Ipv4Address ip_;
+  Mode mode_;
+  std::size_t cycles_left_;
+  std::uint64_t cycle_gap_us_;
+  ml::Rng own_rng_;
+  ml::Rng* rng_;  // == &own_rng_ for the owning constructor
+
+  std::size_t step_index_ = 0;
+  bool step_started_ = false;
+  int occurrences_left_ = 0;
+  std::size_t heartbeats_left_;
+  std::uint64_t now_us_;
+  std::vector<TimedFrame> pending_;
+  std::size_t pending_pos_ = 0;
 };
 
 /// Generates setup captures from device profiles.
@@ -74,15 +154,6 @@ class TrafficGenerator {
                                                60'000'000);
 
  private:
-  /// Emits the packets of one step occurrence into `out`.
-  void emit_step(const DeviceProfile& profile, const SetupStep& step,
-                 const net::MacAddress& mac, net::Ipv4Address ip,
-                 std::uint64_t& now_us, ml::Rng& rng,
-                 std::vector<TimedFrame>& out);
-
-  void push(std::vector<TimedFrame>& out, std::uint64_t& now_us,
-            net::Bytes frame, const DeviceProfile& profile, ml::Rng& rng);
-
   GeneratorConfig config_;
 };
 

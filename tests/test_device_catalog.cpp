@@ -2,10 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
+
+#include "net/crc32.hpp"
+#include "simnet/roster.hpp"
+#include "simnet/traffic_generator.hpp"
 
 namespace iotsentinel::sim {
 namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
 
 bool same_steps(const DeviceProfile& a, const DeviceProfile& b) {
   if (a.steps.size() != b.steps.size()) return false;
@@ -112,6 +127,107 @@ TEST(DeviceCatalog, CloudStepsUsePublicAddresses) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Golden pins: the roster-loaded catalog must stay byte-for-byte identical to
+// the legacy hardcoded catalog it replaced. The fixtures under tests/data/
+// were dumped from the last hardcoded build; regenerate them only via
+// tools/roster_dump (and only when a catalog change is intentional).
+
+TEST(CatalogGolden, CanonicalDumpMatchesLegacyCatalog) {
+  std::string dump;
+  for (const auto& p : device_catalog()) dump += canonical_profile_text(p);
+  const std::string golden =
+      read_file(IOTSENTINEL_TEST_DATA_DIR "/catalog_golden.txt");
+  ASSERT_FALSE(golden.empty());
+  if (dump != golden) {
+    std::size_t i = 0;
+    while (i < std::min(dump.size(), golden.size()) && dump[i] == golden[i]) {
+      ++i;
+    }
+    FAIL() << "catalog diverges from golden fixture at byte " << i << ": got \""
+           << dump.substr(i > 40 ? i - 40 : 0, 80) << "\" want \""
+           << golden.substr(i > 40 ? i - 40 : 0, 80) << '"';
+  }
+}
+
+TEST(CatalogGolden, ShippedRosterFileMatchesEmbeddedCatalog) {
+  // The on-disk config file and the build-time-embedded copy must agree:
+  // an edit to one without rebuilding the other is a packaging bug.
+  RosterResult parsed =
+      load_roster_file(IOTSENTINEL_CONFIG_DIR "/roster_table2.roster");
+  ASSERT_TRUE(parsed) << describe(parsed.error());
+  const Roster& embedded = device_roster();
+  ASSERT_EQ(parsed->entries.size(), embedded.entries.size());
+  for (std::size_t i = 0; i < embedded.entries.size(); ++i) {
+    const RosterEntry& a = parsed->entries[i];
+    const RosterEntry& b = embedded.entries[i];
+    EXPECT_EQ(canonical_profile_text(a.profile),
+              canonical_profile_text(b.profile));
+    EXPECT_EQ(a.count, b.count) << a.profile.name;
+    EXPECT_TRUE(a.fleet == b.fleet) << a.profile.name;
+  }
+}
+
+TEST(CatalogGolden, RosterFleetShapeMatchesPaperTableII) {
+  const Roster& roster = device_roster();
+  EXPECT_EQ(roster.num_types(), 27u);
+  // Table II lists 31 devices over 27 types (four types present twice).
+  EXPECT_EQ(roster.total_devices(), 31u);
+  std::size_t duplicated = 0;
+  for (const auto& e : roster.entries) {
+    if (e.count > 1) {
+      EXPECT_EQ(e.count, 2u) << e.profile.name;
+      ++duplicated;
+    }
+  }
+  EXPECT_EQ(duplicated, 4u);
+}
+
+std::uint32_t trace_crc(const std::vector<TimedFrame>& frames) {
+  std::uint32_t crc = 0;
+  for (const auto& tf : frames) {
+    std::uint8_t ts[8];
+    for (int i = 0; i < 8; ++i) {
+      ts[i] = static_cast<std::uint8_t>(tf.timestamp_us >> (8 * i));
+    }
+    crc = net::crc32c(ts, crc);
+    crc = net::crc32c(tf.frame, crc);
+  }
+  return crc;
+}
+
+TEST(CatalogGolden, GeneratedTrafficMatchesLegacyCrcs) {
+  // Pins the full generator pipeline (catalog -> RNG draws -> frame bytes
+  // -> timestamps) against traces recorded from the hardcoded catalog.
+  const auto& catalog = device_catalog();
+  std::string traffic;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& p = catalog[i];
+    const auto mac =
+        TrafficGenerator::mint_mac(p, static_cast<std::uint32_t>(7 + i));
+    const auto ip = net::Ipv4Address::of(192, 168, 0,
+                                         static_cast<std::uint8_t>(2 + i % 250));
+
+    GeneratorConfig cfg;
+    cfg.trailing_heartbeats = 2;
+    TrafficGenerator gen(cfg);
+    ml::Rng rng(0xf00d + i);
+    const auto setup = gen.generate(p, mac, ip, rng);
+
+    TrafficGenerator gen2;
+    ml::Rng rng2(0xbeef + i);
+    const auto standby = gen2.generate_standby(p, mac, ip, 2, rng2);
+
+    char line[160];
+    std::snprintf(line, sizeof(line), "%s %u %08x %08x\n", p.name.c_str(),
+                  static_cast<unsigned>(setup.size()), trace_crc(setup),
+                  trace_crc(standby));
+    traffic += line;
+  }
+  EXPECT_EQ(traffic,
+            read_file(IOTSENTINEL_TEST_DATA_DIR "/catalog_traffic_golden.txt"));
 }
 
 }  // namespace

@@ -320,5 +320,61 @@ TEST(ShardedGateway, BatchedAssessmentMatchesSerialAssess) {
   }
 }
 
+TEST(ShardedGateway, SubmitOwnedMatchesBorrowedSubmit) {
+  const auto service = make_service();
+  const auto trace = make_trace();
+
+  ShardedGatewayConfig config;
+  config.num_shards = 3;
+  ShardedGateway borrowed(service, config);
+  for (const auto& tf : trace) borrowed.submit(tf.frame, tf.timestamp_us);
+  borrowed.finish();
+
+  ShardedGateway owned(service, config);
+  for (const auto& tf : trace) {
+    owned.submit_owned(net::Bytes(tf.frame), tf.timestamp_us);  // copy
+  }
+  owned.finish();
+
+  EXPECT_EQ(event_keys(owned.events()), event_keys(borrowed.events()));
+  for (std::size_t s = 0; s < owned.num_shards(); ++s) {
+    EXPECT_EQ(owned.shard_packets(s), borrowed.shard_packets(s));
+  }
+}
+
+TEST(ShardedGateway, StatsCountFramesStallsAndHighWater) {
+  const auto service = make_service();
+  const auto trace = make_trace();
+
+  ShardedGatewayConfig config;
+  config.num_shards = 2;
+  config.ring_capacity = 8;  // tiny rings force visible backpressure
+  ShardedGateway gw(service, config);
+  const auto before = gw.stats();
+  ASSERT_EQ(before.shards.size(), 2u);
+  EXPECT_EQ(before.frames_processed, 0u);
+  for (const auto& shard : before.shards) {
+    EXPECT_EQ(shard.ring_capacity, 8u);
+    EXPECT_EQ(shard.ring_high_water, 0u);
+  }
+
+  for (const auto& tf : trace) gw.submit(tf.frame, tf.timestamp_us);
+  gw.finish();
+
+  const auto after = gw.stats();
+  EXPECT_EQ(after.frames_processed, trace.size());
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < after.shards.size(); ++s) {
+    const auto& shard = after.shards[s];
+    sum += shard.frames_processed;
+    EXPECT_EQ(shard.frames_processed, gw.shard_packets(s));
+    EXPECT_GT(shard.ring_high_water, 0u);
+    EXPECT_LE(shard.ring_high_water, shard.ring_capacity);
+  }
+  EXPECT_EQ(sum, after.frames_processed);
+  // Monotonic: a later snapshot never goes backwards.
+  EXPECT_GE(after.submit_stalls, before.submit_stalls);
+}
+
 }  // namespace
 }  // namespace iotsentinel::core

@@ -1,0 +1,268 @@
+// Roster parser contract tests: every malformed input is rejected with
+// a typed error kind naming the offending line (mirroring the model
+// store's corruption-test discipline), canonical formatting round-trips,
+// and the docs/ROSTER.md worked example stays parseable.
+#include "simnet/roster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace iotsentinel::sim {
+namespace {
+
+using Kind = RosterError::Kind;
+
+// A minimal valid roster; single source for the mutation tests below.
+constexpr const char* kValidRoster =
+    "roster v1\n"                  // line 1
+    "type T\n"                     // line 2
+    "  model M 1\n"                // line 3
+    "  oui 00:11:22\n"             // line 4
+    "  dhcp-params 1,3,6\n"        // line 5
+    "  retransmit-prob 0.1\n"      // line 6
+    "  intra-gap-ms 20\n"          // line 7
+    "  step dhcp gap-ms=100\n"     // line 8
+    "end\n";                       // line 9
+
+RosterError expect_reject(const std::string& text, Kind kind) {
+  RosterResult result = parse_roster(text);
+  EXPECT_FALSE(result) << "parse unexpectedly succeeded";
+  EXPECT_EQ(result.error().kind, kind) << describe(result.error());
+  EXPECT_FALSE(result.error().detail.empty());
+  return result.error();
+}
+
+void expect_reject_at(const std::string& text, Kind kind, std::size_t line,
+                      const std::string& detail_substr) {
+  const RosterError error = expect_reject(text, kind);
+  EXPECT_EQ(error.line, line) << describe(error);
+  EXPECT_NE(error.detail.find(detail_substr), std::string::npos)
+      << describe(error);
+}
+
+TEST(Roster, MinimalRosterParses) {
+  RosterResult result = parse_roster(kValidRoster);
+  ASSERT_TRUE(result) << describe(result.error());
+  EXPECT_EQ(result.error().kind, Kind::kNone);
+  ASSERT_EQ(result->num_types(), 1u);
+  const RosterEntry& entry = result->entries[0];
+  EXPECT_EQ(entry.profile.name, "T");
+  EXPECT_EQ(entry.profile.model, "M 1");
+  EXPECT_EQ(entry.count, 1u);
+  EXPECT_EQ(entry.fleet, FleetBehavior{});
+  ASSERT_EQ(entry.profile.steps.size(), 1u);
+  EXPECT_EQ(entry.profile.steps[0].kind, StepKind::kDhcpExchange);
+  // Standby derivation ran at `end`: at least the gateway-ARP probe.
+  ASSERT_FALSE(entry.profile.standby_steps.empty());
+  EXPECT_EQ(entry.profile.standby_steps[0].kind, StepKind::kArpGateway);
+  EXPECT_EQ(result->total_devices(), 1u);
+  EXPECT_NE(result->find("T"), nullptr);
+  EXPECT_EQ(result->find("U"), nullptr);
+}
+
+TEST(Roster, HeaderIsMandatory) {
+  expect_reject_at("", Kind::kBadHeader, 0, "empty roster");
+  expect_reject_at("# only a comment\n", Kind::kBadHeader, 0, "empty roster");
+  expect_reject_at("roster v2\n", Kind::kBadHeader, 1, "roster v1");
+  expect_reject_at("type T\n", Kind::kBadHeader, 1, "roster v1");
+}
+
+TEST(Roster, MalformedLinesAreNamed) {
+  // A directive outside any type block.
+  expect_reject_at("roster v1\nmodel M\n", Kind::kMalformedLine, 2,
+                   "outside a type block");
+  // Type names are single tokens.
+  expect_reject_at("roster v1\ntype two words\n", Kind::kMalformedLine, 2,
+                   "one token");
+  // `type` nested in an open block.
+  expect_reject_at("roster v1\ntype A\n  model M\ntype B\n",
+                   Kind::kMalformedLine, 4, "open type block");
+  // `end` takes no value.
+  expect_reject_at("roster v1\ntype A\n  model M\n  step dhcp gap-ms=1\n"
+                   "end now\n",
+                   Kind::kMalformedLine, 5, "takes no value");
+  // Step attributes must be key=value.
+  expect_reject_at("roster v1\ntype A\n  model M\n  step dhcp gapms\nend\n",
+                   Kind::kMalformedLine, 4, "key=value");
+  // Step without a kind.
+  expect_reject_at("roster v1\ntype A\n  model M\n  step\nend\n",
+                   Kind::kMalformedLine, 4, "without a kind");
+  // Bad OUI spelling.
+  expect_reject_at("roster v1\ntype A\n  oui 001122\n", Kind::kMalformedLine,
+                   3, "xx:xx:xx");
+  // Bad IPv4 remote.
+  expect_reject_at(
+      "roster v1\ntype A\n  step tcp remote=1.2.3.999 gap-ms=1\n",
+      Kind::kMalformedLine, 3, "IPv4");
+  // dhcp-params trailing comma / non-numeric entries.
+  expect_reject_at("roster v1\ntype A\n  dhcp-params 1,3,\n",
+                   Kind::kMalformedLine, 3, "trailing comma");
+  expect_reject_at("roster v1\ntype A\n  dhcp-params 1,x\n",
+                   Kind::kMalformedLine, 3, "not an unsigned integer");
+  // Non-numeric scalar value.
+  expect_reject_at("roster v1\ntype A\n  retransmit-prob often\n",
+                   Kind::kMalformedLine, 3, "not a number");
+}
+
+TEST(Roster, UnknownDirectiveAndStepKind) {
+  expect_reject_at("roster v1\ntype A\n  colour blue\n",
+                   Kind::kUnknownDirective, 3, "colour");
+  expect_reject_at("roster v1\ntype A\n  step warp-drive gap-ms=1\n",
+                   Kind::kUnknownStepKind, 3, "warp-drive");
+  expect_reject_at("roster v1\ntype A\n  step dhcp warp=9 gap-ms=1\n",
+                   Kind::kUnknownDirective, 3, "warp");
+  expect_reject_at("roster v1\ntype A\n  fleet warp=9\n",
+                   Kind::kUnknownDirective, 3, "warp");
+}
+
+TEST(Roster, DuplicateTypeAndField) {
+  expect_reject_at(std::string(kValidRoster) + "type T\n", Kind::kDuplicateType,
+                   10, "'T' already defined");
+  expect_reject_at("roster v1\ntype A\n  model M\n  model N\n",
+                   Kind::kDuplicateField, 4, "repeated within type 'A'");
+  // `step` is the one repeatable directive.
+  RosterResult multi = parse_roster(
+      "roster v1\ntype A\n  model M\n"
+      "  step dhcp gap-ms=1\n  step dhcp gap-ms=2\nend\n");
+  ASSERT_TRUE(multi) << describe(multi.error());
+  EXPECT_EQ(multi->entries[0].profile.steps.size(), 2u);
+}
+
+TEST(Roster, OutOfRangeValuesAreNamed) {
+  expect_reject_at("roster v1\ntype A\n  retransmit-prob 1.5\n",
+                   Kind::kOutOfRange, 3, "within [0, 1], got 1.5");
+  expect_reject_at("roster v1\ntype A\n  intra-gap-ms 0\n", Kind::kOutOfRange,
+                   3, "intra-gap-ms");
+  expect_reject_at("roster v1\ntype A\n  intra-gap-ms -3\n", Kind::kOutOfRange,
+                   3, "intra-gap-ms");
+  expect_reject_at("roster v1\ntype A\n  count 0\n", Kind::kOutOfRange, 3,
+                   "count");
+  expect_reject_at("roster v1\ntype A\n  step dhcp repeat=0 gap-ms=1\n",
+                   Kind::kOutOfRange, 3, "repeat");
+  expect_reject_at("roster v1\ntype A\n  step dhcp skip-prob=2 gap-ms=1\n",
+                   Kind::kOutOfRange, 3, "skip-prob");
+  expect_reject_at("roster v1\ntype A\n  step dhcp port=70000 gap-ms=1\n",
+                   Kind::kOutOfRange, 3, "port");
+  expect_reject_at("roster v1\ntype A\n  step dhcp gap-ms=0\n",
+                   Kind::kOutOfRange, 3, "gap-ms");
+  expect_reject_at("roster v1\ntype A\n  fleet cycles=0\n", Kind::kOutOfRange,
+                   3, "cycles");
+  expect_reject_at("roster v1\ntype A\n  fleet downtime-s=0\n",
+                   Kind::kOutOfRange, 3, "downtime-s");
+  expect_reject_at("roster v1\ntype A\n  dhcp-params 300\n", Kind::kOutOfRange,
+                   3, "dhcp-params entry");
+}
+
+TEST(Roster, MissingFieldsAtEnd) {
+  expect_reject_at("roster v1\ntype A\n  step dhcp gap-ms=1\nend\n",
+                   Kind::kMissingField, 4, "no model");
+  expect_reject_at("roster v1\ntype A\n  model M\nend\n", Kind::kMissingField,
+                   4, "no steps");
+}
+
+TEST(Roster, TruncatedFileNamesTheOpenBlock) {
+  // The error points at the line the unterminated block started on.
+  expect_reject_at("roster v1\ntype A\n  model M\n  step dhcp gap-ms=1\n",
+                   Kind::kUnterminatedType, 2, "missing its 'end'");
+  // Truncation mid-directive still reports the open block.
+  expect_reject_at(
+      std::string(kValidRoster) + "type U\n  model M\n  step dhcp gap-ms=1",
+      Kind::kUnterminatedType, 10, "'U'");
+}
+
+TEST(Roster, LoadRosterFileReportsIoErrors) {
+  RosterResult result = load_roster_file("/nonexistent/roster.roster");
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error().kind, Kind::kIoError);
+  EXPECT_EQ(result.error().line, 0u);
+  EXPECT_NE(result.error().detail.find("/nonexistent/roster.roster"),
+            std::string::npos);
+}
+
+TEST(Roster, DescribeRendersKindLineAndDetail) {
+  EXPECT_STREQ(to_string(Kind::kOutOfRange), "out-of-range");
+  EXPECT_STREQ(to_string(Kind::kUnterminatedType), "unterminated-type");
+  const RosterError error{Kind::kOutOfRange, 12,
+                          "skip-prob must be within [0, 1], got 1.5"};
+  EXPECT_EQ(describe(error),
+            "out-of-range at line 12: skip-prob must be within [0, 1], got "
+            "1.5");
+  EXPECT_EQ(describe(RosterError{Kind::kIoError, 0, "cannot open 'x'"}),
+            "io-error: cannot open 'x'");
+}
+
+TEST(Roster, FormatRoundTripsExactly) {
+  RosterResult first = parse_roster(kValidRoster);
+  ASSERT_TRUE(first);
+  const std::string rendered = format_roster(*first);
+  RosterResult second = parse_roster(rendered);
+  ASSERT_TRUE(second) << describe(second.error());
+  EXPECT_EQ(format_roster(*second), rendered);
+  ASSERT_EQ(second->num_types(), first->num_types());
+  EXPECT_EQ(canonical_profile_text(second->entries[0].profile),
+            canonical_profile_text(first->entries[0].profile));
+}
+
+TEST(Roster, CommentsAndWhitespaceAreCosmetic) {
+  RosterResult result = parse_roster(
+      "# leading comment\n\n"
+      "roster v1   # trailing comment\n"
+      "\ttype T\t\n"
+      "  model M 1  # model comment\n"
+      "  step dhcp gap-ms=100\n"
+      "end\n");
+  ASSERT_TRUE(result) << describe(result.error());
+  EXPECT_EQ(result->entries[0].profile.model, "M 1");
+}
+
+// ---------------------------------------------------------------------------
+// docs/ROSTER.md worked example: extracted from the fenced `roster` code
+// block so the documentation cannot drift from the parser.
+
+std::string docs_worked_example() {
+  std::ifstream in(IOTSENTINEL_DOCS_DIR "/ROSTER.md");
+  EXPECT_TRUE(in.good()) << "cannot open docs/ROSTER.md";
+  std::string line, example;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    if (!in_block && line == "```roster") {
+      in_block = true;
+    } else if (in_block && line == "```") {
+      break;
+    } else if (in_block) {
+      example += line + "\n";
+    }
+  }
+  return example;
+}
+
+TEST(RosterDocs, WorkedExampleParses) {
+  const std::string example = docs_worked_example();
+  ASSERT_FALSE(example.empty()) << "no ```roster block in docs/ROSTER.md";
+  RosterResult result = parse_roster(example);
+  ASSERT_TRUE(result) << describe(result.error());
+  ASSERT_EQ(result->num_types(), 1u);
+  const RosterEntry& cam = result->entries[0];
+  EXPECT_EQ(cam.profile.name, "DocsCam");
+  EXPECT_EQ(cam.profile.model, "DocsCam DC-1");
+  EXPECT_EQ(cam.profile.dhcp_hostname, "docscam");
+  EXPECT_EQ(cam.count, 2u);
+  EXPECT_EQ(cam.fleet.standby_cycles, 6u);
+  EXPECT_EQ(cam.fleet.cycle_gap_s, 45.0);
+  EXPECT_EQ(cam.fleet.downtime_s, 1800.0);
+  ASSERT_EQ(cam.profile.steps.size(), 5u);
+  EXPECT_EQ(cam.profile.steps.back().kind, StepKind::kHttpsCloudCheck);
+  EXPECT_EQ(cam.profile.steps.back().host, "api.docscam.example");
+  // Standby derived as the doc describes: arp-gateway, dns, ntp, https.
+  ASSERT_EQ(cam.profile.standby_steps.size(), 4u);
+  EXPECT_EQ(cam.profile.standby_steps[0].kind, StepKind::kArpGateway);
+  EXPECT_EQ(cam.profile.standby_steps[1].kind, StepKind::kDnsQuery);
+  EXPECT_EQ(cam.profile.standby_steps[2].kind, StepKind::kNtpSync);
+  EXPECT_EQ(cam.profile.standby_steps[3].kind, StepKind::kHttpsCloudCheck);
+}
+
+}  // namespace
+}  // namespace iotsentinel::sim

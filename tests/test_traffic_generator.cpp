@@ -176,5 +176,126 @@ INSTANTIATE_TEST_SUITE_P(
       return names;
     }()));
 
+// ---------------------------------------------------------------------------
+// DeviceTraceStream: the streaming core must be bit-identical to the batch
+// wrappers, however the frames are pulled.
+
+bool frames_equal(const std::vector<TimedFrame>& a,
+                  const std::vector<TimedFrame>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].timestamp_us != b[i].timestamp_us || a[i].frame != b[i].frame) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(DeviceTraceStream, StreamEqualsBatchForEveryProfile) {
+  GeneratorConfig cfg;
+  cfg.trailing_heartbeats = 3;
+  TrafficGenerator gen(cfg);
+  for (const auto& p : device_catalog()) {
+    const auto mac = TrafficGenerator::mint_mac(p, 21);
+    ml::Rng batch_rng(0xabc);
+    const auto batch = gen.generate(p, mac, kDevIp, batch_rng);
+
+    ml::Rng stream_rng(0xabc);
+    DeviceTraceStream stream(cfg, p, mac, kDevIp,
+                             DeviceTraceStream::Mode::kSetup, 0, 0,
+                             stream_rng);
+    std::vector<TimedFrame> streamed;
+    while (auto tf = stream.next()) streamed.push_back(std::move(*tf));
+
+    EXPECT_TRUE(frames_equal(batch, streamed)) << p.name;
+    // The wrapper consumed the caller's RNG in the historical order, so
+    // both generators end in the same state.
+    EXPECT_EQ(batch_rng.next_u64(), stream_rng.next_u64()) << p.name;
+  }
+}
+
+TEST(DeviceTraceStream, ChunkedPullIsBitIdentical) {
+  const auto* profile = find_profile("HueBridge");
+  ASSERT_NE(profile, nullptr);
+  const auto mac = TrafficGenerator::mint_mac(*profile, 3);
+  GeneratorConfig cfg;
+
+  const auto collect = [&](std::size_t chunk) {
+    DeviceTraceStream stream(cfg, *profile, mac, kDevIp,
+                             DeviceTraceStream::Mode::kStandby, 4, 60'000'000,
+                             std::uint64_t{0x5eed});
+    std::vector<TimedFrame> out;
+    // Pull in bursts of `chunk` with interleaved idle periods; the
+    // resumable state machine must not care.
+    for (;;) {
+      bool exhausted = false;
+      for (std::size_t i = 0; i < chunk; ++i) {
+        auto tf = stream.next();
+        if (!tf) {
+          exhausted = true;
+          break;
+        }
+        out.push_back(std::move(*tf));
+      }
+      if (exhausted) break;
+    }
+    return out;
+  };
+
+  const auto one_shot = collect(std::size_t(-1));
+  ASSERT_FALSE(one_shot.empty());
+  EXPECT_TRUE(frames_equal(one_shot, collect(1)));
+  EXPECT_TRUE(frames_equal(one_shot, collect(7)));
+}
+
+TEST(DeviceTraceStream, StandbyStreamMatchesBatchAndAdvancesClock) {
+  const auto* profile = find_profile("WeMoSwitch");
+  ASSERT_NE(profile, nullptr);
+  const auto mac = TrafficGenerator::mint_mac(*profile, 4);
+  TrafficGenerator gen;
+  ml::Rng batch_rng(77);
+  const auto batch = gen.generate_standby(*profile, mac, kDevIp, 3, batch_rng);
+
+  ml::Rng stream_rng(77);
+  DeviceTraceStream stream({}, *profile, mac, kDevIp,
+                           DeviceTraceStream::Mode::kStandby, 3, 60'000'000,
+                           stream_rng);
+  std::vector<TimedFrame> streamed;
+  while (auto tf = stream.next()) streamed.push_back(std::move(*tf));
+
+  EXPECT_TRUE(frames_equal(batch, streamed));
+  EXPECT_EQ(batch_rng.next_u64(), stream_rng.next_u64());
+  // After exhaustion now_us() sits past the last frame (trailing quiet
+  // period) — the fleet simulator keys the rejoin off this.
+  ASSERT_FALSE(streamed.empty());
+  EXPECT_GT(stream.now_us(), streamed.back().timestamp_us);
+}
+
+TEST(DeviceTraceStream, MoveKeepsOwnedRngWorking) {
+  const auto* profile = find_profile("HueSwitch");
+  ASSERT_NE(profile, nullptr);
+  const auto mac = TrafficGenerator::mint_mac(*profile, 5);
+
+  DeviceTraceStream reference({}, *profile, mac, kDevIp,
+                              DeviceTraceStream::Mode::kSetup, 0, 0,
+                              std::uint64_t{99});
+  std::vector<TimedFrame> expected;
+  while (auto tf = reference.next()) expected.push_back(std::move(*tf));
+
+  DeviceTraceStream original({}, *profile, mac, kDevIp,
+                             DeviceTraceStream::Mode::kSetup, 0, 0,
+                             std::uint64_t{99});
+  std::vector<TimedFrame> actual;
+  actual.push_back(*original.next());
+  DeviceTraceStream moved = std::move(original);
+  actual.push_back(*moved.next());
+  std::vector<DeviceTraceStream> pool;
+  pool.push_back(std::move(moved));
+  pool.reserve(32);  // forces a reallocation-move
+  while (auto tf = pool[0].next()) actual.push_back(std::move(*tf));
+
+  EXPECT_TRUE(frames_equal(expected, actual));
+}
+
 }  // namespace
 }  // namespace iotsentinel::sim

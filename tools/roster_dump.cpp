@@ -1,0 +1,134 @@
+// Roster inspection and golden-fixture regeneration.
+//
+// The catalog golden tests (tests/test_device_catalog.cpp) pin the
+// shipped roster against byte-exact fixtures. When a catalog change is
+// *intentional*, regenerate them from the embedded roster and commit the
+// result:
+//
+//   roster_dump --write tests/data
+//
+// Other modes:
+//   roster_dump                   print the canonical profile dump
+//   roster_dump --check FILE      parse FILE, report typed errors/summary
+//
+// The traffic CRC recipe here must stay in lockstep with
+// CatalogGolden.GeneratedTrafficMatchesLegacyCrcs.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/crc32.hpp"
+#include "simnet/device_catalog.hpp"
+#include "simnet/roster.hpp"
+#include "simnet/traffic_generator.hpp"
+
+using namespace iotsentinel;
+
+namespace {
+
+std::uint32_t trace_crc(const std::vector<sim::TimedFrame>& frames) {
+  std::uint32_t crc = 0;
+  for (const auto& tf : frames) {
+    std::uint8_t ts[8];
+    for (int i = 0; i < 8; ++i) {
+      ts[i] = static_cast<std::uint8_t>(tf.timestamp_us >> (8 * i));
+    }
+    crc = net::crc32c(ts, crc);
+    crc = net::crc32c(tf.frame, crc);
+  }
+  return crc;
+}
+
+std::string canonical_dump() {
+  std::string out;
+  for (const auto& p : sim::device_catalog()) {
+    out += sim::canonical_profile_text(p);
+  }
+  return out;
+}
+
+/// One fixture line per type: `<name> <setup_count> <setup_crc> <standby_crc>`
+/// at the pinned seeds — the exact recipe the golden test replays.
+std::string traffic_dump() {
+  const auto& catalog = sim::device_catalog();
+  std::string out;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& p = catalog[i];
+    const auto mac =
+        sim::TrafficGenerator::mint_mac(p, static_cast<std::uint32_t>(7 + i));
+    const auto ip = net::Ipv4Address::of(
+        192, 168, 0, static_cast<std::uint8_t>(2 + i % 250));
+
+    sim::GeneratorConfig config;
+    config.trailing_heartbeats = 2;
+    sim::TrafficGenerator gen(config);
+    ml::Rng rng(0xf00d + i);
+    const auto setup = gen.generate(p, mac, ip, rng);
+
+    sim::TrafficGenerator standby_gen;
+    ml::Rng standby_rng(0xbeef + i);
+    const auto standby = standby_gen.generate_standby(p, mac, ip, 2, standby_rng);
+
+    char line[160];
+    std::snprintf(line, sizeof(line), "%s %u %08x %08x\n", p.name.c_str(),
+                  static_cast<unsigned>(setup.size()), trace_crc(setup),
+                  trace_crc(standby));
+    out += line;
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+  return true;
+}
+
+int check(const char* path) {
+  const sim::RosterResult result = sim::load_roster_file(path);
+  if (!result) {
+    std::fprintf(stderr, "%s: %s\n", path, sim::describe(result.error()).c_str());
+    return 1;
+  }
+  std::printf("%s: %zu types, %zu devices\n", path,
+              static_cast<std::size_t>(result->num_types()),
+              static_cast<std::size_t>(result->total_devices()));
+  for (const auto& entry : result->entries) {
+    std::printf("  %-24s count=%u setup_steps=%zu\n",
+                entry.profile.name.c_str(), entry.count,
+                entry.profile.steps.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) {
+    std::fputs(canonical_dump().c_str(), stdout);
+    return 0;
+  }
+  if (argc == 3 && std::strcmp(argv[1], "--write") == 0) {
+    const std::string dir = argv[2];
+    const bool ok =
+        write_file(dir + "/catalog_golden.txt", canonical_dump()) &&
+        write_file(dir + "/catalog_traffic_golden.txt", traffic_dump());
+    return ok ? 0 : 1;
+  }
+  if (argc == 3 && std::strcmp(argv[1], "--check") == 0) {
+    return check(argv[2]);
+  }
+  std::fprintf(stderr,
+               "usage: %s                  print canonical profile dump\n"
+               "       %s --write DIR      regenerate golden fixtures in DIR\n"
+               "       %s --check FILE     parse a roster file and summarise\n",
+               argv[0], argv[0], argv[0]);
+  return 2;
+}
