@@ -1,0 +1,183 @@
+// Adversarial scenario report: runs the shipped attack library
+// (simnet/scenario.hpp builtin_scenarios) against the serial
+// SecurityGateway and the ShardedGateway at 1, 2 and 4 shards, with the
+// enforcement auditor attached, and writes the per-run metrics —
+// misidentification rate, enforcement-integrity counters, extractor
+// state-bloat, fault-injection tallies — to BENCH_scenarios.json.
+//
+// Exit status is the robustness verdict: 0 only when every scenario
+// passes every expectation with zero enforcement violations on every
+// gateway flavour. CI runs this in the release-bench job and uploads the
+// JSON; a nonzero exit fails the job.
+//
+// Self-timed (scenario replay is milliseconds-to-seconds; Google
+// Benchmark's repetition model adds nothing here).
+//
+//   cmake --preset release && cmake --build --preset release -j
+//   ./build-release/bench/scenario_report [--json PATH] [--runs N]
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "simnet/device_catalog.hpp"
+#include "simnet/scenario.hpp"
+
+namespace {
+
+using namespace iotsentinel;
+
+struct Options {
+  std::string json_path = "BENCH_scenarios.json";
+  /// Extra repeat runs per (scenario, flavour) to demonstrate the
+  /// determinism contract (stream hash and serial outcome stability).
+  std::size_t runs = 2;
+};
+
+constexpr std::size_t kShardCounts[] = {0, 1, 2, 4};  // 0 = serial
+
+const char* flavour_name(std::size_t shards) {
+  switch (shards) {
+    case 0: return "serial";
+    case 1: return "sharded-1";
+    case 2: return "sharded-2";
+    default: return shards == 4 ? "sharded-4" : "sharded-n";
+  }
+}
+
+void json_outcome(std::FILE* f, const sim::ScenarioOutcome& out,
+                  double wall_ms) {
+  std::fprintf(f,
+               "      {\"flavour\": \"%s\", \"num_shards\": %zu,\n"
+               "       \"stream_hash\": \"%016" PRIx64 "\",\n"
+               "       \"frames_fed\": %" PRIu64
+               ", \"malformed_frames\": %" PRIu64
+               ", \"dropped_frames\": %" PRIu64 ",\n"
+               "       \"audit_checked\": %" PRIu64
+               ", \"audit_violations\": %" PRIu64
+               ", \"audit_overblocks\": %" PRIu64 ",\n"
+               "       \"extractor_peak_active\": %" PRIu64
+               ", \"extractor_discarded\": %" PRIu64
+               ", \"extractor_rejected\": %" PRIu64 ",\n"
+               "       \"devices_expired\": %" PRIu64
+               ", \"events_total\": %zu,\n"
+               "       \"actors_with_type_expectation\": %zu"
+               ", \"actors_misidentified\": %zu"
+               ", \"misid_rate\": %.4f,\n"
+               "       \"failures\": %zu, \"passed\": %s"
+               ", \"wall_ms\": %.2f}",
+               flavour_name(out.num_shards), out.num_shards, out.stream_hash,
+               out.frames_fed, out.malformed_frames, out.dropped_frames,
+               out.audit_checked, out.audit_violations, out.audit_overblocks,
+               out.extractor_peak_active, out.extractor_discarded,
+               out.extractor_rejected, out.devices_expired, out.events_total,
+               out.actors_with_type_expectation, out.actors_misidentified,
+               out.misid_rate, out.failures.size(),
+               out.passed() ? "true" : "false", wall_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      opt.runs = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (opt.runs == 0) opt.runs = 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--runs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // One service for the whole report: the types the builtin scenarios
+  // join, trained from the catalog profiles. EdimaxCam carries a CVSS 9.0
+  // entry (Restricted); the others are assessed clean (Trusted).
+  const std::vector<std::string> kTypes = {"Aria", "EdimaxCam", "HueBridge",
+                                           "Withings"};
+  const core::IoTSecurityService service = sim::make_scenario_service(kTypes);
+  const sim::Roster& roster = sim::device_roster();
+
+  std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", opt.json_path.c_str());
+    return 2;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"scenario_report\",\n  \"runs\": %zu,\n",
+               opt.runs);
+  std::fprintf(f, "  \"scenarios\": [\n");
+
+  bool all_passed = true;
+  bool first_scenario = true;
+  for (const sim::BuiltinScenario& builtin : sim::builtin_scenarios()) {
+    sim::ScenarioParseResult parsed = sim::parse_scenario(builtin.text);
+    if (!parsed) {
+      std::fprintf(stderr, "FATAL: builtin `%s` failed to parse: %s\n",
+                   builtin.name, sim::describe(parsed.error()).c_str());
+      std::fclose(f);
+      return 2;
+    }
+    sim::ScenarioError cerr;
+    const auto compiled = sim::compile_scenario(*parsed, roster, &cerr);
+    if (!compiled) {
+      std::fprintf(stderr, "FATAL: builtin `%s` failed to compile: %s\n",
+                   builtin.name, sim::describe(cerr).c_str());
+      std::fclose(f);
+      return 2;
+    }
+
+    std::fprintf(f, "%s    {\"name\": \"%s\", \"seed\": %" PRIu64
+                    ", \"items\": %zu,\n",
+                 first_scenario ? "" : ",\n", builtin.name, compiled->seed,
+                 compiled->items.size());
+    first_scenario = false;
+    std::fprintf(f,
+                 "     \"fault_stats\": {\"frames_in\": %" PRIu64
+                 ", \"dropped\": %" PRIu64 ", \"duplicated\": %" PRIu64
+                 ", \"reordered\": %" PRIu64 ", \"corrupted\": %" PRIu64
+                 "},\n",
+                 compiled->fault_stats.frames_in, compiled->fault_stats.dropped,
+                 compiled->fault_stats.duplicated,
+                 compiled->fault_stats.reordered,
+                 compiled->fault_stats.corrupted);
+    std::fprintf(f, "     \"results\": [\n");
+
+    bool first_result = true;
+    for (const std::size_t shards : kShardCounts) {
+      for (std::size_t run = 0; run < opt.runs; ++run) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const sim::ScenarioOutcome out =
+            sim::run_scenario(*compiled, service, shards);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        std::fprintf(f, "%s", first_result ? "" : ",\n");
+        first_result = false;
+        json_outcome(f, out, wall_ms);
+
+        std::printf("%-20s %-10s run %zu: %s  (misid %.2f, violations %" PRIu64
+                    ", %zu events, %.1f ms)\n",
+                    builtin.name, flavour_name(shards), run,
+                    out.passed() ? "PASS" : "FAIL", out.misid_rate,
+                    out.audit_violations, out.events_total, wall_ms);
+        for (const std::string& failure : out.failures) {
+          std::printf("    %s\n", failure.c_str());
+          all_passed = false;
+        }
+        if (!out.passed()) all_passed = false;
+      }
+    }
+    std::fprintf(f, "\n    ]}");
+  }
+  std::fprintf(f, "\n  ],\n  \"all_passed\": %s\n}\n",
+               all_passed ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s — %s\n", opt.json_path.c_str(),
+              all_passed ? "all scenarios hold" : "FAILURES PRESENT");
+  return all_passed ? 0 : 1;
+}

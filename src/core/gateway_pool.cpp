@@ -55,6 +55,7 @@ ShardedGateway::ShardedGateway(const IoTSecurityService& service,
     shards_.push_back(std::make_unique<Shard>(config_.ring_capacity,
                                               config_.extractor, controller_));
     Shard& shard = *shards_.back();
+    shard.index = i;
     // Completion callback runs on the shard's worker thread.
     shard.extractor.on_capture_complete([this](const fp::DeviceCapture& c) {
       // Deep-copy the fingerprint before taking the lock: the submission
@@ -81,8 +82,10 @@ void ShardedGateway::submit(std::span<const std::uint8_t> frame,
                             std::uint64_t timestamp_us) {
   assert(!finished_);
   Shard& shard = *shards_[shard_of(src_mac_of_frame(frame))];
-  FrameRef ref{timestamp_us, frame.data(),
-               static_cast<std::uint32_t>(frame.size()), {}};
+  FrameRef ref;
+  ref.timestamp_us = timestamp_us;
+  ref.data = frame.data();
+  ref.size = static_cast<std::uint32_t>(frame.size());
   enqueue(shard, std::move(ref));
 }
 
@@ -125,12 +128,33 @@ ShardedGateway::Stats ShardedGateway::stats() const {
     s.ring_high_water = shard->ring_high_water.load(std::memory_order_relaxed);
     s.ring_capacity = shard->frames.capacity();
     s.flows_expired = shard->flows_expired.load(std::memory_order_relaxed);
+    s.malformed_frames = shard->malformed.load(std::memory_order_relaxed);
+    s.dropped_frames = shard->dropped.load(std::memory_order_relaxed);
+    s.devices_expired = shard->devices_expired.load(std::memory_order_relaxed);
+    s.extractor_peak_active =
+        shard->extractor_peak.load(std::memory_order_relaxed);
     stats.frames_processed += s.frames_processed;
     stats.submit_stalls += s.submit_stalls;
     stats.flows_expired += s.flows_expired;
+    stats.malformed_frames += s.malformed_frames;
+    stats.dropped_frames += s.dropped_frames;
+    stats.devices_expired += s.devices_expired;
+    stats.extractor_peak_active += s.extractor_peak_active;
     stats.shards.push_back(s);
   }
   return stats;
+}
+
+void ShardedGateway::expire_departed(std::uint64_t now_us,
+                                     std::uint64_t idle_us) {
+  assert(!finished_);
+  for (auto& shard : shards_) {
+    FrameRef op;
+    op.timestamp_us = now_us;
+    op.op = IngestOp::kExpireDeparted;
+    op.idle_us = idle_us;
+    enqueue(*shard, std::move(op));
+  }
 }
 
 void ShardedGateway::finish() {
@@ -147,14 +171,38 @@ std::vector<GatewayEvent> ShardedGateway::events() const {
   return events_;
 }
 
+void ShardedGateway::dispatch(Shard& shard, const FrameRef& frame) {
+  if (frame.op == IngestOp::kExpireDeparted) {
+    handle_expire(shard, frame.timestamp_us, frame.idle_us);
+  } else {
+    process_frame(shard, frame);
+  }
+}
+
 void ShardedGateway::process_frame(Shard& shard, const FrameRef& frame) {
   const std::span<const std::uint8_t> bytes(frame.data, frame.size);
+  shard.packets.fetch_add(1, std::memory_order_relaxed);
+  if (config_.record_frame_log) {
+    shard.frame_log.push_back({frame.timestamp_us, src_mac_of_frame(bytes)});
+  }
+  if (is_malformed_frame(bytes)) {
+    // Counted and dropped before the extractor/tracker see it: a
+    // malformed-frame flood must not mint phantom device state.
+    shard.malformed.fetch_add(1, std::memory_order_relaxed);
+    shard.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const net::ParsedPacket pkt =
       net::parse_ethernet_frame(bytes, frame.timestamp_us);
   shard.tracker.observe(pkt, bytes);
   shard.extractor.observe(pkt);
-  shard.data_plane.process(pkt, frame.timestamp_us);
-  shard.packets.fetch_add(1, std::memory_order_relaxed);
+  const sdn::SwitchResult result =
+      shard.data_plane.process(pkt, frame.timestamp_us);
+  if (result.action == sdn::FlowAction::kDrop) {
+    shard.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.extractor_peak.store(shard.extractor.peak_active_devices(),
+                             std::memory_order_relaxed);
   // The serial gateway expires idle flows on every frame; here a strided
   // sweep keeps the amortised cost negligible while still bounding the
   // table by the live-flow population on long streaming runs.
@@ -166,22 +214,73 @@ void ShardedGateway::process_frame(Shard& shard, const FrameRef& frame) {
       shard.flows_expired.fetch_add(removed, std::memory_order_relaxed);
     }
   }
-  if (config_.record_frame_log) {
-    shard.frame_log.push_back({frame.timestamp_us, pkt.src_mac});
+}
+
+void ShardedGateway::handle_expire(Shard& shard, std::uint64_t now_us,
+                                   std::uint64_t idle_us) {
+  // Post a barrier behind every capture this shard already submitted, so
+  // the classifier's answers to pre-sweep captures are applied (and then
+  // swept if their device is idle) before any device state is forgotten.
+  // Without the barrier a straggler verdict could resurrect a rule for a
+  // device we just expired.
+  {
+    std::lock_guard<std::mutex> lock(submission_mu_);
+    PendingCapture barrier;
+    barrier.barrier_shard = static_cast<int>(shard.index);
+    submissions_.push_back(std::move(barrier));
   }
+  submission_cv_.notify_one();
+  // Drain verdicts until the classifier echoes the barrier through this
+  // shard's verdict ring (FIFO after everything submitted before it).
+  Backoff backoff;
+  VerdictMsg msg;
+  for (;;) {
+    if (!shard.verdicts.try_pop(msg)) {
+      backoff.wait();
+      continue;
+    }
+    if (msg.is_barrier) break;
+    apply_verdict_msg(shard, msg);
+    backoff.reset();
+  }
+  // The sweep proper — the serial gateway's expire_departed, shard-local.
+  shard.tracker.idle_devices_into(now_us, idle_us, shard.departed_scratch);
+  for (const net::MacAddress& mac : shard.departed_scratch) {
+    controller_.remove_device(mac);
+    shard.data_plane.flush_device(mac);
+    // Discard any half-open capture and the fingerprinted marker too: a
+    // departed device that rejoins (or an attacker reusing its MAC) must
+    // be fingerprinted and identified afresh, never inherit identity.
+    shard.extractor.forget(mac);
+    shard.tracker.forget(mac);
+  }
+  shard.devices_expired.fetch_add(shard.departed_scratch.size(),
+                                  std::memory_order_relaxed);
 }
 
 bool ShardedGateway::drain_verdicts(Shard& shard) {
   bool did_work = false;
   VerdictMsg msg;
   while (shard.verdicts.try_pop(msg)) {
-    shard.tracker.mark_identified(msg.mac, msg.device_type, msg.level);
-    // Flows admitted under the provisional (no-rule) policy must be
-    // re-evaluated under the device's real isolation level.
-    shard.data_plane.flush_device(msg.mac);
+    if (!msg.is_barrier) apply_verdict_msg(shard, msg);
     did_work = true;
   }
   return did_work;
+}
+
+void ShardedGateway::apply_verdict_msg(Shard& shard, VerdictMsg& msg) {
+  // Single controller lock (inside apply_rule): the rule is globally
+  // visible to every shard's packet-in path from here on. Installing it
+  // here — on the owning worker, between two of the device's frames —
+  // rather than on the classifier thread means install + flush + mark
+  // are atomic with respect to the device's traffic, so no fast-path
+  // entry admitted under the provisional policy can outlive the rule it
+  // contradicts (the enforcement auditor's zero-violation guarantee).
+  controller_.apply_rule(std::move(msg.rule), msg.at_us);
+  // Flows admitted under the provisional (no-rule) policy must be
+  // re-evaluated under the device's real isolation level.
+  shard.data_plane.flush_device(msg.mac);
+  shard.tracker.mark_identified(msg.mac, msg.device_type, msg.level);
 }
 
 void ShardedGateway::worker_loop(Shard& shard) {
@@ -193,7 +292,7 @@ void ShardedGateway::worker_loop(Shard& shard) {
     // One frame per iteration so verdict messages are interleaved
     // promptly and the classifier's push never waits long.
     if (shard.frames.try_pop(frame)) {
-      process_frame(shard, frame);
+      dispatch(shard, frame);
       did_work = true;
     }
     if (did_work) {
@@ -206,7 +305,7 @@ void ShardedGateway::worker_loop(Shard& shard) {
         // The empty-ring check above may have raced with the last
         // submits; the acquire on ingest_done_ makes them visible now,
         // so one more drain is definitive.
-        while (shard.frames.try_pop(frame)) process_frame(shard, frame);
+        while (shard.frames.try_pop(frame)) dispatch(shard, frame);
         shard.extractor.flush_all();
         flushed = true;
         {
@@ -228,15 +327,17 @@ void ShardedGateway::worker_loop(Shard& shard) {
 
 void ShardedGateway::apply_verdict(const PendingCapture& capture,
                                    const ServiceVerdict& verdict) {
-  // Single controller lock (inside apply_rule): the rule is globally
-  // visible to every shard's packet-in path from here on.
-  controller_.apply_rule(rule_for_verdict(verdict, capture.mac, capture.end_us),
-                         capture.end_us);
-
-  // Shard-local effects go back to the owning worker, which is the only
-  // thread allowed to touch that shard's tracker and flow table.
+  // All post-verdict effects — rule install included — go back to the
+  // owning worker, which is the only thread allowed to touch that
+  // shard's tracker and flow table (see apply_verdict_msg for why the
+  // install rides along).
   Shard& owner = *shards_[shard_of(capture.mac)];
-  VerdictMsg msg{capture.mac, verdict.device_type, verdict.level};
+  VerdictMsg msg;
+  msg.mac = capture.mac;
+  msg.device_type = verdict.device_type;
+  msg.level = verdict.level;
+  msg.rule = rule_for_verdict(verdict, capture.mac, capture.end_us);
+  msg.at_us = capture.end_us;
   Backoff backoff;
   while (!owner.verdicts.try_push(std::move(msg))) backoff.wait();
 
@@ -251,21 +352,43 @@ void ShardedGateway::apply_verdict(const PendingCapture& capture,
 
 void ShardedGateway::classifier_loop() {
   std::vector<PendingCapture> batch;
+  std::vector<int> barriers;  // shards whose barrier precedes this batch
   std::vector<const fp::Fingerprint*> fingerprints;
   std::vector<ServiceVerdict> verdicts;  // buffers reused across batches
   for (;;) {
     batch.clear();
+    barriers.clear();
     {
       std::unique_lock<std::mutex> lock(submission_mu_);
       submission_cv_.wait(lock, [this] {
         return !submissions_.empty() || flushed_workers_ == shards_.size();
       });
+      // Queue order must be preserved end to end: leading barriers are
+      // echoed before this round's verdicts, and a barrier *behind*
+      // captures ends batch collection (it is popped next round, after
+      // those verdicts were pushed to the rings).
       while (!submissions_.empty() &&
+             submissions_.front().barrier_shard >= 0) {
+        barriers.push_back(submissions_.front().barrier_shard);
+        submissions_.pop_front();
+      }
+      while (!submissions_.empty() &&
+             submissions_.front().barrier_shard < 0 &&
              batch.size() < config_.classify_batch_max) {
         batch.push_back(std::move(submissions_.front()));
         submissions_.pop_front();
       }
-      if (batch.empty() && flushed_workers_ == shards_.size()) break;
+      if (batch.empty() && barriers.empty() &&
+          flushed_workers_ == shards_.size()) {
+        break;
+      }
+    }
+    for (const int shard_idx : barriers) {
+      Shard& owner = *shards_[static_cast<std::size_t>(shard_idx)];
+      VerdictMsg echo;
+      echo.is_barrier = true;
+      Backoff backoff;
+      while (!owner.verdicts.try_push(std::move(echo))) backoff.wait();
     }
     if (batch.empty()) continue;
 

@@ -11,8 +11,10 @@
 //                            submission queue ──▶ classifier thread
 //                                                   │ score_batch /
 //                                                   │ identify_batch
-//                          controller (locked) ◀────┤ rule install
 //                 worker shard (via SpscRing) ◀─────┘ verdict message
+//                      │ rule install (controller lock) + flow flush
+//                      ▼ + inventory update, between two of the
+//                        device's frames
 //
 //   * Frames are routed by hash(source MAC) % num_shards, so all packets
 //     of one device land on one shard in submission order — fingerprint
@@ -21,12 +23,15 @@
 //     ever shared between threads.
 //   * Completed fingerprints drain into a small mutex+condvar submission
 //     queue; a dedicated classifier thread scores them in batches through
-//     the bank's type-major score_batch sweep, installs the enforcement
-//     rule under the controller's single lock, and fires GatewayEvents.
-//   * Shard-local post-verdict effects (inventory update, flushing flows
-//     admitted under the provisional policy) are routed *back* to the
-//     owning worker through a second SPSC ring, preserving the
-//     single-writer discipline.
+//     the bank's type-major score_batch sweep and fires GatewayEvents.
+//   * Post-verdict effects (enforcement-rule install, inventory update,
+//     flushing flows admitted under the provisional policy) are routed
+//     *back* to the owning worker through a second SPSC ring: install +
+//     flush land atomically w.r.t. the device's frame stream, which is
+//     what makes the enforcement auditor's zero-violation check hold.
+//   * expire_departed rides the frame rings as an in-band control op; the
+//     worker round-trips a barrier through the classifier before sweeping
+//     so straggler verdicts cannot resurrect a departed device's rule.
 //
 // Verdict/event sets are identical to the serial gateway on the same
 // trace (asserted by tests/test_gateway_pool.cpp); only event order and
@@ -106,6 +111,27 @@ class ShardedGateway {
   /// length. Same single-ingest-thread and backpressure contract.
   void submit_owned(net::Bytes frame, std::uint64_t timestamp_us);
 
+  /// Requests a departure sweep on every shard: each worker forgets the
+  /// devices its tracker saw last before `now_us - idle_us`, removing
+  /// their enforcement rules, flushing their flows and discarding any
+  /// half-open captures — the sharded equivalent of the serial gateway's
+  /// `expire_departed`. The request rides the frame rings, so it takes
+  /// effect at a definite point in each shard's frame stream; before
+  /// sweeping, a worker posts a barrier through the submission queue and
+  /// drains the classifier's echo, guaranteeing that verdicts for
+  /// captures completed *before* the sweep are applied first (and then
+  /// swept — a departed device never keeps a freshly installed rule).
+  /// Asynchronous; same single-ingest-thread contract as `submit`. Sweep
+  /// counts surface as `ShardStats::devices_expired`.
+  void expire_departed(std::uint64_t now_us, std::uint64_t idle_us);
+
+  /// Installs an enforcement-audit hook on every shard's data plane (each
+  /// shard gets a copy — pair with sdn/enforcement_audit.hpp, whose hooks
+  /// share one auditor's counters). Set before the first `submit`.
+  void set_audit(const sdn::SoftwareSwitch::AuditHook& hook) {
+    for (auto& shard : shards_) shard->data_plane.set_audit(hook);
+  }
+
   /// Drains the pipeline: workers force-complete in-progress captures
   /// (the serial gateway's `finish_pending_captures`), the classifier
   /// scores every straggler, all verdicts are applied, and every thread
@@ -136,13 +162,28 @@ class ShardedGateway {
     std::uint64_t ring_capacity = 0;
     /// Idle flow entries evicted by the worker's periodic expiry sweep.
     std::uint64_t flows_expired = 0;
+    /// Frames rejected by `is_malformed_frame` (counted in
+    /// frames_processed, dropped before reaching the extractor).
+    std::uint64_t malformed_frames = 0;
+    /// Frames whose data-plane verdict was kDrop (includes malformed).
+    std::uint64_t dropped_frames = 0;
+    /// Devices removed by `expire_departed` sweeps on this shard.
+    std::uint64_t devices_expired = 0;
+    /// High-water mark of concurrently tracked setup captures in this
+    /// shard's extractor (adversarial state-bloat metric).
+    std::uint64_t extractor_peak_active = 0;
   };
   struct Stats {
     std::vector<ShardStats> shards;
-    /// Sums over all shards, for quick dashboards.
+    /// Sums over all shards, for quick dashboards (the peak-active sum
+    /// bounds fleet-wide concurrent extractor state).
     std::uint64_t frames_processed = 0;
     std::uint64_t submit_stalls = 0;
     std::uint64_t flows_expired = 0;
+    std::uint64_t malformed_frames = 0;
+    std::uint64_t dropped_frames = 0;
+    std::uint64_t devices_expired = 0;
+    std::uint64_t extractor_peak_active = 0;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -166,6 +207,11 @@ class ShardedGateway {
       std::size_t shard) const {
     return shards_[shard]->data_plane;
   }
+  /// One shard's fingerprint extractor (state-bloat metrics).
+  [[nodiscard]] const fp::SetupCaptureExtractor& shard_extractor(
+      std::size_t shard) const {
+    return shards_[shard]->extractor;
+  }
   /// Frames a shard processed.
   [[nodiscard]] std::uint64_t shard_packets(std::size_t shard) const {
     return shards_[shard]->packets.load(std::memory_order_relaxed);
@@ -186,6 +232,11 @@ class ShardedGateway {
   }
 
  private:
+  /// What a ring slot carries: a frame, or an in-band control request
+  /// (`expire_departed`) that must execute at a definite point in the
+  /// shard's frame stream.
+  enum class IngestOp : std::uint8_t { kFrame, kExpireDeparted };
+
   /// A frame in flight between the ingest thread and a worker. Bytes are
   /// either borrowed (`submit`'s lifetime contract, `owned` empty) or
   /// carried by `owned` (`submit_owned`), in which case `data` points
@@ -195,22 +246,36 @@ class ShardedGateway {
     std::uint64_t timestamp_us = 0;
     const std::uint8_t* data = nullptr;
     std::uint32_t size = 0;
+    IngestOp op = IngestOp::kFrame;
+    /// kExpireDeparted only: the sweep's idle threshold.
+    std::uint64_t idle_us = 0;
     net::Bytes owned;
   };
 
   /// Post-verdict message routed from the classifier thread back to the
-  /// device's owning shard.
+  /// device's owning shard. The worker — not the classifier — installs
+  /// the rule, so rule install + flow flush + inventory update happen
+  /// atomically with respect to that shard's frame stream (a fast-path
+  /// entry can never contradict the installed rule set, which is what the
+  /// enforcement auditor asserts). `is_barrier` marks the classifier's
+  /// echo of an expire_departed barrier instead of a verdict.
   struct VerdictMsg {
     net::MacAddress mac;
     std::string device_type;
     sdn::IsolationLevel level = sdn::IsolationLevel::kStrict;
+    sdn::EnforcementRule rule;
+    std::uint64_t at_us = 0;
+    bool is_barrier = false;
   };
 
-  /// A completed capture awaiting classification.
+  /// A completed capture awaiting classification, or (barrier_shard >= 0)
+  /// an expire_departed barrier the classifier echoes back to that shard
+  /// behind every verdict submitted before it.
   struct PendingCapture {
     net::MacAddress mac;
     fp::Fingerprint fingerprint;
     std::uint64_t end_us = 0;
+    int barrier_shard = -1;
   };
 
   struct Shard {
@@ -226,14 +291,24 @@ class ShardedGateway {
     fp::SetupCaptureExtractor extractor;
     DeviceTracker tracker;
     sdn::SoftwareSwitch data_plane;
+    /// This shard's index in shards_ (barrier addressing).
+    std::size_t index = 0;
     /// Monotonic counters behind stats(). `packets` is bumped by the
     /// worker; the stall/high-water pair only by the ingest thread.
     std::atomic<std::uint64_t> packets{0};
     std::atomic<std::uint64_t> submit_stalls{0};
     std::atomic<std::uint64_t> ring_high_water{0};
     std::atomic<std::uint64_t> flows_expired{0};
+    std::atomic<std::uint64_t> malformed{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> devices_expired{0};
+    /// Worker-maintained mirror of extractor.peak_active_devices() so
+    /// stats() stays race-free while the pipeline runs.
+    std::atomic<std::uint64_t> extractor_peak{0};
     /// Worker-thread-only stride counter for the periodic expiry sweep.
     std::uint64_t frames_since_expiry = 0;
+    /// Worker-thread-only scratch for expire_departed sweeps.
+    std::vector<net::MacAddress> departed_scratch;
     std::vector<FrameLogEntry> frame_log;
     std::thread thread;
   };
@@ -244,10 +319,20 @@ class ShardedGateway {
 
   void worker_loop(Shard& shard);
   void classifier_loop();
+  /// Routes a popped ring slot to process_frame or handle_expire.
+  void dispatch(Shard& shard, const FrameRef& frame);
   void process_frame(Shard& shard, const FrameRef& frame);
-  /// Shared backpressure path of submit/submit_owned.
+  /// Worker-side expire_departed: barrier round-trip, then the sweep.
+  void handle_expire(Shard& shard, std::uint64_t now_us,
+                     std::uint64_t idle_us);
+  /// Shared backpressure path of submit/submit_owned/expire_departed.
   void enqueue(Shard& shard, FrameRef ref);
   bool drain_verdicts(Shard& shard);
+  /// Worker-side verdict application: rule install + flow flush +
+  /// inventory update, serialized with the shard's frame stream.
+  void apply_verdict_msg(Shard& shard, VerdictMsg& msg);
+  /// Classifier-side: packages a verdict for the owning worker and fires
+  /// the identification event.
   void apply_verdict(const PendingCapture& capture,
                      const ServiceVerdict& verdict);
 

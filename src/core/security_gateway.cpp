@@ -29,6 +29,20 @@ GatewayEvent event_for_verdict(const ServiceVerdict& verdict,
   return event;
 }
 
+bool is_malformed_frame(std::span<const std::uint8_t> frame) {
+  if (frame.size() < 14) return true;  // truncated Ethernet header
+  // Source MAC at bytes 6..11: all-zero sources are invalid, and a
+  // group (multicast/broadcast) bit in a *source* address violates 802.3.
+  bool all_zero = true;
+  for (std::size_t i = 6; i < 12; ++i) {
+    if (frame[i] != 0) {
+      all_zero = false;
+      break;
+    }
+  }
+  return all_zero || (frame[6] & 0x01) != 0;
+}
+
 SecurityGateway::SecurityGateway(const IoTSecurityService& service,
                                  GatewayConfig config)
     : service_(service),
@@ -42,10 +56,17 @@ SecurityGateway::SecurityGateway(const IoTSecurityService& service,
 sdn::SwitchResult SecurityGateway::on_frame(
     std::span<const std::uint8_t> frame, std::uint64_t timestamp_us) {
   last_ts_us_ = timestamp_us;
+  if (is_malformed_frame(frame)) {
+    ++malformed_;
+    ++dropped_;
+    return {sdn::FlowAction::kDrop, sdn::SwitchPath::kFastPath, "malformed"};
+  }
   const net::ParsedPacket pkt = net::parse_ethernet_frame(frame, timestamp_us);
   tracker_.observe(pkt, frame);
   extractor_.observe(pkt);
-  return switch_.process(pkt, timestamp_us);
+  const sdn::SwitchResult result = switch_.process(pkt, timestamp_us);
+  if (result.action == sdn::FlowAction::kDrop) ++dropped_;
+  return result;
 }
 
 void SecurityGateway::advance_time(std::uint64_t now_us) {

@@ -52,6 +52,13 @@ struct GatewayConfig {
                                              const net::MacAddress& device,
                                              std::uint64_t at_us);
 
+/// True when a frame cannot have come from a well-formed device NIC:
+/// shorter than an Ethernet header, or bearing a zero or multicast source
+/// address. Both gateways count such frames and drop them before they
+/// reach the fingerprint extractor — a malformed-frame flood must not be
+/// able to mint phantom devices (state bloat) or wedge the pipeline.
+[[nodiscard]] bool is_malformed_frame(std::span<const std::uint8_t> frame);
+
 /// The gateway runtime.
 class SecurityGateway {
  public:
@@ -87,9 +94,18 @@ class SecurityGateway {
   /// Passive device inventory (IP bindings, hostnames, DNS names,
   /// identification verdicts) for the management UI.
   [[nodiscard]] const DeviceTracker& inventory() const { return tracker_; }
+  /// The fingerprint extractor (read-only: state-bloat metrics for the
+  /// adversarial scenario reports).
+  [[nodiscard]] const fp::SetupCaptureExtractor& extractor() const {
+    return extractor_;
+  }
   [[nodiscard]] const std::vector<GatewayEvent>& events() const {
     return events_;
   }
+  /// Frames rejected by `is_malformed_frame` (counted, dropped early).
+  [[nodiscard]] std::uint64_t malformed_frames() const { return malformed_; }
+  /// Frames whose data-plane verdict was kDrop (includes malformed).
+  [[nodiscard]] std::uint64_t dropped_frames() const { return dropped_; }
 
  private:
   void handle_capture(const fp::DeviceCapture& capture);
@@ -104,6 +120,8 @@ class SecurityGateway {
   /// Scratch for expire_departed (capacity reused across sweeps).
   std::vector<net::MacAddress> departed_scratch_;
   std::uint64_t last_ts_us_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace iotsentinel::core

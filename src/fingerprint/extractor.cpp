@@ -17,14 +17,26 @@ void SetupCaptureExtractor::observe(const net::ParsedPacket& pkt) {
 
   auto it = active_.find(mac);
   if (it == active_.end()) {
+    if (config_.max_active_devices != 0 &&
+        active_.size() >= config_.max_active_devices) {
+      ++rejected_;  // MAC-spray flood: the admission cap bounds state
+      return;
+    }
     ActiveDevice dev;
     dev.capture.mac = mac;
     dev.capture.start_us = pkt.timestamp_us;
     dev.last_packet_us = pkt.timestamp_us;
     it = active_.emplace(mac, std::move(dev)).first;
+    peak_active_ = std::max(peak_active_, active_.size());
   } else {
     ActiveDevice& dev = it->second;
-    const std::uint64_t gap = pkt.timestamp_us - dev.last_packet_us;
+    // A reordered or replayed packet may carry a timestamp before the
+    // device's newest one; saturate the gap at zero so the subtraction
+    // cannot underflow into a huge bogus gap (which would both spuriously
+    // end the capture here and poison the running mean).
+    const std::uint64_t gap = pkt.timestamp_us > dev.last_packet_us
+                                  ? pkt.timestamp_us - dev.last_packet_us
+                                  : 0;
     // Rate-decrease detection: a gap far above the running mean
     // inter-arrival closes the setup phase; the current packet then belongs
     // to normal operation and is not recorded.
@@ -41,17 +53,20 @@ void SetupCaptureExtractor::observe(const net::ParsedPacket& pkt) {
          static_cast<double>(gap)) /
         static_cast<double>(dev.gap_count + 1);
     ++dev.gap_count;
-    dev.last_packet_us = pkt.timestamp_us;
+    // max(): the idle deadline and capture bounds must never rewind, or a
+    // late out-of-order packet could push an already-elapsed deadline back
+    // into the future and stall check_timeouts' early-out bound.
+    dev.last_packet_us = std::max(dev.last_packet_us, pkt.timestamp_us);
   }
 
   ActiveDevice& dev = it->second;
-  dev.capture.end_us = pkt.timestamp_us;
+  dev.capture.start_us = std::min(dev.capture.start_us, pkt.timestamp_us);
+  dev.capture.end_us = std::max(dev.capture.end_us, pkt.timestamp_us);
   ++dev.capture.raw_packet_count;
-  // The device just became (or stays) timeout-eligible; fold its deadline
-  // into the early-out bound. min() keeps the bound conservative.
-  if (dev.capture.raw_packet_count >= config_.min_packets) {
-    earliest_deadline_us_ = std::min(earliest_deadline_us_, deadline_of(dev));
-  }
+  // Fold the device's deadline into the early-out bound (min() keeps the
+  // bound conservative). Every active device is tracked — devices below
+  // min_packets expire too, they are just discarded instead of completed.
+  earliest_deadline_us_ = std::min(earliest_deadline_us_, deadline_of(dev));
   dev.capture.fingerprint.append(dev.features.extract(pkt));
   if (dev.capture.raw_packet_count >= config_.max_packets) complete(mac);
 }
@@ -71,7 +86,6 @@ void SetupCaptureExtractor::check_timeouts(std::uint64_t now_us) {
   expired.clear();
   std::uint64_t next_deadline = kNoDeadline;
   for (const auto& [mac, dev] : active_) {
-    if (dev.capture.raw_packet_count < config_.min_packets) continue;
     const std::uint64_t deadline = deadline_of(dev);
     if (now_us >= deadline) {
       expired.push_back(mac);
@@ -80,7 +94,20 @@ void SetupCaptureExtractor::check_timeouts(std::uint64_t now_us) {
     }
   }
   earliest_deadline_us_ = next_deadline;
-  for (const auto& mac : expired) complete(mac);
+  for (const auto& mac : expired) {
+    // A source that went idle without ever reaching min_packets is not a
+    // fingerprintable setup dialogue — it is a stray (or a spoofed-MAC
+    // flood frame). Discard it silently instead of completing, so phantom
+    // sources cannot pin extractor state or spam the classifier.
+    auto it = active_.find(mac);
+    if (it == active_.end()) continue;
+    if (it->second.capture.raw_packet_count < config_.min_packets) {
+      active_.erase(it);
+      ++discarded_;
+    } else {
+      complete(mac);
+    }
+  }
   expired_scratch_ = std::move(expired);
 }
 

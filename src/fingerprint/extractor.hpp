@@ -42,6 +42,14 @@ struct ExtractorConfig {
   /// MACs to ignore entirely (the gateway's own interfaces, known
   /// infrastructure).
   std::unordered_set<net::MacAddress> ignored_macs{};
+  /// Hard cap on concurrently-active captures. A MAC-spray flood mints a
+  /// fresh source address per frame; without a bound every one of them
+  /// pins an ActiveDevice until its idle timeout. Admissions beyond the
+  /// cap are rejected (counted in `rejected_admissions`) until idle
+  /// expiry reclaims slots. 0 disables the cap. The default is far above
+  /// any legitimate concurrent-onboarding population (a 100k-device fleet
+  /// peaks near a thousand concurrent setups).
+  std::size_t max_active_devices = 65536;
 };
 
 /// A completed setup capture for one device.
@@ -68,6 +76,12 @@ class SetupCaptureExtractor {
   /// Processes one packet. Packets from already-fingerprinted devices and
   /// ignored MACs are skipped. May fire the completion callback for *other*
   /// devices whose idle timeout elapsed by this packet's timestamp.
+  ///
+  /// Robust against hostile capture conditions: a packet whose timestamp
+  /// precedes the device's newest one (network reordering, a replayed
+  /// duplicate) is recorded with a zero inter-arrival gap and never rewinds
+  /// the device's idle deadline or capture bounds, so end-of-setup
+  /// detection cannot be stalled or retriggered by out-of-order delivery.
   void observe(const net::ParsedPacket& pkt);
 
   /// Advances virtual time without a packet, flushing devices whose idle
@@ -85,6 +99,18 @@ class SetupCaptureExtractor {
 
   /// Devices currently in their setup phase.
   [[nodiscard]] std::size_t active_devices() const { return active_.size(); }
+
+  /// Highest concurrently-active capture count ever observed — the
+  /// extractor-state-bloat metric of the adversarial scenario suite.
+  [[nodiscard]] std::size_t peak_active_devices() const { return peak_active_; }
+
+  /// Captures dropped at idle expiry because they never reached
+  /// `min_packets` (one-frame phantom sources, e.g. a spoofed-MAC flood).
+  /// No completion callback fires for these.
+  [[nodiscard]] std::uint64_t discarded_captures() const { return discarded_; }
+
+  /// New-device admissions rejected by `max_active_devices`.
+  [[nodiscard]] std::uint64_t rejected_admissions() const { return rejected_; }
 
   /// Completed captures, in completion order (also delivered via callback).
   [[nodiscard]] const std::vector<DeviceCapture>& completed() const {
@@ -117,14 +143,19 @@ class SetupCaptureExtractor {
   std::unordered_set<net::MacAddress> fingerprinted_;
   std::vector<DeviceCapture> completed_;
   /// Conservative lower bound on the earliest idle-expiry among active
-  /// timeout-eligible devices: check_timeouts early-outs on every packet
-  /// before this instant instead of scanning all active devices. Later
-  /// packets only push a device's real deadline further out, so the bound
-  /// can be stale-early (extra scan) but never stale-late (missed expiry).
+  /// devices: check_timeouts early-outs on every packet before this
+  /// instant instead of scanning all active devices. `last_packet_us`
+  /// never rewinds (reordered timestamps saturate to a zero gap), so
+  /// later packets only push a device's real deadline further out and the
+  /// bound can be stale-early (extra scan) but never stale-late (missed
+  /// expiry).
   std::uint64_t earliest_deadline_us_ = kNoDeadline;
   /// Reused by check_timeouts so the expiry sweep allocates nothing after
   /// warm-up.
   std::vector<net::MacAddress> expired_scratch_;
+  std::size_t peak_active_ = 0;
+  std::uint64_t discarded_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 /// One-shot extraction: builds a single device's fingerprint from an

@@ -28,8 +28,22 @@ std::optional<IsolationLevel> Controller::level_of(
   return rule->level;
 }
 
+FlowAction Controller::audit_decision(const net::ParsedPacket& pkt,
+                                      const char** reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const char* why = "";
+  bool installable = false;
+  const FlowAction action =
+      config_.filtering_enabled
+          ? decide(pkt, &why, &installable, /*peek_only=*/true)
+          : (why = "filtering-disabled", FlowAction::kForward);
+  if (reason) *reason = why;
+  return action;
+}
+
 FlowAction Controller::decide(const net::ParsedPacket& pkt,
-                              const char** reason, bool* installable) {
+                              const char** reason, bool* installable,
+                              bool peek_only) {
   *installable = true;
 
   // Infrastructure traffic required for association and identification is
@@ -42,9 +56,12 @@ FlowAction Controller::decide(const net::ParsedPacket& pkt,
     return FlowAction::kForward;
   }
 
-  const EnforcementRule* src_rule = rules_.lookup(pkt.src_mac);
+  const auto look = [&](const net::MacAddress& mac) {
+    return peek_only ? rules_.peek(mac) : rules_.lookup(mac);
+  };
+  const EnforcementRule* src_rule = look(pkt.src_mac);
   const EnforcementRule* dst_rule =
-      pkt.dst_mac.is_multicast() ? nullptr : rules_.lookup(pkt.dst_mac);
+      pkt.dst_mac.is_multicast() ? nullptr : look(pkt.dst_mac);
   const Overlay src_overlay =
       src_rule ? src_rule->overlay() : Overlay::kUntrusted;
 

@@ -71,6 +71,16 @@ class Controller {
   /// Isolation level currently enforced for a device (nullopt = no rule).
   std::optional<IsolationLevel> level_of(const net::MacAddress& device);
 
+  /// Re-derives the pure forward/drop policy verdict for a packet under
+  /// the rules installed right now — no packet-in counters, no flow
+  /// installation, no rule-cache LRU side effects. This is the oracle the
+  /// enforcement auditor (sdn/enforcement_audit.hpp) replays fast-path
+  /// (cached-flow) forwarding decisions against: a cached entry whose
+  /// action contradicts `audit_decision` is an enforcement-integrity
+  /// violation. Thread-safe (takes the controller lock).
+  FlowAction audit_decision(const net::ParsedPacket& pkt,
+                            const char** reason = nullptr);
+
   [[nodiscard]] RuleCache& rules() { return rules_; }
   [[nodiscard]] const RuleCache& rules() const { return rules_; }
   [[nodiscard]] std::uint64_t packet_ins() const {
@@ -83,9 +93,10 @@ class Controller {
   }
 
  private:
-  /// Core policy: may src talk to dst in this packet?
+  /// Core policy: may src talk to dst in this packet? `peek_only` makes
+  /// the rule lookups side-effect-free (the audit path).
   FlowAction decide(const net::ParsedPacket& pkt, const char** reason,
-                    bool* installable);
+                    bool* installable, bool peek_only = false);
 
   ControllerConfig config_;
   /// Serializes rule installs against packet-in decisions (see class

@@ -1,0 +1,114 @@
+// Enforcement-integrity auditor: the "quarantine provably holds" check of
+// the adversarial scenario suite.
+//
+// The data plane serves most packets from cached flow entries (the fast
+// path). A cached entry is a *stale copy* of a past controller decision —
+// if a device's enforcement rule changes (identification, departure) and
+// the affected entries are not flushed, the switch keeps forwarding
+// traffic the current policy would drop. The auditor catches exactly that
+// class of bug: attached to a SoftwareSwitch's audit hook, it replays
+// every fast-path verdict against Controller::audit_decision (the pure,
+// side-effect-free policy oracle) and counts disagreements.
+//
+//   * violation:  the switch forwarded a packet the current policy drops —
+//                 a quarantined/Restricted device got traffic past its
+//                 rule set. This must be zero in every shipped scenario.
+//   * overblock:  the switch dropped a packet the current policy forwards
+//                 (fail-closed; not a security breach, tracked separately).
+//
+// Slow-path verdicts ARE current controller decisions, so only fast-path
+// results are replayed. Scope: the oracle is evaluated at audit time, so
+// a concurrent rule install may race an in-flight packet of a *different*
+// device that addresses the rule's device as unicast destination; no
+// generated workload contains device-to-device unicast, and per-device
+// ordering is single-writer in both gateways (see docs/SCENARIOS.md).
+//
+// Thread safety: counters are relaxed atomics and the oracle takes the
+// controller lock, so one auditor can serve every shard's switch at once.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sdn/controller.hpp"
+#include "sdn/software_switch.hpp"
+
+namespace iotsentinel::sdn {
+
+class EnforcementAuditor {
+ public:
+  /// `controller` must outlive the auditor and every switch it audits.
+  explicit EnforcementAuditor(Controller& controller)
+      : controller_(&controller) {}
+
+  EnforcementAuditor(const EnforcementAuditor&) = delete;
+  EnforcementAuditor& operator=(const EnforcementAuditor&) = delete;
+
+  /// A hook bound to this auditor, suitable for SoftwareSwitch::set_audit.
+  /// Copies of the hook share this auditor's counters; the auditor must
+  /// outlive every switch the hook is installed on.
+  [[nodiscard]] SoftwareSwitch::AuditHook hook() {
+    return [this](const net::ParsedPacket& pkt, const SwitchResult& result,
+                  std::uint64_t now_us) { check(pkt, result, now_us); };
+  }
+
+  /// Convenience: installs `hook()` on one switch.
+  void attach(SoftwareSwitch& sw) { sw.set_audit(hook()); }
+
+  /// Fast-path verdicts replayed against the oracle.
+  [[nodiscard]] std::uint64_t checked() const {
+    return checked_.load(std::memory_order_relaxed);
+  }
+  /// Forwarded-but-policy-says-drop disagreements (the breach counter).
+  [[nodiscard]] std::uint64_t violations() const {
+    return violations_.load(std::memory_order_relaxed);
+  }
+  /// Dropped-but-policy-says-forward disagreements (fail-closed).
+  [[nodiscard]] std::uint64_t overblocks() const {
+    return overblocks_.load(std::memory_order_relaxed);
+  }
+
+  /// Human-readable descriptions of the first few violations (diagnosis
+  /// aid for a failing scenario run).
+  [[nodiscard]] std::vector<std::string> violation_samples() const {
+    std::lock_guard<std::mutex> lock(samples_mu_);
+    return samples_;
+  }
+
+ private:
+  static constexpr std::size_t kMaxSamples = 8;
+
+  void check(const net::ParsedPacket& pkt, const SwitchResult& result,
+             std::uint64_t now_us) {
+    if (result.path != SwitchPath::kFastPath) return;
+    checked_.fetch_add(1, std::memory_order_relaxed);
+    const char* want_reason = "";
+    const FlowAction want = controller_->audit_decision(pkt, &want_reason);
+    if (result.action == want) return;
+    if (result.action == FlowAction::kForward) {
+      violations_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(samples_mu_);
+      if (samples_.size() < kMaxSamples) {
+        samples_.push_back("t=" + std::to_string(now_us) + " " +
+                           pkt.src_mac.to_string() + " -> " +
+                           pkt.dst_mac.to_string() +
+                           " forwarded from cache but policy says drop (" +
+                           want_reason + ")");
+      }
+    } else {
+      overblocks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Controller* controller_;
+  std::atomic<std::uint64_t> checked_{0};
+  std::atomic<std::uint64_t> violations_{0};
+  std::atomic<std::uint64_t> overblocks_{0};
+  mutable std::mutex samples_mu_;
+  std::vector<std::string> samples_;
+};
+
+}  // namespace iotsentinel::sdn

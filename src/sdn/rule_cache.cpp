@@ -34,6 +34,11 @@ const EnforcementRule* RuleCache::lookup(const net::MacAddress& device) {
   return &it->second.rule;
 }
 
+const EnforcementRule* RuleCache::peek(const net::MacAddress& device) const {
+  const auto it = map_.find(device);
+  return it == map_.end() ? nullptr : &it->second.rule;
+}
+
 bool RuleCache::remove(const net::MacAddress& device) {
   auto it = map_.find(device);
   if (it == map_.end()) return false;

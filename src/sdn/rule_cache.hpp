@@ -33,6 +33,12 @@ class RuleCache {
   /// Returns nullptr on miss.
   const EnforcementRule* lookup(const net::MacAddress& device);
 
+  /// Side-effect-free lookup: no LRU refresh, no counter updates. For the
+  /// enforcement audit path, which must observe the cache without
+  /// perturbing eviction order or hit-rate accounting.
+  [[nodiscard]] const EnforcementRule* peek(
+      const net::MacAddress& device) const;
+
   /// Removes the rule for a departed device. Returns true if present.
   bool remove(const net::MacAddress& device);
 

@@ -10,17 +10,17 @@ SwitchResult SoftwareSwitch::process(const net::ParsedPacket& pkt,
     result.action = *action;
     result.path = SwitchPath::kFastPath;
     result.reason = "flow-entry";
-    return result;
+  } else {
+    ++slow_;
+    PacketInDecision decision = controller_.packet_in(pkt, now_us);
+    if (decision.flow_to_install) {
+      table_.install(std::move(*decision.flow_to_install), now_us);
+    }
+    result.action = decision.action;
+    result.path = SwitchPath::kSlowPath;
+    result.reason = decision.reason;
   }
-
-  ++slow_;
-  PacketInDecision decision = controller_.packet_in(pkt, now_us);
-  if (decision.flow_to_install) {
-    table_.install(std::move(*decision.flow_to_install), now_us);
-  }
-  result.action = decision.action;
-  result.path = SwitchPath::kSlowPath;
-  result.reason = decision.reason;
+  if (audit_) audit_(pkt, result, now_us);
   return result;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "sdn/controller.hpp"
 #include "sdn/flow_table.hpp"
@@ -35,6 +36,16 @@ struct SwitchResult {
 class SoftwareSwitch {
  public:
   explicit SoftwareSwitch(Controller& controller) : controller_(controller) {}
+
+  /// Observer invoked after every `process` with the packet and the
+  /// verdict the data plane actually applied — the attachment point for
+  /// the enforcement auditor (sdn/enforcement_audit.hpp), which replays
+  /// fast-path verdicts against the controller's current policy. Runs on
+  /// whichever thread calls `process`; an empty hook costs one branch.
+  using AuditHook = std::function<void(const net::ParsedPacket& pkt,
+                                       const SwitchResult& result,
+                                       std::uint64_t now_us)>;
+  void set_audit(AuditHook hook) { audit_ = std::move(hook); }
 
   /// Switches one packet at virtual time `now_us`.
   SwitchResult process(const net::ParsedPacket& pkt, std::uint64_t now_us);
@@ -63,6 +74,7 @@ class SoftwareSwitch {
  private:
   Controller& controller_;
   FlowTable table_;
+  AuditHook audit_;
   std::uint64_t fast_ = 0;
   std::uint64_t slow_ = 0;
 };

@@ -1,0 +1,80 @@
+#include "simnet/fault_injection.hpp"
+
+#include <utility>
+
+namespace iotsentinel::sim {
+
+FaultChannel::FaultChannel(FaultConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.reorder_depth == 0) config_.reorder_depth = 1;
+  if (config_.corrupt_max_bits == 0) config_.corrupt_max_bits = 1;
+}
+
+void FaultChannel::corrupt(net::Bytes& bytes) {
+  if (bytes.empty()) return;
+  const std::size_t nbits = 1 + rng_.index(config_.corrupt_max_bits);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    const std::size_t bit = rng_.index(bytes.size() * 8);
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+void FaultChannel::feed(TimedFrame frame, std::vector<TimedFrame>& out) {
+  ++stats_.frames_in;
+  // Fixed draw order and count per frame — the determinism contract: a
+  // config change never shifts which draw later frames receive.
+  const bool drop = rng_.chance(config_.drop_prob);
+  const bool corrupted = rng_.chance(config_.corrupt_prob);
+  const bool duplicated = rng_.chance(config_.duplicate_prob);
+  const bool reordered = rng_.chance(config_.reorder_prob);
+
+  if (drop) {
+    ++stats_.dropped;
+  } else {
+    if (corrupted) {
+      corrupt(frame.frame);
+      ++stats_.corrupted;
+    }
+    if (duplicated) {
+      ++stats_.duplicated;
+      out.push_back(frame);
+      ++stats_.emitted;
+    }
+    if (reordered) {
+      ++stats_.reordered;
+      // +1: the aging pass below runs in this same feed, so `depth`
+      // subsequent inputs (not depth-1) pass before re-emission.
+      held_.push_back({config_.reorder_depth + 1, std::move(frame)});
+    } else {
+      out.push_back(std::move(frame));
+      ++stats_.emitted;
+    }
+  }
+
+  // Age held frames by one input tick; equal initial depths make the
+  // deque expire front-first.
+  for (Held& h : held_) --h.remaining;
+  while (!held_.empty() && held_.front().remaining == 0) {
+    out.push_back(std::move(held_.front().frame));
+    ++stats_.emitted;
+    held_.pop_front();
+  }
+}
+
+void FaultChannel::flush(std::vector<TimedFrame>& out) {
+  for (Held& h : held_) {
+    out.push_back(std::move(h.frame));
+    ++stats_.emitted;
+  }
+  held_.clear();
+}
+
+std::vector<TimedFrame> FaultChannel::apply(std::vector<TimedFrame> trace) {
+  std::vector<TimedFrame> out;
+  out.reserve(trace.size());
+  for (TimedFrame& frame : trace) feed(std::move(frame), out);
+  flush(out);
+  return out;
+}
+
+}  // namespace iotsentinel::sim

@@ -1,0 +1,93 @@
+// Fault/attack injection for simulated traffic: the channel between a
+// frame source (DeviceTraceStream, FleetSim, a scenario script) and the
+// gateway under test.
+//
+// A FaultChannel is a deterministic stream transformer: frames are fed in
+// arrival order and come out dropped, duplicated, bit-corrupted and/or
+// reordered according to the configured probabilities. All randomness is
+// drawn from a private seeded RNG in a fixed per-frame order (drop,
+// corrupt, duplicate, reorder — four draws per frame, always), so the
+// same (config, input stream) pair reproduces the same faulted stream bit
+// for bit; the adversarial scenario engine (simnet/scenario.hpp) leans on
+// this for replayable attack runs.
+//
+// Reordering model: a selected frame is held back and re-emitted after
+// `reorder_depth` subsequent input frames have passed (earlier if the
+// stream ends — flush()). Timestamps are never rewritten, so a reordered
+// frame arrives at the gateway *after* frames bearing later capture
+// times — exactly the hazard the extractor's monotone-clock hardening
+// (fingerprint/extractor.hpp) has to absorb.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ml/rng.hpp"
+#include "simnet/traffic_generator.hpp"
+
+namespace iotsentinel::sim {
+
+/// Per-channel fault probabilities. All default to "clean passthrough".
+struct FaultConfig {
+  /// Chance a frame is silently lost.
+  double drop_prob = 0.0;
+  /// Chance a frame is delivered twice back to back.
+  double duplicate_prob = 0.0;
+  /// Chance a frame is held and re-emitted `reorder_depth` frames later.
+  double reorder_prob = 0.0;
+  /// Chance 1..`corrupt_max_bits` random bits of the frame are flipped.
+  double corrupt_prob = 0.0;
+  /// How many subsequent frames pass a held (reordered) frame.
+  std::size_t reorder_depth = 4;
+  /// Upper bound on flipped bits per corrupted frame.
+  std::size_t corrupt_max_bits = 8;
+  /// Seed of the channel's private RNG.
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic drop/duplicate/corrupt/reorder stage. Compose stages by
+/// chaining `apply`, or drive frame-by-frame with `feed` + `flush`.
+class FaultChannel {
+ public:
+  /// Injection counters (monotonic; `emitted` counts output frames).
+  struct Stats {
+    std::uint64_t frames_in = 0;
+    std::uint64_t emitted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t corrupted = 0;
+  };
+
+  explicit FaultChannel(FaultConfig config);
+
+  /// Feeds one frame; appends 0..2 frames to `out` now, possibly more
+  /// later (held frames whose delay expires ride out on later feeds).
+  void feed(TimedFrame frame, std::vector<TimedFrame>& out);
+
+  /// Emits every still-held frame (end of stream / end of fault window).
+  void flush(std::vector<TimedFrame>& out);
+
+  /// Whole-trace convenience: feed everything, then flush.
+  [[nodiscard]] std::vector<TimedFrame> apply(std::vector<TimedFrame> trace);
+
+  /// Frames currently held for reordering.
+  [[nodiscard]] std::size_t held() const { return held_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void corrupt(net::Bytes& bytes);
+
+  struct Held {
+    std::size_t remaining = 0;
+    TimedFrame frame;
+  };
+
+  FaultConfig config_;
+  ml::Rng rng_;
+  std::deque<Held> held_;
+  Stats stats_;
+};
+
+}  // namespace iotsentinel::sim

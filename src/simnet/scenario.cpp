@@ -1,0 +1,918 @@
+#include "simnet/scenario.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "core/gateway_pool.hpp"
+#include "net/builder.hpp"
+#include "net/crc32.hpp"
+#include "net/hash_mix.hpp"
+#include "sdn/enforcement_audit.hpp"
+#include "simnet/corpus.hpp"
+
+namespace iotsentinel::sim {
+namespace {
+
+using ScnKind = ScenarioError::Kind;
+
+// ------------------------------------------------------------- tokenizing
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool parse_u64(const std::string& token, std::uint64_t& out) {
+  if (token.empty() || token[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+bool parse_double(const std::string& token, double& out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  out = value;
+  return true;
+}
+
+/// Seconds (possibly fractional) to virtual microseconds.
+bool parse_seconds(const std::string& token, std::uint64_t& out_us) {
+  double seconds = 0.0;
+  if (!parse_double(token, seconds) || seconds < 0.0) return false;
+  out_us = static_cast<std::uint64_t>(seconds * 1e6 + 0.5);
+  return true;
+}
+
+bool parse_prob(const std::string& token, double& out) {
+  return parse_double(token, out) && out >= 0.0 && out <= 1.0;
+}
+
+bool parse_level(const std::string& token, sdn::IsolationLevel& out) {
+  if (token == "strict") {
+    out = sdn::IsolationLevel::kStrict;
+  } else if (token == "restricted") {
+    out = sdn::IsolationLevel::kRestricted;
+  } else if (token == "trusted") {
+    out = sdn::IsolationLevel::kTrusted;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* level_name(sdn::IsolationLevel level) {
+  switch (level) {
+    case sdn::IsolationLevel::kStrict: return "strict";
+    case sdn::IsolationLevel::kRestricted: return "restricted";
+    case sdn::IsolationLevel::kTrusted: return "trusted";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* to_string(ScenarioError::Kind kind) {
+  switch (kind) {
+    case ScnKind::kNone: return "none";
+    case ScnKind::kIoError: return "io-error";
+    case ScnKind::kBadHeader: return "bad-header";
+    case ScnKind::kMalformedLine: return "malformed-line";
+    case ScnKind::kUnknownDirective: return "unknown-directive";
+    case ScnKind::kUnknownActor: return "unknown-actor";
+    case ScnKind::kDuplicateActor: return "duplicate-actor";
+    case ScnKind::kOutOfRange: return "out-of-range";
+    case ScnKind::kMissingField: return "missing-field";
+    case ScnKind::kUnknownType: return "unknown-type";
+  }
+  return "?";
+}
+
+std::string describe(const ScenarioError& error) {
+  std::ostringstream os;
+  os << to_string(error.kind);
+  if (error.line > 0) os << " at line " << error.line;
+  os << ": " << error.detail;
+  return os.str();
+}
+
+// ---------------------------------------------------------------- parsing
+
+ScenarioParseResult parse_scenario(std::string_view text) {
+  Scenario scenario;
+  bool saw_header = false;
+  bool saw_name = false;
+  /// Actor references to validate once every join is known.
+  struct ActorRef {
+    std::string name;
+    std::size_t line;
+  };
+  std::vector<ActorRef> deferred_refs;
+
+  const auto err = [](ScnKind kind, std::size_t line, std::string detail) {
+    return ScenarioParseResult(ScenarioError{kind, line, std::move(detail)});
+  };
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::vector<std::string> tok = tokenize(line);
+    if (tok.empty()) continue;
+
+    if (!saw_header) {
+      if (tok.size() != 2 || tok[0] != "scenario" || tok[1] != "v1") {
+        return err(ScnKind::kBadHeader, line_no,
+                   "expected `scenario v1` header, got `" + tok[0] + "`");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    const std::string& d = tok[0];
+    if (d == "name") {
+      if (tok.size() != 2) {
+        return err(ScnKind::kMalformedLine, line_no, "usage: name <slug>");
+      }
+      scenario.name = tok[1];
+      saw_name = true;
+    } else if (d == "seed") {
+      if (tok.size() != 2 || !parse_u64(tok[1], scenario.seed)) {
+        return err(ScnKind::kMalformedLine, line_no, "usage: seed <u64>");
+      }
+    } else if (d == "join") {
+      // join <actor> <type> at <s> [mac <actor>]
+      ScenarioJoin join;
+      if (tok.size() != 5 && tok.size() != 7) {
+        return err(ScnKind::kMalformedLine, line_no,
+                   "usage: join <actor> <type> at <s> [mac <actor>]");
+      }
+      join.actor = tok[1];
+      join.type = tok[2];
+      if (tok[3] != "at" || !parse_seconds(tok[4], join.at_us)) {
+        return err(ScnKind::kMalformedLine, line_no,
+                   "usage: join <actor> <type> at <s> [mac <actor>]");
+      }
+      for (const ScenarioJoin& prior : scenario.joins) {
+        if (prior.actor == join.actor) {
+          return err(ScnKind::kDuplicateActor, line_no,
+                     "actor `" + join.actor + "` already joined");
+        }
+      }
+      if (tok.size() == 7) {
+        if (tok[5] != "mac") {
+          return err(ScnKind::kMalformedLine, line_no,
+                     "expected `mac <actor>`, got `" + tok[5] + "`");
+        }
+        join.spoof_actor = tok[6];
+        // The spoof target's MAC must already exist: require an earlier
+        // join (this also rules out self-spoofing).
+        bool found = false;
+        for (const ScenarioJoin& prior : scenario.joins) {
+          found = found || prior.actor == join.spoof_actor;
+        }
+        if (!found) {
+          return err(ScnKind::kUnknownActor, line_no,
+                     "mac target `" + join.spoof_actor +
+                         "` has no earlier join");
+        }
+      }
+      scenario.joins.push_back(std::move(join));
+    } else if (d == "standby") {
+      // standby <actor> cycles <n> at <s>
+      ScenarioStandby standby;
+      std::uint64_t cycles = 0;
+      if (tok.size() != 6 || tok[2] != "cycles" || !parse_u64(tok[3], cycles) ||
+          tok[4] != "at" || !parse_seconds(tok[5], standby.at_us)) {
+        return err(ScnKind::kMalformedLine, line_no,
+                   "usage: standby <actor> cycles <n> at <s>");
+      }
+      if (cycles == 0 || cycles > 1000) {
+        return err(ScnKind::kOutOfRange, line_no,
+                   "cycles must be within [1, 1000], got " + tok[3]);
+      }
+      standby.actor = tok[1];
+      standby.cycles = static_cast<std::uint32_t>(cycles);
+      deferred_refs.push_back({standby.actor, line_no});
+      scenario.standbys.push_back(std::move(standby));
+    } else if (d == "expire") {
+      // expire at <s> idle <s>
+      ScenarioExpire expire;
+      if (tok.size() != 5 || tok[1] != "at" ||
+          !parse_seconds(tok[2], expire.at_us) || tok[3] != "idle" ||
+          !parse_seconds(tok[4], expire.idle_us)) {
+        return err(ScnKind::kMalformedLine, line_no,
+                   "usage: expire at <s> idle <s>");
+      }
+      scenario.expires.push_back(expire);
+    } else if (d == "flood") {
+      // flood at <s> frames <n> kind random|spray [gap-us <n>]
+      ScenarioFlood flood;
+      std::uint64_t frames = 0;
+      if (tok.size() < 7 || tok[1] != "at" ||
+          !parse_seconds(tok[2], flood.at_us) || tok[3] != "frames" ||
+          !parse_u64(tok[4], frames) || tok[5] != "kind") {
+        return err(ScnKind::kMalformedLine, line_no,
+                   "usage: flood at <s> frames <n> kind random|spray "
+                   "[gap-us <n>]");
+      }
+      if (frames == 0 || frames > 10'000'000) {
+        return err(ScnKind::kOutOfRange, line_no,
+                   "frames must be within [1, 1e7], got " + tok[4]);
+      }
+      flood.frames = static_cast<std::uint32_t>(frames);
+      if (tok[6] == "random") {
+        flood.kind = ScenarioFlood::Kind::kRandom;
+      } else if (tok[6] == "spray") {
+        flood.kind = ScenarioFlood::Kind::kSpray;
+      } else {
+        return err(ScnKind::kOutOfRange, line_no,
+                   "flood kind must be random|spray, got `" + tok[6] + "`");
+      }
+      if (tok.size() == 9) {
+        if (tok[7] != "gap-us" || !parse_u64(tok[8], flood.gap_us) ||
+            flood.gap_us == 0) {
+          return err(ScnKind::kMalformedLine, line_no,
+                     "expected `gap-us <n>` (n >= 1)");
+        }
+      } else if (tok.size() != 7) {
+        return err(ScnKind::kMalformedLine, line_no,
+                   "usage: flood at <s> frames <n> kind random|spray "
+                   "[gap-us <n>]");
+      }
+      scenario.floods.push_back(flood);
+    } else if (d == "fault") {
+      // fault from <s> to <s> [drop p] [dup p] [reorder p] [corrupt p]
+      //   [depth n] [actor name]
+      ScenarioFaultWindow window;
+      if (tok.size() < 5 || tok[1] != "from" ||
+          !parse_seconds(tok[2], window.from_us) || tok[3] != "to" ||
+          !parse_seconds(tok[4], window.to_us) ||
+          window.to_us <= window.from_us) {
+        return err(ScnKind::kMalformedLine, line_no,
+                   "usage: fault from <s> to <s> [drop p] [dup p] "
+                   "[reorder p] [corrupt p] [depth n] [actor name]");
+      }
+      for (std::size_t i = 5; i + 1 < tok.size(); i += 2) {
+        const std::string& key = tok[i];
+        const std::string& value = tok[i + 1];
+        bool ok = true;
+        if (key == "drop") {
+          ok = parse_prob(value, window.faults.drop_prob);
+        } else if (key == "dup") {
+          ok = parse_prob(value, window.faults.duplicate_prob);
+        } else if (key == "reorder") {
+          ok = parse_prob(value, window.faults.reorder_prob);
+        } else if (key == "corrupt") {
+          ok = parse_prob(value, window.faults.corrupt_prob);
+        } else if (key == "depth") {
+          std::uint64_t depth = 0;
+          ok = parse_u64(value, depth) && depth >= 1 && depth <= 1024;
+          window.faults.reorder_depth = static_cast<std::size_t>(depth);
+        } else if (key == "actor") {
+          window.actor = value;
+          deferred_refs.push_back({value, line_no});
+        } else {
+          return err(ScnKind::kUnknownDirective, line_no,
+                     "unknown fault knob `" + key + "`");
+        }
+        if (!ok) {
+          return err(ScnKind::kOutOfRange, line_no,
+                     "bad value for fault knob `" + key + "`: " + value);
+        }
+      }
+      if ((tok.size() - 5) % 2 != 0) {
+        return err(ScnKind::kMalformedLine, line_no,
+                   "fault knobs must come in `key value` pairs");
+      }
+      scenario.faults.push_back(std::move(window));
+    } else if (d == "expect") {
+      // expect <actor> type <T> | new-type | level <L>
+      ScenarioExpect expect;
+      if (tok.size() < 3) {
+        return err(ScnKind::kMalformedLine, line_no,
+                   "usage: expect <actor> type <T> | new-type | level <L>");
+      }
+      expect.actor = tok[1];
+      deferred_refs.push_back({expect.actor, line_no});
+      if (tok[2] == "type" && tok.size() == 4) {
+        expect.kind = ScenarioExpect::Kind::kType;
+        expect.type = tok[3];
+      } else if (tok[2] == "new-type" && tok.size() == 3) {
+        expect.kind = ScenarioExpect::Kind::kNewType;
+      } else if (tok[2] == "level" && tok.size() == 4) {
+        expect.kind = ScenarioExpect::Kind::kLevel;
+        if (!parse_level(tok[3], expect.level)) {
+          return err(ScnKind::kOutOfRange, line_no,
+                     "level must be strict|restricted|trusted, got `" +
+                         tok[3] + "`");
+        }
+      } else {
+        return err(ScnKind::kMalformedLine, line_no,
+                   "usage: expect <actor> type <T> | new-type | level <L>");
+      }
+      scenario.expects.push_back(std::move(expect));
+    } else {
+      return err(ScnKind::kUnknownDirective, line_no,
+                 "unknown directive `" + d + "`");
+    }
+  }
+
+  if (!saw_header) {
+    return ScenarioParseResult(
+        ScenarioError{ScnKind::kBadHeader, 0, "empty input (no header)"});
+  }
+  if (!saw_name) {
+    return ScenarioParseResult(
+        ScenarioError{ScnKind::kMissingField, 0, "missing `name` directive"});
+  }
+  if (scenario.joins.empty()) {
+    return ScenarioParseResult(
+        ScenarioError{ScnKind::kMissingField, 0, "scenario has no `join`"});
+  }
+  for (const auto& ref : deferred_refs) {
+    bool found = false;
+    for (const ScenarioJoin& join : scenario.joins) {
+      found = found || join.actor == ref.name;
+    }
+    if (!found) {
+      return ScenarioParseResult(ScenarioError{
+          ScnKind::kUnknownActor, ref.line,
+          "actor `" + ref.name + "` is never joined"});
+    }
+  }
+  return ScenarioParseResult(std::move(scenario));
+}
+
+ScenarioParseResult load_scenario_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return ScenarioParseResult(ScenarioError{
+        ScnKind::kIoError, 0, "cannot open `" + path + "`"});
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return ScenarioParseResult(ScenarioError{
+        ScnKind::kIoError, 0, "read failure on `" + path + "`"});
+  }
+  return parse_scenario(buffer.str());
+}
+
+// -------------------------------------------------------------- compiling
+
+namespace {
+
+net::MacAddress frame_src_mac(const net::Bytes& frame) {
+  if (frame.size() < 14) return net::MacAddress{};
+  return net::MacAddress(
+      {frame[6], frame[7], frame[8], frame[9], frame[10], frame[11]});
+}
+
+net::Ipv4Address actor_ip(std::size_t index) {
+  return net::Ipv4Address::of(
+      192, 168, static_cast<std::uint8_t>(1 + index / 200),
+      static_cast<std::uint8_t>(40 + index % 200));
+}
+
+/// Flood-frame factory. Deterministic per (seed, flood index).
+void make_flood_frames(const ScenarioFlood& flood, std::uint64_t seed,
+                       std::vector<TimedFrame>& out) {
+  ml::Rng rng(seed);
+  for (std::uint32_t k = 0; k < flood.frames; ++k) {
+    TimedFrame tf;
+    tf.timestamp_us = flood.at_us + std::uint64_t{k} * flood.gap_us;
+    if (flood.kind == ScenarioFlood::Kind::kRandom) {
+      // Arbitrary bytes: roughly half carry a multicast/zero source and
+      // are counted malformed; the rest parse as junk ethertypes.
+      const std::size_t len = 14 + rng.index(107);
+      tf.frame.resize(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        tf.frame[i] = static_cast<std::uint8_t>(rng.next_u64());
+      }
+    } else {
+      // Well-formed ARP requests from never-seen locally-administered
+      // MACs: every frame mints a phantom device in the extractor, the
+      // state-bloat attack the admission cap bounds.
+      const net::MacAddress src = net::MacAddress::of(
+          0x06, static_cast<std::uint8_t>(rng.next_u64()),
+          static_cast<std::uint8_t>(rng.next_u64()),
+          static_cast<std::uint8_t>(rng.next_u64()),
+          static_cast<std::uint8_t>(rng.next_u64()),
+          static_cast<std::uint8_t>(rng.next_u64()));
+      const net::Ipv4Address ip = net::Ipv4Address::of(
+          10, static_cast<std::uint8_t>(rng.next_u64()),
+          static_cast<std::uint8_t>(rng.next_u64()),
+          static_cast<std::uint8_t>(1 + rng.index(250)));
+      tf.frame = net::build_arp_request(src, ip,
+                                        net::Ipv4Address::of(192, 168, 0, 1));
+    }
+    out.push_back(std::move(tf));
+  }
+}
+
+}  // namespace
+
+std::optional<CompiledScenario> compile_scenario(const Scenario& scenario,
+                                                 const Roster& roster,
+                                                 ScenarioError* error) {
+  const auto fail = [&](ScnKind kind, std::string detail) {
+    if (error) *error = ScenarioError{kind, 0, std::move(detail)};
+  };
+  if (error) *error = ScenarioError{};
+
+  CompiledScenario compiled;
+  compiled.name = scenario.name;
+  compiled.seed = scenario.seed;
+  compiled.joins = scenario.joins;
+  compiled.expects = scenario.expects;
+
+  std::unordered_map<std::string, std::size_t> actor_index;
+  for (std::size_t i = 0; i < scenario.joins.size(); ++i) {
+    actor_index.emplace(scenario.joins[i].actor, i);
+  }
+
+  // Resolve per-join profiles and wire MACs (spoofs borrow the target's).
+  std::vector<const RosterEntry*> entries(scenario.joins.size(), nullptr);
+  for (std::size_t i = 0; i < scenario.joins.size(); ++i) {
+    const ScenarioJoin& join = scenario.joins[i];
+    const RosterEntry* entry = roster.find(join.type);
+    if (!entry) {
+      fail(ScnKind::kUnknownType,
+           "join `" + join.actor + "`: type `" + join.type +
+               "` is not in the roster");
+      return std::nullopt;
+    }
+    entries[i] = entry;
+    net::MacAddress mac;
+    if (join.spoof_actor.empty()) {
+      mac = TrafficGenerator::mint_mac(entry->profile,
+                                       static_cast<std::uint32_t>(i));
+    } else {
+      const auto it = actor_index.find(join.spoof_actor);
+      if (it == actor_index.end() || it->second >= i) {
+        fail(ScnKind::kUnknownActor,
+             "join `" + join.actor + "`: mac target `" + join.spoof_actor +
+                 "` has no earlier join");
+        return std::nullopt;
+      }
+      mac = compiled.actor_macs[it->second];
+    }
+    compiled.actor_macs.push_back(mac);
+  }
+
+  // Materialise every frame. Insertion order (joins, standbys, floods)
+  // breaks timestamp ties deterministically via the stable sort below.
+  std::vector<TimedFrame> frames;
+  for (std::size_t i = 0; i < scenario.joins.size(); ++i) {
+    GeneratorConfig gcfg;
+    gcfg.start_time_us = scenario.joins[i].at_us;
+    DeviceTraceStream stream(
+        gcfg, entries[i]->profile, compiled.actor_macs[i], actor_ip(i),
+        DeviceTraceStream::Mode::kSetup, 0, 0,
+        net::mix64(scenario.seed ^ (0x1057ULL + i)));
+    while (auto tf = stream.next()) frames.push_back(std::move(*tf));
+  }
+  for (std::size_t s = 0; s < scenario.standbys.size(); ++s) {
+    const ScenarioStandby& standby = scenario.standbys[s];
+    const std::size_t i = actor_index.at(standby.actor);
+    GeneratorConfig gcfg;
+    gcfg.start_time_us = standby.at_us;
+    const auto gap_us =
+        static_cast<std::uint64_t>(entries[i]->fleet.cycle_gap_s * 1e6);
+    DeviceTraceStream stream(
+        gcfg, entries[i]->profile, compiled.actor_macs[i], actor_ip(i),
+        DeviceTraceStream::Mode::kStandby, standby.cycles,
+        std::max<std::uint64_t>(gap_us, 1),
+        net::mix64(scenario.seed ^ (0x57a4ULL + 0x100 * i + 7 * s)));
+    while (auto tf = stream.next()) frames.push_back(std::move(*tf));
+  }
+  for (std::size_t f = 0; f < scenario.floods.size(); ++f) {
+    make_flood_frames(scenario.floods[f],
+                      net::mix64(scenario.seed ^ (0xF100DULL + 31 * f)),
+                      frames);
+  }
+  std::stable_sort(frames.begin(), frames.end(),
+                   [](const TimedFrame& a, const TimedFrame& b) {
+                     return a.timestamp_us < b.timestamp_us;
+                   });
+
+  // Lower to items and splice the departure sweeps in at their times.
+  compiled.items.reserve(frames.size() + scenario.expires.size());
+  for (TimedFrame& tf : frames) {
+    ScenarioItem item;
+    item.kind = ScenarioItem::Kind::kFrame;
+    item.frame = std::move(tf);
+    compiled.items.push_back(std::move(item));
+  }
+  for (const ScenarioExpire& expire : scenario.expires) {
+    ScenarioItem item;
+    item.kind = ScenarioItem::Kind::kExpire;
+    item.frame.timestamp_us = expire.at_us;
+    item.idle_us = expire.idle_us;
+    const auto at = std::upper_bound(
+        compiled.items.begin(), compiled.items.end(), expire.at_us,
+        [](std::uint64_t t, const ScenarioItem& it) {
+          return t < it.frame.timestamp_us;
+        });
+    compiled.items.insert(at, std::move(item));
+  }
+
+  // Fault windows transform the arrival-ordered stream in place; frames
+  // are selected by their *capture* time (which faults never rewrite),
+  // so stacked windows compose predictably.
+  for (std::size_t w = 0; w < scenario.faults.size(); ++w) {
+    const ScenarioFaultWindow& window = scenario.faults[w];
+    FaultConfig fcfg = window.faults;
+    fcfg.seed = net::mix64(scenario.seed ^ (0xFA17ULL + 131 * w));
+    FaultChannel channel(fcfg);
+    std::optional<net::MacAddress> only_mac;
+    if (!window.actor.empty()) {
+      only_mac = compiled.actor_macs[actor_index.at(window.actor)];
+    }
+
+    std::vector<ScenarioItem> next;
+    next.reserve(compiled.items.size());
+    std::vector<TimedFrame> tmp;
+    bool flushed = false;
+    const auto emit_frames = [&] {
+      for (TimedFrame& tf : tmp) {
+        ScenarioItem item;
+        item.kind = ScenarioItem::Kind::kFrame;
+        item.frame = std::move(tf);
+        next.push_back(std::move(item));
+      }
+      tmp.clear();
+    };
+    for (ScenarioItem& item : compiled.items) {
+      const std::uint64_t t = item.frame.timestamp_us;
+      if (!flushed && t >= window.to_us) {
+        // Past the window: release everything still held before any
+        // later item (including departure sweeps) is delivered.
+        channel.flush(tmp);
+        emit_frames();
+        flushed = true;
+      }
+      const bool matches =
+          item.kind == ScenarioItem::Kind::kFrame && !flushed &&
+          t >= window.from_us &&
+          (!only_mac || frame_src_mac(item.frame.frame) == *only_mac);
+      if (matches) {
+        channel.feed(std::move(item.frame), tmp);
+        emit_frames();
+      } else {
+        next.push_back(std::move(item));
+      }
+    }
+    if (!flushed) {
+      channel.flush(tmp);
+      emit_frames();
+    }
+    compiled.items = std::move(next);
+    const FaultChannel::Stats& cs = channel.stats();
+    compiled.fault_stats.frames_in += cs.frames_in;
+    compiled.fault_stats.emitted += cs.emitted;
+    compiled.fault_stats.dropped += cs.dropped;
+    compiled.fault_stats.duplicated += cs.duplicated;
+    compiled.fault_stats.reordered += cs.reordered;
+    compiled.fault_stats.corrupted += cs.corrupted;
+  }
+
+  // Order-and-content hash: the determinism fingerprint of the stream.
+  std::uint64_t h = net::mix64(scenario.seed ^ 0x5ce4a410ULL);
+  for (const ScenarioItem& item : compiled.items) {
+    h = net::mix64(h ^ (item.kind == ScenarioItem::Kind::kExpire
+                            ? 0xE0E0'E0E0ULL
+                            : 0x0F0F'0F0FULL));
+    h = net::mix64(h ^ item.frame.timestamp_us);
+    if (item.kind == ScenarioItem::Kind::kExpire) {
+      h = net::mix64(h ^ item.idle_us);
+    } else {
+      h = net::mix64(h ^ net::crc32c(item.frame.frame) ^
+                     (static_cast<std::uint64_t>(item.frame.frame.size())
+                      << 32));
+    }
+  }
+  compiled.stream_hash = h;
+  return compiled;
+}
+
+// ---------------------------------------------------------------- running
+
+namespace {
+
+/// Shared scoring tail: binds the k-th identification event on a MAC to
+/// the k-th join using that MAC, then checks expectations.
+void evaluate_outcome(const CompiledScenario& compiled,
+                      const std::vector<core::GatewayEvent>& events,
+                      ScenarioOutcome& out) {
+  out.events_total = events.size();
+  std::unordered_map<std::uint64_t, std::vector<const core::GatewayEvent*>>
+      by_mac;
+  for (const core::GatewayEvent& event : events) {
+    by_mac[event.device.to_u64()].push_back(&event);
+  }
+
+  std::unordered_map<std::uint64_t, std::size_t> next_rank;
+  out.actors.reserve(compiled.joins.size());
+  for (std::size_t i = 0; i < compiled.joins.size(); ++i) {
+    ScenarioActorOutcome actor;
+    actor.actor = compiled.joins[i].actor;
+    actor.true_type = compiled.joins[i].type;
+    actor.mac = compiled.actor_macs[i];
+    const std::uint64_t key = actor.mac.to_u64();
+    const std::size_t rank = next_rank[key]++;
+    const auto it = by_mac.find(key);
+    if (it != by_mac.end() && rank < it->second.size()) {
+      const core::GatewayEvent& event = *it->second[rank];
+      actor.identified = true;
+      actor.is_new_type = event.is_new_type;
+      actor.identified_type = event.device_type;
+      actor.level = event.level;
+      actor.misidentified =
+          !event.is_new_type && event.device_type != actor.true_type;
+    }
+    out.actors.push_back(std::move(actor));
+  }
+
+  std::unordered_map<std::string, const ScenarioActorOutcome*> by_name;
+  for (const ScenarioActorOutcome& actor : out.actors) {
+    by_name.emplace(actor.actor, &actor);
+  }
+
+  // Misidentification metric: among type-pinned actors, the fraction
+  // whose identification went wrong (wrong type, spurious new-type, or
+  // never identified).
+  for (const ScenarioExpect& expect : compiled.expects) {
+    const ScenarioActorOutcome& actor = *by_name.at(expect.actor);
+    std::string failure;
+    switch (expect.kind) {
+      case ScenarioExpect::Kind::kType: {
+        ++out.actors_with_type_expectation;
+        const bool ok = actor.identified && !actor.is_new_type &&
+                        actor.identified_type == expect.type;
+        if (!ok) {
+          ++out.actors_misidentified;
+          failure = "expected type `" + expect.type + "`, got " +
+                    (actor.identified
+                         ? (actor.is_new_type
+                                ? std::string("new-type")
+                                : "`" + actor.identified_type + "`")
+                         : std::string("no identification"));
+        }
+        break;
+      }
+      case ScenarioExpect::Kind::kNewType:
+        if (!(actor.identified && actor.is_new_type)) {
+          failure = actor.identified
+                        ? "expected new-type, got `" + actor.identified_type +
+                              "`"
+                        : "expected new-type, got no identification";
+        }
+        break;
+      case ScenarioExpect::Kind::kLevel:
+        if (!(actor.identified && actor.level == expect.level)) {
+          failure = std::string("expected level ") + level_name(expect.level) +
+                    ", got " +
+                    (actor.identified ? level_name(actor.level)
+                                      : "no identification");
+        }
+        break;
+    }
+    if (!failure.empty()) {
+      out.failures.push_back("actor `" + expect.actor + "`: " + failure);
+    }
+  }
+  if (out.actors_with_type_expectation > 0) {
+    out.misid_rate = static_cast<double>(out.actors_misidentified) /
+                     static_cast<double>(out.actors_with_type_expectation);
+  }
+}
+
+}  // namespace
+
+ScenarioOutcome run_scenario(const CompiledScenario& compiled,
+                             const core::IoTSecurityService& service,
+                             std::size_t num_shards,
+                             const ScenarioGatewayConfig& config) {
+  ScenarioOutcome out;
+  out.scenario = compiled.name;
+  out.num_shards = num_shards;
+  out.stream_hash = compiled.stream_hash;
+
+  std::vector<core::GatewayEvent> events;
+  std::uint64_t violations = 0;
+  std::vector<std::string> samples;
+
+  if (num_shards == 0) {
+    core::GatewayConfig gcfg;
+    gcfg.extractor = config.extractor;
+    gcfg.controller = config.controller;
+    core::SecurityGateway gw(service, gcfg);
+    sdn::EnforcementAuditor auditor(gw.controller());
+    auditor.attach(gw.data_plane());
+    for (const ScenarioItem& item : compiled.items) {
+      if (item.kind == ScenarioItem::Kind::kFrame) {
+        gw.on_frame(item.frame.frame, item.frame.timestamp_us);
+        ++out.frames_fed;
+      } else {
+        out.devices_expired +=
+            gw.expire_departed(item.frame.timestamp_us, item.idle_us);
+      }
+    }
+    gw.finish_pending_captures();
+    out.malformed_frames = gw.malformed_frames();
+    out.dropped_frames = gw.dropped_frames();
+    const fp::SetupCaptureExtractor& extractor = gw.extractor();
+    out.extractor_peak_active = extractor.peak_active_devices();
+    out.extractor_discarded = extractor.discarded_captures();
+    out.extractor_rejected = extractor.rejected_admissions();
+    out.audit_checked = auditor.checked();
+    out.audit_overblocks = auditor.overblocks();
+    violations = auditor.violations();
+    samples = auditor.violation_samples();
+    events = gw.events();
+  } else {
+    core::ShardedGatewayConfig scfg;
+    scfg.num_shards = num_shards;
+    scfg.ring_capacity = config.ring_capacity;
+    scfg.classify_batch_max = config.classify_batch_max;
+    scfg.extractor = config.extractor;
+    scfg.controller = config.controller;
+    core::ShardedGateway gw(service, scfg);
+    sdn::EnforcementAuditor auditor(gw.controller());
+    gw.set_audit(auditor.hook());
+    for (const ScenarioItem& item : compiled.items) {
+      if (item.kind == ScenarioItem::Kind::kFrame) {
+        gw.submit_owned(net::Bytes(item.frame.frame), item.frame.timestamp_us);
+        ++out.frames_fed;
+      } else {
+        gw.expire_departed(item.frame.timestamp_us, item.idle_us);
+      }
+    }
+    gw.finish();
+    const core::ShardedGateway::Stats stats = gw.stats();
+    out.malformed_frames = stats.malformed_frames;
+    out.dropped_frames = stats.dropped_frames;
+    out.devices_expired = stats.devices_expired;
+    for (std::size_t s = 0; s < gw.num_shards(); ++s) {
+      const fp::SetupCaptureExtractor& extractor = gw.shard_extractor(s);
+      out.extractor_peak_active += extractor.peak_active_devices();
+      out.extractor_discarded += extractor.discarded_captures();
+      out.extractor_rejected += extractor.rejected_admissions();
+    }
+    out.audit_checked = auditor.checked();
+    out.audit_overblocks = auditor.overblocks();
+    violations = auditor.violations();
+    samples = auditor.violation_samples();
+    events = gw.events();
+  }
+
+  out.audit_violations = violations;
+  if (violations > 0) {
+    out.failures.push_back("enforcement violations: " +
+                           std::to_string(violations));
+    for (const std::string& sample : samples) {
+      out.failures.push_back("  violation: " + sample);
+    }
+  }
+  evaluate_outcome(compiled, events, out);
+  return out;
+}
+
+// ----------------------------------------------------- shipped scenarios
+
+namespace {
+
+// NOTE: the mac-reuse text below is the worked example in
+// docs/SCENARIOS.md; tests assert the doc's fenced block stays in sync.
+constexpr BuiltinScenario kBuiltins[] = {
+    {"mac-reuse", R"(scenario v1
+name mac-reuse
+seed 7
+
+# A clean device onboards, is identified and granted Trusted.
+join victim Aria at 0
+standby victim cycles 2 at 45
+
+# The device leaves; the gateway sweeps its rule, flows and inventory.
+expire at 600 idle 120
+
+# Different hardware re-joins on the victim's MAC. It must be
+# re-fingerprinted from scratch and earn only its own type's level —
+# never inherit the victim's Trusted rule.
+join intruder EdimaxCam at 700 mac victim
+
+expect victim type Aria
+expect victim level trusted
+expect intruder type EdimaxCam
+expect intruder level restricted
+)"},
+    {"fingerprint-mimicry", R"(scenario v1
+name fingerprint-mimicry
+seed 11
+
+# A rogue device replays the setup dialogue of a known (vulnerable)
+# camera type. Identification assigns the mimicked type — and
+# enforcement therefore pins it to that type's Restricted whitelist.
+# Mimicry cannot escalate past the mimicked type's privileges.
+join camera EdimaxCam at 0
+join mimic EdimaxCam at 20
+join bystander Aria at 40
+
+expect camera type EdimaxCam
+expect camera level restricted
+expect mimic type EdimaxCam
+expect mimic level restricted
+expect bystander type Aria
+expect bystander level trusted
+)"},
+    {"setup-degradation", R"(scenario v1
+name setup-degradation
+seed 13
+
+# Three devices onboard over a lossy, reordering channel; the
+# fingerprinting pipeline must still identify all of them.
+join a Aria at 0
+join b HueBridge at 10
+join c Withings at 20
+fault from 0 to 120 drop 0.05 dup 0.10 reorder 0.10 depth 3
+
+expect a type Aria
+expect b type HueBridge
+expect c type Withings
+)"},
+    {"malformed-flood", R"(scenario v1
+name malformed-flood
+seed 17
+
+# Two legitimate devices onboard while an attacker floods the gateway
+# with junk frames and a phantom-MAC ARP spray. The junk is counted and
+# dropped, phantom state stays bounded, and identification of the real
+# devices is unaffected.
+join a Aria at 0
+join b EdimaxCam at 15
+flood at 2 frames 400 kind random
+flood at 5 frames 400 kind spray gap-us 2000
+
+expect a type Aria
+expect a level trusted
+expect b type EdimaxCam
+expect b level restricted
+)"},
+};
+
+}  // namespace
+
+std::span<const BuiltinScenario> builtin_scenarios() { return kBuiltins; }
+
+core::IoTSecurityService make_scenario_service(
+    const std::vector<std::string>& types, std::size_t runs_per_type,
+    std::uint64_t seed) {
+  const FingerprintCorpus corpus =
+      generate_corpus_for(types, runs_per_type, seed);
+  core::DeviceIdentifier identifier;
+  identifier.train(corpus.type_names, corpus.by_type);
+  core::VulnerabilityDb db;
+  for (const std::string& type : types) {
+    if (type == "EdimaxCam") {
+      db.add(type, {.id = "CVE-2099-0001", .cvss = 9.0,
+                    .summary = "remote shell on vendor cloud port"});
+    } else {
+      db.mark_assessed(type);
+    }
+  }
+  core::IoTSecurityService service(std::move(identifier), std::move(db));
+  if (std::find(types.begin(), types.end(), "EdimaxCam") != types.end()) {
+    service.register_endpoints("EdimaxCam",
+                               {net::Ipv4Address::of(104, 22, 7, 70)});
+  }
+  return service;
+}
+
+}  // namespace iotsentinel::sim

@@ -1,0 +1,303 @@
+// Scriptable adversarial & fault-injection scenarios for the gateway.
+//
+// A scenario is a small text file (see docs/SCENARIOS.md for the
+// normative format and a worked example) describing an attack run against
+// the Security Gateway: which devices join when, which of them spoof
+// another device's MAC, where malformed-frame floods land, and which time
+// windows suffer channel faults (drop/duplicate/reorder/corrupt via
+// simnet/fault_injection.hpp). Expectations pin the intended outcome —
+// who must be identified as what, at which isolation level — so a
+// scenario doubles as an executable robustness test.
+//
+// The pipeline mirrors the roster's:
+//
+//   parse_scenario(text)            -> Scenario          (typed errors)
+//   compile_scenario(scn, roster)   -> CompiledScenario  (concrete frames)
+//   run_scenario(compiled, service) -> ScenarioOutcome   (metrics+verdicts)
+//
+// Compilation materialises every frame deterministically from the
+// scenario seed (same seed -> bit-identical stream, pinned by
+// `stream_hash`); the runner feeds the stream to a serial SecurityGateway
+// or a ShardedGateway with the enforcement auditor attached, then scores
+// misidentification, enforcement-integrity and state-bloat metrics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/security_gateway.hpp"
+#include "core/security_service.hpp"
+#include "net/mac_address.hpp"
+#include "sdn/isolation.hpp"
+#include "simnet/fault_injection.hpp"
+#include "simnet/roster.hpp"
+
+namespace iotsentinel::sim {
+
+/// `join <actor> <type> at <s> [mac <other>]`: a device joins the network
+/// and plays its type's setup dialogue. With `mac <other>` it spoofs the
+/// (earlier-joined) actor's MAC instead of minting its own — the
+/// MAC-reuse / identity-theft primitive.
+struct ScenarioJoin {
+  std::string actor;
+  std::string type;
+  std::uint64_t at_us = 0;
+  std::string spoof_actor;  // empty = own MAC
+};
+
+/// `standby <actor> cycles <n> at <s>`: operational standby cycles of an
+/// already-joined actor (keeps it from looking departed).
+struct ScenarioStandby {
+  std::string actor;
+  std::uint32_t cycles = 1;
+  std::uint64_t at_us = 0;
+};
+
+/// `expire at <s> idle <s>`: the gateway runs its departure sweep.
+struct ScenarioExpire {
+  std::uint64_t at_us = 0;
+  std::uint64_t idle_us = 0;
+};
+
+/// `flood at <s> frames <n> kind random|spray [gap-us <n>]`: an attack
+/// burst. `random` frames are arbitrary bytes (mostly malformed —
+/// exercises the malformed-frame counters); `spray` frames are
+/// well-formed ARP requests from random never-seen MACs (exercises
+/// extractor state bloat and the admission cap).
+struct ScenarioFlood {
+  enum class Kind { kRandom, kSpray };
+  std::uint64_t at_us = 0;
+  std::uint32_t frames = 0;
+  Kind kind = Kind::kRandom;
+  std::uint64_t gap_us = 1'000;
+};
+
+/// `fault from <s> to <s> [drop p] [dup p] [reorder p] [corrupt p]
+/// [depth n] [actor <name>]`: a FaultChannel applied to the frames whose
+/// capture time falls in [from, to), optionally only the named actor's.
+struct ScenarioFaultWindow {
+  std::uint64_t from_us = 0;
+  std::uint64_t to_us = 0;
+  FaultConfig faults;
+  std::string actor;  // empty = every frame in the window
+};
+
+/// `expect <actor> type <T>` / `expect <actor> new-type` /
+/// `expect <actor> level strict|restricted|trusted`: pinned outcome for
+/// the actor's identification event (the k-th event on its MAC, where k
+/// is the join's rank among joins sharing that MAC).
+struct ScenarioExpect {
+  enum class Kind { kType, kNewType, kLevel };
+  std::string actor;
+  Kind kind = Kind::kType;
+  std::string type;                                        // kType
+  sdn::IsolationLevel level = sdn::IsolationLevel::kStrict;  // kLevel
+};
+
+/// A parsed scenario script.
+struct Scenario {
+  std::string name;
+  std::uint64_t seed = 1;
+  std::vector<ScenarioJoin> joins;
+  std::vector<ScenarioStandby> standbys;
+  std::vector<ScenarioExpire> expires;
+  std::vector<ScenarioFlood> floods;
+  std::vector<ScenarioFaultWindow> faults;
+  std::vector<ScenarioExpect> expects;
+};
+
+/// Why a scenario was rejected, and where (roster-error discipline).
+struct ScenarioError {
+  enum class Kind {
+    kNone,            ///< No error (the parse/compile succeeded).
+    kIoError,         ///< File could not be opened or read.
+    kBadHeader,       ///< Missing or unsupported `scenario v1` header.
+    kMalformedLine,   ///< A line does not scan as `directive args...`.
+    kUnknownDirective,///< Directive name not part of the format.
+    kUnknownActor,    ///< A directive references an actor never joined.
+    kDuplicateActor,  ///< Two `join` lines share one actor name.
+    kOutOfRange,      ///< A value outside its documented domain.
+    kMissingField,    ///< Required directive absent (e.g. no `name`).
+    kUnknownType,     ///< Compile: a join's type is not in the roster.
+  };
+
+  Kind kind = Kind::kNone;
+  /// 1-based line number (0 when not attributable to a line).
+  std::size_t line = 0;
+  /// Human-readable specifics. Never empty when `kind != kNone`.
+  std::string detail;
+};
+
+/// Stable name of an error kind ("unknown-actor", ...); never null.
+[[nodiscard]] const char* to_string(ScenarioError::Kind kind);
+
+/// One-line rendering, e.g. "unknown-actor at line 7: ...".
+[[nodiscard]] std::string describe(const ScenarioError& error);
+
+/// Result of parsing a scenario (mirrors RosterResult).
+class ScenarioParseResult {
+ public:
+  /*implicit*/ ScenarioParseResult(Scenario scenario)
+      : scenario_(std::move(scenario)) {}
+  /*implicit*/ ScenarioParseResult(ScenarioError error)
+      : error_(std::move(error)) {}
+
+  [[nodiscard]] bool has_value() const { return scenario_.has_value(); }
+  [[nodiscard]] explicit operator bool() const { return has_value(); }
+  [[nodiscard]] Scenario& operator*() { return *scenario_; }
+  [[nodiscard]] const Scenario& operator*() const { return *scenario_; }
+  [[nodiscard]] Scenario* operator->() { return &*scenario_; }
+  [[nodiscard]] const Scenario* operator->() const { return &*scenario_; }
+  [[nodiscard]] const ScenarioError& error() const { return error_; }
+  [[nodiscard]] Scenario take() { return std::move(*scenario_); }
+
+ private:
+  std::optional<Scenario> scenario_;
+  ScenarioError error_;
+};
+
+/// Parses scenario text. Never throws, never crashes, whatever `text`
+/// holds; on rejection the error names the offending line.
+[[nodiscard]] ScenarioParseResult parse_scenario(std::string_view text);
+
+/// Reads and parses a scenario file. I/O failures yield kIoError.
+[[nodiscard]] ScenarioParseResult load_scenario_file(const std::string& path);
+
+/// One item of the compiled arrival-ordered stream: a wire frame or an
+/// in-band gateway control op (departure sweep).
+struct ScenarioItem {
+  enum class Kind { kFrame, kExpire };
+  Kind kind = Kind::kFrame;
+  /// kFrame: the frame and its claimed capture time (arrival order may
+  /// disagree with capture order inside fault windows — that is the
+  /// point). kExpire: sweep time and idle threshold.
+  TimedFrame frame;
+  std::uint64_t idle_us = 0;
+};
+
+/// A scenario lowered to concrete frames, ready to replay.
+struct CompiledScenario {
+  std::string name;
+  std::uint64_t seed = 1;
+  /// Join table (actor identity = index); `actor_macs[i]` is the wire
+  /// source MAC join i transmits from (spoofs resolved).
+  std::vector<ScenarioJoin> joins;
+  std::vector<net::MacAddress> actor_macs;
+  std::vector<ScenarioExpect> expects;
+  /// The stream, in arrival order.
+  std::vector<ScenarioItem> items;
+  /// Aggregate fault-injection counters over every window.
+  FaultChannel::Stats fault_stats;
+  /// Order-and-content hash of `items` — two compiles of the same
+  /// (scenario, roster) must agree bit for bit (determinism contract,
+  /// pinned by tests and recorded in BENCH_scenarios.json).
+  std::uint64_t stream_hash = 0;
+};
+
+/// Lowers a scenario against a roster. On failure returns nullopt and
+/// fills `*error` (kUnknownType / kUnknownActor with the actor name).
+[[nodiscard]] std::optional<CompiledScenario> compile_scenario(
+    const Scenario& scenario, const Roster& roster,
+    ScenarioError* error = nullptr);
+
+/// What happened to one join ("actor") in a run.
+struct ScenarioActorOutcome {
+  std::string actor;
+  std::string true_type;
+  net::MacAddress mac;
+  bool identified = false;
+  bool is_new_type = false;
+  std::string identified_type;
+  sdn::IsolationLevel level = sdn::IsolationLevel::kStrict;
+  /// identified as a concrete type other than `true_type` (the
+  /// misidentification counter's numerator).
+  bool misidentified = false;
+};
+
+/// Metrics + verdicts of one scenario run against one gateway flavour.
+struct ScenarioOutcome {
+  std::string scenario;
+  /// 0 = serial SecurityGateway; otherwise ShardedGateway shard count.
+  std::size_t num_shards = 0;
+  std::uint64_t stream_hash = 0;
+
+  // Data-plane accounting.
+  std::uint64_t frames_fed = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t dropped_frames = 0;
+
+  // Enforcement integrity (sdn/enforcement_audit.hpp).
+  std::uint64_t audit_checked = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t audit_overblocks = 0;
+
+  // Extractor state bloat.
+  std::uint64_t extractor_peak_active = 0;
+  std::uint64_t extractor_discarded = 0;
+  std::uint64_t extractor_rejected = 0;
+
+  std::uint64_t devices_expired = 0;
+  std::size_t events_total = 0;
+
+  // Identification quality.
+  std::vector<ScenarioActorOutcome> actors;
+  std::size_t actors_with_type_expectation = 0;
+  std::size_t actors_misidentified = 0;
+  /// actors_misidentified / actors_with_type_expectation (0 when the
+  /// scenario pins no types).
+  double misid_rate = 0.0;
+
+  /// Failed expectations and enforcement violations, human-readable.
+  /// Empty <=> the scenario holds.
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool passed() const { return failures.empty(); }
+};
+
+/// Gateway knobs for a scenario run (defaults match production).
+struct ScenarioGatewayConfig {
+  fp::ExtractorConfig extractor;
+  sdn::ControllerConfig controller;
+  /// Sharded runs only.
+  std::size_t ring_capacity = 4096;
+  std::size_t classify_batch_max = 32;
+};
+
+/// Replays a compiled scenario against a serial SecurityGateway
+/// (`num_shards == 0`) or a ShardedGateway, with the enforcement auditor
+/// attached, and scores the outcome. Deterministic for the serial
+/// gateway; for sharded runs the actor verdicts and the zero-violation
+/// guarantee are shard-count-invariant, while `events_total` may differ
+/// (end-of-run flushing of sub-threshold captures depends on how far
+/// each shard's extractor clock advanced).
+[[nodiscard]] ScenarioOutcome run_scenario(
+    const CompiledScenario& compiled, const core::IoTSecurityService& service,
+    std::size_t num_shards = 0, const ScenarioGatewayConfig& config = {});
+
+/// A named built-in scenario (shipped attack library).
+struct BuiltinScenario {
+  const char* name;
+  const char* text;
+};
+
+/// The shipped scenario library: MAC reuse after departure, fingerprint
+/// mimicry, setup-capture degradation, malformed-frame floods. Every
+/// entry parses, compiles against the Table II roster and passes against
+/// both gateways (pinned by tests/test_scenario.cpp and run by
+/// bench/scenario_report.cpp).
+[[nodiscard]] std::span<const BuiltinScenario> builtin_scenarios();
+
+/// Trains an IoTSSP for scenario runs: fingerprint corpus over `types`
+/// (catalog names; `runs_per_type` captures each, seeded), every type
+/// assessed in the vulnerability DB, and — when present — "EdimaxCam"
+/// carrying a CVSS 9.0 entry with its vendor-cloud endpoint registered,
+/// so scenarios exercise Trusted, Restricted and (via untrained types)
+/// Strict enforcement in one run.
+[[nodiscard]] core::IoTSecurityService make_scenario_service(
+    const std::vector<std::string>& types, std::size_t runs_per_type = 12,
+    std::uint64_t seed = 33);
+
+}  // namespace iotsentinel::sim

@@ -167,6 +167,100 @@ TEST(Extractor, RawCountIncludesDuplicatesFingerprintDoesNot) {
   EXPECT_EQ(ex.completed()[0].fingerprint.size(), 1u);
 }
 
+TEST(Extractor, ReorderedTimestampsYieldDeterministicFingerprint) {
+  // The same packets, delivered with a late straggler (an old capture
+  // timestamp arriving after newer ones — what a reordering channel
+  // produces), must fingerprint deterministically and must not stall the
+  // idle clock.
+  const auto run = [](bool reorder) {
+    ExtractorConfig config;
+    SetupCaptureExtractor ex(config);
+    std::vector<net::ParsedPacket> packets;
+    for (int i = 0; i < 6; ++i) {
+      packets.push_back(packet_from(kDevA, kIpA, 1'000u * (i + 1),
+                                    static_cast<std::uint16_t>(50000 + i), i));
+    }
+    if (reorder) {
+      std::swap(packets[2], packets[4]);  // pkt t=5000 before t=3000
+    }
+    for (const auto& pkt : packets) ex.observe(pkt);
+    // Idle expiry must still fire off the *newest* timestamp seen, even
+    // though the last-delivered packet bore an older one.
+    ex.advance_time(6'000 + config.idle_timeout_us + 1);
+    EXPECT_EQ(ex.completed().size(), 1u);
+    return ex.completed().empty() ? Fingerprint{}
+                                  : ex.completed()[0].fingerprint;
+  };
+  const Fingerprint in_order = run(false);
+  const Fingerprint reordered_a = run(true);
+  const Fingerprint reordered_b = run(true);
+  EXPECT_FALSE(reordered_a.empty());
+  EXPECT_EQ(reordered_a, reordered_b);  // reorder-determinism
+  // Same multiset of packets: same number of fingerprinted vectors.
+  EXPECT_EQ(in_order.size(), reordered_a.size());
+}
+
+TEST(Extractor, NonAdjacentDuplicateDoesNotDoubleCountFingerprint) {
+  SetupCaptureExtractor ex;
+  const auto p0 = packet_from(kDevA, kIpA, 1'000, 50000, 0);
+  const auto p1 = packet_from(kDevA, kIpA, 2'000, 50001, 1);
+  ex.observe(p0);
+  ex.observe(p1);
+  ex.observe(p0);  // duplicated delivery of an earlier frame
+  ex.observe(packet_from(kDevA, kIpA, 3'000, 50002, 2));
+  ex.advance_time(3'000 + 10'000'001);
+  ASSERT_EQ(ex.completed().size(), 1u);
+  const DeviceCapture& capture = ex.completed()[0];
+  EXPECT_EQ(capture.raw_packet_count, 4u);  // raw count sees every delivery
+  // The capture window is the true packet span: the stale duplicate's
+  // timestamp neither rewinds the start nor extends the end.
+  EXPECT_EQ(capture.start_us, 1'000u);
+  EXPECT_EQ(capture.end_us, 3'000u);
+}
+
+TEST(Extractor, IdleDiscardsSubThresholdCapturesWithCounter) {
+  // A one-frame "device" (e.g. one sprayed ARP) must not linger as
+  // active state nor complete as a capture: idle expiry discards it.
+  SetupCaptureExtractor ex;
+  ex.observe(packet_from(kDevA, kIpA, 1'000, 50000, 0));
+  EXPECT_EQ(ex.active_devices(), 1u);
+  ex.advance_time(1'000 + 10'000'001);
+  EXPECT_EQ(ex.active_devices(), 0u);
+  EXPECT_TRUE(ex.completed().empty());
+  EXPECT_EQ(ex.discarded_captures(), 1u);
+  // The MAC is reclaimed, not marked fingerprinted: a later real setup
+  // burst from the same device still captures.
+  for (int i = 0; i < 5; ++i) {
+    ex.observe(packet_from(kDevA, kIpA, 20'000'000 + 1'000u * i,
+                           static_cast<std::uint16_t>(51000 + i), i));
+  }
+  ex.advance_time(20'004'000 + 10'000'001);
+  EXPECT_EQ(ex.completed().size(), 1u);
+}
+
+TEST(Extractor, AdmissionCapBoundsSprayFloods) {
+  ExtractorConfig config;
+  config.max_active_devices = 8;
+  SetupCaptureExtractor ex(config);
+  // 100 distinct source MACs in one burst: only 8 admitted.
+  for (int i = 0; i < 100; ++i) {
+    const MacAddress mac = MacAddress::of(
+        0x06, 0, 0, 0, static_cast<std::uint8_t>(i >> 8),
+        static_cast<std::uint8_t>(i));
+    ex.observe(packet_from(mac, kIpA, 1'000u * (i + 1),
+                           static_cast<std::uint16_t>(50000 + i), i));
+  }
+  EXPECT_EQ(ex.active_devices(), 8u);
+  EXPECT_EQ(ex.peak_active_devices(), 8u);
+  EXPECT_EQ(ex.rejected_admissions(), 92u);
+  // Idle expiry reclaims the slots; admissions resume afterwards.
+  ex.advance_time(100'000 + 10'000'001);
+  EXPECT_EQ(ex.active_devices(), 0u);
+  ex.observe(packet_from(kDevB, kIpB, 200'000'000, 52000, 0));
+  EXPECT_EQ(ex.active_devices(), 1u);
+  EXPECT_EQ(ex.rejected_admissions(), 92u);
+}
+
 TEST(FingerprintFromPackets, RespectsMaxPackets) {
   std::vector<net::ParsedPacket> packets;
   for (int i = 0; i < 50; ++i) {

@@ -1,0 +1,177 @@
+// FaultChannel: deterministic drop/duplicate/corrupt/reorder stream
+// transformer (simnet/fault_injection.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/crc32.hpp"
+#include "net/hash_mix.hpp"
+#include "simnet/fault_injection.hpp"
+
+namespace iotsentinel::sim {
+namespace {
+
+std::vector<TimedFrame> make_trace(std::size_t n) {
+  std::vector<TimedFrame> trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TimedFrame tf;
+    tf.timestamp_us = 1'000 * (i + 1);
+    tf.frame.assign(32, static_cast<std::uint8_t>(i));
+    trace.push_back(std::move(tf));
+  }
+  return trace;
+}
+
+std::uint64_t trace_hash(const std::vector<TimedFrame>& trace) {
+  std::uint64_t h = 0x1234;
+  for (const TimedFrame& tf : trace) {
+    h = net::mix64(h ^ tf.timestamp_us);
+    h = net::mix64(h ^ net::crc32c(tf.frame));
+  }
+  return h;
+}
+
+TEST(FaultChannel, CleanConfigIsIdentity) {
+  const auto in = make_trace(50);
+  const auto out = FaultChannel(FaultConfig{}).apply(in);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].timestamp_us, in[i].timestamp_us);
+    EXPECT_EQ(out[i].frame, in[i].frame);
+  }
+}
+
+TEST(FaultChannel, SameSeedReproducesBitIdentically) {
+  FaultConfig config;
+  config.drop_prob = 0.1;
+  config.duplicate_prob = 0.1;
+  config.reorder_prob = 0.2;
+  config.corrupt_prob = 0.1;
+  config.seed = 99;
+  const auto a = FaultChannel(config).apply(make_trace(200));
+  const auto b = FaultChannel(config).apply(make_trace(200));
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(trace_hash(a), trace_hash(b));
+
+  config.seed = 100;
+  const auto c = FaultChannel(config).apply(make_trace(200));
+  EXPECT_NE(trace_hash(a), trace_hash(c));
+}
+
+TEST(FaultChannel, DropOnlyRemovesFrames) {
+  FaultConfig config;
+  config.drop_prob = 0.5;
+  config.seed = 7;
+  FaultChannel channel(config);
+  const auto out = channel.apply(make_trace(400));
+  const auto& stats = channel.stats();
+  EXPECT_EQ(stats.frames_in, 400u);
+  EXPECT_EQ(stats.emitted, out.size());
+  EXPECT_EQ(stats.dropped + stats.emitted, 400u);
+  EXPECT_GT(stats.dropped, 100u);  // ~200 expected
+  EXPECT_LT(stats.dropped, 300u);
+  // Survivors keep order and content.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].timestamp_us, out[i].timestamp_us);
+  }
+}
+
+TEST(FaultChannel, DuplicateEmitsBackToBackCopies) {
+  FaultConfig config;
+  config.duplicate_prob = 1.0;
+  config.seed = 7;
+  const auto out = FaultChannel(config).apply(make_trace(10));
+  ASSERT_EQ(out.size(), 20u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[2 * i].frame, out[2 * i + 1].frame);
+    EXPECT_EQ(out[2 * i].timestamp_us, out[2 * i + 1].timestamp_us);
+  }
+}
+
+TEST(FaultChannel, ReorderHoldsFrameForDepthInputs) {
+  FaultConfig config;
+  config.reorder_prob = 1.0;  // every frame is held
+  config.reorder_depth = 3;
+  config.seed = 7;
+  FaultChannel channel(config);
+  std::vector<TimedFrame> out;
+  auto trace = make_trace(8);
+  for (auto& tf : trace) channel.feed(std::move(tf), out);
+  // Frame i is re-emitted after 3 further inputs: after 8 feeds frames
+  // 1..5 are out (held counts 3).
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(channel.held(), 3u);
+  channel.flush(out);
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_EQ(channel.held(), 0u);
+  // All held with equal depth: order is preserved overall here, but
+  // every frame left 3 ticks late — mixing with unheld frames in a real
+  // stream yields genuine reordering (covered by the extractor tests).
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i].frame[0], static_cast<std::uint8_t>(i));
+  }
+  EXPECT_EQ(channel.stats().reordered, 8u);
+}
+
+TEST(FaultChannel, ReorderActuallyInvertsArrivalOrder) {
+  FaultConfig config;
+  config.reorder_prob = 0.3;
+  config.reorder_depth = 4;
+  config.seed = 21;
+  const auto out = FaultChannel(config).apply(make_trace(100));
+  ASSERT_EQ(out.size(), 100u);
+  bool inverted = false;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    inverted = inverted || out[i].timestamp_us < out[i - 1].timestamp_us;
+  }
+  EXPECT_TRUE(inverted);
+  // Timestamps are never rewritten; the multiset of frames survives.
+  std::vector<std::uint64_t> ts;
+  for (const auto& tf : out) ts.push_back(tf.timestamp_us);
+  std::sort(ts.begin(), ts.end());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(ts[i], 1'000 * (i + 1));
+}
+
+TEST(FaultChannel, CorruptFlipsBoundedBitsInPlace) {
+  FaultConfig config;
+  config.corrupt_prob = 1.0;
+  config.corrupt_max_bits = 4;
+  config.seed = 13;
+  const auto in = make_trace(50);
+  const auto out = FaultChannel(config).apply(in);
+  ASSERT_EQ(out.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    ASSERT_EQ(out[i].frame.size(), in[i].frame.size());
+    int flipped = 0;
+    for (std::size_t b = 0; b < in[i].frame.size(); ++b) {
+      flipped += __builtin_popcount(
+          static_cast<unsigned>(in[i].frame[b] ^ out[i].frame[b]));
+    }
+    EXPECT_GE(flipped, 1);
+    EXPECT_LE(flipped, 4);
+  }
+}
+
+TEST(FaultChannel, StatsAccountForEveryFrame) {
+  FaultConfig config;
+  config.drop_prob = 0.2;
+  config.duplicate_prob = 0.2;
+  config.reorder_prob = 0.2;
+  config.corrupt_prob = 0.2;
+  config.seed = 3;
+  FaultChannel channel(config);
+  const auto out = channel.apply(make_trace(500));
+  const auto& s = channel.stats();
+  EXPECT_EQ(s.frames_in, 500u);
+  EXPECT_EQ(s.emitted, out.size());
+  // Every non-dropped frame is emitted exactly once plus one per dup.
+  EXPECT_EQ(s.emitted, s.frames_in - s.dropped + s.duplicated);
+  EXPECT_GT(s.dropped, 0u);
+  EXPECT_GT(s.duplicated, 0u);
+  EXPECT_GT(s.reordered, 0u);
+  EXPECT_GT(s.corrupted, 0u);
+}
+
+}  // namespace
+}  // namespace iotsentinel::sim

@@ -96,3 +96,107 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
 
 }  // namespace
 }  // namespace iotsentinel::net
+
+// ---------------------------------------------------------------------------
+// End-to-end fuzz: the same hostile inputs through the complete gateway
+// path (parse -> extractor -> classify -> enforce). Malformed frames must
+// be counted and dropped, and neither gateway flavour may crash or wedge.
+
+#include "core/gateway_pool.hpp"
+#include "core/security_gateway.hpp"
+#include "simnet/scenario.hpp"
+
+namespace iotsentinel::core {
+namespace {
+
+const IoTSecurityService& fuzz_service() {
+  static const IoTSecurityService service =
+      sim::make_scenario_service({"Aria", "EdimaxCam"}, /*runs_per_type=*/8);
+  return service;
+}
+
+std::vector<net::Bytes> hostile_frames(std::uint64_t seed, std::size_t n) {
+  ml::Rng rng(seed);
+  const net::MacAddress dev = net::MacAddress::of(2, 0, 0, 0, 0, 1);
+  const net::MacAddress gw = net::MacAddress::of(2, 0, 0, 0, 0, 2);
+  const net::Ipv4Address dev_ip = net::Ipv4Address::of(192, 168, 0, 5);
+  const net::Ipv4Address gw_ip = net::Ipv4Address::of(192, 168, 0, 1);
+  std::vector<net::Bytes> frames;
+  frames.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.index(3)) {
+      case 0: {  // random bytes, any length incl. sub-Ethernet runts
+        net::Bytes frame(rng.index(120));
+        for (auto& b : frame) b = static_cast<std::uint8_t>(rng.next_u64());
+        frames.push_back(std::move(frame));
+        break;
+      }
+      case 1: {  // bit-flipped valid protocol frames
+        net::Bytes frame = rng.chance(0.5)
+                               ? net::build_dhcp(dev, net::dhcptype::kDiscover,
+                                                 7, net::Ipv4Address::any(),
+                                                 {1, 3, 6}, "fuzzy")
+                               : net::build_dns_query(dev, gw, dev_ip, gw_ip,
+                                                      50000, 9, "a.example");
+        for (std::size_t f = 0, flips = 1 + rng.index(12); f < flips; ++f) {
+          frame[rng.index(frame.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.index(8));
+        }
+        frames.push_back(std::move(frame));
+        break;
+      }
+      default: {  // forged source addresses (zero / multicast)
+        net::Bytes frame = net::build_arp_request(
+            rng.chance(0.5) ? net::MacAddress()
+                            : net::MacAddress::of(0x01, 0x00, 0x5e, 1, 2, 3),
+            dev_ip, gw_ip);
+        frames.push_back(std::move(frame));
+        break;
+      }
+    }
+  }
+  return frames;
+}
+
+class GatewayFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GatewayFuzzTest, SerialGatewayCountsAndDropsHostileFrames) {
+  SecurityGateway gateway(fuzz_service(), {});
+  const auto frames = hostile_frames(GetParam(), 300);
+  std::uint64_t expect_malformed = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    expect_malformed += is_malformed_frame(frames[i]) ? 1 : 0;
+    const auto result = gateway.on_frame(frames[i], 1'000 * (i + 1));
+    if (is_malformed_frame(frames[i])) {
+      EXPECT_EQ(result.action, sdn::FlowAction::kDrop);
+    }
+  }
+  gateway.finish_pending_captures();
+  EXPECT_EQ(gateway.malformed_frames(), expect_malformed);
+  EXPECT_GT(gateway.malformed_frames(), 0u);
+  EXPECT_GE(gateway.dropped_frames(), gateway.malformed_frames());
+}
+
+TEST_P(GatewayFuzzTest, ShardedGatewayCountsAndDropsHostileFrames) {
+  ShardedGatewayConfig config;
+  config.num_shards = 2;
+  config.ring_capacity = 256;
+  ShardedGateway gateway(fuzz_service(), config);
+  const auto frames = hostile_frames(GetParam() ^ 0x9a9a, 300);
+  std::uint64_t expect_malformed = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    expect_malformed += is_malformed_frame(frames[i]) ? 1 : 0;
+    gateway.submit_owned(net::Bytes(frames[i]), 1'000 * (i + 1));
+  }
+  gateway.finish();  // must terminate: no wedge on garbage
+  const auto stats = gateway.stats();
+  EXPECT_EQ(stats.malformed_frames, expect_malformed);
+  EXPECT_GT(stats.malformed_frames, 0u);
+  EXPECT_GE(stats.dropped_frames, stats.malformed_frames);
+  EXPECT_EQ(stats.frames_processed, frames.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GatewayFuzzTest, ::testing::Values(7, 77));
+
+}  // namespace
+}  // namespace iotsentinel::core

@@ -1,0 +1,392 @@
+// Scenario engine: parsing (typed errors), deterministic compilation,
+// and the shipped attack library holding against the serial and sharded
+// gateways with the enforcement auditor attached.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "simnet/device_catalog.hpp"
+#include "simnet/scenario.hpp"
+
+namespace iotsentinel::sim {
+namespace {
+
+// ---------------------------------------------------------------- parse
+
+ScenarioError::Kind parse_kind(const std::string& text) {
+  ScenarioParseResult result = parse_scenario(text);
+  EXPECT_FALSE(result) << "expected a parse error for:\n" << text;
+  return result ? ScenarioError::Kind::kNone : result.error().kind;
+}
+
+TEST(ScenarioParse, MinimalScenario) {
+  ScenarioParseResult result = parse_scenario(
+      "scenario v1\n"
+      "name tiny\n"
+      "join a Aria at 1.5\n");
+  ASSERT_TRUE(result) << describe(result.error());
+  EXPECT_EQ(result->name, "tiny");
+  EXPECT_EQ(result->seed, 1u);
+  ASSERT_EQ(result->joins.size(), 1u);
+  EXPECT_EQ(result->joins[0].actor, "a");
+  EXPECT_EQ(result->joins[0].type, "Aria");
+  EXPECT_EQ(result->joins[0].at_us, 1'500'000u);
+  EXPECT_TRUE(result->joins[0].spoof_actor.empty());
+}
+
+TEST(ScenarioParse, AllDirectives) {
+  ScenarioParseResult result = parse_scenario(
+      "# full-format smoke\n"
+      "scenario v1\n"
+      "name full\n"
+      "seed 42\n"
+      "join a Aria at 0\n"
+      "join b EdimaxCam at 10 mac a\n"
+      "standby a cycles 3 at 60\n"
+      "expire at 600 idle 120\n"
+      "flood at 5 frames 100 kind spray gap-us 500\n"
+      "fault from 0 to 30 drop 0.1 dup 0.2 reorder 0.3 corrupt 0.05 "
+      "depth 6 actor a\n"
+      "expect a type Aria\n"
+      "expect b new-type\n"
+      "expect a level trusted\n");
+  ASSERT_TRUE(result) << describe(result.error());
+  EXPECT_EQ(result->seed, 42u);
+  ASSERT_EQ(result->joins.size(), 2u);
+  EXPECT_EQ(result->joins[1].spoof_actor, "a");
+  ASSERT_EQ(result->standbys.size(), 1u);
+  EXPECT_EQ(result->standbys[0].cycles, 3u);
+  ASSERT_EQ(result->expires.size(), 1u);
+  EXPECT_EQ(result->expires[0].idle_us, 120'000'000u);
+  ASSERT_EQ(result->floods.size(), 1u);
+  EXPECT_EQ(result->floods[0].kind, ScenarioFlood::Kind::kSpray);
+  EXPECT_EQ(result->floods[0].gap_us, 500u);
+  ASSERT_EQ(result->faults.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->faults[0].faults.drop_prob, 0.1);
+  EXPECT_EQ(result->faults[0].faults.reorder_depth, 6u);
+  EXPECT_EQ(result->faults[0].actor, "a");
+  ASSERT_EQ(result->expects.size(), 3u);
+  EXPECT_EQ(result->expects[2].kind, ScenarioExpect::Kind::kLevel);
+  EXPECT_EQ(result->expects[2].level, sdn::IsolationLevel::kTrusted);
+}
+
+TEST(ScenarioParse, TypedErrors) {
+  using K = ScenarioError::Kind;
+  EXPECT_EQ(parse_kind(""), K::kBadHeader);
+  EXPECT_EQ(parse_kind("roster v1\nname x\n"), K::kBadHeader);
+  EXPECT_EQ(parse_kind("scenario v2\n"), K::kBadHeader);
+  EXPECT_EQ(parse_kind("scenario v1\njoin a Aria at 0\n"), K::kMissingField);
+  EXPECT_EQ(parse_kind("scenario v1\nname x\n"), K::kMissingField);
+  EXPECT_EQ(parse_kind("scenario v1\nname x\nteleport a\n"),
+            K::kUnknownDirective);
+  EXPECT_EQ(parse_kind("scenario v1\nname x\njoin a Aria at nope\n"),
+            K::kMalformedLine);
+  EXPECT_EQ(parse_kind("scenario v1\nname x\njoin a Aria at 0\n"
+                       "join a Aria at 1\n"),
+            K::kDuplicateActor);
+  EXPECT_EQ(parse_kind("scenario v1\nname x\njoin a Aria at 0 mac ghost\n"),
+            K::kUnknownActor);
+  // Self-spoof: the target must be an *earlier* join.
+  EXPECT_EQ(parse_kind("scenario v1\nname x\njoin a Aria at 0 mac a\n"),
+            K::kUnknownActor);
+  EXPECT_EQ(parse_kind("scenario v1\nname x\njoin a Aria at 0\n"
+                       "standby ghost cycles 2 at 5\n"),
+            K::kUnknownActor);
+  EXPECT_EQ(parse_kind("scenario v1\nname x\njoin a Aria at 0\n"
+                       "expect ghost type Aria\n"),
+            K::kUnknownActor);
+  EXPECT_EQ(parse_kind("scenario v1\nname x\njoin a Aria at 0\n"
+                       "fault from 0 to 10 drop 1.5\n"),
+            K::kOutOfRange);
+  EXPECT_EQ(parse_kind("scenario v1\nname x\njoin a Aria at 0\n"
+                       "fault from 10 to 5\n"),
+            K::kMalformedLine);
+  EXPECT_EQ(parse_kind("scenario v1\nname x\njoin a Aria at 0\n"
+                       "flood at 0 frames 0 kind random\n"),
+            K::kOutOfRange);
+  EXPECT_EQ(parse_kind("scenario v1\nname x\njoin a Aria at 0\n"
+                       "expect a level turbo\n"),
+            K::kOutOfRange);
+}
+
+TEST(ScenarioParse, ErrorsCarryLineNumbers) {
+  ScenarioParseResult result = parse_scenario(
+      "scenario v1\n"
+      "name x\n"
+      "join a Aria at 0\n"
+      "warp a\n");
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error().line, 4u);
+  EXPECT_NE(describe(result.error()).find("line 4"), std::string::npos);
+  EXPECT_STREQ(to_string(result.error().kind), "unknown-directive");
+}
+
+TEST(ScenarioParse, LoadFileReportsIoError) {
+  ScenarioParseResult result = load_scenario_file("/nonexistent/x.scn");
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error().kind, ScenarioError::Kind::kIoError);
+}
+
+// -------------------------------------------------------------- compile
+
+Scenario parse_ok(const std::string& text) {
+  ScenarioParseResult result = parse_scenario(text);
+  EXPECT_TRUE(result) << describe(result.error());
+  return result.take();
+}
+
+TEST(ScenarioCompile, UnknownTypeIsACompileError) {
+  const Scenario scn = parse_ok(
+      "scenario v1\nname x\njoin a FluxCapacitor at 0\n");
+  ScenarioError error;
+  EXPECT_FALSE(compile_scenario(scn, device_roster(), &error));
+  EXPECT_EQ(error.kind, ScenarioError::Kind::kUnknownType);
+  EXPECT_NE(error.detail.find("FluxCapacitor"), std::string::npos);
+}
+
+TEST(ScenarioCompile, SameSeedCompilesBitIdentically) {
+  const Scenario scn = parse_ok(
+      "scenario v1\nname det\nseed 5\n"
+      "join a Aria at 0\njoin b EdimaxCam at 10\n"
+      "flood at 3 frames 50 kind random\n"
+      "fault from 0 to 60 drop 0.1 reorder 0.2\n");
+  const auto c1 = compile_scenario(scn, device_roster());
+  const auto c2 = compile_scenario(scn, device_roster());
+  ASSERT_TRUE(c1 && c2);
+  EXPECT_EQ(c1->stream_hash, c2->stream_hash);
+  ASSERT_EQ(c1->items.size(), c2->items.size());
+  for (std::size_t i = 0; i < c1->items.size(); ++i) {
+    EXPECT_EQ(c1->items[i].frame.timestamp_us, c2->items[i].frame.timestamp_us);
+    EXPECT_EQ(c1->items[i].frame.frame, c2->items[i].frame.frame);
+  }
+
+  Scenario reseeded = scn;
+  reseeded.seed = 6;
+  const auto c3 = compile_scenario(reseeded, device_roster());
+  ASSERT_TRUE(c3);
+  EXPECT_NE(c1->stream_hash, c3->stream_hash);
+}
+
+TEST(ScenarioCompile, SpoofJoinSharesTheMac) {
+  const Scenario scn = parse_ok(
+      "scenario v1\nname spoof\n"
+      "join a Aria at 0\n"
+      "join b EdimaxCam at 100 mac a\n"
+      "join c EdimaxCam at 200\n");
+  const auto compiled = compile_scenario(scn, device_roster());
+  ASSERT_TRUE(compiled);
+  ASSERT_EQ(compiled->actor_macs.size(), 3u);
+  EXPECT_EQ(compiled->actor_macs[0], compiled->actor_macs[1]);
+  EXPECT_NE(compiled->actor_macs[0], compiled->actor_macs[2]);
+}
+
+TEST(ScenarioCompile, FaultWindowOnlyTouchesItsFrames) {
+  const std::string base =
+      "scenario v1\nname w\nseed 9\n"
+      "join a Aria at 0\njoin b EdimaxCam at 120\n";
+  const auto clean = compile_scenario(parse_ok(base), device_roster());
+  const auto faulted = compile_scenario(
+      parse_ok(base + "fault from 0 to 60 drop 0.3 actor a\n"),
+      device_roster());
+  ASSERT_TRUE(clean && faulted);
+  EXPECT_GT(faulted->fault_stats.frames_in, 0u);
+  EXPECT_GT(faulted->fault_stats.dropped, 0u);
+  // b joins outside the window: its frames survive untouched.
+  std::size_t clean_b = 0;
+  std::size_t faulted_b = 0;
+  for (const ScenarioItem& item : clean->items) {
+    clean_b += item.frame.timestamp_us >= 120'000'000u;
+  }
+  for (const ScenarioItem& item : faulted->items) {
+    faulted_b += item.frame.timestamp_us >= 120'000'000u;
+  }
+  EXPECT_EQ(clean_b, faulted_b);
+  // a lost frames.
+  EXPECT_EQ(clean->items.size() - faulted->items.size(),
+            faulted->fault_stats.dropped);
+}
+
+TEST(ScenarioCompile, ExpireItemsLandAtTheirTime) {
+  const Scenario scn = parse_ok(
+      "scenario v1\nname e\n"
+      "join a Aria at 0\n"
+      "expire at 300 idle 60\n"
+      "join b EdimaxCam at 600\n");
+  const auto compiled = compile_scenario(scn, device_roster());
+  ASSERT_TRUE(compiled);
+  bool seen_expire = false;
+  for (std::size_t i = 0; i < compiled->items.size(); ++i) {
+    const ScenarioItem& item = compiled->items[i];
+    if (item.kind == ScenarioItem::Kind::kExpire) {
+      seen_expire = true;
+      EXPECT_EQ(item.frame.timestamp_us, 300'000'000u);
+      EXPECT_EQ(item.idle_us, 60'000'000u);
+      // Stream stays time-ordered around the control op.
+      if (i > 0) {
+        EXPECT_LE(compiled->items[i - 1].frame.timestamp_us,
+                  item.frame.timestamp_us);
+      }
+      if (i + 1 < compiled->items.size()) {
+        EXPECT_LE(item.frame.timestamp_us,
+                  compiled->items[i + 1].frame.timestamp_us);
+      }
+    }
+  }
+  EXPECT_TRUE(seen_expire);
+}
+
+// ------------------------------------------------------------- builtins
+
+const core::IoTSecurityService& scenario_service() {
+  static const core::IoTSecurityService service = make_scenario_service(
+      {"Aria", "EdimaxCam", "HueBridge", "Withings"});
+  return service;
+}
+
+CompiledScenario compile_builtin(const char* name) {
+  for (const BuiltinScenario& builtin : builtin_scenarios()) {
+    if (std::string_view(builtin.name) == name) {
+      ScenarioParseResult parsed = parse_scenario(builtin.text);
+      EXPECT_TRUE(parsed) << describe(parsed.error());
+      ScenarioError error;
+      auto compiled = compile_scenario(*parsed, device_roster(), &error);
+      EXPECT_TRUE(compiled) << describe(error);
+      return std::move(*compiled);
+    }
+  }
+  ADD_FAILURE() << "no builtin named " << name;
+  return {};
+}
+
+class BuiltinScenarioTest
+    : public ::testing::TestWithParam<std::tuple<const char*, std::size_t>> {};
+
+TEST_P(BuiltinScenarioTest, HoldsWithZeroEnforcementViolations) {
+  const auto [name, shards] = GetParam();
+  const CompiledScenario compiled = compile_builtin(name);
+  const ScenarioOutcome out =
+      run_scenario(compiled, scenario_service(), shards);
+  EXPECT_EQ(out.audit_violations, 0u);
+  EXPECT_TRUE(out.passed()) << [&] {
+    std::string all;
+    for (const std::string& failure : out.failures) all += failure + "\n";
+    return all;
+  }();
+  EXPECT_GT(out.audit_checked, 0u);
+  EXPECT_EQ(out.misid_rate, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuiltinsAllFlavours, BuiltinScenarioTest,
+    ::testing::Combine(::testing::Values("mac-reuse", "fingerprint-mimicry",
+                                         "setup-degradation",
+                                         "malformed-flood"),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2}, std::size_t{4})),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + (std::get<1>(info.param) == 0
+                         ? "_serial"
+                         : "_shards" + std::to_string(std::get<1>(info.param)));
+    });
+
+TEST(ScenarioRun, SerialRunsAreDeterministic) {
+  const CompiledScenario compiled = compile_builtin("setup-degradation");
+  const ScenarioOutcome a = run_scenario(compiled, scenario_service(), 0);
+  const ScenarioOutcome b = run_scenario(compiled, scenario_service(), 0);
+  EXPECT_EQ(a.stream_hash, b.stream_hash);
+  EXPECT_EQ(a.frames_fed, b.frames_fed);
+  EXPECT_EQ(a.malformed_frames, b.malformed_frames);
+  EXPECT_EQ(a.dropped_frames, b.dropped_frames);
+  EXPECT_EQ(a.events_total, b.events_total);
+  ASSERT_EQ(a.actors.size(), b.actors.size());
+  for (std::size_t i = 0; i < a.actors.size(); ++i) {
+    EXPECT_EQ(a.actors[i].identified_type, b.actors[i].identified_type);
+    EXPECT_EQ(a.actors[i].level, b.actors[i].level);
+  }
+}
+
+TEST(ScenarioRun, MacReuseNeverInheritsIdentityOrRules) {
+  const CompiledScenario compiled = compile_builtin("mac-reuse");
+  for (const std::size_t shards : {std::size_t{0}, std::size_t{2}}) {
+    const ScenarioOutcome out =
+        run_scenario(compiled, scenario_service(), shards);
+    ASSERT_EQ(out.actors.size(), 2u);
+    const ScenarioActorOutcome& victim = out.actors[0];
+    const ScenarioActorOutcome& intruder = out.actors[1];
+    EXPECT_EQ(victim.mac, intruder.mac);  // the attack premise
+    ASSERT_TRUE(victim.identified);
+    ASSERT_TRUE(intruder.identified);
+    // The intruder is re-fingerprinted as its own hardware type and
+    // pinned to that type's (Restricted) level — not the victim's
+    // Trusted verdict.
+    EXPECT_EQ(victim.identified_type, "Aria");
+    EXPECT_EQ(victim.level, sdn::IsolationLevel::kTrusted);
+    EXPECT_EQ(intruder.identified_type, "EdimaxCam");
+    EXPECT_EQ(intruder.level, sdn::IsolationLevel::kRestricted);
+    EXPECT_GT(out.devices_expired, 0u);
+    EXPECT_EQ(out.audit_violations, 0u);
+  }
+}
+
+TEST(ScenarioRun, MalformedFloodIsCountedAndBounded) {
+  const CompiledScenario compiled = compile_builtin("malformed-flood");
+  const ScenarioOutcome out = run_scenario(compiled, scenario_service(), 0);
+  EXPECT_TRUE(out.passed());
+  // The random flood lands a meaningful malformed count...
+  EXPECT_GT(out.malformed_frames, 50u);
+  EXPECT_GE(out.dropped_frames, out.malformed_frames);
+  // ...and phantom state stays bounded: at most one capture per distinct
+  // flood source (400 sprayed MACs + well-formed-by-chance random frames)
+  // plus the two real devices, with idle discard reclaiming the
+  // sub-threshold captures afterwards.
+  EXPECT_GT(out.extractor_peak_active, 2u);
+  EXPECT_LE(out.extractor_peak_active, 802u);
+  EXPECT_GT(out.extractor_discarded, 0u);
+}
+
+// -------------------------------------------------- docs worked example
+
+std::string docs_worked_example() {
+  std::ifstream in(IOTSENTINEL_DOCS_DIR "/SCENARIOS.md");
+  EXPECT_TRUE(in.good()) << "cannot open docs/SCENARIOS.md";
+  std::string line, example;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    if (!in_block && line == "```scenario") {
+      in_block = true;
+    } else if (in_block && line == "```") {
+      break;
+    } else if (in_block) {
+      example += line + "\n";
+    }
+  }
+  return example;
+}
+
+TEST(ScenarioDocs, WorkedExampleIsTheShippedMacReuseScenario) {
+  const std::string example = docs_worked_example();
+  ASSERT_FALSE(example.empty()) << "no ```scenario block in docs/SCENARIOS.md";
+  // The doc block and the builtin must be the same text, so the
+  // documentation cannot drift from what the suite actually runs.
+  const BuiltinScenario* mac_reuse = nullptr;
+  for (const BuiltinScenario& builtin : builtin_scenarios()) {
+    if (std::string_view(builtin.name) == "mac-reuse") mac_reuse = &builtin;
+  }
+  ASSERT_NE(mac_reuse, nullptr);
+  EXPECT_EQ(example, std::string(mac_reuse->text));
+
+  ScenarioParseResult parsed = parse_scenario(example);
+  ASSERT_TRUE(parsed) << describe(parsed.error());
+  EXPECT_EQ(parsed->name, "mac-reuse");
+  ASSERT_EQ(parsed->joins.size(), 2u);
+  EXPECT_EQ(parsed->joins[1].spoof_actor, "victim");
+  EXPECT_EQ(parsed->expects.size(), 4u);
+}
+
+}  // namespace
+}  // namespace iotsentinel::sim

@@ -183,6 +183,97 @@ TEST(SecurityGateway, ExpireDepartedSweepsRuleFlowsAndInventory) {
   EXPECT_EQ(gw.controller().level_of(mac), sdn::IsolationLevel::kTrusted);
 }
 
+TEST(SecurityGateway, MacReuseAfterExpiryIsReclassifiedNotInherited) {
+  // Identity-theft-by-address-reuse: after the departure sweep, different
+  // hardware joining on the same MAC must be re-fingerprinted as its own
+  // type and earn only its own level — never the departed device's rule.
+  const auto service = make_service();
+  SecurityGateway gw(service);
+  const auto mac = net::MacAddress::of(0x20, 0xbb, 0xc0, 0, 4, 4);
+  const auto ip = net::Ipv4Address::of(192, 168, 0, 71);
+  replay_setup(gw, "Aria", mac, ip, 110);
+  ASSERT_EQ(gw.events().size(), 1u);
+  ASSERT_EQ(gw.events()[0].device_type, "Aria");
+  ASSERT_EQ(gw.controller().level_of(mac), sdn::IsolationLevel::kTrusted);
+
+  const auto now = gw.events()[0].at_us;
+  ASSERT_EQ(gw.expire_departed(now + 600'000'000'000ull, 60'000'000ull), 1u);
+
+  // A vulnerable camera re-joins on the victim's MAC.
+  const auto* profile = sim::find_profile("EdimaxCam");
+  ASSERT_NE(profile, nullptr);
+  sim::GeneratorConfig rejoin_cfg;
+  rejoin_cfg.start_time_us = now + 700'000'000'000ull;
+  sim::TrafficGenerator gen(rejoin_cfg);
+  ml::Rng rng(111);
+  std::uint64_t last_ts = 0;
+  for (const auto& tf : gen.generate(*profile, mac, ip, rng)) {
+    gw.on_frame(tf.frame, tf.timestamp_us);
+    last_ts = tf.timestamp_us;
+  }
+  gw.advance_time(last_ts + 120'000'000);
+
+  ASSERT_EQ(gw.events().size(), 2u);
+  EXPECT_EQ(gw.events()[1].device, mac);
+  EXPECT_EQ(gw.events()[1].device_type, "EdimaxCam");
+  EXPECT_EQ(gw.events()[1].level, sdn::IsolationLevel::kRestricted);
+  EXPECT_EQ(gw.controller().level_of(mac), sdn::IsolationLevel::kRestricted);
+
+  // The Restricted rule actually bites: internet traffic to a
+  // non-whitelisted endpoint is dropped, the vendor endpoint passes.
+  const auto t = last_ts + 130'000'000;
+  const auto gw_mac = net::MacAddress::of(2, 0x47, 0x57, 0, 0, 1);
+  EXPECT_EQ(gw.on_frame(net::build_tcp_syn(mac, gw_mac, ip,
+                                           net::Ipv4Address::of(8, 8, 8, 8),
+                                           50000, 443, 1),
+                        t)
+                .action,
+            sdn::FlowAction::kDrop);
+  EXPECT_EQ(gw.on_frame(net::build_tcp_syn(
+                            mac, gw_mac, ip,
+                            net::Ipv4Address::of(104, 22, 7, 70), 50001, 443,
+                            1),
+                        t + 1)
+                .action,
+            sdn::FlowAction::kForward);
+}
+
+TEST(SecurityGateway, MalformedFramesAreCountedAndDropped) {
+  const auto service = make_service();
+  SecurityGateway gw(service);
+
+  const net::Bytes runt(10, 0xff);  // < Ethernet header
+  net::Bytes zero_src =
+      net::build_arp_request(net::MacAddress(),  // all-zero source MAC
+                             net::Ipv4Address::of(192, 168, 0, 9),
+                             net::Ipv4Address::of(192, 168, 0, 1));
+  net::Bytes multicast_src = net::build_arp_request(
+      net::MacAddress::of(0x01, 0x00, 0x5e, 1, 2, 3),  // group bit set
+      net::Ipv4Address::of(192, 168, 0, 9), net::Ipv4Address::of(192, 168, 0, 1));
+
+  EXPECT_TRUE(is_malformed_frame(runt));
+  EXPECT_TRUE(is_malformed_frame(zero_src));
+  EXPECT_TRUE(is_malformed_frame(multicast_src));
+
+  EXPECT_EQ(gw.on_frame(runt, 1'000).action, sdn::FlowAction::kDrop);
+  EXPECT_EQ(gw.on_frame(zero_src, 2'000).action, sdn::FlowAction::kDrop);
+  EXPECT_EQ(gw.on_frame(multicast_src, 3'000).action, sdn::FlowAction::kDrop);
+  EXPECT_EQ(gw.malformed_frames(), 3u);
+  EXPECT_GE(gw.dropped_frames(), 3u);
+
+  // A well-formed frame is not counted.
+  const auto mac = net::MacAddress::of(0x20, 0xbb, 0xc0, 0, 5, 5);
+  EXPECT_FALSE(is_malformed_frame(net::build_arp_request(
+      mac, net::Ipv4Address::of(192, 168, 0, 72),
+      net::Ipv4Address::of(192, 168, 0, 1))));
+  gw.on_frame(net::build_arp_request(mac, net::Ipv4Address::of(192, 168, 0, 72),
+                                     net::Ipv4Address::of(192, 168, 0, 1)),
+              4'000);
+  EXPECT_EQ(gw.malformed_frames(), 3u);
+  // Nothing malformed ever reached the extractor.
+  EXPECT_EQ(gw.extractor().active_devices(), 1u);
+}
+
 TEST(SecurityGateway, FinishPendingCapturesFlushes) {
   const auto service = make_service();
   SecurityGateway gw(service);
