@@ -28,6 +28,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/gateway_pool.hpp"
@@ -125,6 +126,7 @@ struct RunResult {
   // Data-plane aggregates across shards, snapshotted after finish().
   std::uint64_t fast_path = 0;
   std::uint64_t slow_path = 0;
+  std::uint64_t cached_path = 0;
   std::uint64_t flow_misses = 0;
   std::uint64_t tier1_hits = 0;
   std::uint64_t tier2_scans = 0;
@@ -132,6 +134,27 @@ struct RunResult {
   std::uint64_t switch_memory_bytes = 0;
   std::uint64_t rule_cache_size = 0;
   std::uint64_t rule_cache_evictions = 0;
+  // Federation (per-switch decision caches + controller negative cache).
+  std::uint64_t switch_cache_hits = 0;
+  std::uint64_t switch_cache_misses = 0;
+  std::uint64_t switch_cache_size = 0;
+  std::uint64_t switch_cache_invalidated = 0;
+  std::uint64_t switch_cache_flushes = 0;
+  std::uint64_t negative_cache_hits = 0;
+  std::uint64_t rule_installs = 0;
+  std::uint64_t invalidations_sent = 0;
+  // Per-shard data-plane breakdown for the JSON shards array.
+  struct ShardPaths {
+    std::uint64_t fast = 0;
+    std::uint64_t cached = 0;
+    std::uint64_t slow = 0;
+    std::uint64_t tier1_hits = 0;
+    std::uint64_t tier2_scans = 0;
+    std::uint64_t cache_size = 0;
+  };
+  std::vector<ShardPaths> shard_paths;
+  /// Full end-of-run metric report (docs/OBSERVABILITY.md format).
+  std::string telemetry_report;
 };
 
 RunResult run_fleet(const Options& opt, const core::IoTSecurityService& service,
@@ -185,16 +208,30 @@ RunResult run_fleet(const Options& opt, const core::IoTSecurityService& service,
   r.gateway = gw.stats();
   for (std::size_t s = 0; s < gw.num_shards(); ++s) {
     const sdn::SoftwareSwitch& dp = gw.shard_data_plane(s);
+    const sdn::SwitchRuleCache& cache = gw.shard_rule_cache(s);
     r.fast_path += dp.fast_path_packets();
     r.slow_path += dp.slow_path_packets();
+    r.cached_path += dp.cached_path_packets();
     r.flow_misses += dp.table().misses();
     r.tier1_hits += dp.table().tier1_hits();
     r.tier2_scans += dp.table().tier2_scans();
     r.live_flows += dp.table().size();
     r.switch_memory_bytes += dp.memory_bytes();
+    r.switch_cache_hits += cache.hits();
+    r.switch_cache_misses += cache.misses();
+    r.switch_cache_size += cache.size();
+    r.switch_cache_invalidated += cache.invalidated_entries();
+    r.switch_cache_flushes += cache.flushes();
+    r.shard_paths.push_back({dp.fast_path_packets(), dp.cached_path_packets(),
+                             dp.slow_path_packets(), dp.table().tier1_hits(),
+                             dp.table().tier2_scans(), cache.size()});
   }
   r.rule_cache_size = gw.controller().rules().size();
   r.rule_cache_evictions = gw.controller().rules().evictions();
+  r.negative_cache_hits = gw.controller().negative_cache_hits();
+  r.rule_installs = gw.controller().rule_installs();
+  r.invalidations_sent = gw.controller().invalidations_sent();
+  r.telemetry_report = gw.registry().text_report();
   return r;
 }
 
@@ -230,10 +267,33 @@ void write_json(const Options& opt, const RunResult& r) {
   std::fprintf(f, "    \"flows_expired\": %" PRIu64 ",\n",
                r.gateway.flows_expired);
   std::fprintf(f, "    \"fast_path_packets\": %" PRIu64 ",\n", r.fast_path);
+  std::fprintf(f, "    \"cached_path_packets\": %" PRIu64 ",\n", r.cached_path);
   std::fprintf(f, "    \"slow_path_packets\": %" PRIu64 ",\n", r.slow_path);
+  const double frames_d = r.frames > 0 ? static_cast<double>(r.frames) : 1.0;
+  std::fprintf(f, "    \"tier1_hit_rate\": %.6f,\n",
+               static_cast<double>(r.tier1_hits) / frames_d);
+  std::fprintf(f, "    \"cached_path_rate\": %.6f,\n",
+               static_cast<double>(r.cached_path) / frames_d);
+  std::fprintf(f, "    \"slow_path_rate\": %.6f,\n",
+               static_cast<double>(r.slow_path) / frames_d);
   std::fprintf(f, "    \"flow_misses\": %" PRIu64 ",\n", r.flow_misses);
   std::fprintf(f, "    \"tier1_hits\": %" PRIu64 ",\n", r.tier1_hits);
   std::fprintf(f, "    \"tier2_scans\": %" PRIu64 ",\n", r.tier2_scans);
+  std::fprintf(f, "    \"switch_cache_hits\": %" PRIu64 ",\n",
+               r.switch_cache_hits);
+  std::fprintf(f, "    \"switch_cache_misses\": %" PRIu64 ",\n",
+               r.switch_cache_misses);
+  std::fprintf(f, "    \"switch_cache_size_at_end\": %" PRIu64 ",\n",
+               r.switch_cache_size);
+  std::fprintf(f, "    \"switch_cache_invalidated_entries\": %" PRIu64 ",\n",
+               r.switch_cache_invalidated);
+  std::fprintf(f, "    \"switch_cache_flushes\": %" PRIu64 ",\n",
+               r.switch_cache_flushes);
+  std::fprintf(f, "    \"negative_cache_hits\": %" PRIu64 ",\n",
+               r.negative_cache_hits);
+  std::fprintf(f, "    \"rule_installs\": %" PRIu64 ",\n", r.rule_installs);
+  std::fprintf(f, "    \"invalidations_sent\": %" PRIu64 ",\n",
+               r.invalidations_sent);
   std::fprintf(f, "    \"live_flows_at_end\": %" PRIu64 ",\n", r.live_flows);
   std::fprintf(f, "    \"switch_memory_bytes\": %" PRIu64 ",\n",
                r.switch_memory_bytes);
@@ -243,12 +303,25 @@ void write_json(const Options& opt, const RunResult& r) {
   std::fprintf(f, "    \"shards\": [\n");
   for (std::size_t s = 0; s < r.gateway.shards.size(); ++s) {
     const auto& shard = r.gateway.shards[s];
+    const auto& paths = r.shard_paths[s];
+    const double shard_frames =
+        shard.frames_processed > 0
+            ? static_cast<double>(shard.frames_processed)
+            : 1.0;
     std::fprintf(f,
                  "      {\"frames\": %" PRIu64 ", \"stalls\": %" PRIu64
                  ", \"ring_high_water\": %" PRIu64 ", \"flows_expired\": %" PRIu64
+                 ",\n       \"fast_path\": %" PRIu64 ", \"cached_path\": %" PRIu64
+                 ", \"slow_path\": %" PRIu64 ", \"tier1_hits\": %" PRIu64
+                 ", \"tier2_scans\": %" PRIu64 ",\n       \"tier1_hit_rate\": %.6f"
+                 ", \"cached_path_rate\": %.6f, \"switch_cache_size\": %" PRIu64
                  "}%s\n",
                  shard.frames_processed, shard.submit_stalls,
-                 shard.ring_high_water, shard.flows_expired,
+                 shard.ring_high_water, shard.flows_expired, paths.fast,
+                 paths.cached, paths.slow, paths.tier1_hits, paths.tier2_scans,
+                 static_cast<double>(paths.tier1_hits) / shard_frames,
+                 static_cast<double>(paths.cached) / shard_frames,
+                 paths.cache_size,
                  s + 1 < r.gateway.shards.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n");
@@ -291,6 +364,12 @@ int main(int argc, char** argv) {
   std::printf("submit_stalls     %" PRIu64 "\n", r.gateway.submit_stalls);
   std::printf("flows_expired     %" PRIu64 "\n", r.gateway.flows_expired);
   std::printf("rule_evictions    %" PRIu64 "\n", r.rule_cache_evictions);
+  std::printf("fast_path         %" PRIu64 "\n", r.fast_path);
+  std::printf("cached_path       %" PRIu64 "\n", r.cached_path);
+  std::printf("slow_path         %" PRIu64 "\n", r.slow_path);
+  std::printf("neg_cache_hits    %" PRIu64 "\n", r.negative_cache_hits);
+  std::printf("\n--- telemetry report (docs/OBSERVABILITY.md format) ---\n%s",
+              r.telemetry_report.c_str());
   if (r.active_at_end != 0) {
     std::printf("note: %" PRIu64 " devices still active at horizon\n",
                 r.active_at_end);

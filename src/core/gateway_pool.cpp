@@ -50,12 +50,53 @@ ShardedGateway::ShardedGateway(const IoTSecurityService& service,
   config_.classify_batch_max =
       std::max<std::size_t>(config_.classify_batch_max, 1);
 
+  // Control-plane metric bindings (names: docs/OBSERVABILITY.md).
+  m_packet_ins_ = &registry_.counter("controller.packet_ins");
+  m_drops_ = &registry_.counter("controller.drops");
+  m_neg_hits_ = &registry_.counter("controller.negative_cache_hits");
+  m_installs_ = &registry_.counter("controller.rule_installs");
+  m_invalidations_ = &registry_.counter("controller.invalidations_sent");
+  m_assessments_ = &registry_.counter("service.assessments");
+  m_fingerprints_scored_ = &registry_.counter("classifier.fingerprints_scored");
+  m_batch_latency_ = &registry_.histogram("classifier.batch_latency_us");
+  telemetry::Histogram& fanout_lag =
+      registry_.histogram("sdn.invalidation_fanout_lag_us");
+
   shards_.reserve(config_.num_shards);
   for (std::size_t i = 0; i < config_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(config_.ring_capacity,
-                                              config_.extractor, controller_));
+                                              config_.extractor, controller_,
+                                              config_.switch_cache_entries));
     Shard& shard = *shards_.back();
     shard.index = i;
+    if (config_.switch_cache_enabled) {
+      // Federation: the switch consults its local cache on table misses;
+      // every controller rule change fans an invalidation out to it.
+      // Attach before the threads spawn so the registry is never mutated
+      // concurrently with traffic.
+      shard.cache.bind_lag_histogram(&fanout_lag);
+      controller_.attach_cache(&shard.cache);
+      shard.data_plane.set_rule_cache(&shard.cache);
+    }
+    const std::string prefix = "gateway.shard" + std::to_string(i) + ".";
+    shard.metrics.frames = &registry_.counter(prefix + "frames");
+    shard.metrics.ring_high_water =
+        &registry_.gauge(prefix + "ring_high_water");
+    shard.metrics.tier1_hits =
+        &registry_.counter(prefix + "flowtable.tier1_hits");
+    shard.metrics.tier2_scans =
+        &registry_.counter(prefix + "flowtable.tier2_scans");
+    shard.metrics.live_flows = &registry_.gauge(prefix + "flowtable.live_flows");
+    shard.metrics.deadline_heap =
+        &registry_.gauge(prefix + "flowtable.deadline_heap");
+    shard.metrics.fast_path = &registry_.counter(prefix + "switch.fast_path");
+    shard.metrics.cached_path =
+        &registry_.counter(prefix + "switch.cached_path");
+    shard.metrics.slow_path = &registry_.counter(prefix + "switch.slow_path");
+    shard.metrics.cache_hits = &registry_.counter(prefix + "rule_cache.hits");
+    shard.metrics.cache_misses =
+        &registry_.counter(prefix + "rule_cache.misses");
+    shard.metrics.cache_size = &registry_.gauge(prefix + "rule_cache.size");
     // Completion callback runs on the shard's worker thread.
     shard.extractor.on_capture_complete([this](const fp::DeviceCapture& c) {
       // Deep-copy the fingerprint before taking the lock: the submission
@@ -164,6 +205,8 @@ void ShardedGateway::finish() {
   submission_cv_.notify_all();
   classifier_thread_.join();
   for (auto& shard : shards_) shard->thread.join();
+  // All threads joined: one last publish makes every aggregate exact.
+  publish_control_plane_telemetry();
 }
 
 std::vector<GatewayEvent> ShardedGateway::events() const {
@@ -213,7 +256,39 @@ void ShardedGateway::process_frame(Shard& shard, const FrameRef& frame) {
     if (removed > 0) {
       shard.flows_expired.fetch_add(removed, std::memory_order_relaxed);
     }
+    // Piggyback the telemetry publish on the same stride: the shard's
+    // plain single-writer counters become registry-visible here, so live
+    // readers lag the hot path by at most kExpiryStride frames.
+    publish_shard_telemetry(shard);
   }
+}
+
+void ShardedGateway::publish_shard_telemetry(Shard& shard) {
+  const sdn::SoftwareSwitch& dp = shard.data_plane;
+  const sdn::FlowTable& table = dp.table();
+  const ShardTelemetry& m = shard.metrics;
+  m.frames->publish(shard.packets.load(std::memory_order_relaxed));
+  m.ring_high_water->set_max(
+      shard.ring_high_water.load(std::memory_order_relaxed));
+  m.tier1_hits->publish(table.tier1_hits());
+  m.tier2_scans->publish(table.tier2_scans());
+  m.live_flows->set(table.size());
+  m.deadline_heap->set(table.deadline_heap_size());
+  m.fast_path->publish(dp.fast_path_packets());
+  m.cached_path->publish(dp.cached_path_packets());
+  m.slow_path->publish(dp.slow_path_packets());
+  m.cache_hits->publish(shard.cache.hits());
+  m.cache_misses->publish(shard.cache.misses());
+  m.cache_size->set(shard.cache.size());
+}
+
+void ShardedGateway::publish_control_plane_telemetry() {
+  m_packet_ins_->publish(controller_.packet_ins());
+  m_drops_->publish(controller_.drops());
+  m_neg_hits_->publish(controller_.negative_cache_hits());
+  m_installs_->publish(controller_.rule_installs());
+  m_invalidations_->publish(controller_.invalidations_sent());
+  m_assessments_->publish(service_.assessments());
 }
 
 void ShardedGateway::handle_expire(Shard& shard, std::uint64_t now_us,
@@ -246,7 +321,7 @@ void ShardedGateway::handle_expire(Shard& shard, std::uint64_t now_us,
   // The sweep proper — the serial gateway's expire_departed, shard-local.
   shard.tracker.idle_devices_into(now_us, idle_us, shard.departed_scratch);
   for (const net::MacAddress& mac : shard.departed_scratch) {
-    controller_.remove_device(mac);
+    controller_.remove_device(mac, now_us);
     shard.data_plane.flush_device(mac);
     // Discard any half-open capture and the fingerprinted marker too: a
     // departed device that rejoins (or an attacker reusing its MAC) must
@@ -318,6 +393,9 @@ void ShardedGateway::worker_loop(Shard& shard) {
       if (classifier_done_.load(std::memory_order_acquire)) {
         // Same pattern: drain verdicts that raced with the flag.
         drain_verdicts(shard);
+        // Final publish: after this the registry holds the shard's exact
+        // end-of-run numbers.
+        publish_shard_telemetry(shard);
         return;
       }
     }
@@ -396,10 +474,19 @@ void ShardedGateway::classifier_loop() {
     for (const PendingCapture& capture : batch) {
       fingerprints.push_back(&capture.fingerprint);
     }
+    // Wall-clock (not virtual-time) classification latency: this is the
+    // real compute cost of one IoTSSP batch round.
+    const auto t0 = std::chrono::steady_clock::now();
     service_.assess_batch(fingerprints, verdicts);
+    const auto t1 = std::chrono::steady_clock::now();
+    m_batch_latency_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count()));
+    m_fingerprints_scored_->add(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       apply_verdict(batch[i], verdicts[i]);
     }
+    publish_control_plane_telemetry();
   }
   classifier_done_.store(true, std::memory_order_release);
 }

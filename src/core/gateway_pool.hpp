@@ -58,6 +58,8 @@
 #include "fingerprint/extractor.hpp"
 #include "sdn/controller.hpp"
 #include "sdn/software_switch.hpp"
+#include "sdn/switch_cache.hpp"
+#include "telemetry/registry.hpp"
 
 namespace iotsentinel::core {
 
@@ -73,6 +75,13 @@ struct ShardedGatewayConfig {
   /// Records (timestamp, src MAC) of every frame in per-shard processing
   /// order — test/diagnostic aid, leave off in production.
   bool record_frame_log = false;
+  /// Gives every shard's switch a federated flow-class decision cache
+  /// (sdn/switch_cache.hpp) with invalidation fan-out from the shared
+  /// controller — the control-plane scale-out that collapses the
+  /// slow-path consult rate on ephemeral-port standby traffic.
+  bool switch_cache_enabled = true;
+  /// Per-shard decision-cache capacity (flush-on-full above it).
+  std::size_t switch_cache_entries = sdn::SwitchRuleCache::kDefaultCapacity;
   fp::ExtractorConfig extractor;
   sdn::ControllerConfig controller;
 };
@@ -197,6 +206,25 @@ class ShardedGateway {
     return controller_;
   }
 
+  /// The gateway's metric registry (docs/OBSERVABILITY.md). Lock-free
+  /// readable while the pipeline runs: `registry().snapshot()` /
+  /// `text_report()` are safe from any thread at any time. Workers
+  /// publish their shard-local counters on the expiry stride (every
+  /// `kExpiryStride` frames) and at drain, the classifier publishes
+  /// controller/service aggregates per batch, so live values lag the hot
+  /// paths by at most one stride/batch; after `finish()` they are exact.
+  [[nodiscard]] telemetry::Registry& registry() { return registry_; }
+  [[nodiscard]] const telemetry::Registry& registry() const {
+    return registry_;
+  }
+
+  /// One shard's flow-class decision cache (post-finish inspection; a
+  /// default-constructed idle cache when `switch_cache_enabled` is off).
+  [[nodiscard]] const sdn::SwitchRuleCache& shard_rule_cache(
+      std::size_t shard) const {
+    return shards_[shard]->cache;
+  }
+
   // --- post-finish() inspection ----------------------------------------
   /// One shard's passive device inventory.
   [[nodiscard]] const DeviceTracker& shard_inventory(std::size_t shard) const {
@@ -278,19 +306,44 @@ class ShardedGateway {
     int barrier_shard = -1;
   };
 
+  /// Resolved registry references one shard's worker publishes into (see
+  /// docs/OBSERVABILITY.md for the metric contract). Bound once at
+  /// construction so the hot path never touches the registry's name maps.
+  struct ShardTelemetry {
+    telemetry::Counter* frames = nullptr;
+    telemetry::Gauge* ring_high_water = nullptr;
+    telemetry::Counter* tier1_hits = nullptr;
+    telemetry::Counter* tier2_scans = nullptr;
+    telemetry::Gauge* live_flows = nullptr;
+    telemetry::Gauge* deadline_heap = nullptr;
+    telemetry::Counter* fast_path = nullptr;
+    telemetry::Counter* cached_path = nullptr;
+    telemetry::Counter* slow_path = nullptr;
+    telemetry::Counter* cache_hits = nullptr;
+    telemetry::Counter* cache_misses = nullptr;
+    telemetry::Gauge* cache_size = nullptr;
+  };
+
   struct Shard {
     Shard(std::size_t ring_capacity, const fp::ExtractorConfig& extractor_cfg,
-          sdn::Controller& controller)
+          sdn::Controller& controller, std::size_t cache_entries)
         : frames(ring_capacity),
           verdicts(kVerdictRingCapacity),
           extractor(extractor_cfg),
-          data_plane(controller) {}
+          data_plane(controller),
+          cache(cache_entries) {}
 
     SpscRing<FrameRef> frames;     // ingest -> worker
     SpscRing<VerdictMsg> verdicts; // classifier -> worker
     fp::SetupCaptureExtractor extractor;
     DeviceTracker tracker;
     sdn::SoftwareSwitch data_plane;
+    /// This shard's federated flow-class decision cache; attached to the
+    /// shared controller and bound to `data_plane` only when
+    /// `switch_cache_enabled` (idle otherwise).
+    sdn::SwitchRuleCache cache;
+    /// Worker-published metric bindings.
+    ShardTelemetry metrics;
     /// This shard's index in shards_ (barrier addressing).
     std::size_t index = 0;
     /// Monotonic counters behind stats(). `packets` is bumped by the
@@ -319,6 +372,13 @@ class ShardedGateway {
 
   void worker_loop(Shard& shard);
   void classifier_loop();
+  /// Worker-side: copies the shard's plain single-writer counters into
+  /// its registry bindings (monotone `publish`, so readers never observe
+  /// a counter going backwards). Called on the expiry stride and at
+  /// worker drain.
+  void publish_shard_telemetry(Shard& shard);
+  /// Classifier-side: publishes controller + service aggregates.
+  void publish_control_plane_telemetry();
   /// Routes a popped ring slot to process_frame or handle_expire.
   void dispatch(Shard& shard, const FrameRef& frame);
   void process_frame(Shard& shard, const FrameRef& frame);
@@ -339,6 +399,19 @@ class ShardedGateway {
   const IoTSecurityService& service_;
   ShardedGatewayConfig config_;
   sdn::Controller controller_;
+  /// Declared before shards_ so metric storage outlives the workers'
+  /// final publishes (members destroy in reverse order).
+  telemetry::Registry registry_;
+  /// Control-plane metric bindings (published by the classifier thread
+  /// and finish()).
+  telemetry::Counter* m_packet_ins_ = nullptr;
+  telemetry::Counter* m_drops_ = nullptr;
+  telemetry::Counter* m_neg_hits_ = nullptr;
+  telemetry::Counter* m_installs_ = nullptr;
+  telemetry::Counter* m_invalidations_ = nullptr;
+  telemetry::Counter* m_assessments_ = nullptr;
+  telemetry::Counter* m_fingerprints_scored_ = nullptr;
+  telemetry::Histogram* m_batch_latency_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   // Submission queue: workers (producers) -> classifier (consumer).

@@ -46,6 +46,7 @@ void IoTSecurityService::assess_into(const fp::Fingerprint& f,
   reset_verdict(out);
   identifier_.identify_into(f, out.identification);
   finish_verdict(out);
+  assessments_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void IoTSecurityService::assess_batch(
@@ -65,6 +66,8 @@ void IoTSecurityService::assess_batch(
     out[i].identification = std::move(identifications[i]);
     finish_verdict(out[i]);
   }
+  assessments_.fetch_add(fingerprints.size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace iotsentinel::core

@@ -8,6 +8,8 @@
 // paper's privacy design.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -37,6 +39,25 @@ class IoTSecurityService {
  public:
   IoTSecurityService(DeviceIdentifier identifier, VulnerabilityDb db)
       : identifier_(std::move(identifier)), db_(std::move(db)) {}
+
+  /// Movable (setup-time only — moving while assessments run is a race);
+  /// the telemetry atomics require spelling the moves out.
+  IoTSecurityService(IoTSecurityService&& other) noexcept
+      : identifier_(std::move(other.identifier_)),
+        db_(std::move(other.db_)),
+        endpoints_(std::move(other.endpoints_)),
+        assessments_(other.assessments_.load(std::memory_order_relaxed)),
+        batches_(other.batches_.load(std::memory_order_relaxed)) {}
+  IoTSecurityService& operator=(IoTSecurityService&& other) noexcept {
+    identifier_ = std::move(other.identifier_);
+    db_ = std::move(other.db_);
+    endpoints_ = std::move(other.endpoints_);
+    assessments_.store(other.assessments_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    batches_.store(other.batches_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Registers the permitted cloud endpoints for a device-type (consulted
   /// when the type is assessed Restricted).
@@ -69,6 +90,17 @@ class IoTSecurityService {
   }
   [[nodiscard]] const VulnerabilityDb& vulnerability_db() const { return db_; }
 
+  /// Fingerprints assessed so far (single + batched paths). Intrinsic
+  /// service-side telemetry: the counters are relaxed atomics so the
+  /// const/thread-safe contract of the assess family is unchanged.
+  [[nodiscard]] std::uint64_t assessments() const {
+    return assessments_.load(std::memory_order_relaxed);
+  }
+  /// `assess_batch` invocations (batch sizing = assessments / batches).
+  [[nodiscard]] std::uint64_t batches() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Shared verdict tail: maps an already-filled `identification` to
   /// type/level/endpoints (used by both the single and batched paths).
@@ -77,6 +109,10 @@ class IoTSecurityService {
   DeviceIdentifier identifier_;
   VulnerabilityDb db_;
   std::unordered_map<std::string, std::vector<net::Ipv4Address>> endpoints_;
+  /// Telemetry (see `assessments`); mutable because assessing is
+  /// logically const.
+  mutable std::atomic<std::uint64_t> assessments_{0};
+  mutable std::atomic<std::uint64_t> batches_{0};
 };
 
 }  // namespace iotsentinel::core

@@ -12,12 +12,40 @@ Controller::Controller(ControllerConfig config) : config_(config) {}
 void Controller::apply_rule(EnforcementRule rule, std::uint64_t now_us) {
   std::lock_guard<std::mutex> lock(mu_);
   rules_.set_now(now_us);
+  const net::MacAddress device = rule.device;
+  const std::uint64_t evictions_before = rules_.evictions();
   rules_.install(std::move(rule));
+  ++installs_;
+  fan_out_invalidation(device, now_us);
+  if (rules_.evictions() != evictions_before) {
+    // The LRU evicted some other device's rule to make room; federated
+    // caches may hold decisions derived from it, and the controller does
+    // not know which device went — flush them all.
+    neg_.invalidate_all(now_us);
+    for (SwitchRuleCache* cache : caches_) cache->invalidate_all(now_us);
+    invalidations_sent_ += 1 + caches_.size();
+  }
 }
 
-void Controller::remove_device(const net::MacAddress& device) {
+void Controller::remove_device(const net::MacAddress& device,
+                               std::uint64_t now_us) {
   std::lock_guard<std::mutex> lock(mu_);
   rules_.remove(device);
+  fan_out_invalidation(device, now_us);
+}
+
+void Controller::attach_cache(SwitchRuleCache* cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  caches_.push_back(cache);
+}
+
+void Controller::fan_out_invalidation(const net::MacAddress& device,
+                                      std::uint64_t now_us) {
+  neg_.invalidate_device(device, now_us);
+  for (SwitchRuleCache* cache : caches_) {
+    cache->invalidate_device(device, now_us);
+  }
+  invalidations_sent_ += 1 + caches_.size();
 }
 
 std::optional<IsolationLevel> Controller::level_of(
@@ -140,6 +168,35 @@ PacketInDecision Controller::packet_in(const net::ParsedPacket& pkt,
     return decision;
   }
 
+  const FlowClassKey cls = FlowClassKey::of_packet(pkt);
+  if (config_.negative_cache_enabled) {
+    if (const CachedDecision* hit = neg_.lookup(cls, now_us)) {
+      ++neg_hits_;
+      // Mirror the rule-cache LRU touches `decide` would have made, so the
+      // cached path is observably identical (lookups/hits counters,
+      // expire_unused recency) and only the policy evaluation is saved.
+      if (cls.cls == 0) {
+        rules_.lookup(pkt.src_mac);
+        if (!pkt.dst_mac.is_multicast()) rules_.lookup(pkt.dst_mac);
+      }
+      decision.action = hit->action;
+      decision.reason = hit->reason;
+      if (decision.action == FlowAction::kDrop) ++drops_;
+      if (hit->installable) {
+        FlowEntry entry;
+        entry.match = FlowMatch::micro_flow(pkt);
+        entry.action = decision.action;
+        entry.priority = 10;
+        entry.idle_timeout_us = config_.flow_idle_timeout_us;
+        entry.cookie = pkt.src_mac.to_u64();
+        decision.flow_to_install = std::move(entry);
+      }
+      decision.cacheable = true;
+      decision.cached = *hit;
+      return decision;
+    }
+  }
+
   bool installable = false;
   decision.action = decide(pkt, &decision.reason, &installable);
   if (decision.action == FlowAction::kDrop) ++drops_;
@@ -153,6 +210,12 @@ PacketInDecision Controller::packet_in(const net::ParsedPacket& pkt,
     entry.cookie = pkt.src_mac.to_u64();
     decision.flow_to_install = std::move(entry);
   }
+  // Every `decide` outcome is a pure function of the packet's flow class
+  // under the current rule set (policy never reads the source port), so
+  // it is always class-cacheable; invalidation fan-out bounds staleness.
+  decision.cacheable = true;
+  decision.cached = {decision.action, decision.reason, installable};
+  if (config_.negative_cache_enabled) neg_.insert(cls, decision.cached);
   return decision;
 }
 

@@ -18,10 +18,12 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sdn/flow_table.hpp"
 #include "sdn/rule_cache.hpp"
+#include "sdn/switch_cache.hpp"
 
 namespace iotsentinel::sdn {
 
@@ -34,6 +36,14 @@ struct PacketInDecision {
   std::optional<FlowEntry> flow_to_install;
   /// Diagnostic tag, e.g. "overlay-isolation", "whitelist-miss".
   const char* reason = "";
+  /// True when this decision holds for every packet of the flow class
+  /// (same `FlowClassKey`) until the next rule change — the switch may
+  /// put it in its SwitchRuleCache. Decisions are pure functions of the
+  /// class under the current rule set, so this is true whenever filtering
+  /// is enabled; the controller's invalidation fan-out bounds staleness.
+  bool cacheable = false;
+  /// The class-cacheable form of this decision (valid iff `cacheable`).
+  CachedDecision cached;
 };
 
 /// Controller configuration.
@@ -43,6 +53,11 @@ struct ControllerConfig {
   /// Whether traffic filtering is enabled at all; when false every flow is
   /// forwarded (the paper's "No Filtering" baseline rows).
   bool filtering_enabled = true;
+  /// Whether `packet_in` answers repeated misses of an already-assessed
+  /// flow class from a negative-entry cache instead of re-running
+  /// `decide`. Observably identical either way (same action, same reason
+  /// literal, same rule-cache LRU touches) — only the work is saved.
+  bool negative_cache_enabled = true;
 };
 
 /// The enforcement controller.
@@ -61,8 +76,15 @@ class Controller {
   /// the IoT Security Service).
   void apply_rule(EnforcementRule rule, std::uint64_t now_us);
 
-  /// Removes a departed device's rule.
-  void remove_device(const net::MacAddress& device);
+  /// Removes a departed device's rule. `now_us` timestamps the
+  /// invalidation fan-out (0 = unknown; lag samples are then skipped).
+  void remove_device(const net::MacAddress& device, std::uint64_t now_us = 0);
+
+  /// Federates a switch's decision cache: every subsequent rule install,
+  /// removal, or rule-cache eviction fans an invalidation out to `cache`.
+  /// Attach before traffic flows (the registry is append-only and the
+  /// cache must outlive the controller's last rule change).
+  void attach_cache(SwitchRuleCache* cache);
 
   /// Handles a table-miss packet from the switch.
   PacketInDecision packet_in(const net::ParsedPacket& pkt,
@@ -91,8 +113,29 @@ class Controller {
     std::lock_guard<std::mutex> lock(mu_);
     return drops_;
   }
+  /// Packet-ins answered from the negative-entry cache (classification
+  /// work saved; each was a `decide` + policy evaluation avoided).
+  [[nodiscard]] std::uint64_t negative_cache_hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return neg_hits_;
+  }
+  /// Rule installs accepted via `apply_rule`.
+  [[nodiscard]] std::uint64_t rule_installs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return installs_;
+  }
+  /// Invalidation events broadcast to federated caches (one per attached
+  /// cache per rule change; the negative cache counts as one federatee).
+  [[nodiscard]] std::uint64_t invalidations_sent() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return invalidations_sent_;
+  }
 
  private:
+  /// Fans a device invalidation out to the negative cache and every
+  /// attached switch cache. Caller holds `mu_`.
+  void fan_out_invalidation(const net::MacAddress& device,
+                            std::uint64_t now_us);
   /// Core policy: may src talk to dst in this packet? `peek_only` makes
   /// the rule lookups side-effect-free (the audit path).
   FlowAction decide(const net::ParsedPacket& pkt, const char** reason,
@@ -103,8 +146,18 @@ class Controller {
   /// comment). Also covers the counters below.
   mutable std::mutex mu_;
   RuleCache rules_;
+  /// Negative-entry cache: (flow class) -> decision for classes the
+  /// controller has already assessed, so repeated slow-path misses of the
+  /// same class skip `decide`. Owner thread = whoever holds `mu_`, which
+  /// serializes lookups/inserts against its own invalidation fan-out.
+  SwitchRuleCache neg_;
+  /// Federated per-switch decision caches (invalidation fan-out targets).
+  std::vector<SwitchRuleCache*> caches_;
   std::uint64_t packet_ins_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t neg_hits_ = 0;
+  std::uint64_t installs_ = 0;
+  std::uint64_t invalidations_sent_ = 0;
 };
 
 /// True when `ip` lies outside RFC1918 space, i.e. reaching it requires

@@ -17,7 +17,9 @@
 //                 (fail-closed; not a security breach, tracked separately).
 //
 // Slow-path verdicts ARE current controller decisions, so only fast-path
-// results are replayed. Scope: the oracle is evaluated at audit time, so
+// and cached-path results (flow-table entries and flow-class decision
+// cache — both stale copies of past decisions) are replayed. Scope: the
+// oracle is evaluated at audit time, so
 // a concurrent rule install may race an in-flight packet of a *different*
 // device that addresses the rule's device as unicast destination; no
 // generated workload contains device-to-device unicast, and per-device
@@ -83,7 +85,7 @@ class EnforcementAuditor {
 
   void check(const net::ParsedPacket& pkt, const SwitchResult& result,
              std::uint64_t now_us) {
-    if (result.path != SwitchPath::kFastPath) return;
+    if (result.path == SwitchPath::kSlowPath) return;
     checked_.fetch_add(1, std::memory_order_relaxed);
     const char* want_reason = "";
     const FlowAction want = controller_->audit_decision(pkt, &want_reason);

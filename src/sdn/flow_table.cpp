@@ -124,6 +124,13 @@ MicroFlowKey MicroFlowKey::of_packet(const net::ParsedPacket& pkt) {
   return key;
 }
 
+MicroFlowKey MicroFlowKey::without_src_port() const {
+  MicroFlowKey key = *this;
+  key.w0 &= ~(kFlagSrcPort << 48);
+  key.w1 &= 0xffffffffffffULL;  // drop the port value packed above dst MAC
+  return key;
+}
+
 bool MicroFlowKey::covered_by(const FlowMatch& match) const {
   const std::uint64_t flags = w0 >> 48;
   if (match.src_mac && match.src_mac->to_u64() != (w0 & 0xffffffffffffULL)) {
@@ -363,10 +370,9 @@ std::uint64_t FlowTable::install(FlowEntry entry, std::uint64_t now_us) {
   return id;
 }
 
-std::optional<FlowAction> FlowTable::process(const net::ParsedPacket& pkt,
-                                             std::uint64_t now_us) {
-  const MicroFlowKey key = MicroFlowKey::of_packet(pkt);
-
+std::optional<FlowAction> FlowTable::tier1_probe(const MicroFlowKey& key,
+                                                 const net::ParsedPacket& pkt,
+                                                 std::uint64_t now_us) {
   // Tier 1: one probe, allocation-free.
   if (Bucket* b = tier1_find(key)) {
     Slot& s = slots_[b->slot];
@@ -380,6 +386,18 @@ std::optional<FlowAction> FlowTable::process(const net::ParsedPacket& pkt,
     }
     tier1_erase(*b);  // backing entry expired or was removed
   }
+  return std::nullopt;
+}
+
+std::optional<FlowAction> FlowTable::process_tier1(const net::ParsedPacket& pkt,
+                                                   std::uint64_t now_us) {
+  return tier1_probe(MicroFlowKey::of_packet(pkt), pkt, now_us);
+}
+
+std::optional<FlowAction> FlowTable::process(const net::ParsedPacket& pkt,
+                                             std::uint64_t now_us) {
+  const MicroFlowKey key = MicroFlowKey::of_packet(pkt);
+  if (const auto action = tier1_probe(key, pkt, now_us)) return action;
 
   // Tier 2: the priority-ordered scan, paid once per micro-flow.
   ++tier2_scans_;

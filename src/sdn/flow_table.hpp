@@ -118,6 +118,13 @@ struct MicroFlowKey {
   /// Builds the key of a parsed packet.
   static MicroFlowKey of_packet(const net::ParsedPacket& pkt);
 
+  /// This key with the source port wildcarded (port and presence flag
+  /// cleared). All packets of one (device, service) conversation class
+  /// collapse onto this key regardless of the ephemeral port drawn per
+  /// occurrence — the basis of the flow-class decision cache
+  /// (sdn/switch_cache.hpp).
+  [[nodiscard]] MicroFlowKey without_src_port() const;
+
   /// Would `match` cover every packet with this key? (Mirrors
   /// FlowMatch::matches against the encoded tuple; used to evict covered
   /// tier-1 slots when a wildcard is installed above them.)
@@ -138,6 +145,15 @@ class FlowTable {
   /// returns its action. Returns nullopt on table miss.
   std::optional<FlowAction> process(const net::ParsedPacket& pkt,
                                     std::uint64_t now_us);
+
+  /// Tier-1-only probe: serves the packet iff its exact micro-flow is
+  /// cached (counting a tier-1 hit), returns nullopt otherwise WITHOUT
+  /// running the tier-2 scan or counting a miss. Lets a switch consult
+  /// its flow-class decision cache between the O(1) probe and the
+  /// O(live-flows) scan; a nullopt here followed by `process` behaves
+  /// exactly like `process` alone (the re-probe misses cleanly).
+  std::optional<FlowAction> process_tier1(const net::ParsedPacket& pkt,
+                                          std::uint64_t now_us);
 
   /// Removes entries idle past their timeout. Returns number removed.
   std::size_t expire(std::uint64_t now_us);
@@ -197,6 +213,9 @@ class FlowTable {
     std::uint32_t slot = 0;
   };
 
+  std::optional<FlowAction> tier1_probe(const MicroFlowKey& key,
+                                        const net::ParsedPacket& pkt,
+                                        std::uint64_t now_us);
   std::uint32_t alloc_slot();
   void release_slot(std::uint32_t slot);
   /// Removes one live entry from the pool + cookie index (the caller

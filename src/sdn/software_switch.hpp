@@ -16,6 +16,7 @@
 
 #include "sdn/controller.hpp"
 #include "sdn/flow_table.hpp"
+#include "sdn/switch_cache.hpp"
 
 namespace iotsentinel::sdn {
 
@@ -23,6 +24,9 @@ namespace iotsentinel::sdn {
 enum class SwitchPath {
   kFastPath,    // matched an installed flow entry
   kSlowPath,    // controller round-trip (packet-in)
+  kCachedPath,  // served by the local flow-class decision cache — a past
+                // controller verdict for the class, no round-trip, no
+                // flow install (cost model: local, like the fast path)
 };
 
 /// Result of pushing one packet through the switch.
@@ -47,6 +51,13 @@ class SoftwareSwitch {
                                        std::uint64_t now_us)>;
   void set_audit(AuditHook hook) { audit_ = std::move(hook); }
 
+  /// Binds this switch's flow-class decision cache (federation member; see
+  /// sdn/switch_cache.hpp). The cache must be attached to the SAME
+  /// controller (`Controller::attach_cache`) so rule changes invalidate
+  /// it, and must outlive the switch. nullptr (default) disables the
+  /// cached path entirely — bare switches behave exactly as before.
+  void set_rule_cache(SwitchRuleCache* cache) { cache_ = cache; }
+
   /// Switches one packet at virtual time `now_us`.
   SwitchResult process(const net::ParsedPacket& pkt, std::uint64_t now_us);
 
@@ -64,6 +75,9 @@ class SoftwareSwitch {
   [[nodiscard]] const FlowTable& table() const { return table_; }
   [[nodiscard]] std::uint64_t fast_path_packets() const { return fast_; }
   [[nodiscard]] std::uint64_t slow_path_packets() const { return slow_; }
+  /// Packets served by the flow-class decision cache (would have been
+  /// slow-path controller consults before federation).
+  [[nodiscard]] std::uint64_t cached_path_packets() const { return cached_; }
 
   /// Switch-side state bytes (the two-tier flow table with its tier-1
   /// cache, deadline heap and cookie index) — Fig. 6c accounting.
@@ -75,8 +89,10 @@ class SoftwareSwitch {
   Controller& controller_;
   FlowTable table_;
   AuditHook audit_;
+  SwitchRuleCache* cache_ = nullptr;
   std::uint64_t fast_ = 0;
   std::uint64_t slow_ = 0;
+  std::uint64_t cached_ = 0;
 };
 
 }  // namespace iotsentinel::sdn

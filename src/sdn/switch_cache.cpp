@@ -1,0 +1,116 @@
+#include "sdn/switch_cache.hpp"
+
+#include <algorithm>
+
+namespace iotsentinel::sdn {
+
+FlowClassKey FlowClassKey::of_packet(const net::ParsedPacket& pkt) {
+  FlowClassKey key;
+  key.base = MicroFlowKey::of_packet(pkt).without_src_port();
+  if (pkt.is_arp) key.cls |= kClsArp;
+  if (pkt.is_eapol) key.cls |= kClsEapol;
+  if (pkt.app.dhcp || pkt.app.bootp) key.cls |= kClsDhcp;
+  return key;
+}
+
+const CachedDecision* SwitchRuleCache::lookup(const FlowClassKey& key,
+                                              std::uint64_t now_us) {
+  if (pending_seq_.load(std::memory_order_acquire) != drained_seq_) {
+    drain(now_us);
+  }
+  generation_at_lookup_ = generation_;
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void SwitchRuleCache::insert(const FlowClassKey& key,
+                             const CachedDecision& decision) {
+  if (pending_seq_.load(std::memory_order_acquire) != drained_seq_) {
+    drain(/*now_us=*/0);
+  }
+  if (generation_ != generation_at_lookup_) {
+    // A rule changed between the lookup miss and this insert; the decision
+    // may have been computed against the old rule set, so drop it and let
+    // the next packet of the class re-consult the controller.
+    ++stale_inserts_;
+    return;
+  }
+  if (map_.size() >= capacity_ && !map_.contains(key)) {
+    flush();
+    ++generation_;  // a flush invalidates concurrent lookup/insert pairs too
+    generation_at_lookup_ = generation_;
+  }
+  const auto [it, inserted] = map_.insert_or_assign(key, decision);
+  if (inserted) {
+    ++insertions_;
+    by_mac_[key.src_mac_u64()].push_back(key);
+    const std::uint64_t dst = key.dst_mac_u64();
+    // Multicast/broadcast destinations are not devices: no rule can ever
+    // name them, so indexing them would only bloat the index.
+    if ((dst & 0x010000000000ULL) == 0 && dst != key.src_mac_u64()) {
+      by_mac_[dst].push_back(key);
+    }
+  }
+}
+
+void SwitchRuleCache::invalidate_device(const net::MacAddress& device,
+                                        std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_.push_back({device.to_u64(), now_us, /*all=*/false});
+  ++enqueued_;
+  pending_seq_.store(pending_seq_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);
+}
+
+void SwitchRuleCache::invalidate_all(std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_.push_back({0, now_us, /*all=*/true});
+  ++enqueued_;
+  pending_seq_.store(pending_seq_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);
+}
+
+void SwitchRuleCache::drain(std::uint64_t now_us) {
+  drain_scratch_.clear();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    drain_scratch_.swap(pending_);
+    drained_seq_ = pending_seq_.load(std::memory_order_relaxed);
+  }
+  for (const PendingInvalidation& inv : drain_scratch_) {
+    if (inv.all) {
+      flush();
+    } else {
+      apply_device_invalidation(inv.mac);
+    }
+    ++generation_;
+    if (lag_hist_ && inv.enqueued_us != 0 && now_us >= inv.enqueued_us) {
+      lag_hist_->record(now_us - inv.enqueued_us);
+    }
+  }
+}
+
+void SwitchRuleCache::apply_device_invalidation(std::uint64_t mac) {
+  const auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) return;
+  for (const FlowClassKey& key : it->second) {
+    invalidated_entries_ += map_.erase(key);
+    // The key may also be indexed under its other endpoint; that stale
+    // index entry is harmless (erase of a missing key is a no-op) and is
+    // dropped when that endpoint is invalidated or the cache flushes.
+  }
+  by_mac_.erase(it);
+}
+
+void SwitchRuleCache::flush() {
+  map_.clear();
+  by_mac_.clear();
+  ++flushes_;
+}
+
+}  // namespace iotsentinel::sdn

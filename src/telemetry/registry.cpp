@@ -1,0 +1,104 @@
+#include "telemetry/registry.hpp"
+
+#include <bit>
+
+namespace iotsentinel::telemetry {
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value <= 1) return 0;
+  // Smallest i with value <= 2^i, i.e. ceil(log2(value)).
+  const auto i = static_cast<std::size_t>(std::bit_width(value - 1));
+  return i < kNumBuckets - 1 ? i : kNumBuckets - 1;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return histograms_[name];
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.scalars.reserve(counters_.size() + gauges_.size());
+  snap.histograms.reserve(histograms_.size());
+  // std::map iteration is already name-sorted; counters and gauges merge
+  // into one sorted scalar list.
+  auto ci = counters_.begin();
+  auto gi = gauges_.begin();
+  while (ci != counters_.end() || gi != gauges_.end()) {
+    const bool take_counter =
+        gi == gauges_.end() ||
+        (ci != counters_.end() && ci->first < gi->first);
+    if (take_counter) {
+      snap.scalars.push_back(
+          {ci->first, MetricType::kCounter, ci->second.value()});
+      ++ci;
+    } else {
+      snap.scalars.push_back(
+          {gi->first, MetricType::kGauge, gi->second.value()});
+      ++gi;
+    }
+  }
+  for (const auto& [name, hist] : histograms_) {
+    Snapshot::Hist h;
+    h.name = name;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      h.buckets[i] = hist.bucket(i);
+      h.count += h.buckets[i];
+    }
+    h.sum = hist.sum();
+    snap.histograms.push_back(h);
+  }
+  return snap;
+}
+
+std::string Registry::render(const Snapshot& snap) {
+  std::string out;
+  for (const auto& s : snap.scalars) {
+    out += s.type == MetricType::kCounter ? "counter " : "gauge ";
+    out += s.name;
+    out += ' ';
+    out += std::to_string(s.value);
+    out += '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    out += "histogram ";
+    out += h.name;
+    out += " count=";
+    out += std::to_string(h.count);
+    out += " sum=";
+    out += std::to_string(h.sum);
+    out += '\n';
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      out += "  le=";
+      out += i + 1 < Histogram::kNumBuckets
+                 ? std::to_string(Histogram::bucket_bound(i))
+                 : "inf";
+      out += ' ';
+      out += std::to_string(h.buckets[i]);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string Registry::text_report() const { return render(snapshot()); }
+
+}  // namespace iotsentinel::telemetry

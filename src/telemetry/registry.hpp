@@ -1,0 +1,197 @@
+// Lock-free-readable telemetry: the gateway's first-class observability
+// surface (docs/OBSERVABILITY.md is the normative spec of every exported
+// metric).
+//
+// Design constraints, in order:
+//   1. Hot paths must not take locks or contend: every metric is a plain
+//      std::atomic updated with relaxed operations. A counter add is one
+//      uncontended RMW; publishing a worker-local plain counter is one
+//      store.
+//   2. Readers never block writers: `snapshot()` and `text_report()` read
+//      each atomic exactly once and may run while every pipeline thread
+//      is live (the registration mutex only orders metric *creation*
+//      against snapshots, never updates).
+//   3. Deterministic output: snapshots and reports list metrics in
+//      lexicographic name order, so the text report is byte-stable for a
+//      given set of values — docs/OBSERVABILITY.md's worked example is
+//      asserted against `text_report()` by tests/test_telemetry.cpp.
+//
+// Consistency model (the honest version of "point-in-time consistent"):
+// each scalar is read atomically, counters are monotone (enforced
+// structurally: `publish` is a max-store), and a histogram's reported
+// count is by construction the sum of its reported buckets (count is
+// derived from the same bucket reads). No ordering is guaranteed
+// *between* two different metrics within one snapshot; a snapshot taken
+// while writers run sees, for every metric, a value between that
+// metric's value at snapshot start and at snapshot end.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotsentinel::telemetry {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Monotone event count. Single-writer `publish` or multi-writer `add`.
+class Counter {
+ public:
+  /// Adds `delta` (multi-thread safe, relaxed).
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Publishes an externally maintained monotone total (e.g. a worker's
+  /// plain per-shard counter copied in on a stride). Monotone by
+  /// construction: a stale publish can never move the value backwards.
+  void publish(std::uint64_t total) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < total && !value_.compare_exchange_weak(
+                              cur, total, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (occupancy, live sizes) or high-water mark.
+class Gauge {
+ public:
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `v` if above the current value (high-water use).
+  void set_max(std::uint64_t v) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram for latencies/lags in microseconds.
+///
+/// Bucket upper bounds are powers of two: bucket i counts samples with
+/// value <= 2^i for i in [0, 26] (1 us .. ~67 s), and the last bucket
+/// counts everything larger. The bounds are compiled in — every
+/// histogram shares them, so reports are comparable and recording is a
+/// shift, two adds, done.
+class Histogram {
+ public:
+  /// 27 power-of-two buckets + 1 overflow bucket.
+  static constexpr std::size_t kNumBuckets = 28;
+
+  /// Upper bound of bucket `i` (the last bucket is unbounded).
+  [[nodiscard]] static constexpr std::uint64_t bucket_bound(std::size_t i) {
+    return std::uint64_t{1} << i;
+  }
+
+  /// Index of the bucket a sample lands in.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value);
+
+  /// Records one sample (multi-thread safe, relaxed).
+  void record(std::uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Sum of all recorded samples. May lag the bucket counts by in-flight
+  /// `record` calls (bucket is bumped first); exact once writers quiesce.
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// One bucket's count.
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Total samples = sum over buckets (so a snapshot's count always
+  /// equals the sum of the buckets it reports).
+  [[nodiscard]] std::uint64_t count() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// A consistent read of one registry (see the header comment for the
+/// exact guarantees). Name views point into registry-owned storage and
+/// stay valid for the registry's lifetime.
+struct Snapshot {
+  struct Scalar {
+    std::string_view name;
+    MetricType type = MetricType::kCounter;
+    std::uint64_t value = 0;
+  };
+  struct Hist {
+    std::string_view name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, Histogram::kNumBuckets> buckets{};
+  };
+
+  /// Counters and gauges, lexicographic name order.
+  std::vector<Scalar> scalars;
+  /// Histograms, lexicographic name order.
+  std::vector<Hist> histograms;
+};
+
+/// Named metric registry.
+///
+/// `counter`/`gauge`/`histogram` create-or-get under a mutex and return a
+/// reference that is stable for the registry's lifetime (metrics are
+/// never removed) — resolve names once at setup/bind time and keep the
+/// reference; the update methods on the returned objects are the
+/// lock-free hot path. Names are dotted paths (`controller.packet_ins`,
+/// `gateway.shard0.flowtable.tier1_hits`); one name must be used with
+/// one metric type only.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// Reads every metric once (see consistency model above). Safe while
+  /// writers run.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Renders `snapshot()` in the documented text format
+  /// (docs/OBSERVABILITY.md "Text report"): one `<type> <name> <value>`
+  /// line per scalar, histograms as a header line plus one indented
+  /// `le=<bound>` line per non-empty bucket. Deterministic for given
+  /// values.
+  [[nodiscard]] std::string text_report() const;
+
+  /// Renders a caller-provided snapshot (same format as `text_report`).
+  [[nodiscard]] static std::string render(const Snapshot& snap);
+
+ private:
+  mutable std::mutex mu_;  // guards metric creation only
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace iotsentinel::telemetry

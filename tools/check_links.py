@@ -6,6 +6,11 @@ inline links/images and verifies that every relative target exists on
 disk. External links (http/https/mailto) are not fetched. Exits
 non-zero listing every dead link, so CI fails when docs rot.
 
+For files listed in SYMBOL_CHECK_FILES it additionally verifies that
+backticked code symbols (`telemetry::Registry`, `snapshot()`, ...)
+actually occur in the source tree, so a rename cannot silently orphan
+the normative docs.
+
 Usage: tools/check_links.py [file-or-dir ...]
 """
 import re
@@ -15,10 +20,24 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_TARGETS = ["README.md", "ROADMAP.md", "docs"]
 
+# Docs whose backticked symbols are grepped against the source tree
+# (repo-relative paths).
+SYMBOL_CHECK_FILES = {"docs/OBSERVABILITY.md"}
+SYMBOL_SEARCH_DIRS = ["src", "tests", "bench"]
+
 # Inline links/images: [text](target) — after code has been stripped.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 FENCE_RE = re.compile(r"^(```|~~~)")
 INLINE_CODE_RE = re.compile(r"`[^`]*`")
+BACKTICK_RE = re.compile(r"`([^`]+)`")
+# A checkable code symbol: identifier, optionally ::-qualified, with an
+# optional trailing call "()" — deliberately excludes metric names
+# (contain '.'), expressions (spaces, '='), and glob/placeholder text.
+SYMBOL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(?:::[A-Za-z_][A-Za-z0-9_]*)*(?:\(\))?$")
+# A repo-relative file reference with a recognized extension.
+FILE_REF_RE = re.compile(r"^[\w./-]+\.(?:hpp|cpp|h|c|py|md|json|yml|yaml|roster)$")
+# Symbols shorter than this are too ambiguous to grep meaningfully.
+MIN_SYMBOL_LEN = 4
 
 
 def markdown_files(targets):
@@ -67,11 +86,60 @@ def check_file(path):
     return dead
 
 
+def source_corpus():
+    """Concatenated text of every source file symbols are grepped in."""
+    chunks = []
+    for d in SYMBOL_SEARCH_DIRS:
+        root = REPO_ROOT / d
+        if not root.is_dir():
+            continue
+        for f in sorted(root.rglob("*")):
+            if f.suffix in {".hpp", ".cpp", ".h", ".c"} and f.is_file():
+                chunks.append(f.read_text(errors="replace"))
+    return "\n".join(chunks)
+
+
+def symbols_in(path):
+    """Yields (line_number, token) for backticked tokens outside fences."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in BACKTICK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_symbols(path, corpus):
+    """Returns [(lineno, token)] for backticked symbols absent from the
+    source tree. Tokens that are not plain identifiers/paths (metric
+    names, expressions, placeholders) are skipped, not failed."""
+    dead = []
+    for lineno, token in symbols_in(path):
+        if FILE_REF_RE.match(token):
+            if not (REPO_ROOT / token).exists():
+                dead.append((lineno, token))
+            continue
+        if not SYMBOL_RE.match(token):
+            continue
+        # Grep for the last :: component (the identifier a rename would
+        # change); namespace qualifiers rarely appear verbatim in code.
+        name = token.rstrip("()").split("::")[-1]
+        if len(name) < MIN_SYMBOL_LEN:
+            continue
+        if name not in corpus:
+            dead.append((lineno, token))
+    return dead
+
+
 def main():
     targets = sys.argv[1:] or DEFAULT_TARGETS
     files, errors = markdown_files(targets)
     failures = 0
     checked = 0
+    corpus = None
     for target in errors:
         print(f"MISSING TARGET {target}: not a markdown file or directory")
         failures += 1
@@ -81,6 +149,13 @@ def main():
         for lineno, target in check_file(md):
             print(f"DEAD LINK {name}:{lineno}: {target}")
             failures += 1
+        if str(name) in SYMBOL_CHECK_FILES:
+            if corpus is None:
+                corpus = source_corpus()
+            for lineno, token in check_symbols(md, corpus):
+                print(f"UNKNOWN SYMBOL {name}:{lineno}: `{token}` "
+                      f"not found in {'/'.join(SYMBOL_SEARCH_DIRS)}")
+                failures += 1
     print(f"checked {checked} markdown file(s): "
           f"{failures} problem(s)" if failures else
           f"checked {checked} markdown file(s): all intra-repo links resolve")
