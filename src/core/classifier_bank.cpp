@@ -64,14 +64,31 @@ std::size_t ClassifierBank::add_type(
   } else {
     index = static_cast<std::size_t>(it - names_.begin());
   }
-  ml::Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
-  const ml::Dataset data = make_binary_dataset(positives, negative_pool,
-                                               config_.negative_ratio, rng);
-  ml::ForestConfig fc = config_.forest;
-  fc.seed = rng.next_u64();
-  forests_[index].train(data, fc);
+  const RetrainPlan plan = retrain_plan(index, positives, negative_pool);
+  forests_[index].train(plan.data, plan.forest);
   compile_one(index);
   return index;
+}
+
+ClassifierBank::RetrainPlan ClassifierBank::retrain_plan(
+    std::size_t index, const std::vector<fp::FixedFingerprint>& positives,
+    const std::vector<const fp::FixedFingerprint*>& negative_pool) const {
+  // Must mirror add_type exactly: same per-index RNG stream for the
+  // negative subsample, forest seed drawn right after it. Training on
+  // this plan elsewhere then produces the same forest add_type would.
+  ml::Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  RetrainPlan plan{make_binary_dataset(positives, negative_pool,
+                                       config_.negative_ratio, rng),
+                   config_.forest};
+  plan.forest.seed = rng.next_u64();
+  return plan;
+}
+
+void ClassifierBank::replace_forest(std::size_t index,
+                                    ml::RandomForest forest) {
+  assert(index < forests_.size());
+  forests_[index] = std::move(forest);
+  compile_one(index);
 }
 
 void ClassifierBank::compile_one(std::size_t t) {
@@ -103,10 +120,17 @@ void ClassifierBank::scores_into(const fp::FixedFingerprint& fingerprint,
 
 void ClassifierBank::score_batch(std::span<const fp::FixedFingerprint> batch,
                                  std::span<double> out) const {
-  const std::size_t types = compiled_.size();
+  score_batch_with(compiled_, batch, out);
+}
+
+void ClassifierBank::score_batch_with(
+    std::span<const ml::CompiledForest> engines,
+    std::span<const fp::FixedFingerprint> batch, std::span<double> out) const {
+  const std::size_t types = engines.size();
+  assert(types == compiled_.size());
   assert(out.size() == batch.size() * types);
   for (std::size_t t = 0; t < types; ++t) {
-    const ml::CompiledForest& engine = compiled_[t];
+    const ml::CompiledForest& engine = engines[t];
     for (std::size_t i = 0; i < batch.size(); ++i) {
       out[i * types + t] = engine.positive_score(batch[i]);
     }

@@ -71,6 +71,27 @@ class ClassifierBank {
       const std::vector<fp::FixedFingerprint>& positives,
       const std::vector<const fp::FixedFingerprint*>& negative_pool);
 
+  /// The dataset + forest settings a retrain of one type would use.
+  struct RetrainPlan {
+    ml::Dataset data;
+    ml::ForestConfig forest;
+  };
+
+  /// Builds the exact training inputs `add_type` would use for the type
+  /// at `index` — same seeded negative subsampling, same forest seed —
+  /// without training anything. Background retrainers
+  /// (ml::ForestBankPublisher) use this to rebuild one type off-thread
+  /// and publish a forest bit-identical to an in-place `add_type`.
+  [[nodiscard]] RetrainPlan retrain_plan(
+      std::size_t index, const std::vector<fp::FixedFingerprint>& positives,
+      const std::vector<const fp::FixedFingerprint*>& negative_pool) const;
+
+  /// Installs an externally trained forest as type `index`'s classifier
+  /// and recompiles only that engine. The fold-back half of a hot swap:
+  /// the publisher's retrained forest becomes the persistent state that
+  /// `save` / the incremental model-store rewrite serialize.
+  void replace_forest(std::size_t index, ml::RandomForest forest);
+
   /// Positive-class score of every classifier for this fingerprint.
   [[nodiscard]] std::vector<double> scores(
       const fp::FixedFingerprint& fingerprint) const;
@@ -87,6 +108,14 @@ class ClassifierBank {
   /// it scans the whole batch.
   void score_batch(std::span<const fp::FixedFingerprint> batch,
                    std::span<double> out) const;
+
+  /// `score_batch` against an explicit engine set instead of the bank's
+  /// own compiled forests. `engines.size()` must equal `num_types()`.
+  /// This is how a hot-swapped bank snapshot (ml::ForestBank) serves
+  /// through the unchanged identification pipeline.
+  void score_batch_with(std::span<const ml::CompiledForest> engines,
+                        std::span<const fp::FixedFingerprint> batch,
+                        std::span<double> out) const;
 
   /// Indices of the types whose classifier accepts the fingerprint.
   [[nodiscard]] std::vector<std::size_t> accepted(
@@ -111,6 +140,12 @@ class ClassifierBank {
   /// train / add_type / load).
   [[nodiscard]] const ml::CompiledForest& compiled(std::size_t i) const {
     return compiled_[i];
+  }
+
+  /// All compiled engines, in type order (seed a ForestBankPublisher or
+  /// compare against a published snapshot).
+  [[nodiscard]] std::span<const ml::CompiledForest> engines() const {
+    return compiled_;
   }
 
   [[nodiscard]] std::size_t num_types() const { return forests_.size(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <optional>
 
 #include "net/parser.hpp"
 
@@ -61,6 +62,17 @@ ShardedGateway::ShardedGateway(const IoTSecurityService& service,
   m_batch_latency_ = &registry_.histogram("classifier.batch_latency_us");
   telemetry::Histogram& fanout_lag =
       registry_.histogram("sdn.invalidation_fanout_lag_us");
+  if (config_.model_publisher != nullptr) {
+    // Surface the publisher's swap telemetry through this gateway's
+    // registry (names: docs/OBSERVABILITY.md). Bound before the threads
+    // spawn, like every other binding here.
+    ml::ForestBankPublisher::Telemetry hotswap;
+    hotswap.retrains = &registry_.counter("hotswap.retrains_completed");
+    hotswap.bank_epoch = &registry_.gauge("hotswap.bank_epoch");
+    hotswap.swap_latency_us = &registry_.histogram("hotswap.swap_latency_us");
+    hotswap.retired_banks = &registry_.gauge("hotswap.retired_banks");
+    config_.model_publisher->bind_telemetry(hotswap);
+  }
 
   shards_.reserve(config_.num_shards);
   for (std::size_t i = 0; i < config_.num_shards; ++i) {
@@ -419,8 +431,18 @@ void ShardedGateway::apply_verdict(const PendingCapture& capture,
   Backoff backoff;
   while (!owner.verdicts.try_push(std::move(msg))) backoff.wait();
 
-  const GatewayEvent event =
+  // Track each device's identified type (classifier-thread-only state):
+  // a later model swap of that type must invalidate this device's cached
+  // flow-class decisions. Unknown devices carry no type.
+  if (verdict.identification.type_index) {
+    device_type_by_mac_[capture.mac] = *verdict.identification.type_index;
+  } else {
+    device_type_by_mac_.erase(capture.mac);
+  }
+
+  GatewayEvent event =
       event_for_verdict(verdict, capture.mac, capture.end_us);
+  event.model_version = classifier_model_version_;
   {
     std::lock_guard<std::mutex> lock(events_mu_);
     events_.push_back(event);
@@ -428,7 +450,37 @@ void ShardedGateway::apply_verdict(const PendingCapture& capture,
   if (observer_) observer_(event);
 }
 
+void ShardedGateway::handle_model_swap(const ml::ForestBank& bank,
+                                       std::uint64_t prev_version,
+                                       std::uint64_t now_us) {
+  // Cached flow-class decisions of devices identified by the replaced
+  // classifier were derived under a model that no longer serves; flush
+  // them so each affected device's next table miss re-consults the
+  // controller. When exactly one bank was published since the last batch
+  // its retrained_type pins the blast radius to that type's devices;
+  // otherwise (several swaps coalesced into one epoch jump) every
+  // identified device is invalidated — correct, just wider.
+  const bool single_known_type =
+      bank.version == prev_version + 1 &&
+      bank.retrained_type != ml::ForestBank::kNoRetrainedType;
+  swap_scratch_.clear();
+  for (const auto& [mac, type] : device_type_by_mac_) {
+    if (!single_known_type || type == bank.retrained_type) {
+      swap_scratch_.push_back(mac);
+    }
+  }
+  controller_.invalidate_model_swap(swap_scratch_, now_us);
+}
+
 void ShardedGateway::classifier_loop() {
+  ml::ForestBankPublisher* publisher = config_.model_publisher;
+  std::optional<ml::ForestBankPublisher::ReaderHandle> reader;
+  std::uint64_t last_version = 0;
+  if (publisher != nullptr) {
+    reader.emplace(publisher->register_reader());
+    last_version = publisher->version();
+    classifier_model_version_ = last_version;
+  }
   std::vector<PendingCapture> batch;
   std::vector<int> barriers;  // shards whose barrier precedes this batch
   std::vector<const fp::Fingerprint*> fingerprints;
@@ -475,9 +527,21 @@ void ShardedGateway::classifier_loop() {
       fingerprints.push_back(&capture.fingerprint);
     }
     // Wall-clock (not virtual-time) classification latency: this is the
-    // real compute cost of one IoTSSP batch round.
+    // real compute cost of one IoTSSP batch round. The bank acquire is
+    // timed too — it is part of the serving cost a hot swap must not
+    // inflate (the bench_retrain acceptance number).
     const auto t0 = std::chrono::steady_clock::now();
-    service_.assess_batch(fingerprints, verdicts);
+    if (publisher != nullptr) {
+      const ml::ForestBankPublisher::BankRef bank = publisher->acquire(*reader);
+      classifier_model_version_ = bank->version;
+      if (bank->version != last_version) {
+        handle_model_swap(*bank, last_version, batch.front().end_us);
+        last_version = bank->version;
+      }
+      service_.assess_batch_with(bank->engines, fingerprints, verdicts);
+    } else {
+      service_.assess_batch(fingerprints, verdicts);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     m_batch_latency_->record(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)

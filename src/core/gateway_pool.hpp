@@ -48,6 +48,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/device_tracker.hpp"
@@ -56,6 +57,7 @@
 #include "core/security_service.hpp"
 #include "core/spsc_ring.hpp"
 #include "fingerprint/extractor.hpp"
+#include "ml/hot_swap.hpp"
 #include "sdn/controller.hpp"
 #include "sdn/software_switch.hpp"
 #include "sdn/switch_cache.hpp"
@@ -82,6 +84,17 @@ struct ShardedGatewayConfig {
   bool switch_cache_enabled = true;
   /// Per-shard decision-cache capacity (flush-on-full above it).
   std::size_t switch_cache_entries = sdn::SwitchRuleCache::kDefaultCapacity;
+  /// Optional hot-swap model source (must outlive the gateway). When set,
+  /// the classifier thread registers as a reader and pins one published
+  /// ForestBank snapshot per batch — background retrains through the
+  /// publisher reach the serving path at the next batch boundary without
+  /// ever blocking it. Verdict events carry the bank version that scored
+  /// them, and a swap fans cache invalidations out for devices of the
+  /// retrained type (see Controller::invalidate_model_swap). The
+  /// publisher's engines must stem from `service`'s own identifier so
+  /// stage 2 (references, type names) matches stage 1. When null the
+  /// gateway serves the service's fixed compiled bank, as before.
+  ml::ForestBankPublisher* model_publisher = nullptr;
   fp::ExtractorConfig extractor;
   sdn::ControllerConfig controller;
 };
@@ -395,6 +408,12 @@ class ShardedGateway {
   /// the identification event.
   void apply_verdict(const PendingCapture& capture,
                      const ServiceVerdict& verdict);
+  /// Classifier-side: fans cache invalidations out for the devices whose
+  /// type the newly observed bank retrained (all identified devices when
+  /// the classifier missed intermediate banks and cannot attribute the
+  /// change to one type).
+  void handle_model_swap(const ml::ForestBank& bank,
+                         std::uint64_t prev_version, std::uint64_t now_us);
 
   const IoTSecurityService& service_;
   ShardedGatewayConfig config_;
@@ -430,6 +449,17 @@ class ShardedGateway {
   mutable std::mutex events_mu_;
   std::vector<GatewayEvent> events_;         // guarded by events_mu_
   std::function<void(const GatewayEvent&)> observer_;
+
+  // Classifier-thread-only hot-swap state (no locks needed).
+  /// Version of the bank snapshot scoring the current batch (stamped into
+  /// each verdict's GatewayEvent); 0 without a model_publisher.
+  std::uint64_t classifier_model_version_ = 0;
+  /// Last identified type of each device, as seen by the classifier —
+  /// EnforcementRule does not carry the type, and a swap must invalidate
+  /// exactly the devices of the retrained type.
+  std::unordered_map<net::MacAddress, std::size_t> device_type_by_mac_;
+  /// Scratch for handle_model_swap's device list.
+  std::vector<net::MacAddress> swap_scratch_;
 
   std::thread classifier_thread_;
 };

@@ -98,13 +98,20 @@ void DeviceIdentifier::identify_into(const fp::Fingerprint& f,
 void DeviceIdentifier::identify_batch(
     std::span<const fp::Fingerprint* const> fs,
     std::vector<IdentificationResult>& out) const {
+  identify_batch_with(bank_.engines(), fs, out);
+}
+
+void DeviceIdentifier::identify_batch_with(
+    std::span<const ml::CompiledForest> engines,
+    std::span<const fp::Fingerprint* const> fs,
+    std::vector<IdentificationResult>& out) const {
   out.resize(fs.size());
   if (fs.empty()) return;
 
-  // Stage 1, batched: derive every F' and sweep the bank type-major so a
-  // single compiled forest scans the whole batch before the next one is
+  // Stage 1, batched: derive every F' and sweep the engines type-major so
+  // a single compiled forest scans the whole batch before the next one is
   // touched. Scores (and therefore accept sets) are bit-identical to the
-  // per-fingerprint scores_into path.
+  // per-fingerprint scores_into path when `engines` is the bank's own set.
   std::vector<fp::FixedFingerprint> fixed;
   fixed.reserve(fs.size());
   for (const fp::Fingerprint* f : fs) {
@@ -112,7 +119,7 @@ void DeviceIdentifier::identify_batch(
   }
   const std::size_t types = bank_.num_types();
   std::vector<double> scores(fs.size() * types);
-  bank_.score_batch(fixed, scores);
+  bank_.score_batch_with(engines, fixed, scores);
 
   const double threshold = bank_.config().accept_threshold;
   for (std::size_t i = 0; i < fs.size(); ++i) {

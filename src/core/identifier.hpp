@@ -82,6 +82,15 @@ class DeviceIdentifier {
   void identify_batch(std::span<const fp::Fingerprint* const> fs,
                       std::vector<IdentificationResult>& out) const;
 
+  /// `identify_batch` with stage 1 served by an explicit engine set (a
+  /// hot-swapped ml::ForestBank snapshot) instead of the bank's own
+  /// compiled forests. Stage 2 (references, type names) is unchanged.
+  /// `engines.size()` must equal `num_types()`. With the bank's own
+  /// engines this is exactly `identify_batch`.
+  void identify_batch_with(std::span<const ml::CompiledForest> engines,
+                           std::span<const fp::Fingerprint* const> fs,
+                           std::vector<IdentificationResult>& out) const;
+
   /// Stage 1 only (exposed for the Table-IV timing bench).
   [[nodiscard]] std::vector<std::size_t> classify(
       const fp::FixedFingerprint& fixed) const;

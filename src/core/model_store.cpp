@@ -180,7 +180,10 @@ struct TocEntry {
   std::size_t length = 0;
 };
 
-/// IOTS1 container. Verification order is part of the design:
+/// Envelope verification — steps 1–5 of the IOTS1 load, shared by the
+/// loader and the incremental rewriter (whose base artifact must satisfy
+/// exactly the integrity guarantees a load demands). Order is part of
+/// the design:
 ///   1. envelope sanity (magic, version),
 ///   2. trailer structure (tag + recorded file length) — catches every
 ///      truncation up front,
@@ -188,13 +191,14 @@ struct TocEntry {
 ///   4. per-section checksums — a corrupt payload is reported against
 ///      the section that holds it,
 ///   5. whole-file checksum — catches what the section CRCs cannot see
-///      (the trailer's own bytes, inter-section gaps),
-///   6. only then any structural parse of section payloads.
+///      (the trailer's own bytes, inter-section gaps).
 /// A corrupt or truncated artifact is therefore rejected by arithmetic
-/// on checksums before a single payload byte is interpreted.
-LoadResult load_iots1(std::span<const std::uint8_t> blob) {
+/// on checksums before a single payload byte is interpreted. On success
+/// (`kind == kNone`) `entries` holds the verified TOC.
+LoadError verify_envelope(std::span<const std::uint8_t> blob,
+                          std::vector<TocEntry>& entries) {
   const auto fail = [](Kind kind, std::string section, std::size_t offset) {
-    return LoadResult(LoadError{kind, std::move(section), offset});
+    return LoadError{kind, std::move(section), offset};
   };
   if (blob.size() < kHeaderSize + 4 + kTrailerSize) {
     return fail(Kind::kTruncated, "envelope", blob.size());
@@ -235,7 +239,7 @@ LoadResult load_iots1(std::span<const std::uint8_t> blob) {
   }
 
   // TOC bounds + per-section checksums.
-  std::vector<TocEntry> entries;
+  entries.clear();
   entries.reserve(section_count);
   for (std::uint32_t i = 0; i < section_count; ++i) {
     const std::size_t at = kHeaderSize + i * kTocEntrySize;
@@ -269,18 +273,34 @@ LoadResult load_iots1(std::span<const std::uint8_t> blob) {
       be32(blob, blob.size() - 4)) {
     return fail(Kind::kChecksumMismatch, "trailer", blob.size() - 4);
   }
+  return LoadError{};
+}
 
-  const auto find = [&](const char* tag) -> const TocEntry* {
-    for (const TocEntry& entry : entries) {
-      if (std::equal(entry.raw_tag.begin(), entry.raw_tag.end(), tag)) {
-        return &entry;
-      }
+const TocEntry* find_section(const std::vector<TocEntry>& entries,
+                             const char* tag) {
+  for (const TocEntry& entry : entries) {
+    if (std::equal(entry.raw_tag.begin(), entry.raw_tag.end(), tag)) {
+      return &entry;
     }
-    return nullptr;
+  }
+  return nullptr;
+}
+
+/// IOTS1 container: envelope verification, then structural parse of the
+/// section payloads.
+LoadResult load_iots1(std::span<const std::uint8_t> blob) {
+  const auto fail = [](Kind kind, std::string section, std::size_t offset) {
+    return LoadResult(LoadError{kind, std::move(section), offset});
   };
-  const TocEntry* meta = find(kSectionMeta);
-  const TocEntry* bank_entry = find(kSectionBank);
-  const TocEntry* refs_entry = find(kSectionRefs);
+  std::vector<TocEntry> entries;
+  if (LoadError err = verify_envelope(blob, entries);
+      err.kind != Kind::kNone) {
+    return LoadResult(std::move(err));
+  }
+
+  const TocEntry* meta = find_section(entries, kSectionMeta);
+  const TocEntry* bank_entry = find_section(entries, kSectionBank);
+  const TocEntry* refs_entry = find_section(entries, kSectionRefs);
   if (!meta) return fail(Kind::kMissingSection, kSectionMeta, 0);
   if (!bank_entry) return fail(Kind::kMissingSection, kSectionBank, 0);
   if (!refs_entry) return fail(Kind::kMissingSection, kSectionRefs, 0);
@@ -373,13 +393,25 @@ std::string describe(const LoadError& error) {
          " at offset " + std::to_string(error.offset);
 }
 
-std::vector<std::uint8_t> serialize_identifier(
-    const DeviceIdentifier& identifier) {
-  // Sections are appended straight into the output buffer — no
-  // per-section staging vectors, so peak memory stays ~1x the artifact
-  // even for multi-megabyte banks. The TOC's offset/length/CRC fields
-  // are zero-filled first and patched once the payload extents are
-  // known; the checksums are computed over subspans of the buffer.
+namespace {
+
+/// Shared IOTS1 emitter: writes the envelope skeleton, lets each emit
+/// callback append its section's payload in META/BANK/REFS order, then
+/// patches the TOC entries, checksums and trailer. The full writer
+/// (`serialize_identifier`) and the incremental rewriter
+/// (`rewrite_bank_record`) both run through this, so the envelope byte
+/// layout cannot diverge between them — which is what makes the
+/// incremental output byte-identical to a full re-save.
+///
+/// Sections are appended straight into the output buffer — no
+/// per-section staging vectors, so peak memory stays ~1x the artifact
+/// even for multi-megabyte banks. The TOC's offset/length/CRC fields
+/// are zero-filled first and patched once the payload extents are
+/// known; the checksums are computed over subspans of the buffer.
+template <typename MetaFn, typename BankFn, typename RefsFn>
+std::vector<std::uint8_t> build_container(MetaFn&& emit_meta,
+                                          BankFn&& emit_bank,
+                                          RefsFn&& emit_refs) {
   constexpr const char* kTags[] = {kSectionMeta, kSectionBank, kSectionRefs};
   constexpr std::size_t kSectionCount = 3;
   const std::size_t toc_size = kHeaderSize + kSectionCount * kTocEntrySize + 4;
@@ -405,13 +437,13 @@ std::vector<std::uint8_t> serialize_identifier(
   std::size_t offsets[kSectionCount];
   std::size_t lengths[kSectionCount];
   offsets[0] = w.size();
-  write_meta(w, identifier);
+  emit_meta(w);
   lengths[0] = w.size() - offsets[0];
   offsets[1] = w.size();
-  identifier.bank().save(w);
+  emit_bank(w);
   lengths[1] = w.size() - offsets[1];
   offsets[2] = w.size();
-  write_refs(w, identifier);
+  emit_refs(w);
   lengths[2] = w.size() - offsets[2];
 
   const auto patch_u64be = [&w](std::size_t at, std::uint64_t v) {
@@ -434,6 +466,126 @@ std::vector<std::uint8_t> serialize_identifier(
   return w.take();
 }
 
+}  // namespace
+
+std::vector<std::uint8_t> serialize_identifier(
+    const DeviceIdentifier& identifier) {
+  return build_container(
+      [&](net::ByteWriter& w) { write_meta(w, identifier); },
+      [&](net::ByteWriter& w) { identifier.bank().save(w); },
+      [&](net::ByteWriter& w) { write_refs(w, identifier); });
+}
+
+LoadError rewrite_bank_record(std::span<const std::uint8_t> base,
+                              const DeviceIdentifier& identifier,
+                              std::size_t changed_type,
+                              std::vector<std::uint8_t>& out) {
+  if (changed_type >= identifier.num_types()) {
+    return LoadError{Kind::kSectionParse, kSectionBank, 0};
+  }
+  // The base must satisfy every integrity guarantee a load demands: a
+  // flipped or truncated base is rejected here, before any byte of it is
+  // copied into the new artifact.
+  std::vector<TocEntry> entries;
+  if (LoadError err = verify_envelope(base, entries);
+      err.kind != Kind::kNone) {
+    return err;
+  }
+  const TocEntry* meta = find_section(entries, kSectionMeta);
+  const TocEntry* bank_entry = find_section(entries, kSectionBank);
+  const TocEntry* refs_entry = find_section(entries, kSectionRefs);
+  if (!meta) return LoadError{Kind::kMissingSection, kSectionMeta, 0};
+  if (!bank_entry) return LoadError{Kind::kMissingSection, kSectionBank, 0};
+  if (!refs_entry) return LoadError{Kind::kMissingSection, kSectionRefs, 0};
+
+  // META must match the updated identifier byte-for-byte: write_meta is
+  // deterministic and a retrain changes no configuration, so any
+  // difference means `base` was saved from a different identifier.
+  const auto meta_bytes = base.subspan(meta->offset, meta->length);
+  net::ByteWriter meta_check;
+  write_meta(meta_check, identifier);
+  if (meta_check.data().size() != meta_bytes.size() ||
+      !std::equal(meta_bytes.begin(), meta_bytes.end(),
+                  meta_check.data().begin())) {
+    return LoadError{Kind::kSectionParse, kSectionMeta, meta->offset};
+  }
+
+  // Walk the BANK frame by length arithmetic alone — no tree parsing —
+  // to locate each type's forest record and cross-check the structural
+  // prefix (config fields, type count, names) against the identifier.
+  const auto bank_bytes = base.subspan(bank_entry->offset, bank_entry->length);
+  net::ByteReader r(bank_bytes);
+  const auto bank_fail = [&](std::size_t pos) {
+    return LoadError{Kind::kSectionParse, kSectionBank,
+                     bank_entry->offset + pos};
+  };
+  if (!r.read_tag("IBK2")) return bank_fail(r.position());
+  const auto frame_len = r.u32be();
+  if (!frame_len || *frame_len != r.remaining()) return bank_fail(r.position());
+  const std::size_t payload_at = r.position();
+  const BankConfig& config = identifier.bank().config();
+  const auto num_trees = r.u32be();
+  const auto neg_ratio = r.f32be();
+  const auto threshold = r.f32be();
+  const auto seed = r.u64be();
+  const auto count = r.u32be();
+  if (!num_trees || !neg_ratio || !threshold || !seed || !count) {
+    return bank_fail(r.position());
+  }
+  if (*num_trees != config.forest.num_trees ||
+      std::bit_cast<std::uint32_t>(*neg_ratio) !=
+          std::bit_cast<std::uint32_t>(
+              static_cast<float>(config.negative_ratio)) ||
+      std::bit_cast<std::uint32_t>(*threshold) !=
+          std::bit_cast<std::uint32_t>(
+              static_cast<float>(config.accept_threshold)) ||
+      *seed != config.seed || *count != identifier.num_types()) {
+    return bank_fail(payload_at);
+  }
+  std::size_t forest_at = 0;
+  std::size_t forest_end = 0;
+  for (std::uint32_t t = 0; t < *count; ++t) {
+    const auto name_len = r.u32be();
+    if (!name_len || *name_len > 4096) return bank_fail(r.position());
+    const auto name = r.bytes(*name_len);
+    if (!name) return bank_fail(r.position());
+    const std::string& expected = identifier.bank().type_name(t);
+    if (expected.size() != name->size() ||
+        !std::equal(name->begin(), name->end(), expected.begin())) {
+      return bank_fail(r.position() - name->size());
+    }
+    const std::size_t record_at = r.position();
+    if (!r.read_tag("IRF2")) return bank_fail(r.position());
+    const auto record_len = r.u32be();
+    if (!record_len || !r.skip(*record_len)) return bank_fail(r.position());
+    if (t == changed_type) {
+      forest_at = record_at;
+      forest_end = r.position();
+    }
+  }
+  if (!r.empty()) return bank_fail(r.position());
+
+  // Emit through the shared builder: META and REFS verbatim from the
+  // base, BANK spliced around the one re-serialized forest record.
+  out = build_container(
+      [&](net::ByteWriter& w) { w.bytes(meta_bytes); },
+      [&](net::ByteWriter& w) {
+        w.bytes(std::string("IBK2"));
+        const std::size_t length_at = w.size();
+        w.u32be(0);  // payload length, patched below
+        const std::size_t payload_start = w.size();
+        w.bytes(bank_bytes.subspan(payload_at, forest_at - payload_at));
+        identifier.bank().forest(changed_type).save(w);
+        w.bytes(bank_bytes.subspan(forest_end));
+        w.patch_u32be(length_at,
+                      static_cast<std::uint32_t>(w.size() - payload_start));
+      },
+      [&](net::ByteWriter& w) {
+        w.bytes(base.subspan(refs_entry->offset, refs_entry->length));
+      });
+  return LoadError{};
+}
+
 LoadResult load_identifier(std::span<const std::uint8_t> blob) {
   if (blob.size() >= 4 && blob[0] == 'I' && blob[1] == 'I' &&
       blob[2] == 'D' && blob[3] == '1') {
@@ -449,9 +601,13 @@ std::optional<DeviceIdentifier> deserialize_identifier(
   return result.take();
 }
 
-bool save_identifier_file(const std::string& path,
-                          const DeviceIdentifier& identifier) {
-  const auto blob = serialize_identifier(identifier);
+namespace {
+
+/// The crash-safe tail shared by the full and incremental savers: unique
+/// temp file, fsync, atomic rename, directory fsync (contract and caveat:
+/// save_identifier_file's doc comment).
+bool write_blob_atomic(const std::string& path,
+                       std::span<const std::uint8_t> blob) {
   // Unique temp name: concurrent savers to the same destination must not
   // interleave writes into a shared temp file and publish a torn blob.
   static std::atomic<std::uint64_t> counter{0};
@@ -520,20 +676,54 @@ bool save_identifier_file(const std::string& path,
   return dir_synced;
 }
 
-LoadResult load_identifier_file(const std::string& path) {
+/// Slurps `path` into `blob`. kIoError ("file") on open/read failure.
+LoadError read_file(const std::string& path, std::vector<std::uint8_t>& blob) {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
       std::fopen(path.c_str(), "rb"), &std::fclose);
-  if (!f) return LoadResult(LoadError{Kind::kIoError, "file", 0});
-  std::vector<std::uint8_t> blob;
+  if (!f) return LoadError{Kind::kIoError, "file", 0};
+  blob.clear();
   std::uint8_t buf[65536];
   std::size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
     blob.insert(blob.end(), buf, buf + n);
   }
   if (std::ferror(f.get())) {
-    return LoadResult(LoadError{Kind::kIoError, "file", blob.size()});
+    return LoadError{Kind::kIoError, "file", blob.size()};
+  }
+  return LoadError{};
+}
+
+}  // namespace
+
+bool save_identifier_file(const std::string& path,
+                          const DeviceIdentifier& identifier) {
+  return write_blob_atomic(path, serialize_identifier(identifier));
+}
+
+LoadResult load_identifier_file(const std::string& path) {
+  std::vector<std::uint8_t> blob;
+  if (LoadError err = read_file(path, blob); err.kind != Kind::kNone) {
+    return LoadResult(std::move(err));
   }
   return load_identifier(blob);
+}
+
+LoadError save_identifier_file_incremental(const std::string& path,
+                                           const DeviceIdentifier& identifier,
+                                           std::size_t changed_type) {
+  std::vector<std::uint8_t> base;
+  if (LoadError err = read_file(path, base); err.kind != Kind::kNone) {
+    return err;
+  }
+  std::vector<std::uint8_t> blob;
+  if (LoadError err = rewrite_bank_record(base, identifier, changed_type, blob);
+      err.kind != Kind::kNone) {
+    return err;
+  }
+  if (!write_blob_atomic(path, blob)) {
+    return LoadError{Kind::kIoError, "file", 0};
+  }
+  return LoadError{};
 }
 
 }  // namespace iotsentinel::core

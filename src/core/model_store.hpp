@@ -133,4 +133,45 @@ bool save_identifier_file(const std::string& path,
 /// error contract.
 [[nodiscard]] LoadResult load_identifier_file(const std::string& path);
 
+/// Incremental re-serialization — the hot-swap persistence path
+/// (docs/FORMAT.md, "Incremental BANK-record rewrite"). Produces a fresh
+/// IOTS1 container for `identifier` from the bytes of a previously saved
+/// artifact `base`, re-serializing ONLY type `changed_type`'s forest
+/// record inside the BANK section: the other types' records and the
+/// whole REFS section are copied verbatim from `base`, META is compared
+/// byte-for-byte, and the TOC, section checksums and trailer are
+/// recomputed over the result.
+///
+/// Caller contract: `base` must be an IOTS1 save (by this writer) of
+/// this identifier differing at most in type `changed_type`'s forest —
+/// same configuration, same type names, same references. Under that
+/// contract the output is byte-identical to
+/// `serialize_identifier(identifier)` (asserted by
+/// tests/test_model_store_corruption.cpp).
+///
+/// Validation: `base` first passes the full envelope verification of
+/// `load_identifier` — any truncation or single-byte corruption is
+/// rejected with the same typed error a load would produce. Then META
+/// and the BANK structure (config fields, type count, names — located by
+/// frame arithmetic, no tree parsing) are cross-checked bit-exactly
+/// against `identifier`; a mismatched base yields `kSectionParse` naming
+/// the offending section, and a `changed_type` out of range yields
+/// `kSectionParse` on BANK. On success `out` holds the new container and
+/// the returned error has `kind == kNone`.
+[[nodiscard]] LoadError rewrite_bank_record(std::span<const std::uint8_t> base,
+                                            const DeviceIdentifier& identifier,
+                                            std::size_t changed_type,
+                                            std::vector<std::uint8_t>& out);
+
+/// `save_identifier_file`, incremental: reads the artifact at `path` as
+/// the rewrite base, splices the one changed BANK record via
+/// `rewrite_bank_record`, and atomically replaces the file with the same
+/// unique-temp + fsync + rename discipline as the full save (including
+/// its directory-fsync caveat). `kIoError` in section "file" when the
+/// base cannot be read or the replacement write fails; otherwise
+/// `rewrite_bank_record`'s error contract. `kind == kNone` on success.
+[[nodiscard]] LoadError save_identifier_file_incremental(
+    const std::string& path, const DeviceIdentifier& identifier,
+    std::size_t changed_type);
+
 }  // namespace iotsentinel::core

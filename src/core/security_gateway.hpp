@@ -30,6 +30,10 @@ struct GatewayEvent {
   sdn::IsolationLevel level = sdn::IsolationLevel::kStrict;
   bool is_new_type = false;
   std::uint64_t at_us = 0;
+  /// Version of the hot-swapped model bank (ml::ForestBank) that produced
+  /// this verdict; 0 when the gateway serves a fixed model (the serial
+  /// gateway, or a ShardedGateway without a model_publisher).
+  std::uint64_t model_version = 0;
 };
 
 /// Gateway configuration.

@@ -52,6 +52,13 @@ void IoTSecurityService::assess_into(const fp::Fingerprint& f,
 void IoTSecurityService::assess_batch(
     std::span<const fp::Fingerprint* const> fingerprints,
     std::vector<ServiceVerdict>& out) const {
+  assess_batch_with(identifier_.bank().engines(), fingerprints, out);
+}
+
+void IoTSecurityService::assess_batch_with(
+    std::span<const ml::CompiledForest> engines,
+    std::span<const fp::Fingerprint* const> fingerprints,
+    std::vector<ServiceVerdict>& out) const {
   out.resize(fingerprints.size());
 
   // Lend the verdicts' identification results to the batched identifier
@@ -60,7 +67,7 @@ void IoTSecurityService::assess_batch(
   for (std::size_t i = 0; i < out.size(); ++i) {
     identifications[i] = std::move(out[i].identification);
   }
-  identifier_.identify_batch(fingerprints, identifications);
+  identifier_.identify_batch_with(engines, fingerprints, identifications);
   for (std::size_t i = 0; i < out.size(); ++i) {
     reset_verdict(out[i]);
     out[i].identification = std::move(identifications[i]);

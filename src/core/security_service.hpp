@@ -85,6 +85,15 @@ class IoTSecurityService {
   void assess_batch(std::span<const fp::Fingerprint* const> fingerprints,
                     std::vector<ServiceVerdict>& out) const;
 
+  /// `assess_batch` with stage-1 classification served by an explicit
+  /// engine set — a hot-swapped ml::ForestBank snapshot pinned for the
+  /// duration of the call (ml::ForestBankPublisher). Everything else
+  /// (stage 2, vulnerability assessment, endpoints) is unchanged; with
+  /// the identifier's own engines this is exactly `assess_batch`.
+  void assess_batch_with(std::span<const ml::CompiledForest> engines,
+                         std::span<const fp::Fingerprint* const> fingerprints,
+                         std::vector<ServiceVerdict>& out) const;
+
   [[nodiscard]] const DeviceIdentifier& identifier() const {
     return identifier_;
   }

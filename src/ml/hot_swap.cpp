@@ -1,0 +1,178 @@
+#include "ml/hot_swap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace iotsentinel::ml {
+
+ForestBankPublisher::ForestBankPublisher(std::vector<RandomForest> forests)
+    : forests_(std::move(forests)) {
+  auto* bank = new ForestBank;
+  bank->version = 1;
+  bank->retrained_type = ForestBank::kNoRetrainedType;
+  bank->engines.reserve(forests_.size());
+  for (const RandomForest& forest : forests_) {
+    bank->engines.push_back(forest.compile());
+  }
+  current_.store(bank, std::memory_order_seq_cst);
+  epoch_.store(1, std::memory_order_seq_cst);
+}
+
+ForestBankPublisher::~ForestBankPublisher() {
+#ifndef NDEBUG
+  for (const ReaderSlot& slot : slots_) {
+    assert(!slot.taken.load(std::memory_order_relaxed) &&
+           "ReaderHandle outlived its ForestBankPublisher");
+  }
+#endif
+  delete current_.load(std::memory_order_seq_cst);
+  for (const Retired& retired : retired_) delete retired.bank;
+}
+
+void ForestBankPublisher::ReaderHandle::release() {
+  if (owner_ == nullptr) return;
+  ReaderSlot& slot = owner_->slots_[index_];
+  slot.pinned.store(kQuiescent, std::memory_order_release);
+  slot.taken.store(false, std::memory_order_release);
+  owner_ = nullptr;
+}
+
+ForestBankPublisher::ReaderHandle ForestBankPublisher::register_reader() {
+  for (std::size_t i = 0; i < kMaxReaders; ++i) {
+    bool expected = false;
+    if (slots_[i].taken.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+      return ReaderHandle(this, i);
+    }
+  }
+  assert(false && "ForestBankPublisher reader slots exhausted");
+  return ReaderHandle(this, 0);
+}
+
+ForestBankPublisher::BankRef ForestBankPublisher::acquire(
+    ReaderHandle& reader) {
+  assert(reader.owner_ == this);
+  std::atomic<std::uint64_t>& slot = slots_[reader.index_].pinned;
+  // Pin-then-verify loop (see the header's protocol proof): after the
+  // loop the slot holds an epoch e with epoch_ == e observed *after* the
+  // store, so any bank obtained below has version >= e and a publisher
+  // retiring it must first observe this pin.
+  std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot.store(e, std::memory_order_seq_cst);
+    const std::uint64_t latest = epoch_.load(std::memory_order_seq_cst);
+    if (latest == e) break;
+    e = latest;
+  }
+  const ForestBank* bank = current_.load(std::memory_order_seq_cst);
+  return BankRef(bank, &slot);
+}
+
+std::uint64_t ForestBankPublisher::rebuild_type(std::size_t type,
+                                                const Dataset& data,
+                                                const ForestConfig& config) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  assert(type < forests_.size());
+  forests_[type].train(data, config);
+  // Copy the *current* engines (safe under the publish lock — no other
+  // publisher can retire the bank underneath us) and recompile only the
+  // retrained type: every other engine is byte-identical to the bank
+  // being replaced, which is what keeps untouched types' predictions
+  // bit-identical across the swap.
+  auto* bank = new ForestBank;
+  bank->retrained_type = type;
+  bank->engines = current_.load(std::memory_order_seq_cst)->engines;
+  bank->engines[type] = forests_[type].compile();
+  return publish_locked(bank);
+}
+
+std::uint64_t ForestBankPublisher::publish_engines(
+    std::vector<CompiledForest> engines, std::size_t retrained_type) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  assert(engines.size() == forests_.size());
+  auto* bank = new ForestBank;
+  bank->retrained_type = retrained_type;
+  bank->engines = std::move(engines);
+  return publish_locked(bank);
+}
+
+std::uint64_t ForestBankPublisher::publish_locked(ForestBank* bank) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t old_epoch = epoch_.load(std::memory_order_seq_cst);
+  bank->version = old_epoch + 1;
+  const ForestBank* old = current_.exchange(bank, std::memory_order_seq_cst);
+  epoch_.store(bank->version, std::memory_order_seq_cst);
+  retired_.push_back(Retired{old});
+  reclaim_locked();
+  retrains_.fetch_add(1, std::memory_order_relaxed);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (telemetry_.retrains != nullptr) telemetry_.retrains->add(1);
+  if (telemetry_.bank_epoch != nullptr) {
+    telemetry_.bank_epoch->set(bank->version);
+  }
+  if (telemetry_.swap_latency_us != nullptr) {
+    telemetry_.swap_latency_us->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count()));
+  }
+  if (telemetry_.retired_banks != nullptr) {
+    telemetry_.retired_banks->set(retired_.size());
+  }
+  return bank->version;
+}
+
+void ForestBankPublisher::reclaim() {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  reclaim_locked();
+  if (telemetry_.retired_banks != nullptr) {
+    telemetry_.retired_banks->set(retired_.size());
+  }
+}
+
+void ForestBankPublisher::reclaim_locked() {
+  // A retired bank B(v) may still be held only by a reader whose slot
+  // pins an epoch <= v (readers obtain banks with version >= their pin).
+  // Freeing banks with version < min(pinned) is therefore safe; with no
+  // pins at all, everything retired is free.
+  std::uint64_t min_pinned = std::numeric_limits<std::uint64_t>::max();
+  for (const ReaderSlot& slot : slots_) {
+    const std::uint64_t pinned = slot.pinned.load(std::memory_order_seq_cst);
+    if (pinned != kQuiescent) min_pinned = std::min(min_pinned, pinned);
+  }
+  auto it = std::remove_if(retired_.begin(), retired_.end(),
+                           [min_pinned](const Retired& retired) {
+                             if (retired.bank->version < min_pinned) {
+                               delete retired.bank;
+                               return true;
+                             }
+                             return false;
+                           });
+  retired_.erase(it, retired_.end());
+}
+
+std::size_t ForestBankPublisher::retired_banks() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return retired_.size();
+}
+
+std::size_t ForestBankPublisher::num_types() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return forests_.size();
+}
+
+RandomForest ForestBankPublisher::forest_copy(std::size_t type) const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  assert(type < forests_.size());
+  return forests_[type];
+}
+
+void ForestBankPublisher::bind_telemetry(const Telemetry& telemetry) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  telemetry_ = telemetry;
+  if (telemetry_.bank_epoch != nullptr) {
+    telemetry_.bank_epoch->set(epoch_.load(std::memory_order_seq_cst));
+  }
+}
+
+}  // namespace iotsentinel::ml

@@ -1,0 +1,262 @@
+// Hot model swap: epoch/RCU publication of compiled forest banks.
+//
+// The IoTSSP keeps learning while it serves (ROADMAP "online retraining
+// with hot model swap"): newly confirmed fingerprints of one device-type
+// are folded into that type's RandomForest on a background thread, and
+// the resulting bank of CompiledForest engines is published to the
+// serving threads without ever blocking them. The per-type one-vs-rest
+// design makes this naturally incremental — rebuilding type T leaves the
+// other types' engines untouched (their bytes are copied, so their
+// predictions stay bit-identical across the swap; asserted by
+// tests/test_hot_swap.cpp).
+//
+// Publication protocol (epoch-based reclamation, readers lock-free)
+// ------------------------------------------------------------------
+// The current bank lives behind one atomic pointer; a global epoch
+// counter equals the current bank's version. Every reader owns a fixed
+// slot holding the epoch it has pinned (0 = quiescent). To serve a
+// batch a reader pins:
+//
+//     e = epoch;                      // seq_cst
+//     do { slot = e; } while ((e' = epoch) != e, e = e');  // seq_cst
+//     bank = current;                 // seq_cst
+//
+// and unpins (slot = 0, release) when the batch is done. A publisher,
+// serialized on an internal mutex, installs the new bank with one
+// atomic exchange, bumps the epoch, retires the old bank, and frees any
+// retired bank whose version is below the minimum pinned epoch.
+//
+// Why this is safe: a reader that obtained bank B(v) loaded `current`
+// *before* the exchange that replaced B(v) (in the seq_cst total order —
+// the load returned the pre-exchange value). Its slot store of e <= v
+// precedes that load in program order, hence precedes the exchange, and
+// therefore precedes the publisher's post-exchange slot scan, which must
+// then observe the pin and keep B(v). Conversely the scan observing a
+// released slot (the reader's release-store of 0) synchronizes-with that
+// release, so every read the reader made of the bank happens-before the
+// free. Readers never block, never allocate, and can never observe a
+// torn bank: the engines vector is immutable once published.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "ml/compiled_forest.hpp"
+#include "ml/random_forest.hpp"
+#include "telemetry/registry.hpp"
+
+namespace iotsentinel::ml {
+
+/// One published, immutable generation of the per-type serving engines.
+struct ForestBank {
+  /// No type was retrained (the initial bank).
+  static constexpr std::size_t kNoRetrainedType =
+      std::numeric_limits<std::size_t>::max();
+
+  /// Monotone generation number; equals the publisher's epoch at the
+  /// moment this bank was installed (the initial bank is version 1).
+  std::uint64_t version = 0;
+  /// The single type whose forest differs from the previous bank
+  /// (kNoRetrainedType for the initial bank). Consumers use this to
+  /// invalidate state derived from the replaced classifier.
+  std::size_t retrained_type = kNoRetrainedType;
+  /// engines[t] serves type t; all entries except `retrained_type` are
+  /// byte-for-byte copies of the previous bank's engines.
+  std::vector<CompiledForest> engines;
+};
+
+/// Publishes retrained forest banks to serving threads (see file comment
+/// for the protocol). Any number of reader threads (each holding its own
+/// ReaderHandle) and any number of publisher threads (serialized
+/// internally) may run concurrently. The publisher must outlive every
+/// ReaderHandle and BankRef handed out.
+class ForestBankPublisher {
+ public:
+  /// Fixed reader-slot count; register_reader beyond this asserts.
+  static constexpr std::size_t kMaxReaders = 64;
+
+  /// Takes ownership of the training-side forests (typically copies of a
+  /// trained ClassifierBank's) and publishes version 1 compiled from
+  /// them. Compiling a copy of a trained forest is deterministic, so the
+  /// initial engines are bit-identical to the source bank's.
+  explicit ForestBankPublisher(std::vector<RandomForest> forests);
+
+  /// Frees the current bank and every retired one. No reader may hold a
+  /// BankRef or ReaderHandle past this point.
+  ~ForestBankPublisher();
+
+  ForestBankPublisher(const ForestBankPublisher&) = delete;
+  ForestBankPublisher& operator=(const ForestBankPublisher&) = delete;
+
+  /// A reader's registration: owns one pin slot. Move-only; destruction
+  /// releases the slot. Must not outlive the publisher.
+  class ReaderHandle {
+   public:
+    ReaderHandle(ReaderHandle&& other) noexcept
+        : owner_(other.owner_), index_(other.index_) {
+      other.owner_ = nullptr;
+    }
+    ReaderHandle& operator=(ReaderHandle&& other) noexcept {
+      if (this != &other) {
+        release();
+        owner_ = other.owner_;
+        index_ = other.index_;
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    ~ReaderHandle() { release(); }
+
+   private:
+    friend class ForestBankPublisher;
+    ReaderHandle(ForestBankPublisher* owner, std::size_t index)
+        : owner_(owner), index_(index) {}
+    void release();
+
+    ForestBankPublisher* owner_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  /// A pinned snapshot of the current bank. While any BankRef for a bank
+  /// exists, that bank is not reclaimed. Move-only; destruction unpins.
+  /// Acquire/deref/release are allocation-free (asserted by the tests).
+  class BankRef {
+   public:
+    BankRef(BankRef&& other) noexcept
+        : bank_(other.bank_), slot_(other.slot_) {
+      other.slot_ = nullptr;
+    }
+    BankRef& operator=(BankRef&& other) noexcept {
+      if (this != &other) {
+        unpin();
+        bank_ = other.bank_;
+        slot_ = other.slot_;
+        other.slot_ = nullptr;
+      }
+      return *this;
+    }
+    ~BankRef() { unpin(); }
+
+    [[nodiscard]] const ForestBank& operator*() const { return *bank_; }
+    [[nodiscard]] const ForestBank* operator->() const { return bank_; }
+
+   private:
+    friend class ForestBankPublisher;
+    BankRef(const ForestBank* bank, std::atomic<std::uint64_t>* slot)
+        : bank_(bank), slot_(slot) {}
+    void unpin() {
+      if (slot_ != nullptr) {
+        slot_->store(kQuiescent, std::memory_order_release);
+        slot_ = nullptr;
+      }
+    }
+
+    const ForestBank* bank_ = nullptr;
+    std::atomic<std::uint64_t>* slot_ = nullptr;
+  };
+
+  // --- reader side (lock-free after registration) -----------------------
+
+  /// Claims a pin slot for the calling thread. One handle per concurrent
+  /// reader; a thread may re-register after releasing its handle.
+  [[nodiscard]] ReaderHandle register_reader();
+
+  /// Pins the current bank. Never blocks on publishers; the returned
+  /// snapshot stays valid (and its engines immutable) until the BankRef
+  /// is destroyed. One BankRef per handle at a time.
+  [[nodiscard]] BankRef acquire(ReaderHandle& reader);
+
+  // --- publisher side (any thread; internally serialized) ----------------
+
+  /// Retrains type `type`'s forest on `data`/`config` and publishes a
+  /// bank where only that engine changed. Blocks for the training
+  /// duration (call from a background thread); readers are never
+  /// blocked. Returns the new bank's version.
+  std::uint64_t rebuild_type(std::size_t type, const Dataset& data,
+                             const ForestConfig& config);
+
+  /// Publishes a prebuilt engine set (size must equal num_types). The
+  /// low-level primitive behind rebuild_type — callers that retrain
+  /// through core::ClassifierBank publish its engines here. Returns the
+  /// new version.
+  std::uint64_t publish_engines(std::vector<CompiledForest> engines,
+                                std::size_t retrained_type);
+
+  /// Frees retired banks no reader can still hold. Publishing reclaims
+  /// automatically; this is for tests and idle maintenance.
+  void reclaim();
+
+  // --- introspection ----------------------------------------------------
+
+  /// Version of the currently published bank (= the epoch).
+  [[nodiscard]] std::uint64_t version() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+  /// Successful publishes since construction (the initial bank is not a
+  /// retrain).
+  [[nodiscard]] std::uint64_t retrains_completed() const {
+    return retrains_.load(std::memory_order_relaxed);
+  }
+  /// Retired banks not yet reclaimed (each pinned by some reader epoch).
+  [[nodiscard]] std::size_t retired_banks() const;
+  /// Number of per-type forests in every bank.
+  [[nodiscard]] std::size_t num_types() const;
+  /// Copy of the training-side forest of `type` as of the latest publish
+  /// (persistence: fold the retrained forest back into a ClassifierBank
+  /// for the incremental model-store rewrite).
+  [[nodiscard]] RandomForest forest_copy(std::size_t type) const;
+
+  /// Registry bindings (docs/OBSERVABILITY.md); all optional. Bind
+  /// before publishing — the pointers are read by publisher threads.
+  struct Telemetry {
+    /// `hotswap.retrains_completed`: published banks.
+    telemetry::Counter* retrains = nullptr;
+    /// `hotswap.bank_epoch`: version of the current bank.
+    telemetry::Gauge* bank_epoch = nullptr;
+    /// `hotswap.swap_latency_us`: pointer-swap + retire + reclaim time.
+    telemetry::Histogram* swap_latency_us = nullptr;
+    /// `hotswap.retired_banks`: retired-but-unreclaimed bank count.
+    telemetry::Gauge* retired_banks = nullptr;
+  };
+  void bind_telemetry(const Telemetry& telemetry);
+
+ private:
+  /// Slot value meaning "no epoch pinned" (real epochs start at 1).
+  static constexpr std::uint64_t kQuiescent = 0;
+
+  struct alignas(64) ReaderSlot {
+    std::atomic<std::uint64_t> pinned{kQuiescent};
+    std::atomic<bool> taken{false};
+  };
+
+  struct Retired {
+    const ForestBank* bank = nullptr;
+  };
+
+  /// Installs `bank` (version assigned inside), retires the old bank and
+  /// reclaims. Caller holds publish_mu_. Returns the new version.
+  std::uint64_t publish_locked(ForestBank* bank);
+  /// Frees retired banks below the minimum pinned epoch. Caller holds
+  /// publish_mu_.
+  void reclaim_locked();
+
+  /// Serializes publishers; guards forests_, retired_ and telemetry_.
+  mutable std::mutex publish_mu_;
+  /// Master training-side forests (the next rebuild copies the other
+  /// types' engines but retrains from/into these).
+  std::vector<RandomForest> forests_;
+  std::vector<Retired> retired_;
+  Telemetry telemetry_;
+
+  std::atomic<const ForestBank*> current_{nullptr};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> retrains_{0};
+  std::array<ReaderSlot, kMaxReaders> slots_{};
+};
+
+}  // namespace iotsentinel::ml

@@ -39,6 +39,14 @@ void Controller::attach_cache(SwitchRuleCache* cache) {
   caches_.push_back(cache);
 }
 
+void Controller::invalidate_model_swap(
+    std::span<const net::MacAddress> devices, std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const net::MacAddress& device : devices) {
+    fan_out_invalidation(device, now_us);
+  }
+}
+
 void Controller::fan_out_invalidation(const net::MacAddress& device,
                                       std::uint64_t now_us) {
   neg_.invalidate_device(device, now_us);

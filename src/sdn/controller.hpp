@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -85,6 +86,15 @@ class Controller {
   /// Attach before traffic flows (the registry is append-only and the
   /// cache must outlive the controller's last rule change).
   void attach_cache(SwitchRuleCache* cache);
+
+  /// Model-swap invalidation: flushes the negative-entry cache and every
+  /// federated switch cache for each listed device. Called by the sharded
+  /// gateway's classifier thread when a hot model swap replaces the
+  /// classifier a device class was identified with — cached flow-class
+  /// decisions derived under the replaced model must not outlive it, so
+  /// the affected devices' next packets re-consult the controller.
+  void invalidate_model_swap(std::span<const net::MacAddress> devices,
+                             std::uint64_t now_us);
 
   /// Handles a table-miss packet from the switch.
   PacketInDecision packet_in(const net::ParsedPacket& pkt,

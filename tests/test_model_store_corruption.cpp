@@ -4,13 +4,24 @@
 // typed LoadError that names the failing structure — no crash, no
 // false-accept. The suite runs in the tier-1 ctest pass and, unfiltered,
 // under the `sanitize` preset, so "no crash" is backed by ASan + UBSan.
+//
+// The ModelStoreIncremental suite extends the same guarantees to the
+// hot-swap persistence path (`rewrite_bank_record`,
+// `save_identifier_file_incremental`): the incrementally rewritten
+// artifact is byte-identical to a full re-save, survives the same
+// exhaustive flip/truncation sweeps, and a corrupt base is rejected
+// with exactly the typed error a load of that base would produce.
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <filesystem>
+#include <fstream>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/model_store.hpp"
+#include "ml/random_forest.hpp"
 #include "simnet/corpus.hpp"
 
 namespace iotsentinel {
@@ -125,6 +136,261 @@ TEST_F(ModelStoreCorruption, DescribeNamesKindSectionAndOffset) {
   ASSERT_FALSE(result.has_value());
   EXPECT_EQ(core::describe(result.error()),
             "bad-magic in section envelope at offset 0");
+}
+
+// ---- incremental BANK-record rewrite (the hot-swap persistence path) ----
+
+/// The original trained identifier, a variant with exactly one type's
+/// forest retrained through the same retrain_plan -> train ->
+/// replace_forest path the background retrainer uses, and the full-save
+/// bytes of the original as the rewrite base.
+class ModelStoreIncremental : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kChangedType = 1;  // "HueBridge"
+
+  static void SetUpTestSuite() {
+    const auto corpus =
+        sim::generate_corpus_for({"Aria", "HueBridge", "EdimaxCam"}, 4, 91);
+    core::IdentifierConfig config;
+    config.bank.forest.num_trees = 2;
+    config.references_per_type = 2;
+    original_ = new core::DeviceIdentifier(config);
+    original_->train(corpus.type_names, corpus.by_type);
+    base_ =
+        new std::vector<std::uint8_t>(core::serialize_identifier(*original_));
+
+    // Fold an independent capture of the changed type into its forest —
+    // everything else (other forests, references, config) stays shared
+    // with the original, which is exactly the rewrite's caller contract.
+    std::vector<std::vector<fp::FixedFingerprint>> fixed;
+    for (const auto& runs : corpus.by_type) {
+      auto& out = fixed.emplace_back();
+      for (const auto& f : runs) out.push_back(f.to_fixed());
+    }
+    const auto fresh = sim::generate_corpus_for({"HueBridge"}, 4, 177);
+    std::vector<fp::FixedFingerprint> positives;
+    for (const auto& f : fresh.by_type.front()) {
+      positives.push_back(f.to_fixed());
+    }
+    std::vector<const fp::FixedFingerprint*> pool;
+    for (std::size_t t = 0; t < fixed.size(); ++t) {
+      if (t == kChangedType) continue;
+      for (const auto& f : fixed[t]) pool.push_back(&f);
+    }
+    core::ClassifierBank bank = original_->bank();
+    const auto plan = bank.retrain_plan(kChangedType, positives, pool);
+    ml::RandomForest forest;
+    forest.train(plan.data, plan.forest);
+    bank.replace_forest(kChangedType, std::move(forest));
+    std::vector<std::vector<fp::Fingerprint>> references;
+    for (std::size_t t = 0; t < original_->num_types(); ++t) {
+      references.push_back(original_->references(t));
+    }
+    auto retrained = core::DeviceIdentifier::from_parts(
+        original_->config(), std::move(bank), std::move(references));
+    ASSERT_TRUE(retrained.has_value());
+    retrained_ = new core::DeviceIdentifier(std::move(*retrained));
+  }
+
+  static void TearDownTestSuite() {
+    delete original_;
+    delete retrained_;
+    delete base_;
+    original_ = nullptr;
+    retrained_ = nullptr;
+    base_ = nullptr;
+  }
+
+  static const core::DeviceIdentifier& original() { return *original_; }
+  static const core::DeviceIdentifier& retrained() { return *retrained_; }
+  static const std::vector<std::uint8_t>& base() { return *base_; }
+
+  /// The incrementally rewritten artifact (asserts the rewrite accepts
+  /// the pristine base).
+  static std::vector<std::uint8_t> incremental() {
+    std::vector<std::uint8_t> out;
+    const auto err =
+        core::rewrite_bank_record(base(), retrained(), kChangedType, out);
+    EXPECT_EQ(err.kind, core::LoadError::Kind::kNone) << core::describe(err);
+    return out;
+  }
+
+ private:
+  static core::DeviceIdentifier* original_;
+  static core::DeviceIdentifier* retrained_;
+  static std::vector<std::uint8_t>* base_;
+};
+
+core::DeviceIdentifier* ModelStoreIncremental::original_ = nullptr;
+core::DeviceIdentifier* ModelStoreIncremental::retrained_ = nullptr;
+std::vector<std::uint8_t>* ModelStoreIncremental::base_ = nullptr;
+
+TEST_F(ModelStoreIncremental, RewriteIsByteIdenticalToFullSave) {
+  const auto out = incremental();
+  EXPECT_NE(out, base()) << "the retrain must actually change the record";
+  EXPECT_EQ(out, core::serialize_identifier(retrained()));
+
+  auto loaded = core::load_identifier(out);
+  ASSERT_TRUE(loaded.has_value()) << core::describe(loaded.error());
+  const auto probes = sim::generate_corpus_for(
+      {"Aria", "HueBridge", "EdimaxCam", "WeMoLink"}, 2, 55);
+  for (const auto& runs : probes.by_type) {
+    for (const auto& f : runs) {
+      const auto a = retrained().identify(f);
+      const auto b = loaded->identify(f);
+      EXPECT_EQ(a.type_index, b.type_index);
+      EXPECT_EQ(a.candidates, b.candidates);
+      EXPECT_EQ(a.is_new_type, b.is_new_type);
+    }
+  }
+}
+
+TEST_F(ModelStoreIncremental, EveryFlipOfRewrittenArtifactIsRejected) {
+  std::vector<std::uint8_t> mutated = incremental();
+  for (std::size_t i = 0; i < mutated.size(); ++i) {
+    mutated[i] ^= 0xff;
+    const auto result = core::load_identifier(mutated);
+    ASSERT_FALSE(result.has_value())
+        << "byte flip at offset " << i << " was accepted";
+    ASSERT_FALSE(result.error().section.empty())
+        << "flip at offset " << i << " produced an unnamed failure";
+    mutated[i] ^= 0xff;
+  }
+  EXPECT_TRUE(core::load_identifier(mutated).has_value());
+}
+
+TEST_F(ModelStoreIncremental, EveryTruncationOfRewrittenArtifactIsRejected) {
+  const auto full = incremental();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const auto result = core::load_identifier(
+        std::span<const std::uint8_t>(full.data(), len));
+    ASSERT_FALSE(result.has_value())
+        << "truncation to " << len << " bytes was accepted";
+    ASSERT_FALSE(result.error().section.empty())
+        << "truncation to " << len << " produced an unnamed failure";
+  }
+}
+
+TEST_F(ModelStoreIncremental, EveryFlipOfBaseIsRejectedExactlyLikeALoad) {
+  // The rewrite promises the base passes the full envelope verification
+  // of a load — differentially: for every single-byte flip of the base,
+  // the rewrite must reject with the SAME typed error a load produces.
+  std::vector<std::uint8_t> mutated = base();
+  for (std::size_t i = 0; i < mutated.size(); ++i) {
+    mutated[i] ^= 0xff;
+    const auto load_err = core::load_identifier(mutated).error();
+    std::vector<std::uint8_t> out;
+    const auto rewrite_err =
+        core::rewrite_bank_record(mutated, retrained(), kChangedType, out);
+    ASSERT_NE(rewrite_err.kind, core::LoadError::Kind::kNone)
+        << "flipped base at offset " << i << " was accepted";
+    ASSERT_EQ(rewrite_err.kind, load_err.kind) << "offset " << i;
+    ASSERT_EQ(rewrite_err.section, load_err.section) << "offset " << i;
+    ASSERT_EQ(rewrite_err.offset, load_err.offset) << "offset " << i;
+    mutated[i] ^= 0xff;
+  }
+}
+
+TEST_F(ModelStoreIncremental, EveryTruncationOfBaseIsRejectedExactlyLikeALoad) {
+  const auto& full = base();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const std::span<const std::uint8_t> cut(full.data(), len);
+    const auto load_err = core::load_identifier(cut).error();
+    std::vector<std::uint8_t> out;
+    const auto rewrite_err =
+        core::rewrite_bank_record(cut, retrained(), kChangedType, out);
+    ASSERT_NE(rewrite_err.kind, core::LoadError::Kind::kNone)
+        << "truncated base of " << len << " bytes was accepted";
+    ASSERT_EQ(rewrite_err.kind, load_err.kind) << "length " << len;
+    ASSERT_EQ(rewrite_err.section, load_err.section) << "length " << len;
+    ASSERT_EQ(rewrite_err.offset, load_err.offset) << "length " << len;
+  }
+}
+
+TEST_F(ModelStoreIncremental, ChangedTypeOutOfRangeIsABankParseError) {
+  std::vector<std::uint8_t> out;
+  const auto err = core::rewrite_bank_record(base(), retrained(), 99, out);
+  EXPECT_EQ(err.kind, core::LoadError::Kind::kSectionParse);
+  EXPECT_EQ(err.section, "BANK");
+}
+
+TEST_F(ModelStoreIncremental, MismatchedBaseIsRejectedAsSectionParse) {
+  // A structurally valid artifact of a DIFFERENT identifier must not be
+  // spliced into: fewer types, renamed types, and a different forest
+  // configuration each fail the bit-exact cross-check, typed and named.
+  const auto train_blob = [](const std::vector<std::string>& names,
+                             std::uint32_t num_trees) {
+    const auto corpus = sim::generate_corpus_for(names, 4, 91);
+    core::IdentifierConfig config;
+    config.bank.forest.num_trees = num_trees;
+    config.references_per_type = 2;
+    core::DeviceIdentifier identifier(config);
+    identifier.train(corpus.type_names, corpus.by_type);
+    return core::serialize_identifier(identifier);
+  };
+
+  std::vector<std::uint8_t> out;
+  // Type-count mismatch (META matches — same config — so BANK blames).
+  auto err = core::rewrite_bank_record(train_blob({"Aria", "HueBridge"}, 2),
+                                       retrained(), kChangedType, out);
+  EXPECT_EQ(err.kind, core::LoadError::Kind::kSectionParse);
+  EXPECT_EQ(err.section, "BANK");
+  // Type-name mismatch at equal count.
+  err = core::rewrite_bank_record(
+      train_blob({"Aria", "HueBridge", "WeMoLink"}, 2), retrained(),
+      kChangedType, out);
+  EXPECT_EQ(err.kind, core::LoadError::Kind::kSectionParse);
+  EXPECT_EQ(err.section, "BANK");
+  // Config mismatch is already visible in META's byte-compare.
+  err = core::rewrite_bank_record(
+      train_blob({"Aria", "HueBridge", "EdimaxCam"}, 3), retrained(),
+      kChangedType, out);
+  EXPECT_EQ(err.kind, core::LoadError::Kind::kSectionParse);
+  EXPECT_EQ(err.section, "META");
+}
+
+TEST_F(ModelStoreIncremental, GarbageBaseIsRejectedAsBadMagic) {
+  const std::vector<std::uint8_t> junk(64, 0xab);
+  std::vector<std::uint8_t> out;
+  const auto err =
+      core::rewrite_bank_record(junk, retrained(), kChangedType, out);
+  EXPECT_EQ(err.kind, core::LoadError::Kind::kBadMagic);
+}
+
+TEST_F(ModelStoreIncremental, FileSaveIncrementalReplacesArtifactAtomically) {
+  const std::string dir = ::testing::TempDir() + "/iots_incremental_dir";
+  std::filesystem::create_directory(dir);
+  const std::string path = dir + "/model.iots";
+  ASSERT_TRUE(core::save_identifier_file(path, original()));
+
+  const auto err =
+      core::save_identifier_file_incremental(path, retrained(), kChangedType);
+  ASSERT_EQ(err.kind, core::LoadError::Kind::kNone) << core::describe(err);
+
+  // No temp residue, and the on-disk bytes ARE a full re-save.
+  std::vector<std::string> names;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    names.push_back(e.path().filename().string());
+  }
+  EXPECT_EQ(names, std::vector<std::string>{"model.iots"})
+      << "temp files must not survive a successful incremental save";
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::uint8_t> on_disk(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  EXPECT_EQ(on_disk, core::serialize_identifier(retrained()));
+
+  auto loaded = core::load_identifier_file(path);
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(loaded.has_value()) << core::describe(loaded.error());
+  EXPECT_EQ(loaded->num_types(), 3u);
+}
+
+TEST_F(ModelStoreIncremental, FileSaveIncrementalWithoutBaseIsIoError) {
+  const auto err = core::save_identifier_file_incremental(
+      "/nonexistent/dir/model.iots", retrained(), kChangedType);
+  EXPECT_EQ(err.kind, core::LoadError::Kind::kIoError);
+  EXPECT_EQ(err.section, "file");
 }
 
 }  // namespace
